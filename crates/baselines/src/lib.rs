@@ -1,0 +1,26 @@
+//! Baseline planners compared against NPTSN in the evaluation
+//! (Section VI-A).
+//!
+//! * [`evaluate_original`] — the manually designed original topology with
+//!   every component at ASIL D, verified with the same failure analysis as
+//!   NPTSN.
+//! * [`Trh`] — the topology-and-routing synthesis heuristic of
+//!   Gavriluţ et al. \[4\] for TSN with static FRER protection: two mutually
+//!   node-disjoint paths per flow over ASIL-B components (reliability via
+//!   ASIL decomposition), schedulability checked afterwards.
+//! * [`NeuroPlanAgent`] — the network-planning RL agent of Zhu et al. \[16\]
+//!   adapted to this problem: a *static* action space that adds individual
+//!   links (auto-selecting endpoint switches at ASIL A) or upgrades switch
+//!   ASILs, trained with the same GCN/PPO machinery and rewarded exactly
+//!   like NPTSN. Its long decision trajectory and unpruned exploration are
+//!   the behaviors Fig. 4 contrasts against the SOAG.
+
+#![warn(missing_docs)]
+
+mod neuroplan;
+mod original;
+mod trh;
+
+pub use neuroplan::{NeuroPlanAgent, NeuroPlanReport};
+pub use original::{evaluate_original, OriginalEvaluation};
+pub use trh::{Trh, TrhOutcome};

@@ -1,0 +1,101 @@
+//! The original-network baseline.
+
+use nptsn::{verify_topology, PlanningProblem, Solution};
+use nptsn_topo::Topology;
+
+/// Result of evaluating a manually designed topology as a baseline.
+#[derive(Debug, Clone)]
+pub struct OriginalEvaluation {
+    /// Whether the topology meets the reliability guarantee for the
+    /// problem's flows under the problem's NBF (Algorithm 3).
+    pub reliable: bool,
+    /// Network cost of the topology with its fixed ASIL allocation
+    /// (all-D for the ORION original).
+    pub cost: f64,
+    /// The topology as a [`Solution`] when reliable.
+    pub solution: Option<Solution>,
+}
+
+/// Evaluates a manually designed topology (e.g. the ORION original with
+/// all components at ASIL D) against a planning problem, using the exact
+/// failure analysis NPTSN uses for its own candidates.
+///
+/// In the paper's setup the all-D original is reliable whenever its links
+/// can carry the workload: every single component failure has probability
+/// below `R = 1e-6` (a safe fault), so only nominal schedulability is
+/// actually at stake.
+///
+/// # Examples
+///
+/// ```
+/// use nptsn::PlanningProblem;
+/// use nptsn_baselines::evaluate_original;
+/// use nptsn_scenarios::{orion, random_flows};
+/// use nptsn_sched::ShortestPathRecovery;
+/// use nptsn_topo::ComponentLibrary;
+/// use std::sync::Arc;
+///
+/// let scenario = orion();
+/// let flows = random_flows(&scenario.graph, 10, 0);
+/// let problem = PlanningProblem::new(
+///     Arc::clone(&scenario.graph), ComponentLibrary::automotive(),
+///     scenario.tas, flows, 1e-6, Arc::new(ShortestPathRecovery::new()),
+/// ).unwrap();
+/// let eval = evaluate_original(&problem, scenario.original.as_ref().unwrap());
+/// assert!(eval.reliable);
+/// assert!(eval.cost > 500.0);
+/// ```
+pub fn evaluate_original(problem: &PlanningProblem, original: &Topology) -> OriginalEvaluation {
+    let cost = original.network_cost(problem.library());
+    let reliable = verify_topology(problem, original).is_reliable();
+    OriginalEvaluation {
+        reliable,
+        cost,
+        solution: reliable.then(|| Solution { topology: original.clone(), cost }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nptsn_scenarios::{orion, random_flows};
+    use nptsn_sched::ShortestPathRecovery;
+    use nptsn_topo::ComponentLibrary;
+    use std::sync::Arc;
+
+    fn orion_problem(flows: usize, seed: u64) -> (PlanningProblem, Topology) {
+        let scenario = orion();
+        let flows = random_flows(&scenario.graph, flows, seed);
+        let problem = PlanningProblem::new(
+            Arc::clone(&scenario.graph),
+            ComponentLibrary::automotive(),
+            scenario.tas,
+            flows,
+            1e-6,
+            Arc::new(ShortestPathRecovery::new()),
+        )
+        .unwrap();
+        (problem, scenario.original.unwrap())
+    }
+
+    #[test]
+    fn original_orion_is_reliable_for_light_loads() {
+        let (problem, original) = orion_problem(10, 1);
+        let eval = evaluate_original(&problem, &original);
+        assert!(eval.reliable);
+        assert!(eval.solution.is_some());
+        // All-D ring: 15 switches (degree <= 5 -> 6-port, cost 33; some
+        // 4-port at 27) + 46 ASIL-D links at 8 each.
+        assert!(eval.cost > 700.0 && eval.cost < 1100.0, "cost {}", eval.cost);
+    }
+
+    #[test]
+    fn cost_does_not_depend_on_the_workload() {
+        let (p1, original) = orion_problem(10, 1);
+        let (p2, _) = orion_problem(50, 2);
+        assert_eq!(
+            evaluate_original(&p1, &original).cost,
+            evaluate_original(&p2, &original).cost
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Criterion micro-benchmarks for the building blocks, plus per-epoch
+//! timing comparable to the paper's "39 s/epoch (ORION), 10 s/epoch (ADS)"
+//! figures (Section VI, measured there on an i9-9900K with Python/MPI).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+
+use nptsn::{
+    encode_observation, FailureAnalyzer, Planner, PlannerConfig, PlanningProblem, Soag,
+};
+use nptsn_bench::problem_for;
+use nptsn_nn::{normalized_adjacency, Gcn, Module};
+use nptsn_rl::{ppo_update, ActorCritic, PpoConfig, RolloutBuffer};
+use nptsn_scenarios::{ads, orion, random_flows};
+use nptsn_sched::{NetworkBehavior, ShortestPathRecovery};
+use nptsn_tensor::Tensor;
+use nptsn_topo::{k_shortest_paths, Asil, FailureScenario, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The ORION original topology with ASIL-A switches (denser failure space).
+fn orion_topology() -> (PlanningProblem, Topology) {
+    let scenario = orion();
+    let flows = random_flows(&scenario.graph, 20, 0);
+    let problem = problem_for(&scenario, flows);
+    let mut topo = scenario.graph.empty_topology();
+    let original = scenario.original.as_ref().unwrap();
+    for &sw in original.selected_switches() {
+        topo.add_switch(sw, Asil::A).unwrap();
+    }
+    for link in original.links() {
+        let (u, v) = scenario.graph.link_endpoints(link);
+        topo.add_link(u, v).unwrap();
+    }
+    (problem, topo)
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let (_, topo) = orion_topology();
+    let adj = topo.adjacency();
+    let gc = topo.connection_graph();
+    let s = gc.end_stations()[0];
+    let d = gc.end_stations()[17];
+    c.bench_function("ksp_k16_orion", |b| {
+        b.iter(|| k_shortest_paths(&adj, s, d, 16));
+    });
+}
+
+fn bench_nbf(c: &mut Criterion) {
+    let (problem, topo) = orion_topology();
+    let nbf = ShortestPathRecovery::new();
+    let failure = FailureScenario::switches(vec![topo.selected_switches()[3]]);
+    c.bench_function("nbf_recover_20flows_orion", |b| {
+        b.iter(|| nbf.recover(&topo, &failure, problem.tas(), problem.flows()));
+    });
+}
+
+fn bench_failure_analysis(c: &mut Criterion) {
+    let (problem, topo) = orion_topology();
+    let analyzer = FailureAnalyzer::new();
+    c.bench_function("failure_analysis_orion_asil_a", |b| {
+        b.iter(|| analyzer.analyze(&problem, &topo));
+    });
+}
+
+fn bench_soag(c: &mut Criterion) {
+    let (problem, topo) = orion_topology();
+    let soag = Soag::new(16);
+    let analyzer = FailureAnalyzer::new();
+    // A strict problem so the analysis yields a concrete failure + ER.
+    let strict = PlanningProblem::new(
+        problem.connection_graph_arc(),
+        problem.library().clone(),
+        *problem.tas(),
+        problem.flows().clone(),
+        1e-9,
+        problem.nbf_arc(),
+    )
+    .unwrap();
+    let (failure, errors) = match analyzer.analyze(&strict, &topo) {
+        nptsn::Verdict::Unreliable { failure, errors } => (failure, errors),
+        nptsn::Verdict::Reliable => (FailureScenario::none(), Default::default()),
+    };
+    c.bench_function("soag_generate_k16_orion", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(0),
+            |mut rng| soag.generate(&problem, &topo, &failure, &errors, &mut rng),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let (problem, topo) = orion_topology();
+    let soag = Soag::new(16);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut errors = nptsn_sched::ErrorReport::empty();
+    let es = problem.connection_graph().end_stations();
+    errors.record(es[0], es[1]);
+    let actions = soag.generate(&problem, &topo, &FailureScenario::none(), &errors, &mut rng);
+    c.bench_function("encode_observation_orion", |b| {
+        b.iter(|| encode_observation(&problem, &topo, &actions));
+    });
+}
+
+fn bench_gcn(c: &mut Criterion) {
+    let n = 46;
+    let f = 1 + n + 31 + 16;
+    let mut rng = StdRng::seed_from_u64(0);
+    let gcn = Gcn::new(&mut rng, &[f, 2 * n, 2 * n]);
+    let ahat = normalized_adjacency(&vec![0.0; n * n], n);
+    let h = Tensor::from_vec(n, f, vec![0.1; n * f]);
+    c.bench_function("gcn_forward_orion_dims", |b| {
+        b.iter(|| gcn.forward(&ahat, &h));
+    });
+    c.bench_function("gcn_forward_backward_orion_dims", |b| {
+        b.iter(|| {
+            let out = gcn.forward(&ahat, &h).mean();
+            out.backward();
+            for p in gcn.parameters() {
+                p.zero_grad();
+            }
+        });
+    });
+}
+
+fn bench_ppo(c: &mut Criterion) {
+    // A small actor-critic over vector observations: measures the PPO
+    // update machinery itself.
+    struct Tiny {
+        actor: nptsn_nn::Mlp,
+        critic: nptsn_nn::Mlp,
+    }
+    impl ActorCritic<Vec<f32>> for Tiny {
+        fn evaluate(&self, obs: &Vec<f32>, mask: &[bool]) -> (Tensor, Tensor) {
+            let x = Tensor::from_vec(1, obs.len(), obs.clone());
+            (
+                nptsn_rl::masked_log_probs(&self.actor.forward(&x), mask),
+                self.critic.forward(&x),
+            )
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = Tiny {
+        actor: nptsn_nn::Mlp::new(
+            &mut rng,
+            &[8, 64, 64, 4],
+            nptsn_nn::Activation::Tanh,
+            nptsn_nn::Activation::Identity,
+        ),
+        critic: nptsn_nn::Mlp::new(
+            &mut rng,
+            &[8, 64, 64, 1],
+            nptsn_nn::Activation::Tanh,
+            nptsn_nn::Activation::Identity,
+        ),
+    };
+    let mut buf = RolloutBuffer::new(0.99, 0.97);
+    for i in 0..64 {
+        buf.store(vec![0.1 * (i % 8) as f32; 8], i % 4, vec![true; 4], -0.1, 0.0, -1.4);
+        buf.finish_path(0.0);
+    }
+    let batch = buf.drain();
+    let cfg = PpoConfig { train_pi_iters: 4, train_v_iters: 4, ..PpoConfig::default() };
+    c.bench_function("ppo_update_64steps", |b| {
+        b.iter_batched(
+            || {
+                (
+                    nptsn_nn::Adam::new(model.actor.parameters(), 3e-4),
+                    nptsn_nn::Adam::new(model.critic.parameters(), 1e-3),
+                )
+            },
+            |(mut a, mut v)| ppo_update(&model, &mut a, &mut v, &batch, &cfg),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_epochs(c: &mut Criterion) {
+    // One full training epoch per scenario, directly comparable in shape
+    // to the paper's per-epoch timing (smaller step counts; the harness
+    // prints the scaling factor).
+    let mut group = c.benchmark_group("epoch");
+    group.sample_size(10);
+    {
+        let scenario = ads();
+        let flows = random_flows(&scenario.graph, 12, 0);
+        let problem = problem_for(&scenario, flows);
+        let config = PlannerConfig {
+            max_epochs: 1,
+            steps_per_epoch: 128,
+            mlp_hidden: vec![128, 128],
+            train_pi_iters: 4,
+            train_v_iters: 4,
+            workers: 4,
+            ..PlannerConfig::default_paper()
+        };
+        group.bench_function("ads_128steps", |b| {
+            b.iter(|| Planner::new(problem.clone(), config.clone()).run());
+        });
+    }
+    {
+        let scenario = orion();
+        let flows = random_flows(&scenario.graph, 20, 0);
+        let problem = problem_for(&scenario, flows);
+        let config = PlannerConfig {
+            max_epochs: 1,
+            steps_per_epoch: 64,
+            mlp_hidden: vec![128, 128],
+            train_pi_iters: 2,
+            train_v_iters: 2,
+            workers: 4,
+            ..PlannerConfig::default_paper()
+        };
+        group.bench_function("orion_64steps", |b| {
+            b.iter(|| Planner::new(problem.clone(), config.clone()).run());
+        });
+    }
+    group.finish();
+    let _ = Arc::new(0); // keep Arc import used even if scenarios change
+}
+
+criterion_group!(
+    benches,
+    bench_paths,
+    bench_nbf,
+    bench_failure_analysis,
+    bench_soag,
+    bench_encode,
+    bench_gcn,
+    bench_ppo,
+    bench_epochs
+);
+criterion_main!(benches);

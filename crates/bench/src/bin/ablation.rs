@@ -1,0 +1,111 @@
+//! Ablation studies beyond the paper's figures:
+//!
+//! 1. **Decision maker** — NPTSN's RL agent vs the greedy rule on the same
+//!    SOAG action space vs NeuroPlan's link-level RL: isolates how much of
+//!    the win comes from the action design and how much from learning.
+//! 2. **Reliability-goal sweep** — tightening `R` from 1e-6 to 1e-9
+//!    activates higher failure orders in Algorithm 3 and drives up cost.
+//! 3. **NBF choice** — shortest-path vs load-balanced recovery as the
+//!    planning-time NBF.
+//!
+//! Usage: `cargo run --release -p nptsn-bench --bin ablation -- [epochs]`
+
+use std::sync::Arc;
+
+use nptsn::{GreedyPlanner, Planner, PlanningProblem};
+use nptsn_baselines::NeuroPlanAgent;
+use nptsn_bench::{bench_config, problem_for};
+use nptsn_scenarios::{ads, random_flows};
+use nptsn_sched::{LoadBalancedRecovery, ShortestPathRecovery};
+use nptsn_topo::ComponentLibrary;
+
+fn main() {
+    let epochs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
+    let scenario = ads();
+    let flows = random_flows(&scenario.graph, 12, 99);
+    let problem = problem_for(&scenario, flows.clone());
+    let config = bench_config(epochs, 256);
+
+    println!("# Ablation 1: decision maker (ADS, 12 flows, R = 1e-6)");
+    println!("{:<22} {:>9} {:>10}", "planner", "reliable", "cost");
+    let greedy = GreedyPlanner::new(problem.clone(), config.k_paths).run(8, 0);
+    println!(
+        "{:<22} {:>9} {:>10}",
+        "greedy + SOAG",
+        greedy.is_some(),
+        greedy.map(|s| format!("{:.0}", s.cost)).unwrap_or_else(|| "-".into())
+    );
+    let np = NeuroPlanAgent::new(problem.clone(), config.clone()).run().best;
+    println!(
+        "{:<22} {:>9} {:>10}",
+        "RL + link actions",
+        np.is_some(),
+        np.map(|s| format!("{:.0}", s.cost)).unwrap_or_else(|| "-".into())
+    );
+    let nptsn = Planner::new(problem.clone(), config.clone()).run().best;
+    println!(
+        "{:<22} {:>9} {:>10}",
+        "RL + SOAG (NPTSN)",
+        nptsn.is_some(),
+        nptsn.map(|s| format!("{:.0}", s.cost)).unwrap_or_else(|| "-".into())
+    );
+
+    println!("\n# Ablation 2: reliability-goal sweep (greedy planner, same workload)");
+    println!("{:<12} {:>9} {:>10} {:>16}", "R", "reliable", "cost", "ASIL A/B/C/D");
+    for goal in [1e-6f64, 1e-7, 1e-8, 1e-9] {
+        let p = PlanningProblem::new(
+            Arc::clone(&scenario.graph),
+            ComponentLibrary::automotive(),
+            scenario.tas,
+            flows.clone(),
+            goal,
+            Arc::new(ShortestPathRecovery::new()),
+        )
+        .unwrap();
+        match GreedyPlanner::new(p, config.k_paths).run(8, 0) {
+            Some(sol) => {
+                let h = sol.asil_histogram();
+                println!(
+                    "{:<12.0e} {:>9} {:>10.0} {:>16}",
+                    goal,
+                    true,
+                    sol.cost,
+                    format!("{}/{}/{}/{}", h[0], h[1], h[2], h[3])
+                );
+            }
+            None => println!("{:<12.0e} {:>9} {:>10} {:>16}", goal, false, "-", "-"),
+        }
+    }
+
+    println!("\n# Ablation 3: planning-time NBF (greedy planner)");
+    println!("{:<18} {:>9} {:>10}", "NBF", "reliable", "cost");
+    for (name, problem) in [
+        (
+            "shortest-path",
+            problem_for(&scenario, flows.clone()),
+        ),
+        (
+            "load-balanced",
+            PlanningProblem::new(
+                Arc::clone(&scenario.graph),
+                ComponentLibrary::automotive(),
+                scenario.tas,
+                flows.clone(),
+                1e-6,
+                Arc::new(LoadBalancedRecovery::new()),
+            )
+            .unwrap(),
+        ),
+    ] {
+        let sol = GreedyPlanner::new(problem, config.k_paths).run(8, 0);
+        println!(
+            "{:<18} {:>9} {:>10}",
+            name,
+            sol.is_some(),
+            sol.map(|s| format!("{:.0}", s.cost)).unwrap_or_else(|| "-".into())
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Budget sensitivity of NPTSN on ORION: how the best cost improves with
+//! the training budget (the scaled-down-default caveat of EXPERIMENTS.md).
+//!
+//! Usage: cargo run --release -p nptsn-bench --bin budget -- [flows ...]
+
+use nptsn::{Planner, PlannerConfig};
+use nptsn_bench::problem_for;
+use nptsn_scenarios::{orion, random_flows};
+
+fn main() {
+    let flows_list: Vec<usize> = {
+        let args: Vec<usize> =
+            std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+        if args.is_empty() {
+            vec![10, 30, 50]
+        } else {
+            args
+        }
+    };
+    let scenario = orion();
+    println!("{:<8} {:<14} {:>10} {:>12}", "flows", "budget", "best", "time");
+    for &nflows in &flows_list {
+        let flows = random_flows(&scenario.graph, nflows, 2023);
+        let problem = problem_for(&scenario, flows);
+        for (epochs, steps) in [(10usize, 256usize), (40, 512)] {
+            let config = PlannerConfig {
+                max_epochs: epochs,
+                steps_per_epoch: steps,
+                mlp_hidden: vec![128, 128],
+                train_pi_iters: 6,
+                train_v_iters: 6,
+                workers: 4,
+                ..PlannerConfig::default_paper()
+            };
+            let t = std::time::Instant::now();
+            let report = Planner::new(problem.clone(), config).run();
+            println!(
+                "{:<8} {:<14} {:>10} {:>12.1?}",
+                nflows,
+                format!("{epochs}x{steps}"),
+                report
+                    .best
+                    .map(|s| format!("{:.0}", s.cost))
+                    .unwrap_or_else(|| "-".into()),
+                t.elapsed()
+            );
+        }
+    }
+}

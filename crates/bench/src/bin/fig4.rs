@@ -1,0 +1,122 @@
+//! Regenerates Fig. 4: the ORION performance comparison.
+//!
+//! * (a) percentage of test cases with a reliability guarantee per flow
+//!   count, for Original / TRH / NeuroPlan / NPTSN;
+//! * (b) best network cost (mean and minimum over reliable cases);
+//! * (c) switch ASIL distribution for the RL planners.
+//!
+//! The paper runs 10 test cases per flow count with Table II budgets
+//! (~2.7 h per case); the defaults here are laptop-scale. Usage:
+//!
+//! ```text
+//! cargo run --release -p nptsn-bench --bin fig4 -- \
+//!     [cases_per_count] [epochs] [steps_per_epoch] [max_flows]
+//! ```
+
+use nptsn_bench::{bench_config, problem_for, run_approach, Approach, SeriesAggregate};
+use nptsn_scenarios::{flow_count_suite, orion};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cases: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let epochs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let steps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(256);
+    let max_flows: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(50);
+
+    let flow_counts: Vec<usize> =
+        [10, 20, 30, 40, 50].into_iter().filter(|&c| c <= max_flows).collect();
+    let scenario = orion();
+    let suite = flow_count_suite(&scenario.graph, &flow_counts, cases, 2023);
+    let config = bench_config(epochs, steps);
+    eprintln!(
+        "fig4: {} flow counts x {} cases, {} epochs x {} steps (paper: 10 cases, 256 x 2048)",
+        flow_counts.len(),
+        cases,
+        epochs,
+        steps
+    );
+
+    // results[approach][flow count] aggregate.
+    let mut table: Vec<Vec<SeriesAggregate>> = Approach::ALL
+        .iter()
+        .map(|_| flow_counts.iter().map(|_| SeriesAggregate::default()).collect())
+        .collect();
+
+    for (count, case, flows) in suite {
+        let ci = flow_counts.iter().position(|&c| c == count).expect("count in grid");
+        let problem = problem_for(&scenario, flows);
+        for (ai, &approach) in Approach::ALL.iter().enumerate() {
+            let start = std::time::Instant::now();
+            let result = run_approach(approach, &scenario, &problem, &config);
+            eprintln!(
+                "  {} flows case {}: {:<9} reliable={} cost={:?} ({:.1?})",
+                count,
+                case,
+                approach.name(),
+                result.reliable,
+                result.cost.map(|c| c.round()),
+                start.elapsed()
+            );
+            table[ai][ci].add(&result);
+        }
+    }
+
+    println!("\n# Fig 4(a): % of test cases with reliability guarantee");
+    print!("{:<10}", "approach");
+    for c in &flow_counts {
+        print!("{:>8}", format!("{c}f"));
+    }
+    println!();
+    for (ai, approach) in Approach::ALL.iter().enumerate() {
+        print!("{:<10}", approach.name());
+        for agg in &table[ai] {
+            print!("{:>8.0}", agg.reliable_percent());
+        }
+        println!();
+    }
+
+    println!("\n# Fig 4(b): best network cost (mean over reliable cases; '-' = none)");
+    print!("{:<10}", "approach");
+    for c in &flow_counts {
+        print!("{:>8}", format!("{c}f"));
+    }
+    println!();
+    for (ai, approach) in Approach::ALL.iter().enumerate() {
+        print!("{:<10}", approach.name());
+        for agg in &table[ai] {
+            match agg.mean_cost() {
+                Some(c) => print!("{c:>8.0}"),
+                None => print!("{:>8}", "-"),
+            }
+        }
+        println!();
+    }
+
+    // Headline ratio of the abstract: original cost / NPTSN minimum cost.
+    let orig_cost = table[0][0].mean_cost();
+    let nptsn_min = table[3][0].min_cost;
+    if let (Some(o), Some(n)) = (orig_cost, nptsn_min) {
+        println!(
+            "\n# headline: NPTSN reduces cost vs the original by up to {:.1}x at {} flows \
+             (paper reports up to 6.8x with the full budget)",
+            o / n,
+            flow_counts[0]
+        );
+    }
+
+    println!("\n# Fig 4(c): switch ASIL distribution (% of switches, reliable cases)");
+    print!("{:<10} {:<6}", "approach", "ASIL");
+    for c in &flow_counts {
+        print!("{:>8}", format!("{c}f"));
+    }
+    println!();
+    for (ai, approach) in [(3, Approach::Nptsn), (2, Approach::NeuroPlan)] {
+        for (level, label) in ["A", "B", "C", "D"].iter().enumerate() {
+            print!("{:<10} {:<6}", approach.name(), label);
+            for agg in &table[ai] {
+                print!("{:>8.1}", agg.asil_percent()[level]);
+            }
+            println!();
+        }
+    }
+}

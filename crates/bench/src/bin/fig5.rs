@@ -1,0 +1,97 @@
+//! Regenerates Fig. 5: the ADS sensitivity study.
+//!
+//! Epoch-reward curves while varying, one at a time:
+//!
+//! * (a) the number of GCN layers — 0, 2, 4 (GCN-0 uses the reduced actor
+//!   learning rate 1e-4, as the paper does to stabilize it);
+//! * (b) the MLP hidden size — 64x64, 128x128, 256x256;
+//! * (c) the SOAG path count K — 8, 16, 32.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p nptsn-bench --bin fig5 -- [epochs] [steps_per_epoch]
+//! ```
+
+use nptsn::{Planner, PlannerConfig};
+use nptsn_bench::{bench_config, problem_for};
+use nptsn_scenarios::{ads, random_flows};
+
+fn run_curve(label: &str, problem: &nptsn::PlanningProblem, config: PlannerConfig) -> Vec<f32> {
+    let start = std::time::Instant::now();
+    let report = Planner::new(problem.clone(), config).run();
+    eprintln!(
+        "  {label}: best {:?} in {:.1?}",
+        report.best.as_ref().map(|s| s.cost),
+        start.elapsed()
+    );
+    report.reward_curve()
+}
+
+fn print_panel(title: &str, curves: &[(String, Vec<f32>)]) {
+    println!("\n# {title}");
+    print!("{:<8}", "epoch");
+    for (label, _) in curves {
+        print!("{label:>12}");
+    }
+    println!();
+    let len = curves.iter().map(|(_, c)| c.len()).max().unwrap_or(0);
+    for e in 0..len {
+        print!("{e:<8}");
+        for (_, curve) in curves {
+            match curve.get(e) {
+                Some(v) => print!("{v:>12.3}"),
+                None => print!("{:>12}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let epochs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(24);
+    let steps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(256);
+
+    let scenario = ads();
+    // 12 flows over the 7 safety applications (Section VI-B).
+    let flows = random_flows(&scenario.graph, 12, 31);
+    let problem = problem_for(&scenario, flows);
+    let base = bench_config(epochs, steps);
+    eprintln!(
+        "fig5: ADS, 12 flows, {} epochs x {} steps (paper: 256 x 2048, ~10 s/epoch)",
+        epochs, steps
+    );
+
+    // (a) GCN layers.
+    let mut gcn_curves = Vec::new();
+    for layers in [0usize, 2, 4] {
+        let mut cfg = PlannerConfig { gcn_layers: layers, ..base.clone() };
+        if layers == 0 {
+            // The paper lowers the actor learning rate for GCN-0 to avoid
+            // divergence.
+            cfg.actor_lr = 1e-4;
+        }
+        let curve = run_curve(&format!("GCN-{layers}"), &problem, cfg);
+        gcn_curves.push((format!("GCN-{layers}"), curve));
+    }
+    print_panel("Fig 5(a): epoch reward vs GCN layers", &gcn_curves);
+
+    // (b) MLP hidden sizes.
+    let mut mlp_curves = Vec::new();
+    for width in [64usize, 128, 256] {
+        let cfg = PlannerConfig { mlp_hidden: vec![width, width], ..base.clone() };
+        let curve = run_curve(&format!("MLP-{width}x{width}"), &problem, cfg);
+        mlp_curves.push((format!("{width}x{width}"), curve));
+    }
+    print_panel("Fig 5(b): epoch reward vs MLP hidden size", &mlp_curves);
+
+    // (c) K.
+    let mut k_curves = Vec::new();
+    for k in [8usize, 16, 32] {
+        let cfg = PlannerConfig { k_paths: k, ..base.clone() };
+        let curve = run_curve(&format!("K-{k}"), &problem, cfg);
+        k_curves.push((format!("K-{k}"), curve));
+    }
+    print_panel("Fig 5(c): epoch reward vs SOAG path count K", &k_curves);
+}

@@ -1,0 +1,55 @@
+//! Regenerates Table I (component library) and Table II (default RL
+//! parameters) from the code that encodes them.
+//!
+//! Run with: `cargo run --release -p nptsn-bench --bin tables`
+
+use nptsn::PlannerConfig;
+use nptsn_topo::{Asil, ComponentLibrary};
+
+fn main() {
+    let lib = ComponentLibrary::automotive();
+
+    println!("TABLE I: component library (normalized cost)");
+    println!("  Switch library");
+    println!("    {:<8} {:>8} {:>8} {:>8} {:>14}", "ASIL", "4-port", "6-port", "8-port", "failure prob");
+    for asil in Asil::ALL {
+        println!(
+            "    {:<8} {:>8} {:>8} {:>8} {:>14.1e}",
+            asil.to_string(),
+            lib.switch_cost(4, asil).unwrap(),
+            lib.switch_cost(6, asil).unwrap(),
+            lib.switch_cost(8, asil).unwrap(),
+            asil.failure_probability()
+        );
+    }
+    println!("  Link library");
+    println!("    {:<8} {:>14} {:>14}", "ASIL", "cost/unit len", "failure prob");
+    for asil in Asil::ALL {
+        println!(
+            "    {:<8} {:>14} {:>14.1e}",
+            asil.to_string(),
+            lib.link_cost_per_unit(asil),
+            asil.failure_probability()
+        );
+    }
+
+    let c = PlannerConfig::default_paper();
+    println!("\nTABLE II: NPTSN default RL parameters");
+    let rows: [(&str, String); 12] = [
+        ("Number of GCN layers", c.gcn_layers.to_string()),
+        ("MLP hidden layers", format!("{:?}", c.mlp_hidden)),
+        ("Graph embedding features", "2 x |V^c|".to_string()),
+        ("Reward scaling factor", format!("{}", c.reward_scaling)),
+        ("Learning rate (actor)", format!("{:.0e}", c.actor_lr)),
+        ("Learning rate (critic)", format!("{:.0e}", c.critic_lr)),
+        ("K", c.k_paths.to_string()),
+        ("maxepoch", c.max_epochs.to_string()),
+        ("maxstep", c.steps_per_epoch.to_string()),
+        ("Clip ratio", c.clip_ratio.to_string()),
+        ("GAE Lambda", c.gae_lambda.to_string()),
+        ("Discount factor", c.discount.to_string()),
+    ];
+    for (name, value) in rows {
+        println!("  {name:<28} {value}");
+    }
+}

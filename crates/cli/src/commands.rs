@@ -1,0 +1,353 @@
+//! The `nptsn` subcommands.
+
+use std::fmt;
+
+use nptsn::{
+    FailureAnalyzer, GreedyPlanner, Planner, PlannerConfig, Verdict,
+};
+use nptsn_sched::simulate;
+use nptsn_topo::FailureScenario;
+
+use crate::format::{parse_problem, ParsedProblem};
+use crate::planfile::{parse_plan, write_plan};
+
+/// Errors surfaced to the command line (message plus exit code 1).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError(msg)
+    }
+}
+
+const USAGE: &str = "\
+nptsn — RL-based network planning for in-vehicle TSSDN (DSN 2023 reproduction)
+
+USAGE:
+    nptsn plan <problem.tssdn> [--epochs N] [--steps N] [--seed N] [--greedy]
+        Plan the network; prints the plan file for the best solution.
+    nptsn verify <problem.tssdn> <plan file>
+        Check a plan's reliability guarantee with the failure analyzer.
+    nptsn simulate <problem.tssdn> <plan file>
+        Execute the recovered schedule frame by frame and report latencies.
+    nptsn report <problem.tssdn> <plan file>
+        Failure-coverage report: every non-safe fault, recovery outcome
+        and worst-case latency.
+    nptsn inspect <problem.tssdn>
+        Print a summary of the parsed problem.
+    nptsn help
+        Show this message.
+";
+
+/// Runs the CLI with the given arguments (excluding the program name);
+/// output lines are appended to `out`. Returns the process exit code.
+///
+/// Separated from `main` so the whole command surface is unit-testable.
+pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let mut iter = args.iter().map(String::as_str);
+    match iter.next() {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            write!(out, "{USAGE}").map_err(io_err)?;
+            Ok(())
+        }
+        Some("plan") => cmd_plan(&args[1..], out),
+        Some("verify") => cmd_verify(&args[1..], out),
+        Some("simulate") => cmd_simulate(&args[1..], out),
+        Some("report") => cmd_report(&args[1..], out),
+        Some("inspect") => cmd_inspect(&args[1..], out),
+        Some(other) => Err(CliError(format!(
+            "unknown command '{other}'; run 'nptsn help' for usage"
+        ))),
+    }
+}
+
+fn io_err(e: std::io::Error) -> CliError {
+    CliError(format!("i/o error: {e}"))
+}
+
+fn load(path: &str) -> Result<ParsedProblem, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    parse_problem(&text).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+fn cmd_plan(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let mut path = None;
+    let mut epochs = 16usize;
+    let mut steps = 256usize;
+    let mut seed = 0u64;
+    let mut greedy = false;
+    let mut iter = args.iter().map(String::as_str);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--epochs" => epochs = parse_flag(iter.next(), "--epochs")?,
+            "--steps" => steps = parse_flag(iter.next(), "--steps")?,
+            "--seed" => seed = parse_flag(iter.next(), "--seed")?,
+            "--greedy" => greedy = true,
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => return Err(CliError(format!("unexpected argument '{other}'"))),
+        }
+    }
+    let path = path.ok_or_else(|| CliError("plan: missing <problem.tssdn>".into()))?;
+    let parsed = load(&path)?;
+
+    let config = PlannerConfig {
+        max_epochs: epochs,
+        steps_per_epoch: steps,
+        seed,
+        ..PlannerConfig::quick()
+    };
+    let best = if greedy {
+        GreedyPlanner::new(parsed.problem.clone(), config.k_paths).run(8, seed)
+    } else {
+        Planner::new(parsed.problem.clone(), config).run().best
+    };
+    match best {
+        Some(solution) => {
+            writeln!(out, "# {solution}").map_err(io_err)?;
+            write!(out, "{}", write_plan(&solution.topology)).map_err(io_err)?;
+            Ok(())
+        }
+        None => Err(CliError(
+            "no valid plan found; raise --epochs/--steps or relax the problem".into(),
+        )),
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(value: Option<&str>, flag: &str) -> Result<T, CliError> {
+    value
+        .ok_or_else(|| CliError(format!("{flag} needs a value")))?
+        .parse()
+        .map_err(|_| CliError(format!("invalid value for {flag}")))
+}
+
+fn cmd_verify(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let [problem_path, plan_path] = args else {
+        return Err(CliError("verify: expected <problem.tssdn> <plan file>".into()));
+    };
+    let parsed = load(problem_path)?;
+    let plan_text = std::fs::read_to_string(plan_path)
+        .map_err(|e| CliError(format!("cannot read {plan_path}: {e}")))?;
+    let topology = parse_plan(&parsed, &plan_text).map_err(CliError)?;
+    let cost = topology.network_cost(parsed.problem.library());
+    match FailureAnalyzer::new().analyze(&parsed.problem, &topology) {
+        Verdict::Reliable => {
+            writeln!(out, "RELIABLE (cost {cost:.1})").map_err(io_err)?;
+            Ok(())
+        }
+        Verdict::Unreliable { failure, errors } => {
+            let gc = parsed.problem.connection_graph();
+            let named: Vec<&str> =
+                failure.failed_switches().iter().map(|&s| gc.name(s)).collect();
+            writeln!(
+                out,
+                "UNRELIABLE under failure of {{{}}}: {errors}",
+                named.join(", ")
+            )
+            .map_err(io_err)?;
+            Err(CliError("the plan does not meet the reliability goal".into()))
+        }
+    }
+}
+
+fn cmd_simulate(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let [problem_path, plan_path] = args else {
+        return Err(CliError("simulate: expected <problem.tssdn> <plan file>".into()));
+    };
+    let parsed = load(problem_path)?;
+    let plan_text = std::fs::read_to_string(plan_path)
+        .map_err(|e| CliError(format!("cannot read {plan_path}: {e}")))?;
+    let topology = parse_plan(&parsed, &plan_text).map_err(CliError)?;
+    let problem = &parsed.problem;
+    let outcome =
+        problem.nbf().recover(&topology, &FailureScenario::none(), problem.tas(), problem.flows());
+    if !outcome.errors.is_empty() {
+        return Err(CliError(format!("nominal recovery failed: {}", outcome.errors)));
+    }
+    let report = simulate(
+        &topology,
+        &FailureScenario::none(),
+        problem.tas(),
+        problem.flows(),
+        &outcome.state,
+    )
+    .map_err(|e| CliError(e.to_string()))?;
+    writeln!(
+        out,
+        "{} frames delivered; worst latency {} slots, mean {:.2} slots",
+        report.frames.len(),
+        report.worst_latency_slots(),
+        report.mean_latency_slots()
+    )
+    .map_err(io_err)?;
+    let gc = problem.connection_graph();
+    for frame in &report.frames {
+        let route: Vec<&str> = frame.route.iter().map(|&n| gc.name(n)).collect();
+        writeln!(
+            out,
+            "  {} rep {}: slots {}..{} via {}",
+            frame.flow,
+            frame.repetition,
+            frame.departure_slot,
+            frame.arrival_slot,
+            route.join(" -> ")
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let [problem_path, plan_path] = args else {
+        return Err(CliError("report: expected <problem.tssdn> <plan file>".into()));
+    };
+    let parsed = load(problem_path)?;
+    let plan_text = std::fs::read_to_string(plan_path)
+        .map_err(|e| CliError(format!("cannot read {plan_path}: {e}")))?;
+    let topology = parse_plan(&parsed, &plan_text).map_err(CliError)?;
+    let report = crate::report::coverage_report(&parsed.problem, &topology);
+    write!(out, "{}", crate::report::render_report(&parsed.problem, &report))
+        .map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let [path] = args else {
+        return Err(CliError("inspect: expected <problem.tssdn>".into()));
+    };
+    let parsed = load(path)?;
+    let p = &parsed.problem;
+    let gc = p.connection_graph();
+    writeln!(out, "nodes:       {} ({} end stations, {} optional switches)",
+        gc.node_count(), gc.end_stations().len(), gc.switches().len()).map_err(io_err)?;
+    writeln!(out, "links:       {} candidates", gc.candidate_link_count()).map_err(io_err)?;
+    writeln!(out, "flows:       {}", p.flows().len()).map_err(io_err)?;
+    writeln!(out, "tas:         {} us / {} slots / {} Mbit/s",
+        p.tas().base_period_us(), p.tas().slots(), p.tas().bandwidth_mbps()).map_err(io_err)?;
+    writeln!(out, "reliability: R = {:.0e}", p.reliability_goal()).map_err(io_err)?;
+    writeln!(out, "nbf:         {}", p.nbf().name()).map_err(io_err)?;
+    writeln!(out, "library:     max switch degree {}", p.library().max_switch_degree())
+        .map_err(io_err)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "\
+[nodes]
+es a
+es b
+sw s0
+sw s1
+[links]
+a s0
+a s1
+b s0
+b s1
+s0 s1
+[flows]
+a b 500 128
+";
+
+    fn write_temp(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(format!("nptsn-cli-test-{name}"));
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn run_ok(args: &[&str]) -> String {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_ok(&["help"]).contains("USAGE"));
+        assert!(run_ok(&[]).contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let mut out = Vec::new();
+        let err = run(&["frobnicate".to_string()], &mut out).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn inspect_summarizes() {
+        let path = write_temp("inspect.tssdn", DOC);
+        let text = run_ok(&["inspect", &path]);
+        assert!(text.contains("2 end stations"));
+        assert!(text.contains("R = 1e-6"));
+        assert!(text.contains("shortest-path"));
+    }
+
+    #[test]
+    fn plan_verify_simulate_pipeline() {
+        let problem_path = write_temp("pipeline.tssdn", DOC);
+        // Greedy keeps the test fast and deterministic.
+        let plan_text = run_ok(&["plan", &problem_path, "--greedy"]);
+        assert!(plan_text.contains("[switches]"));
+        let plan_path = write_temp("pipeline.plan", &plan_text);
+
+        let verify_text = run_ok(&["verify", &problem_path, &plan_path]);
+        assert!(verify_text.contains("RELIABLE"), "{verify_text}");
+
+        let sim_text = run_ok(&["simulate", &problem_path, &plan_path]);
+        assert!(sim_text.contains("frames delivered"), "{sim_text}");
+        assert!(sim_text.contains("->"));
+    }
+
+    #[test]
+    fn verify_rejects_bad_plans() {
+        let problem_path = write_temp("badplan.tssdn", DOC);
+        // A single ASIL-A switch: its failure is a non-safe fault.
+        let plan_path = write_temp(
+            "badplan.plan",
+            "[switches]\ns0 A\n[plan-links]\na s0\nb s0\n",
+        );
+        let mut out = Vec::new();
+        let args: Vec<String> =
+            ["verify", &problem_path, &plan_path].iter().map(|s| s.to_string()).collect();
+        let err = run(&args, &mut out).unwrap_err();
+        assert!(err.to_string().contains("reliability goal"));
+        let printed = String::from_utf8(out).unwrap();
+        assert!(printed.contains("UNRELIABLE"), "{printed}");
+        assert!(printed.contains("s0"));
+    }
+
+    #[test]
+    fn rl_plan_works_with_tiny_budget() {
+        let problem_path = write_temp("rlplan.tssdn", DOC);
+        let plan_text =
+            run_ok(&["plan", &problem_path, "--epochs", "2", "--steps", "48", "--seed", "1"]);
+        assert!(plan_text.contains("[switches]"));
+        let plan_path = write_temp("rlplan.plan", &plan_text);
+        let verify_text = run_ok(&["verify", &problem_path, &plan_path]);
+        assert!(verify_text.contains("RELIABLE"));
+    }
+
+    #[test]
+    fn flag_errors_are_reported() {
+        let mut out = Vec::new();
+        let err = run(
+            &["plan".to_string(), "--epochs".to_string()],
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--epochs"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Library backing the `nptsn` command-line tool: the `.tssdn` problem
+//! file format, the plan file format, and the subcommand implementations.
+//!
+//! # The `.tssdn` problem format
+//!
+//! A line-oriented text format describing one planning problem. Sections
+//! start with a `[name]` header; `#` starts a comment; blank lines are
+//! ignored.
+//!
+//! ```text
+//! # A tiny in-vehicle network.
+//! [tas]
+//! base_period_us = 500
+//! slots = 20
+//! bandwidth_mbps = 1000
+//!
+//! [reliability]
+//! goal = 1e-6
+//!
+//! [nodes]            # kind name
+//! es camera
+//! es ecu
+//! sw sw0
+//! sw sw1
+//!
+//! [links]            # u v length
+//! camera sw0 1.0
+//! camera sw1 1.0
+//! ecu sw0 1.0
+//! ecu sw1 1.0
+//! sw0 sw1 1.0
+//!
+//! [flows]            # source destination period_us frame_bytes
+//! camera ecu 500 256
+//! ```
+//!
+//! The component library defaults to Table I (`automotive`); a
+//! `[library]` section with `combine_rounds = N` expands it with combined
+//! switches.
+//!
+//! # Plan files
+//!
+//! `plan` writes (and `verify` reads) a plan file listing the selected
+//! switches with their ASIL and the selected links:
+//!
+//! ```text
+//! [switches]        # name asil
+//! sw0 A
+//! [plan-links]      # u v
+//! camera sw0
+//! ecu sw0
+//! ```
+
+#![warn(missing_docs)]
+
+mod commands;
+mod format;
+mod planfile;
+mod report;
+
+pub use commands::{run, CliError};
+pub use format::{parse_problem, ParsedProblem};
+pub use planfile::{parse_plan, write_plan};
+pub use report::{coverage_report, render_report, CoverageReport, CoverageRow};

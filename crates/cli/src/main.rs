@@ -1,0 +1,10 @@
+//! The `nptsn` command-line tool.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    if let Err(err) = nptsn_cli::run(&args, &mut stdout) {
+        eprintln!("error: {err}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Reading and writing plan files (a topology plus ASIL allocation).
+
+use std::collections::HashMap;
+
+use nptsn_topo::{Asil, NodeId, Topology};
+
+use crate::format::ParsedProblem;
+
+/// Serializes a planned topology into the plan file format.
+///
+/// # Examples
+///
+/// ```
+/// let doc = "\
+/// [nodes]
+/// es a
+/// es b
+/// sw s
+/// [links]
+/// a s 1.0
+/// b s 1.0
+/// [flows]
+/// a b 500 128
+/// ";
+/// let parsed = nptsn_cli::parse_problem(doc).unwrap();
+/// let mut topo = parsed.problem.connection_graph().empty_topology();
+/// topo.add_switch(parsed.nodes_by_name["s"], nptsn_topo::Asil::D).unwrap();
+/// topo.add_link(parsed.nodes_by_name["a"], parsed.nodes_by_name["s"]).unwrap();
+///
+/// let text = nptsn_cli::write_plan(&topo);
+/// let restored = nptsn_cli::parse_plan(&parsed, &text).unwrap();
+/// assert!(restored.contains_switch(parsed.nodes_by_name["s"]));
+/// ```
+pub fn write_plan(topology: &Topology) -> String {
+    let gc = topology.connection_graph();
+    let mut out = String::from("# NPTSN plan\n[switches]\n");
+    for &sw in topology.selected_switches() {
+        let asil = topology.switch_asil(sw).expect("selected switch has ASIL");
+        out.push_str(&format!("{} {}\n", gc.name(sw), nptsn::asil_label(asil)));
+    }
+    out.push_str("\n[plan-links]\n");
+    for link in topology.links() {
+        let (u, v) = gc.link_endpoints(link);
+        out.push_str(&format!("{} {}\n", gc.name(u), gc.name(v)));
+    }
+    out
+}
+
+/// Parses a plan file against the problem it was planned for, rebuilding
+/// the topology (switch ASILs and links).
+///
+/// # Errors
+///
+/// Returns a message for syntax errors, unknown node names, non-candidate
+/// links, duplicate switches and degree violations.
+pub fn parse_plan(parsed: &ParsedProblem, text: &str) -> Result<Topology, String> {
+    let gc = parsed.problem.connection_graph();
+    let mut topology = gc.empty_topology();
+    let lookup: &HashMap<String, NodeId> = &parsed.nodes_by_name;
+    let mut section = String::new();
+    // Links must be added after every switch exists; collect first.
+    let mut links: Vec<(NodeId, NodeId, usize)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        if let Some(name) = line.strip_prefix('[') {
+            section = name
+                .strip_suffix(']')
+                .ok_or_else(|| at("unterminated section header"))?
+                .trim()
+                .to_string();
+            if section != "switches" && section != "plan-links" {
+                return Err(at(&format!("unknown plan section [{section}]")));
+            }
+            continue;
+        }
+        match section.as_str() {
+            "switches" => {
+                let (name, asil) = line
+                    .split_once(' ')
+                    .map(|(n, a)| (n.trim(), a.trim()))
+                    .ok_or_else(|| at("expected: <name> <A|B|C|D>"))?;
+                let &node = lookup
+                    .get(name)
+                    .ok_or_else(|| at(&format!("unknown node '{name}'")))?;
+                let asil = match asil {
+                    "A" => Asil::A,
+                    "B" => Asil::B,
+                    "C" => Asil::C,
+                    "D" => Asil::D,
+                    other => return Err(at(&format!("unknown ASIL '{other}'"))),
+                };
+                topology.add_switch(node, asil).map_err(|e| at(&e.to_string()))?;
+            }
+            "plan-links" => {
+                let (u, v) = line
+                    .split_once(' ')
+                    .map(|(u, v)| (u.trim(), v.trim()))
+                    .ok_or_else(|| at("expected: <u> <v>"))?;
+                let &u = lookup.get(u).ok_or_else(|| at(&format!("unknown node '{u}'")))?;
+                let &v = lookup.get(v).ok_or_else(|| at(&format!("unknown node '{v}'")))?;
+                links.push((u, v, lineno + 1));
+            }
+            _ => return Err(at("content before the first plan section")),
+        }
+    }
+    for (u, v, lineno) in links {
+        topology
+            .add_link(u, v)
+            .map_err(|e| format!("line {lineno}: {e}"))?;
+    }
+    Ok(topology)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::parse_problem;
+
+    const DOC: &str = "\
+[nodes]
+es a
+es b
+sw s0
+sw s1
+[links]
+a s0
+a s1
+b s0
+b s1
+s0 s1
+[flows]
+a b 500 128
+";
+
+    fn build() -> (ParsedProblem, Topology) {
+        let parsed = parse_problem(DOC).unwrap();
+        let mut topo = parsed.problem.connection_graph().empty_topology();
+        topo.add_switch(parsed.nodes_by_name["s0"], Asil::A).unwrap();
+        topo.add_switch(parsed.nodes_by_name["s1"], Asil::C).unwrap();
+        for (u, v) in [("a", "s0"), ("a", "s1"), ("b", "s0"), ("b", "s1")] {
+            topo.add_link(parsed.nodes_by_name[u], parsed.nodes_by_name[v]).unwrap();
+        }
+        (parsed, topo)
+    }
+
+    #[test]
+    fn roundtrip_preserves_the_topology() {
+        let (parsed, topo) = build();
+        let text = write_plan(&topo);
+        let restored = parse_plan(&parsed, &text).unwrap();
+        assert_eq!(restored.selected_switches(), topo.selected_switches());
+        for &sw in topo.selected_switches() {
+            assert_eq!(restored.switch_asil(sw), topo.switch_asil(sw));
+        }
+        let links_a: Vec<_> = topo.links().collect();
+        let links_b: Vec<_> = restored.links().collect();
+        assert_eq!(links_a, links_b);
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let (parsed, _) = build();
+        let err = parse_plan(&parsed, "[switches]\nghost A\n").unwrap_err();
+        assert!(err.contains("unknown node 'ghost'"));
+    }
+
+    #[test]
+    fn bad_asil_rejected() {
+        let (parsed, _) = build();
+        let err = parse_plan(&parsed, "[switches]\ns0 Z\n").unwrap_err();
+        assert!(err.contains("unknown ASIL"));
+    }
+
+    #[test]
+    fn non_candidate_link_rejected() {
+        let (parsed, _) = build();
+        // a-b is not a candidate connection.
+        let err = parse_plan(&parsed, "[switches]\ns0 A\n[plan-links]\na b\n").unwrap_err();
+        assert!(err.contains("candidate"), "{err}");
+    }
+
+    #[test]
+    fn links_before_switches_still_work() {
+        let (parsed, _) = build();
+        // plan-links listed first: parser defers link insertion.
+        let text = "[plan-links]\na s0\n[switches]\ns0 B\n";
+        let topo = parse_plan(&parsed, text).unwrap();
+        assert_eq!(topo.link_count(), 1);
+        assert_eq!(topo.switch_asil(parsed.nodes_by_name["s0"]), Some(Asil::B));
+    }
+}

@@ -1,0 +1,252 @@
+//! Failure-coverage reports: every non-safe fault, its probability, the
+//! recovery outcome and the observed latencies.
+//!
+//! This is the evidence artifact of the design flow (Fig. 1): after
+//! planning, the safety engineer needs to see — per failure scenario with
+//! probability ≥ R — that the recovery mechanism restores every flow and
+//! within what latency. The report enumerates the same switch-failure
+//! scenarios as the failure analyzer (Algorithm 3, including the nominal
+//! case) and runs each through the NBF and the frame-level simulator.
+
+use std::fmt::Write as _;
+
+use nptsn::PlanningProblem;
+use nptsn_sched::simulate;
+use nptsn_topo::{FailureScenario, NodeId, Topology};
+
+/// One row of the failure-coverage report.
+#[derive(Debug, Clone)]
+pub struct CoverageRow {
+    /// The injected failure scenario.
+    pub failure: FailureScenario,
+    /// Its probability under the plan's ASIL allocation (Eq. 2).
+    pub probability: f64,
+    /// Whether recovery restored every flow.
+    pub recovered: bool,
+    /// Worst frame latency in slots over the recovered schedule (0 when
+    /// recovery failed).
+    pub worst_latency_slots: usize,
+    /// Unrecovered endpoint pairs, empty on success.
+    pub failed_pairs: usize,
+}
+
+/// The full coverage report for one planned topology.
+#[derive(Debug, Clone)]
+pub struct CoverageReport {
+    /// One row per checked scenario, nominal first, then by decreasing
+    /// probability.
+    pub rows: Vec<CoverageRow>,
+}
+
+impl CoverageReport {
+    /// Whether every checked scenario recovered — equivalent to the
+    /// analyzer's `Reliable` verdict over the same scenario set.
+    pub fn all_recovered(&self) -> bool {
+        self.rows.iter().all(|r| r.recovered)
+    }
+
+    /// The worst latency over all recovered scenarios, in slots.
+    pub fn worst_latency_slots(&self) -> usize {
+        self.rows.iter().map(|r| r.worst_latency_slots).max().unwrap_or(0)
+    }
+}
+
+/// Enumerates every switch-failure scenario with probability ≥ R (the
+/// non-safe faults of Algorithm 3, nominal case included) and records the
+/// recovery outcome and simulated latency for each.
+pub fn coverage_report(problem: &PlanningProblem, topology: &Topology) -> CoverageReport {
+    let r = problem.reliability_goal();
+    let switches: Vec<NodeId> = topology.selected_switches().to_vec();
+    let mut scenarios = vec![FailureScenario::none()];
+    // Grow subsets breadth-first while their probability stays >= R; the
+    // probability is monotone decreasing in the subset, so pruning is safe.
+    let mut frontier: Vec<Vec<NodeId>> = switches.iter().map(|&s| vec![s]).collect();
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for subset in frontier {
+            let scenario = FailureScenario::switches(subset.clone());
+            if topology.failure_probability(&scenario) < r {
+                continue;
+            }
+            // Extend only with switches after the last one to enumerate
+            // each subset once.
+            let last = *subset.last().expect("non-empty");
+            for &s in switches.iter().filter(|&&s| s > last) {
+                let mut bigger = subset.clone();
+                bigger.push(s);
+                next.push(bigger);
+            }
+            scenarios.push(scenario);
+        }
+        frontier = next;
+    }
+    scenarios[1..].sort_by(|a, b| {
+        topology
+            .failure_probability(b)
+            .partial_cmp(&topology.failure_probability(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let rows = scenarios
+        .into_iter()
+        .map(|failure| {
+            let outcome = problem.nbf().recover(
+                topology,
+                &failure,
+                problem.tas(),
+                problem.flows(),
+            );
+            let worst = if outcome.errors.is_empty() {
+                simulate(topology, &failure, problem.tas(), problem.flows(), &outcome.state)
+                    .map(|rep| rep.worst_latency_slots())
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            CoverageRow {
+                probability: topology.failure_probability(&failure),
+                recovered: outcome.errors.is_empty(),
+                worst_latency_slots: worst,
+                failed_pairs: outcome.errors.len(),
+                failure,
+            }
+        })
+        .collect();
+    CoverageReport { rows }
+}
+
+/// Renders the report as an aligned text table with node names resolved
+/// through the connection graph.
+pub fn render_report(problem: &PlanningProblem, report: &CoverageReport) -> String {
+    let gc = problem.connection_graph();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>10} {:>14}",
+        "failure scenario", "probability", "recovered", "worst latency"
+    );
+    for row in &report.rows {
+        let label = if row.failure.is_empty() {
+            "(nominal)".to_string()
+        } else {
+            row.failure
+                .failed_switches()
+                .iter()
+                .map(|&s| gc.name(s))
+                .collect::<Vec<_>>()
+                .join("+")
+        };
+        let latency = if row.recovered {
+            format!("{} slots", row.worst_latency_slots)
+        } else {
+            format!("{} pairs lost", row.failed_pairs)
+        };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12.3e} {:>10} {:>14}",
+            label, row.probability, row.recovered, latency
+        );
+    }
+    let verdict = if report.all_recovered() { "RELIABLE" } else { "UNRELIABLE" };
+    let _ = writeln!(
+        out,
+        "verdict: {verdict} over {} scenarios (R = {:.0e})",
+        report.rows.len(),
+        problem.reliability_goal()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::parse_problem;
+    use nptsn_topo::Asil;
+
+    const DOC: &str = "\
+[nodes]
+es a
+es b
+sw s0
+sw s1
+[links]
+a s0
+a s1
+b s0
+b s1
+[flows]
+a b 500 128
+";
+
+    fn theta_plan(asil: Asil) -> (PlanningProblem, Topology) {
+        let parsed = parse_problem(DOC).unwrap();
+        let mut topo = parsed.problem.connection_graph().empty_topology();
+        for sw in ["s0", "s1"] {
+            topo.add_switch(parsed.nodes_by_name[sw], asil).unwrap();
+        }
+        for (u, v) in [("a", "s0"), ("a", "s1"), ("b", "s0"), ("b", "s1")] {
+            topo.add_link(parsed.nodes_by_name[u], parsed.nodes_by_name[v]).unwrap();
+        }
+        (parsed.problem, topo)
+    }
+
+    #[test]
+    fn covers_nominal_plus_single_failures_for_asil_a() {
+        let (problem, topo) = theta_plan(Asil::A);
+        let report = coverage_report(&problem, &topo);
+        // Nominal + two single-A failures; the dual-A failure is < R.
+        assert_eq!(report.rows.len(), 3);
+        assert!(report.rows[0].failure.is_empty());
+        assert!(report.all_recovered());
+        assert!(report.worst_latency_slots() >= 2);
+        // Rows after nominal are sorted by decreasing probability.
+        assert!(report.rows[1].probability >= report.rows[2].probability);
+    }
+
+    #[test]
+    fn asil_d_plan_reduces_to_the_nominal_check() {
+        let (problem, topo) = theta_plan(Asil::D);
+        let report = coverage_report(&problem, &topo);
+        assert_eq!(report.rows.len(), 1, "all D failures are safe faults");
+        assert!(report.all_recovered());
+    }
+
+    #[test]
+    fn agreement_with_the_analyzer() {
+        for asil in [Asil::A, Asil::B, Asil::D] {
+            let (problem, topo) = theta_plan(asil);
+            let report = coverage_report(&problem, &topo);
+            let verdict = nptsn::verify_topology(&problem, &topo);
+            assert_eq!(report.all_recovered(), verdict.is_reliable(), "{asil}");
+        }
+    }
+
+    #[test]
+    fn unreliable_plans_show_lost_pairs() {
+        // Single switch, single attachment at ASIL A: its failure loses
+        // the flow.
+        let parsed = parse_problem(DOC).unwrap();
+        let mut topo = parsed.problem.connection_graph().empty_topology();
+        topo.add_switch(parsed.nodes_by_name["s0"], Asil::A).unwrap();
+        topo.add_link(parsed.nodes_by_name["a"], parsed.nodes_by_name["s0"]).unwrap();
+        topo.add_link(parsed.nodes_by_name["b"], parsed.nodes_by_name["s0"]).unwrap();
+        let report = coverage_report(&parsed.problem, &topo);
+        assert!(!report.all_recovered());
+        let failed: Vec<_> = report.rows.iter().filter(|r| !r.recovered).collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].failed_pairs, 1);
+        let text = render_report(&parsed.problem, &report);
+        assert!(text.contains("UNRELIABLE"));
+        assert!(text.contains("s0"));
+        assert!(text.contains("pairs lost"));
+    }
+
+    #[test]
+    fn render_contains_all_scenarios() {
+        let (problem, topo) = theta_plan(Asil::A);
+        let text = render_report(&problem, &coverage_report(&problem, &topo));
+        assert!(text.contains("(nominal)"));
+        assert!(text.contains("RELIABLE"));
+        assert!(text.contains("slots"));
+    }
+}

@@ -1,0 +1,435 @@
+//! The failure analyzer: Algorithm 3, the failure injection check.
+
+use nptsn_sched::ErrorReport;
+use nptsn_topo::{FailureScenario, NodeId, Topology};
+
+use crate::problem::PlanningProblem;
+
+/// Which nodes the analyzer injects failures into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeScope {
+    /// Only selected switches — sound for networks without flow-level
+    /// redundancy thanks to the link-ASIL invariant and the reduction of
+    /// Eq. 6 (Section V).
+    SwitchesOnly,
+    /// Every node including end stations — required when flows carry
+    /// redundant instances and the NBF only reports errors once all
+    /// instances fail (Section V, complexity `O(|V^t|^maxord)`).
+    AllNodes,
+}
+
+/// The analyzer's verdict for one topology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Every non-safe fault is survivable: the reliability guarantee holds.
+    Reliable,
+    /// A non-safe fault the recovery cannot handle, with the NBF's error
+    /// message — the input to the SOAG for the next action generation.
+    Unreliable {
+        /// The non-recoverable failure scenario found first.
+        failure: FailureScenario,
+        /// The endpoint pairs the NBF failed to restore under it.
+        errors: ErrorReport,
+    },
+}
+
+impl Verdict {
+    /// Whether the reliability guarantee holds.
+    pub fn is_reliable(&self) -> bool {
+        matches!(self, Verdict::Reliable)
+    }
+}
+
+/// Failure injection per Algorithm 3: checks every switch-failure subset
+/// with probability ≥ `R`, from the highest possible order (`maxord`) down
+/// to the empty failure (nominal schedulability), skipping subsets of
+/// scenarios that already survived.
+///
+/// Soundness of checking switches only: any non-safe fault containing link
+/// failures maps (Eq. 6) to the switch-only fault obtained by replacing
+/// each failed link with its lower-ASIL endpoint; since link ASIL equals
+/// the minimum endpoint ASIL, the mapped fault is at least as probable, and
+/// its residual network is a subgraph — so surviving it implies surviving
+/// the original.
+///
+/// # Examples
+///
+/// ```
+/// use nptsn::{FailureAnalyzer, PlanningProblem, Verdict};
+/// use nptsn_sched::{FlowSet, FlowSpec, ShortestPathRecovery, TasConfig};
+/// use nptsn_topo::{Asil, ComponentLibrary, ConnectionGraph};
+/// use std::sync::Arc;
+///
+/// let mut gc = ConnectionGraph::new();
+/// let a = gc.add_end_station("a");
+/// let b = gc.add_end_station("b");
+/// let s = gc.add_switch("s");
+/// gc.add_candidate_link(a, s, 1.0).unwrap();
+/// gc.add_candidate_link(b, s, 1.0).unwrap();
+/// let flows = FlowSet::new(vec![FlowSpec::new(a, b, 500, 128)]).unwrap();
+/// let problem = PlanningProblem::new(
+///     Arc::new(gc), ComponentLibrary::automotive(), TasConfig::default(),
+///     flows, 1e-6, Arc::new(ShortestPathRecovery::new()),
+/// ).unwrap();
+/// let analyzer = FailureAnalyzer::new();
+///
+/// // A single ASIL-A switch: its failure (probability ~1e-3 >= R) kills
+/// // the only path.
+/// let mut topo = problem.connection_graph().empty_topology();
+/// topo.add_switch(s, Asil::A).unwrap();
+/// topo.add_link(a, s).unwrap();
+/// topo.add_link(b, s).unwrap();
+/// assert!(!analyzer.analyze(&problem, &topo).is_reliable());
+///
+/// // Upgrading it to ASIL-D makes the failure a safe fault (< 1e-6).
+/// for _ in 0..3 { topo.upgrade_switch(s).unwrap(); }
+/// assert!(analyzer.analyze(&problem, &topo).is_reliable());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FailureAnalyzer {
+    scope: NodeScope,
+}
+
+impl FailureAnalyzer {
+    /// An analyzer over switch failures only (the default, sound without
+    /// flow-level redundancy).
+    pub fn new() -> FailureAnalyzer {
+        FailureAnalyzer { scope: NodeScope::SwitchesOnly }
+    }
+
+    /// An analyzer with an explicit node scope.
+    pub fn with_scope(scope: NodeScope) -> FailureAnalyzer {
+        FailureAnalyzer { scope }
+    }
+
+    /// The configured node scope.
+    pub fn scope(&self) -> NodeScope {
+        self.scope
+    }
+
+    /// Runs Algorithm 3 on `topology`.
+    pub fn analyze(&self, problem: &PlanningProblem, topology: &Topology) -> Verdict {
+        let r = problem.reliability_goal();
+        // Candidate fault nodes with their failure probabilities, sorted by
+        // decreasing probability (line 1).
+        let mut nodes: Vec<(NodeId, f64)> = match self.scope {
+            NodeScope::SwitchesOnly => topology
+                .selected_switches()
+                .iter()
+                .map(|&s| (s, topology.switch_asil(s).expect("selected").failure_probability()))
+                .collect(),
+            NodeScope::AllNodes => {
+                let gc = topology.connection_graph();
+                let mut v: Vec<(NodeId, f64)> = topology
+                    .selected_switches()
+                    .iter()
+                    .map(|&s| {
+                        (s, topology.switch_asil(s).expect("selected").failure_probability())
+                    })
+                    .collect();
+                v.extend(
+                    gc.end_stations()
+                        .iter()
+                        .map(|&e| (e, gc.end_station_asil(e).failure_probability())),
+                );
+                v
+            }
+        };
+        nodes.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+
+        // maxord: the largest k whose k most probable failures still have a
+        // combined probability >= R (line 1).
+        let mut maxord = 0;
+        let mut product = 1.0;
+        for &(_, p) in &nodes {
+            product *= p;
+            if product >= r {
+                maxord += 1;
+            } else {
+                break;
+            }
+        }
+
+        // Lines 2-14: check subsets from maxord down to the empty failure.
+        let mut checked: Vec<FailureScenario> = Vec::new();
+        for order in (0..=maxord).rev() {
+            let mut verdict = None;
+            for_each_combination(nodes.len(), order, &mut |indices| {
+                if verdict.is_some() {
+                    return;
+                }
+                let probability: f64 = indices.iter().map(|&i| nodes[i].1).product();
+                if probability < r {
+                    return; // safe fault
+                }
+                let failure =
+                    FailureScenario::switches(indices.iter().map(|&i| nodes[i].0).collect());
+                if checked.iter().any(|bigger| failure.is_subset_of(bigger)) {
+                    return; // a superset already survived
+                }
+                let outcome = problem.nbf().recover(
+                    topology,
+                    &failure,
+                    problem.tas(),
+                    problem.flows(),
+                );
+                if outcome.errors.is_empty() {
+                    checked.push(failure);
+                } else {
+                    verdict = Some(Verdict::Unreliable { failure, errors: outcome.errors });
+                }
+            });
+            if let Some(v) = verdict {
+                return v;
+            }
+        }
+        Verdict::Reliable
+    }
+}
+
+impl Default for FailureAnalyzer {
+    fn default() -> FailureAnalyzer {
+        FailureAnalyzer::new()
+    }
+}
+
+/// Calls `f` with every `k`-element index combination of `0..n`, in
+/// lexicographic order.
+fn for_each_combination(n: usize, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k > n {
+        return;
+    }
+    let mut indices: Vec<usize> = (0..k).collect();
+    loop {
+        f(&indices);
+        // Advance to the next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if indices[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return;
+            }
+        }
+        indices[i] += 1;
+        for j in i + 1..k {
+            indices[j] = indices[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nptsn_sched::{FlowSet, FlowSpec, ShortestPathRecovery, TasConfig};
+    use nptsn_topo::{Asil, ComponentLibrary, ConnectionGraph};
+    use std::sync::Arc;
+
+    fn combos(n: usize, k: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        for_each_combination(n, k, &mut |c| out.push(c.to_vec()));
+        out
+    }
+
+    #[test]
+    fn combination_enumeration() {
+        assert_eq!(combos(3, 0), vec![Vec::<usize>::new()]);
+        assert_eq!(combos(3, 1), vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(combos(4, 2).len(), 6);
+        assert_eq!(combos(4, 2)[0], vec![0, 1]);
+        assert_eq!(combos(4, 2)[5], vec![2, 3]);
+        assert_eq!(combos(2, 3), Vec::<Vec<usize>>::new());
+        assert_eq!(combos(3, 3), vec![vec![0, 1, 2]]);
+    }
+
+    /// Theta network: a and b connected via two parallel switches.
+    fn theta_problem() -> (PlanningProblem, Topology, NodeId, NodeId) {
+        let mut gc = ConnectionGraph::new();
+        let a = gc.add_end_station("a");
+        let b = gc.add_end_station("b");
+        let s0 = gc.add_switch("s0");
+        let s1 = gc.add_switch("s1");
+        for (u, v) in [(a, s0), (s0, b), (a, s1), (s1, b)] {
+            gc.add_candidate_link(u, v, 1.0).unwrap();
+        }
+        let gc = Arc::new(gc);
+        let flows = FlowSet::new(vec![FlowSpec::new(a, b, 500, 128)]).unwrap();
+        let problem = PlanningProblem::new(
+            Arc::clone(&gc),
+            ComponentLibrary::automotive(),
+            TasConfig::default(),
+            flows,
+            1e-6,
+            Arc::new(ShortestPathRecovery::new()),
+        )
+        .unwrap();
+        let mut topo = gc.empty_topology();
+        topo.add_switch(s0, Asil::A).unwrap();
+        topo.add_switch(s1, Asil::A).unwrap();
+        for (u, v) in [(a, s0), (s0, b), (a, s1), (s1, b)] {
+            topo.add_link(u, v).unwrap();
+        }
+        (problem, topo, s0, s1)
+    }
+
+    #[test]
+    fn redundant_asil_a_topology_is_reliable_at_1e6() {
+        // Two ASIL-A switches: each single failure (1e-3) must be
+        // survivable and is (parallel paths); the dual failure has
+        // probability (1-e^-1e-3)^2 < 1e-6 and is a safe fault.
+        let (problem, topo, ..) = theta_problem();
+        assert_eq!(FailureAnalyzer::new().analyze(&problem, &topo), Verdict::Reliable);
+    }
+
+    #[test]
+    fn stricter_goal_activates_dual_failures() {
+        // At R = 1e-9 the dual-A failure (~1e-6) is non-safe and the theta
+        // network cannot survive it.
+        let (problem, topo, s0, s1) = theta_problem();
+        let strict = PlanningProblem::new(
+            problem.connection_graph_arc(),
+            problem.library().clone(),
+            *problem.tas(),
+            problem.flows().clone(),
+            1e-9,
+            problem.nbf_arc(),
+        )
+        .unwrap();
+        match FailureAnalyzer::new().analyze(&strict, &topo) {
+            Verdict::Unreliable { failure, errors } => {
+                assert_eq!(failure.failed_switches(), &[s0, s1]);
+                assert!(!errors.is_empty());
+            }
+            Verdict::Reliable => panic!("dual failure should not be survivable"),
+        }
+    }
+
+    #[test]
+    fn single_attachment_needs_asil_d() {
+        // One switch, single-attached stations: reliable iff the switch is
+        // ASIL-D (its failure becomes a safe fault).
+        let mut gc = ConnectionGraph::new();
+        let a = gc.add_end_station("a");
+        let b = gc.add_end_station("b");
+        let s = gc.add_switch("s");
+        gc.add_candidate_link(a, s, 1.0).unwrap();
+        gc.add_candidate_link(b, s, 1.0).unwrap();
+        let gc = Arc::new(gc);
+        let flows = FlowSet::new(vec![FlowSpec::new(a, b, 500, 128)]).unwrap();
+        let problem = PlanningProblem::new(
+            Arc::clone(&gc),
+            ComponentLibrary::automotive(),
+            TasConfig::default(),
+            flows,
+            1e-6,
+            Arc::new(ShortestPathRecovery::new()),
+        )
+        .unwrap();
+        let analyzer = FailureAnalyzer::new();
+        for asil in [Asil::A, Asil::B, Asil::C] {
+            let mut topo = gc.empty_topology();
+            topo.add_switch(s, asil).unwrap();
+            topo.add_link(a, s).unwrap();
+            topo.add_link(b, s).unwrap();
+            assert!(
+                !analyzer.analyze(&problem, &topo).is_reliable(),
+                "{asil} should not suffice"
+            );
+        }
+        let mut topo = gc.empty_topology();
+        topo.add_switch(s, Asil::D).unwrap();
+        topo.add_link(a, s).unwrap();
+        topo.add_link(b, s).unwrap();
+        assert!(analyzer.analyze(&problem, &topo).is_reliable());
+    }
+
+    #[test]
+    fn empty_topology_reports_nominal_failure() {
+        let (problem, ..) = theta_problem();
+        let topo = problem.connection_graph().empty_topology();
+        match FailureAnalyzer::new().analyze(&problem, &topo) {
+            Verdict::Unreliable { failure, errors } => {
+                assert!(failure.is_empty(), "the empty failure is the culprit");
+                assert_eq!(errors.len(), 1);
+            }
+            Verdict::Reliable => panic!("no links: nominal scheduling must fail"),
+        }
+    }
+
+    #[test]
+    fn unschedulable_nominal_network_is_unreliable() {
+        // Connected but with a 2-slot cycle and three flows on one path:
+        // nominal scheduling fails (line 9 at order 0).
+        let mut gc = ConnectionGraph::new();
+        let a = gc.add_end_station("a");
+        let b = gc.add_end_station("b");
+        let s = gc.add_switch("s");
+        gc.add_candidate_link(a, s, 1.0).unwrap();
+        gc.add_candidate_link(b, s, 1.0).unwrap();
+        let gc = Arc::new(gc);
+        let flows = FlowSet::new(vec![
+            FlowSpec::new(a, b, 500, 128),
+            FlowSpec::new(a, b, 500, 128),
+            FlowSpec::new(a, b, 500, 128),
+        ])
+        .unwrap();
+        let problem = PlanningProblem::new(
+            Arc::clone(&gc),
+            ComponentLibrary::automotive(),
+            TasConfig::new(500, 2, 1000),
+            flows,
+            1e-6,
+            Arc::new(ShortestPathRecovery::new()),
+        )
+        .unwrap();
+        let mut topo = gc.empty_topology();
+        topo.add_switch(s, Asil::D).unwrap();
+        topo.add_link(a, s).unwrap();
+        topo.add_link(b, s).unwrap();
+        assert!(!FailureAnalyzer::new().analyze(&problem, &topo).is_reliable());
+    }
+
+    #[test]
+    fn all_nodes_scope_includes_end_stations() {
+        // With AllNodes scope and a strict goal, even an end-station
+        // failure (ASIL-D, ~1e-6 >= 1e-9) is injected, and the flow's own
+        // source failing is never recoverable.
+        let (problem, topo, ..) = theta_problem();
+        let strict = PlanningProblem::new(
+            problem.connection_graph_arc(),
+            problem.library().clone(),
+            *problem.tas(),
+            problem.flows().clone(),
+            1e-9,
+            problem.nbf_arc(),
+        )
+        .unwrap();
+        let analyzer = FailureAnalyzer::with_scope(NodeScope::AllNodes);
+        assert_eq!(analyzer.scope(), NodeScope::AllNodes);
+        match analyzer.analyze(&strict, &topo) {
+            Verdict::Unreliable { failure, .. } => {
+                assert!(!failure.is_empty());
+            }
+            Verdict::Reliable => panic!("source failure cannot be survived"),
+        }
+    }
+
+    #[test]
+    fn verdict_helpers() {
+        assert!(Verdict::Reliable.is_reliable());
+        let v = Verdict::Unreliable {
+            failure: FailureScenario::none(),
+            errors: ErrorReport::empty(),
+        };
+        assert!(!v.is_reliable());
+    }
+}

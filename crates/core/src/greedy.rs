@@ -1,0 +1,189 @@
+//! A greedy ablation planner: SOAG actions without the learned policy.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::analyzer::{FailureAnalyzer, Verdict};
+use crate::env::PlanningEnv;
+use crate::problem::PlanningProblem;
+use crate::soag::Action;
+use crate::solution::{keep_best, Solution};
+
+/// Plans by always taking the valid SOAG action with the smallest immediate
+/// cost increase (ties: paths before switch upgrades, then lowest index).
+///
+/// This isolates the contribution of the RL decision maker: the greedy
+/// planner enjoys the same pruned action space and failure-analysis
+/// feedback, but makes myopic choices — the kind of "human expert"
+/// heuristic the paper argues RL outperforms on delayed-reward structure
+/// (Section IV-A). Used by the ablation bench.
+///
+/// # Examples
+///
+/// ```
+/// use nptsn::{GreedyPlanner, PlanningProblem};
+/// use nptsn_sched::{FlowSet, FlowSpec, ShortestPathRecovery, TasConfig};
+/// use nptsn_topo::{ComponentLibrary, ConnectionGraph};
+/// use std::sync::Arc;
+///
+/// let mut gc = ConnectionGraph::new();
+/// let a = gc.add_end_station("a");
+/// let b = gc.add_end_station("b");
+/// let s0 = gc.add_switch("s0");
+/// let s1 = gc.add_switch("s1");
+/// for (u, v) in [(a, s0), (a, s1), (b, s0), (b, s1), (s0, s1)] {
+///     gc.add_candidate_link(u, v, 1.0).unwrap();
+/// }
+/// let flows = FlowSet::new(vec![FlowSpec::new(a, b, 500, 128)]).unwrap();
+/// let problem = PlanningProblem::new(
+///     Arc::new(gc), ComponentLibrary::automotive(), TasConfig::default(),
+///     flows, 1e-6, Arc::new(ShortestPathRecovery::new()),
+/// ).unwrap();
+/// let best = GreedyPlanner::new(problem, 8).run(4, 0);
+/// assert!(best.is_some());
+/// ```
+#[derive(Debug)]
+pub struct GreedyPlanner {
+    problem: PlanningProblem,
+    k_paths: usize,
+}
+
+impl GreedyPlanner {
+    /// Creates a greedy planner with `k_paths` SOAG path slots.
+    pub fn new(problem: PlanningProblem, k_paths: usize) -> GreedyPlanner {
+        GreedyPlanner { problem, k_paths }
+    }
+
+    /// Runs up to `attempts` greedy construction episodes (the SOAG's
+    /// random endpoint selection differentiates attempts) and returns the
+    /// cheapest verified solution found.
+    pub fn run(&self, attempts: usize, seed: u64) -> Option<Solution> {
+        let mut best: Option<Solution> = None;
+        let analyzer = FailureAnalyzer::new();
+        for attempt in 0..attempts {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(attempt as u64));
+            let mut env =
+                PlanningEnv::new(self.problem.clone(), self.k_paths, 1e3, 256, &mut rng);
+            loop {
+                // Pick the valid action with the smallest cost increase.
+                let library = self.problem.library();
+                let current_cost = env.topology().network_cost(library);
+                let mut choice: Option<(usize, f64, bool)> = None;
+                for index in 0..env.action_count() {
+                    let Some(action) = env.actions().valid_action(index) else {
+                        continue;
+                    };
+                    let mut probe = env.topology().clone();
+                    if crate::soag::apply_action(&mut probe, action).is_err() {
+                        continue;
+                    }
+                    let delta = probe.network_cost(library) - current_cost;
+                    let is_path = matches!(action, Action::AddPath(_));
+                    let better = match &choice {
+                        None => true,
+                        Some((_, best_delta, best_is_path)) => {
+                            delta < *best_delta - 1e-9
+                                || ((delta - *best_delta).abs() <= 1e-9
+                                    && is_path
+                                    && !*best_is_path)
+                        }
+                    };
+                    if better {
+                        choice = Some((index, delta, is_path));
+                    }
+                }
+                let Some((index, ..)) = choice else {
+                    break; // dead end
+                };
+                let outcome = env.step(index, &mut rng);
+                if let Some(sol) = outcome.solution {
+                    debug_assert!(analyzer.analyze(&self.problem, &sol.topology).is_reliable());
+                    keep_best(&mut best, sol);
+                    break;
+                }
+                if outcome.done {
+                    break;
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Verifies an externally produced topology against a problem — the entry
+/// point baselines use to check their reliability guarantee with the same
+/// Algorithm 3 analysis as NPTSN itself.
+pub fn verify_topology(problem: &PlanningProblem, topology: &nptsn_topo::Topology) -> Verdict {
+    FailureAnalyzer::new().analyze(problem, topology)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nptsn_sched::{FlowSet, FlowSpec, ShortestPathRecovery, TasConfig};
+    use nptsn_topo::{ComponentLibrary, ConnectionGraph};
+    use std::sync::Arc;
+
+    fn theta_problem() -> PlanningProblem {
+        let mut gc = ConnectionGraph::new();
+        let a = gc.add_end_station("a");
+        let b = gc.add_end_station("b");
+        let s0 = gc.add_switch("s0");
+        let s1 = gc.add_switch("s1");
+        for (u, v) in [(a, s0), (s0, b), (a, s1), (s1, b), (s0, s1)] {
+            gc.add_candidate_link(u, v, 1.0).unwrap();
+        }
+        let flows = FlowSet::new(vec![FlowSpec::new(a, b, 500, 128)]).unwrap();
+        PlanningProblem::new(
+            Arc::new(gc),
+            ComponentLibrary::automotive(),
+            TasConfig::default(),
+            flows,
+            1e-6,
+            Arc::new(ShortestPathRecovery::new()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn greedy_finds_a_verified_plan() {
+        let problem = theta_problem();
+        let best = GreedyPlanner::new(problem.clone(), 8).run(3, 0).expect("plan exists");
+        assert!(verify_topology(&problem, &best.topology).is_reliable());
+        assert_eq!(best.switch_count(), 2, "needs both switches for redundancy");
+    }
+
+    #[test]
+    fn more_attempts_never_worsen_the_result() {
+        let problem = theta_problem();
+        let planner = GreedyPlanner::new(problem, 8);
+        let one = planner.run(1, 7).map(|s| s.cost);
+        let many = planner.run(5, 7).map(|s| s.cost);
+        match (one, many) {
+            (Some(a), Some(b)) => assert!(b <= a),
+            (None, _) => {}
+            (Some(_), None) => panic!("losing a found solution is impossible"),
+        }
+    }
+
+    #[test]
+    fn unsolvable_problem_returns_none() {
+        let mut gc = ConnectionGraph::new();
+        let a = gc.add_end_station("a");
+        let b = gc.add_end_station("b");
+        let s = gc.add_switch("s");
+        gc.add_candidate_link(a, s, 1.0).unwrap();
+        gc.add_candidate_link(b, s, 1.0).unwrap();
+        let flows = FlowSet::new(vec![FlowSpec::new(a, b, 500, 128)]).unwrap();
+        let problem = PlanningProblem::new(
+            Arc::new(gc),
+            ComponentLibrary::automotive(),
+            TasConfig::default(),
+            flows,
+            1e-12,
+            Arc::new(ShortestPathRecovery::new()),
+        )
+        .unwrap();
+        assert!(GreedyPlanner::new(problem, 4).run(2, 0).is_none());
+    }
+}

@@ -1,0 +1,201 @@
+//! The GCN + actor/critic policy network (Fig. 3).
+
+use nptsn_nn::{Activation, Gcn, Mlp, Module};
+use nptsn_rl::{masked_log_probs, ActorCritic};
+use nptsn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::PlannerConfig;
+use crate::encode::{Observation, AUX_LEN};
+
+/// The RL decision maker's neural networks: a GCN extracting a graph
+/// embedding from the encoded TSSDN, mean-pooled and concatenated with the
+/// auxiliary parameter vector, feeding an actor MLP (action logits) and a
+/// critic MLP (value estimate).
+///
+/// Not `Send`: tensors are `Rc`-based. Parallel rollout workers construct
+/// their own replica (same seed) and synchronize values with
+/// [`export_params`](nptsn_nn::export_params) /
+/// [`import_params`](nptsn_nn::import_params).
+#[derive(Debug)]
+pub struct PolicyNetwork {
+    gcn: Gcn,
+    actor: Mlp,
+    critic: Mlp,
+    node_count: usize,
+    feature_count: usize,
+}
+
+impl PolicyNetwork {
+    /// Builds the network for a problem with `node_count` candidate nodes,
+    /// `feature_count` node features and `action_count` action slots,
+    /// deterministically from `seed`.
+    pub fn new(
+        config: &PlannerConfig,
+        node_count: usize,
+        feature_count: usize,
+        action_count: usize,
+        seed: u64,
+    ) -> PolicyNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let emb = config.embedding_dim_for(node_count);
+        // GCN dims: feature_count -> emb -> ... (gcn_layers times).
+        let mut dims = vec![feature_count];
+        dims.extend(std::iter::repeat_n(emb, config.gcn_layers));
+        let gcn = Gcn::new(&mut rng, &dims);
+        let pooled = gcn.output_dim(feature_count) + AUX_LEN;
+        let mut actor_sizes = vec![pooled];
+        actor_sizes.extend_from_slice(&config.mlp_hidden);
+        actor_sizes.push(action_count);
+        let actor = Mlp::new(&mut rng, &actor_sizes, Activation::Tanh, Activation::Identity);
+        let mut critic_sizes = vec![pooled];
+        critic_sizes.extend_from_slice(&config.mlp_hidden);
+        critic_sizes.push(1);
+        let critic = Mlp::new(&mut rng, &critic_sizes, Activation::Tanh, Activation::Identity);
+        PolicyNetwork { gcn, actor, critic, node_count, feature_count }
+    }
+
+    /// The GCN embedding + auxiliary input for one observation.
+    fn embed(&self, obs: &Observation) -> Tensor {
+        debug_assert_eq!(obs.node_count, self.node_count);
+        debug_assert_eq!(obs.feature_count, self.feature_count);
+        let ahat = Tensor::from_vec(obs.node_count, obs.node_count, obs.ahat.clone());
+        let h = Tensor::from_vec(obs.node_count, obs.feature_count, obs.features.clone());
+        let node_embeddings = self.gcn.forward(&ahat, &h);
+        let graph_embedding = node_embeddings.mean_rows();
+        let aux = Tensor::from_vec(1, obs.aux.len(), obs.aux.clone());
+        Tensor::concat_cols(&[graph_embedding, aux])
+    }
+
+    /// Parameters trained by the actor update: GCN + actor MLP
+    /// (Algorithm 2 line 20).
+    pub fn actor_parameters(&self) -> Vec<Tensor> {
+        let mut p = self.gcn.parameters();
+        p.extend(self.actor.parameters());
+        p
+    }
+
+    /// Parameters trained by the critic update: GCN + critic MLP
+    /// (Algorithm 2 line 21; the GCN is updated twice per epoch).
+    pub fn critic_parameters(&self) -> Vec<Tensor> {
+        let mut p = self.gcn.parameters();
+        p.extend(self.critic.parameters());
+        p
+    }
+
+    /// Number of candidate nodes this network was built for.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+}
+
+impl Module for PolicyNetwork {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.gcn.parameters();
+        p.extend(self.actor.parameters());
+        p.extend(self.critic.parameters());
+        p
+    }
+}
+
+impl ActorCritic<Observation> for PolicyNetwork {
+    fn evaluate(&self, obs: &Observation, mask: &[bool]) -> (Tensor, Tensor) {
+        let input = self.embed(obs);
+        let logits = self.actor.forward(&input);
+        let value = self.critic.forward(&input);
+        (masked_log_probs(&logits, mask), value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nptsn_nn::{export_params, import_params};
+
+    fn toy_obs(n: usize, f: usize) -> Observation {
+        let mut ahat = vec![0.0f32; n * n];
+        for i in 0..n {
+            ahat[i * n + i] = 1.0;
+        }
+        Observation {
+            node_count: n,
+            feature_count: f,
+            ahat,
+            features: (0..n * f).map(|i| (i % 7) as f32 * 0.1).collect(),
+            aux: vec![0.5; AUX_LEN],
+        }
+    }
+
+    fn toy_config() -> PlannerConfig {
+        PlannerConfig {
+            mlp_hidden: vec![16, 16],
+            embedding_dim: Some(8),
+            ..PlannerConfig::default()
+        }
+    }
+
+    #[test]
+    fn evaluate_produces_masked_distribution_and_value() {
+        let cfg = toy_config();
+        let net = PolicyNetwork::new(&cfg, 4, 10, 6, 0);
+        let obs = toy_obs(4, 10);
+        let mask = vec![true, false, true, true, false, true];
+        let (logps, value) = net.evaluate(&obs, &mask);
+        assert_eq!(logps.shape(), (1, 6));
+        assert_eq!(value.shape(), (1, 1));
+        let p: Vec<f32> = logps.to_vec().iter().map(|x| x.exp()).collect();
+        assert!(p[1] < 1e-12 && p[4] < 1e-12);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        assert_eq!(net.node_count(), 4);
+    }
+
+    #[test]
+    fn same_seed_same_network() {
+        let cfg = toy_config();
+        let a = PolicyNetwork::new(&cfg, 4, 10, 6, 7);
+        let b = PolicyNetwork::new(&cfg, 4, 10, 6, 7);
+        let obs = toy_obs(4, 10);
+        let mask = vec![true; 6];
+        assert_eq!(a.evaluate(&obs, &mask).0.to_vec(), b.evaluate(&obs, &mask).0.to_vec());
+    }
+
+    #[test]
+    fn param_transfer_replicates_behavior() {
+        let cfg = toy_config();
+        let a = PolicyNetwork::new(&cfg, 4, 10, 6, 1);
+        let b = PolicyNetwork::new(&cfg, 4, 10, 6, 2);
+        let obs = toy_obs(4, 10);
+        let mask = vec![true; 6];
+        assert_ne!(a.evaluate(&obs, &mask).0.to_vec(), b.evaluate(&obs, &mask).0.to_vec());
+        import_params(&b.parameters(), &export_params(&a.parameters()));
+        assert_eq!(a.evaluate(&obs, &mask).0.to_vec(), b.evaluate(&obs, &mask).0.to_vec());
+    }
+
+    #[test]
+    fn gcn_is_shared_between_heads() {
+        let cfg = toy_config();
+        let net = PolicyNetwork::new(&cfg, 3, 8, 4, 0);
+        let actor_p = net.actor_parameters();
+        let critic_p = net.critic_parameters();
+        // The two GCN layers appear in both lists (same underlying data).
+        assert_eq!(cfg.gcn_layers, 2);
+        for i in 0..cfg.gcn_layers {
+            let before = actor_p[i].to_vec();
+            assert_eq!(before, critic_p[i].to_vec());
+            actor_p[i].set_data(&vec![0.123; actor_p[i].len()]);
+            assert_eq!(critic_p[i].to_vec(), vec![0.123; critic_p[i].len()]);
+        }
+    }
+
+    #[test]
+    fn zero_layer_gcn_supported() {
+        let cfg = PlannerConfig { gcn_layers: 0, ..toy_config() };
+        let net = PolicyNetwork::new(&cfg, 4, 10, 6, 0);
+        let obs = toy_obs(4, 10);
+        let (logps, _) = net.evaluate(&obs, &[true; 6]);
+        assert_eq!(logps.cols(), 6);
+        // Actor parameters = 0 GCN weights + 3 Linear layers x 2.
+        assert_eq!(net.actor_parameters().len(), 6);
+    }
+}

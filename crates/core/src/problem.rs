@@ -1,0 +1,205 @@
+//! The network planning problem instance.
+
+use std::fmt;
+use std::sync::Arc;
+
+use nptsn_sched::{FlowSet, NetworkBehavior, TasConfig};
+use nptsn_topo::{ComponentLibrary, ConnectionGraph};
+
+/// A complete TSSDN network planning problem (Section II-C): the graph of
+/// possible connections `Gc`, the component library, the TAS base period
+/// `B`, the flow specifications `FS`, the reliability goal `R` and the
+/// stateless NBF `Φ` of the selected recovery mechanism.
+///
+/// Cloning is cheap; the graph and NBF are shared through [`Arc`], which
+/// also makes problems `Send + Sync` for the parallel rollout workers.
+#[derive(Clone)]
+pub struct PlanningProblem {
+    gc: Arc<ConnectionGraph>,
+    library: ComponentLibrary,
+    tas: TasConfig,
+    flows: FlowSet,
+    reliability_goal: f64,
+    nbf: Arc<dyn NetworkBehavior>,
+}
+
+impl PlanningProblem {
+    /// Assembles a planning problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the inputs are inconsistent: a flow endpoint
+    /// that is not an end station of `gc`, a non-positive reliability goal,
+    /// or a candidate graph whose degree bound exceeds the largest switch
+    /// in the library (no feasible switch would exist, Section II-C).
+    pub fn new(
+        gc: Arc<ConnectionGraph>,
+        library: ComponentLibrary,
+        tas: TasConfig,
+        flows: FlowSet,
+        reliability_goal: f64,
+        nbf: Arc<dyn NetworkBehavior>,
+    ) -> Result<PlanningProblem, String> {
+        if !(reliability_goal > 0.0 && reliability_goal < 1.0) {
+            return Err(format!(
+                "reliability goal must be in (0, 1), got {reliability_goal}"
+            ));
+        }
+        if gc.max_switch_degree() > library.max_switch_degree() {
+            return Err(format!(
+                "graph allows switch degree {} but the largest library switch has {} ports",
+                gc.max_switch_degree(),
+                library.max_switch_degree()
+            ));
+        }
+        for (id, spec) in flows.iter() {
+            for node in [spec.source(), spec.destination()] {
+                if node.index() >= gc.node_count() || !gc.is_end_station(node) {
+                    return Err(format!("flow {id} endpoint {node} is not an end station"));
+                }
+            }
+        }
+        Ok(PlanningProblem { gc, library, tas, flows, reliability_goal, nbf })
+    }
+
+    /// The graph of possible connections `Gc`.
+    pub fn connection_graph(&self) -> &ConnectionGraph {
+        &self.gc
+    }
+
+    /// Shared handle to the connection graph.
+    pub fn connection_graph_arc(&self) -> Arc<ConnectionGraph> {
+        Arc::clone(&self.gc)
+    }
+
+    /// The component library.
+    pub fn library(&self) -> &ComponentLibrary {
+        &self.library
+    }
+
+    /// The TAS configuration (base period and slots).
+    pub fn tas(&self) -> &TasConfig {
+        &self.tas
+    }
+
+    /// The TT flow specifications `FS`.
+    pub fn flows(&self) -> &FlowSet {
+        &self.flows
+    }
+
+    /// The reliability goal `R`: the maximum probability of safe faults.
+    /// Any failure scenario with probability ≥ `R` must be survivable.
+    pub fn reliability_goal(&self) -> f64 {
+        self.reliability_goal
+    }
+
+    /// The recovery mechanism's stateless NBF.
+    pub fn nbf(&self) -> &dyn NetworkBehavior {
+        self.nbf.as_ref()
+    }
+
+    /// Shared handle to the NBF.
+    pub fn nbf_arc(&self) -> Arc<dyn NetworkBehavior> {
+        Arc::clone(&self.nbf)
+    }
+}
+
+// `Debug` by hand because `dyn NetworkBehavior` is not `Debug`; shows the
+// NBF's name instead.
+impl fmt::Debug for PlanningProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlanningProblem")
+            .field("nodes", &self.gc.node_count())
+            .field("candidate_links", &self.gc.candidate_link_count())
+            .field("flows", &self.flows.len())
+            .field("reliability_goal", &self.reliability_goal)
+            .field("nbf", &self.nbf.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nptsn_sched::{FlowSpec, ShortestPathRecovery};
+
+    fn base() -> (Arc<ConnectionGraph>, FlowSet) {
+        let mut gc = ConnectionGraph::new();
+        let a = gc.add_end_station("a");
+        let b = gc.add_end_station("b");
+        let s = gc.add_switch("s");
+        gc.add_candidate_link(a, s, 1.0).unwrap();
+        gc.add_candidate_link(b, s, 1.0).unwrap();
+        let flows = FlowSet::new(vec![FlowSpec::new(a, b, 500, 128)]).unwrap();
+        (Arc::new(gc), flows)
+    }
+
+    #[test]
+    fn valid_problem_builds() {
+        let (gc, flows) = base();
+        let p = PlanningProblem::new(
+            gc,
+            ComponentLibrary::automotive(),
+            TasConfig::default(),
+            flows,
+            1e-6,
+            Arc::new(ShortestPathRecovery::new()),
+        )
+        .unwrap();
+        assert_eq!(p.flows().len(), 1);
+        assert_eq!(p.reliability_goal(), 1e-6);
+        assert_eq!(p.nbf().name(), "shortest-path");
+        assert!(format!("{p:?}").contains("shortest-path"));
+    }
+
+    #[test]
+    fn bad_reliability_goal_rejected() {
+        let (gc, flows) = base();
+        for r in [0.0, -1.0, 1.0, 2.0] {
+            assert!(PlanningProblem::new(
+                Arc::clone(&gc),
+                ComponentLibrary::automotive(),
+                TasConfig::default(),
+                flows.clone(),
+                r,
+                Arc::new(ShortestPathRecovery::new()),
+            )
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn flow_endpoint_must_be_end_station() {
+        let mut gc = ConnectionGraph::new();
+        let a = gc.add_end_station("a");
+        let s = gc.add_switch("s");
+        gc.add_candidate_link(a, s, 1.0).unwrap();
+        // Flow targeting the switch: invalid.
+        let flows = FlowSet::new(vec![FlowSpec::new(a, s, 500, 128)]).unwrap();
+        assert!(PlanningProblem::new(
+            Arc::new(gc),
+            ComponentLibrary::automotive(),
+            TasConfig::default(),
+            flows,
+            1e-6,
+            Arc::new(ShortestPathRecovery::new()),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn degree_bound_must_fit_library() {
+        let (gc, flows) = base();
+        let mut gc2 = (*gc).clone();
+        gc2.set_max_switch_degree(12); // larger than any Table I switch
+        assert!(PlanningProblem::new(
+            Arc::new(gc2),
+            ComponentLibrary::automotive(),
+            TasConfig::default(),
+            flows,
+            1e-6,
+            Arc::new(ShortestPathRecovery::new()),
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Planning solutions.
+
+use std::fmt;
+
+use nptsn_topo::{Asil, Topology};
+
+/// A verified planning solution: a topology whose reliability guarantee has
+/// been established by the failure analyzer, with its network cost (Eq. 1).
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The planned topology including the ASIL allocation.
+    pub topology: Topology,
+    /// The network cost at the time of verification.
+    pub cost: f64,
+}
+
+impl Solution {
+    /// Number of selected switches.
+    pub fn switch_count(&self) -> usize {
+        self.topology.selected_switches().len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.topology.link_count()
+    }
+
+    /// Histogram of switch ASILs `[A, B, C, D]` — the data behind the ASIL
+    /// allocation comparison of Fig. 4(c).
+    pub fn asil_histogram(&self) -> [usize; 4] {
+        let mut hist = [0usize; 4];
+        for &sw in self.topology.selected_switches() {
+            let asil = self.topology.switch_asil(sw).expect("selected");
+            hist[asil.index()] += 1;
+        }
+        hist
+    }
+
+    /// Fraction of switches at each ASIL `[A, B, C, D]`; zeros when the
+    /// solution has no switches.
+    pub fn asil_fractions(&self) -> [f64; 4] {
+        let hist = self.asil_histogram();
+        let total: usize = hist.iter().sum();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        let mut out = [0.0; 4];
+        for (o, h) in out.iter_mut().zip(hist.iter()) {
+            *o = *h as f64 / total as f64;
+        }
+        out
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hist = self.asil_histogram();
+        write!(
+            f,
+            "cost {:.1}: {} switches (A:{} B:{} C:{} D:{}), {} links",
+            self.cost,
+            self.switch_count(),
+            hist[0],
+            hist[1],
+            hist[2],
+            hist[3],
+            self.link_count()
+        )
+    }
+}
+
+/// Keeps the lower-cost of two optional solutions (the "record the best
+/// solution" step of Algorithm 2 line 11).
+pub(crate) fn keep_best(best: &mut Option<Solution>, candidate: Solution) {
+    match best {
+        Some(b) if b.cost <= candidate.cost => {}
+        _ => *best = Some(candidate),
+    }
+}
+
+/// Short single-letter ASIL label for compact reports.
+pub fn asil_label(asil: Asil) -> &'static str {
+    match asil {
+        Asil::A => "A",
+        Asil::B => "B",
+        Asil::C => "C",
+        Asil::D => "D",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nptsn_topo::{Asil, ConnectionGraph};
+
+    fn solution_with(asils: &[Asil]) -> Solution {
+        let mut gc = ConnectionGraph::new();
+        let a = gc.add_end_station("a");
+        let switches: Vec<_> =
+            (0..asils.len()).map(|i| gc.add_switch(format!("s{i}"))).collect();
+        for &s in &switches {
+            gc.add_candidate_link(a, s, 1.0).ok();
+        }
+        let mut topo = gc.empty_topology();
+        for (&s, &asil) in switches.iter().zip(asils) {
+            topo.add_switch(s, asil).unwrap();
+        }
+        let cost = topo.network_cost(&nptsn_topo::ComponentLibrary::automotive());
+        Solution { topology: topo, cost }
+    }
+
+    #[test]
+    fn histogram_counts_levels() {
+        let s = solution_with(&[Asil::A, Asil::A, Asil::D, Asil::B]);
+        assert_eq!(s.asil_histogram(), [2, 1, 0, 1]);
+        assert_eq!(s.switch_count(), 4);
+        let frac = s.asil_fractions();
+        assert!((frac[0] - 0.5).abs() < 1e-12);
+        assert!((frac[3] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_solution_fractions_are_zero() {
+        let s = solution_with(&[]);
+        assert_eq!(s.asil_fractions(), [0.0; 4]);
+        assert_eq!(s.link_count(), 0);
+    }
+
+    #[test]
+    fn keep_best_prefers_lower_cost() {
+        let cheap = solution_with(&[Asil::A]);
+        let pricey = solution_with(&[Asil::D, Asil::D]);
+        let mut best = None;
+        keep_best(&mut best, pricey.clone());
+        assert_eq!(best.as_ref().unwrap().cost, pricey.cost);
+        keep_best(&mut best, cheap.clone());
+        assert_eq!(best.as_ref().unwrap().cost, cheap.cost);
+        keep_best(&mut best, pricey);
+        assert_eq!(best.as_ref().unwrap().cost, cheap.cost);
+    }
+
+    #[test]
+    fn display_mentions_cost_and_counts() {
+        let s = solution_with(&[Asil::B]);
+        let text = s.to_string();
+        assert!(text.contains("B:1"));
+        assert!(text.contains("switches"));
+        assert_eq!(asil_label(Asil::C), "C");
+    }
+}

@@ -1,0 +1,198 @@
+//! Parameter checkpointing: serialize trained weights to bytes and back.
+//!
+//! The planner trains one policy per planning problem; checkpoints let a
+//! deployment save the best policy next to the chosen topology, resume a
+//! long ORION run, or ship weights between machines. The format is a
+//! deliberately simple self-describing little-endian layout (magic,
+//! version, tensor count, then `(rows, cols, data)` per tensor) — no
+//! external serialization dependency required.
+
+use nptsn_tensor::Tensor;
+
+/// Magic prefix of the checkpoint format.
+const MAGIC: &[u8; 8] = b"NPTSNCK1";
+
+/// Errors from [`params_from_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The byte stream does not start with the checkpoint magic.
+    BadMagic,
+    /// The stream ended before the declared contents.
+    Truncated,
+    /// The checkpoint's tensor count or shapes do not match the target
+    /// parameter list.
+    ShapeMismatch {
+        /// Index of the first mismatching tensor (or count mismatch).
+        index: usize,
+    },
+    /// Trailing bytes after the declared contents.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => f.write_str("not an NPTSN checkpoint"),
+            CheckpointError::Truncated => f.write_str("checkpoint is truncated"),
+            CheckpointError::ShapeMismatch { index } => {
+                write!(f, "checkpoint shape mismatch at tensor {index}")
+            }
+            CheckpointError::TrailingBytes => f.write_str("trailing bytes after checkpoint"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serializes a parameter list into a checkpoint byte vector.
+///
+/// # Examples
+///
+/// ```
+/// use nptsn_nn::{params_from_bytes, params_to_bytes};
+/// use nptsn_tensor::Tensor;
+///
+/// let w = Tensor::param(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// let bytes = params_to_bytes(&[w.clone()]);
+/// w.set_data(&[0.0; 4]);
+/// params_from_bytes(&[w.clone()], &bytes).unwrap();
+/// assert_eq!(w.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+/// ```
+pub fn params_to_bytes(params: &[Tensor]) -> Vec<u8> {
+    let payload: usize = params.iter().map(|p| 16 + 4 * p.len()).sum();
+    let mut out = Vec::with_capacity(8 + 8 + payload);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(params.len() as u64).to_le_bytes());
+    for p in params {
+        out.extend_from_slice(&(p.rows() as u64).to_le_bytes());
+        out.extend_from_slice(&(p.cols() as u64).to_le_bytes());
+        for v in p.data().iter() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Restores a checkpoint produced by [`params_to_bytes`] into `params`
+/// (which must have the same count and shapes, e.g. a freshly constructed
+/// network of the same configuration).
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] describing the first structural problem;
+/// on error the target parameters are left untouched.
+pub fn params_from_bytes(params: &[Tensor], bytes: &[u8]) -> Result<(), CheckpointError> {
+    fn take<'a>(cursor: &mut &'a [u8], n: usize) -> Result<&'a [u8], CheckpointError> {
+        if cursor.len() < n {
+            return Err(CheckpointError::Truncated);
+        }
+        let (head, tail) = cursor.split_at(n);
+        *cursor = tail;
+        Ok(head)
+    }
+    let mut cursor = bytes;
+    let magic = take(&mut cursor, 8)?;
+    if magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let count = u64::from_le_bytes(take(&mut cursor, 8)?.try_into().expect("8 bytes")) as usize;
+    if count != params.len() {
+        return Err(CheckpointError::ShapeMismatch { index: count.min(params.len()) });
+    }
+    // First pass: decode and validate fully before mutating anything.
+    let mut decoded: Vec<Vec<f32>> = Vec::with_capacity(count);
+    for (i, p) in params.iter().enumerate() {
+        let rows = u64::from_le_bytes(take(&mut cursor, 8)?.try_into().expect("8 bytes")) as usize;
+        let cols = u64::from_le_bytes(take(&mut cursor, 8)?.try_into().expect("8 bytes")) as usize;
+        if (rows, cols) != p.shape() {
+            return Err(CheckpointError::ShapeMismatch { index: i });
+        }
+        let raw = take(&mut cursor, 4 * rows * cols)?;
+        let data = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        decoded.push(data);
+    }
+    if !cursor.is_empty() {
+        return Err(CheckpointError::TrailingBytes);
+    }
+    for (p, d) in params.iter().zip(decoded) {
+        p.set_data(&d);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Mlp, Module};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_restores_network_behavior() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Mlp::new(&mut rng, &[3, 8, 2], Activation::Tanh, Activation::Identity);
+        let b = Mlp::new(&mut rng, &[3, 8, 2], Activation::Tanh, Activation::Identity);
+        let x = nptsn_tensor::Tensor::from_vec(1, 3, vec![0.3, -0.1, 0.7]);
+        assert_ne!(a.forward(&x).to_vec(), b.forward(&x).to_vec());
+        let ck = params_to_bytes(&a.parameters());
+        params_from_bytes(&b.parameters(), &ck).unwrap();
+        assert_eq!(a.forward(&x).to_vec(), b.forward(&x).to_vec());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let p = nptsn_tensor::Tensor::param(1, 1, vec![1.0]);
+        let err = params_from_bytes(&[p], b"NOTACKPT........").unwrap_err();
+        assert_eq!(err, CheckpointError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_rejected_without_mutation() {
+        let p = nptsn_tensor::Tensor::param(1, 2, vec![5.0, 6.0]);
+        let mut bytes = params_to_bytes(std::slice::from_ref(&p));
+        bytes.truncate(bytes.len() - 3);
+        assert_eq!(params_from_bytes(std::slice::from_ref(&p), &bytes), Err(CheckpointError::Truncated));
+        assert_eq!(p.to_vec(), vec![5.0, 6.0], "target untouched on error");
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = nptsn_tensor::Tensor::param(1, 2, vec![1.0, 2.0]);
+        let b = nptsn_tensor::Tensor::param(2, 1, vec![0.0, 0.0]);
+        let bytes = params_to_bytes(&[a]);
+        assert_eq!(
+            params_from_bytes(&[b], &bytes),
+            Err(CheckpointError::ShapeMismatch { index: 0 })
+        );
+        let c = nptsn_tensor::Tensor::param(1, 1, vec![0.0]);
+        let d = nptsn_tensor::Tensor::param(1, 1, vec![0.0]);
+        let bytes2 = params_to_bytes(std::slice::from_ref(&c));
+        assert!(matches!(
+            params_from_bytes(&[c, d], &bytes2),
+            Err(CheckpointError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let p = nptsn_tensor::Tensor::param(1, 1, vec![1.0]);
+        let mut bytes = params_to_bytes(std::slice::from_ref(&p));
+        bytes.push(0);
+        assert_eq!(params_from_bytes(&[p], &bytes), Err(CheckpointError::TrailingBytes));
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            CheckpointError::BadMagic,
+            CheckpointError::Truncated,
+            CheckpointError::ShapeMismatch { index: 3 },
+            CheckpointError::TrailingBytes,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

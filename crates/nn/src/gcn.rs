@@ -1,0 +1,207 @@
+//! Graph convolutional networks (Kipf & Welling, Eq. 4 of the paper).
+
+use nptsn_tensor::Tensor;
+use rand::Rng;
+
+use crate::init::xavier_uniform;
+use crate::Module;
+
+/// Computes the constant GCN propagation matrix
+/// `D^-1/2 (A + I) D^-1/2` from a dense adjacency matrix (row-major,
+/// `n x n`), where `D` is the degree matrix of the self-connected
+/// adjacency.
+///
+/// The result is a constant tensor (no gradient flows through the graph
+/// structure), recomputed whenever the topology changes.
+///
+/// # Panics
+///
+/// Panics when `adjacency.len() != n * n`.
+///
+/// # Examples
+///
+/// ```
+/// use nptsn_nn::normalized_adjacency;
+///
+/// // Two connected nodes: A + I is all-ones, degrees are 2.
+/// let ahat = normalized_adjacency(&[0.0, 1.0, 1.0, 0.0], 2);
+/// for v in ahat.to_vec() {
+///     assert!((v - 0.5).abs() < 1e-6);
+/// }
+/// ```
+pub fn normalized_adjacency(adjacency: &[f32], n: usize) -> Tensor {
+    assert_eq!(adjacency.len(), n * n, "adjacency must be n x n");
+    // A + I.
+    let mut a_hat: Vec<f32> = adjacency.to_vec();
+    for i in 0..n {
+        a_hat[i * n + i] += 1.0;
+    }
+    // D^-1/2 of the self-connected adjacency.
+    let inv_sqrt_deg: Vec<f32> = (0..n)
+        .map(|i| {
+            let deg: f32 = a_hat[i * n..(i + 1) * n].iter().sum();
+            if deg > 0.0 {
+                deg.sqrt().recip()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    for i in 0..n {
+        for j in 0..n {
+            a_hat[i * n + j] *= inv_sqrt_deg[i] * inv_sqrt_deg[j];
+        }
+    }
+    Tensor::from_vec(n, n, a_hat)
+}
+
+/// A stack of graph convolutional layers implementing Eq. 4:
+/// `H^{l+1} = relu(Â H^l W^l)` with `Â` the normalized self-connected
+/// adjacency.
+///
+/// With zero layers the GCN is the identity on the node features — the
+/// "GCN-0" configuration of the sensitivity study (Fig. 5a).
+///
+/// # Examples
+///
+/// ```
+/// use nptsn_nn::{normalized_adjacency, Gcn, Module};
+/// use nptsn_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// // 2 layers turning 5 node features into 8-dimensional embeddings.
+/// let gcn = Gcn::new(&mut rng, &[5, 8, 8]);
+/// let ahat = normalized_adjacency(&vec![0.0; 9], 3);
+/// let h = Tensor::from_vec(3, 5, vec![0.1; 15]);
+/// let out = gcn.forward(&ahat, &h);
+/// assert_eq!(out.shape(), (3, 8));
+/// assert_eq!(gcn.layer_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gcn {
+    weights: Vec<Tensor>,
+}
+
+impl Gcn {
+    /// Creates a GCN from feature dimensions: `dims[0]` is the input
+    /// feature width, each subsequent entry one layer's output width.
+    /// `dims` of length 1 yields the zero-layer identity GCN.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dims` is empty.
+    pub fn new(rng: &mut impl Rng, dims: &[usize]) -> Gcn {
+        assert!(!dims.is_empty(), "at least the input dimension is required");
+        let weights = dims
+            .windows(2)
+            .map(|w| xavier_uniform(rng, w[0], w[1]))
+            .collect();
+        Gcn { weights }
+    }
+
+    /// Applies the propagation rule to node features `h` (`n x f`) using
+    /// the precomputed normalized adjacency `ahat` (`n x n`).
+    pub fn forward(&self, ahat: &Tensor, h: &Tensor) -> Tensor {
+        let mut out = h.clone();
+        for w in &self.weights {
+            out = ahat.matmul(&out).matmul(w).relu();
+        }
+        out
+    }
+
+    /// Number of convolution layers.
+    pub fn layer_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Output feature width (the input width for zero layers).
+    pub fn output_dim(&self, input_dim: usize) -> usize {
+        self.weights.last().map(Tensor::cols).unwrap_or(input_dim)
+    }
+}
+
+impl Module for Gcn {
+    fn parameters(&self) -> Vec<Tensor> {
+        self.weights.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalized_adjacency_rows_of_path_graph() {
+        // Path 0-1-2: degrees of A+I are 2, 3, 2.
+        let adj = vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        let ahat = normalized_adjacency(&adj, 3);
+        let d = [2.0f32, 3.0, 2.0];
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j {
+                    1.0 / d[i]
+                } else if (i as i32 - j as i32).abs() == 1 {
+                    1.0 / (d[i] * d[j]).sqrt()
+                } else {
+                    0.0
+                };
+                assert!((ahat.at(i, j) - expected).abs() < 1e-6, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_get_self_loop_only() {
+        let ahat = normalized_adjacency(&[0.0; 4], 2);
+        assert_eq!(ahat.to_vec(), vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_layer_gcn_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gcn = Gcn::new(&mut rng, &[4]);
+        assert_eq!(gcn.layer_count(), 0);
+        assert_eq!(gcn.output_dim(4), 4);
+        let ahat = normalized_adjacency(&[0.0; 9], 3);
+        let h = Tensor::from_vec(3, 4, (0..12).map(|i| i as f32).collect());
+        assert_eq!(gcn.forward(&ahat, &h).to_vec(), h.to_vec());
+    }
+
+    #[test]
+    fn message_passing_spreads_information() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gcn = Gcn::new(&mut rng, &[1, 4]);
+        // Path 0-1-2; only node 0 carries a feature.
+        let adj = vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        let ahat = normalized_adjacency(&adj, 3);
+        let h = Tensor::from_vec(3, 1, vec![1.0, 0.0, 0.0]);
+        let out = gcn.forward(&ahat, &h);
+        // Node 1 (adjacent) receives signal; node 2 (two hops) does not in
+        // a single layer.
+        let row = |i: usize| (0..4).map(|j| out.at(i, j).abs()).sum::<f32>();
+        assert!(row(1) > 0.0);
+        assert_eq!(row(2), 0.0);
+        // A second layer propagates two hops.
+        let mut rng2 = StdRng::seed_from_u64(0);
+        let gcn2 = Gcn::new(&mut rng2, &[1, 4, 4]);
+        let out2 = gcn2.forward(&ahat, &h);
+        let row2 = |i: usize| (0..4).map(|j| out2.at(i, j).abs()).sum::<f32>();
+        // Relu may zero some channels; with seed 0 signal survives.
+        assert!(row2(2) > 0.0, "two layers should reach node 2");
+    }
+
+    #[test]
+    fn gradients_flow_through_gcn() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gcn = Gcn::new(&mut rng, &[2, 3, 3]);
+        let ahat = normalized_adjacency(&[0.0, 1.0, 1.0, 0.0], 2);
+        let h = Tensor::from_vec(2, 2, vec![0.5, -0.5, 0.25, 0.75]);
+        gcn.forward(&ahat, &h).mean().backward();
+        for (i, p) in gcn.parameters().iter().enumerate() {
+            assert!(p.grad().iter().any(|&g| g != 0.0), "layer {i} got no gradient");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Masked categorical policy distributions.
+
+use nptsn_tensor::Tensor;
+use rand::Rng;
+
+/// Logit offset applied to masked actions; exp(-1e9) underflows to exactly
+/// zero probability while keeping the computation finite.
+const MASK_OFFSET: f32 = -1e9;
+
+/// Applies an invalid-action mask to a `(1, actions)` logit row and returns
+/// the masked log-probabilities (Algorithm 2 line 6).
+///
+/// Masked-out logits are shifted by −1e9 before the row softmax, the
+/// technique of NeuroPlan \[16\] adopted by the paper: invalid actions end up
+/// with probability zero and receive no gradient, while the remaining
+/// probabilities renormalize.
+///
+/// # Panics
+///
+/// Panics when `mask.len()` differs from the number of columns, the mask
+/// is all-false (the environment must reset instead, Algorithm 2 line 14)
+/// or `logits` has more than one row.
+///
+/// # Examples
+///
+/// ```
+/// use nptsn_rl::masked_log_probs;
+/// use nptsn_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(1, 3, vec![1.0, 5.0, 1.0]);
+/// let lp = masked_log_probs(&logits, &[true, false, true]);
+/// let p: Vec<f32> = lp.to_vec().iter().map(|x| x.exp()).collect();
+/// assert!(p[1] < 1e-12, "masked action has zero probability");
+/// assert!((p[0] + p[2] - 1.0).abs() < 1e-5);
+/// ```
+pub fn masked_log_probs(logits: &Tensor, mask: &[bool]) -> Tensor {
+    assert_eq!(logits.rows(), 1, "one action row at a time");
+    assert_eq!(logits.cols(), mask.len(), "one mask bit per action");
+    assert!(mask.iter().any(|&m| m), "all actions masked: the episode must reset");
+    let offsets: Vec<f32> = mask
+        .iter()
+        .map(|&m| if m { 0.0 } else { MASK_OFFSET })
+        .collect();
+    let mask_row = Tensor::from_vec(1, mask.len(), offsets);
+    logits.add(&mask_row).log_softmax_rows()
+}
+
+/// Samples an action index from a row of log-probabilities, returning the
+/// index and its log-probability.
+///
+/// # Panics
+///
+/// Panics when `log_probs` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let lp = vec![(0.5f32).ln(), (0.5f32).ln()];
+/// let (a, logp) = nptsn_rl::sample_action(&lp, &mut rng);
+/// assert!(a < 2);
+/// assert!((logp - (0.5f32).ln()).abs() < 1e-6);
+/// ```
+pub fn sample_action(log_probs: &[f32], rng: &mut impl Rng) -> (usize, f32) {
+    assert!(!log_probs.is_empty(), "cannot sample from an empty distribution");
+    let u: f32 = rng.gen_range(0.0..1.0);
+    let mut acc = 0.0;
+    for (i, &lp) in log_probs.iter().enumerate() {
+        acc += lp.exp();
+        if u < acc {
+            return (i, lp);
+        }
+    }
+    // Floating-point slack: fall back to the most probable action.
+    let best = log_probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    (best, log_probs[best])
+}
+
+/// The most probable action of a log-probability row and its
+/// log-probability — the deterministic selection used when *deploying* a
+/// trained policy rather than exploring with it.
+///
+/// # Panics
+///
+/// Panics when `log_probs` is empty.
+///
+/// # Examples
+///
+/// ```
+/// let lp = vec![(0.2f32).ln(), (0.7f32).ln(), (0.1f32).ln()];
+/// assert_eq!(nptsn_rl::best_action(&lp).0, 1);
+/// ```
+pub fn best_action(log_probs: &[f32]) -> (usize, f32) {
+    assert!(!log_probs.is_empty(), "cannot pick from an empty distribution");
+    let best = log_probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    (best, log_probs[best])
+}
+
+/// Shannon entropy (nats) of a log-probability row; a diagnostic for how
+/// much the policy is still exploring.
+pub fn entropy_of_log_probs(log_probs: &[f32]) -> f32 {
+    log_probs
+        .iter()
+        .map(|&lp| {
+            let p = lp.exp();
+            if p > 0.0 {
+                -p * lp
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn masked_probabilities_renormalize() {
+        let logits = Tensor::from_vec(1, 4, vec![0.0, 0.0, 0.0, 0.0]);
+        let lp = masked_log_probs(&logits, &[true, true, false, false]);
+        let p: Vec<f32> = lp.to_vec().iter().map(|x| x.exp()).collect();
+        assert!((p[0] - 0.5).abs() < 1e-5);
+        assert!((p[1] - 0.5).abs() < 1e-5);
+        assert!(p[2] < 1e-12 && p[3] < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "all actions masked")]
+    fn all_false_mask_panics() {
+        let logits = Tensor::from_vec(1, 2, vec![0.0, 0.0]);
+        let _ = masked_log_probs(&logits, &[false, false]);
+    }
+
+    #[test]
+    fn masked_actions_are_never_sampled() {
+        let logits = Tensor::from_vec(1, 3, vec![10.0, 0.0, 0.0]);
+        let lp = masked_log_probs(&logits, &[false, true, true]).to_vec();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..500 {
+            let (a, _) = sample_action(&lp, &mut rng);
+            assert_ne!(a, 0, "masked action sampled");
+        }
+    }
+
+    #[test]
+    fn sampling_frequency_tracks_probability() {
+        let lp = vec![(0.8f32).ln(), (0.2f32).ln()];
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut count = [0usize; 2];
+        for _ in 0..5000 {
+            let (a, logp) = sample_action(&lp, &mut rng);
+            count[a] += 1;
+            assert!((logp - lp[a]).abs() < 1e-6);
+        }
+        let f0 = count[0] as f32 / 5000.0;
+        assert!((f0 - 0.8).abs() < 0.05, "empirical frequency {f0}");
+    }
+
+    #[test]
+    fn entropy_is_maximal_for_uniform() {
+        let uniform = vec![(0.25f32).ln(); 4];
+        let peaked = vec![(0.97f32).ln(), (0.01f32).ln(), (0.01f32).ln(), (0.01f32).ln()];
+        let hu = entropy_of_log_probs(&uniform);
+        let hp = entropy_of_log_probs(&peaked);
+        assert!((hu - (4.0f32).ln()).abs() < 1e-5);
+        assert!(hp < hu);
+    }
+
+    #[test]
+    fn gradient_does_not_reach_masked_logits() {
+        let logits = Tensor::param(1, 3, vec![0.3, -0.2, 0.8]);
+        let lp = masked_log_probs(&logits, &[true, false, true]);
+        lp.gather_cols(&[0]).sum().backward();
+        let g = logits.grad();
+        assert!(g[0] != 0.0);
+        assert!(g[1].abs() < 1e-12, "masked logit received gradient {}", g[1]);
+        assert!(g[2] != 0.0);
+    }
+}

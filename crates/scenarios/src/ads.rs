@@ -1,0 +1,107 @@
+//! The ADS (autonomous driving system) design scenario from \[31\].
+
+use std::sync::Arc;
+
+use nptsn_sched::TasConfig;
+use nptsn_topo::ConnectionGraph;
+
+use crate::Scenario;
+
+/// End stations of the autonomous driving system, following the
+/// distributed architecture of Jo et al. \[31\]: sensors, compute units and
+/// actuators hosting the 7 safety-related applications.
+const ADS_STATIONS: [&str; 12] = [
+    "gps",
+    "imu",
+    "lidar-front",
+    "lidar-rear",
+    "camera-front",
+    "camera-rear",
+    "radar",
+    "v2x",
+    "compute-a",
+    "compute-b",
+    "actuator-steer",
+    "actuator-brake",
+];
+
+/// Number of optional switches in the ADS scenario.
+const ADS_SWITCHES: usize = 4;
+
+/// Builds the ADS design scenario: 12 end stations, a maximum of 4
+/// switches, and the *complete* candidate connection set minus direct
+/// ES–ES links — 12·4 switch-station pairs plus C(4,2) switch pairs =
+/// 54 optional links, exactly as stated in Section VI-B.
+///
+/// There is no manually designed original topology for ADS; the paper uses
+/// this scenario for the sensitivity study only.
+///
+/// # Examples
+///
+/// ```
+/// use nptsn_scenarios::ads;
+///
+/// let s = ads();
+/// assert_eq!(s.graph.end_stations().len(), 12);
+/// assert_eq!(s.graph.switches().len(), 4);
+/// assert_eq!(s.graph.candidate_link_count(), 54);
+/// assert!(s.original.is_none());
+/// ```
+pub fn ads() -> Scenario {
+    let mut gc = ConnectionGraph::new();
+    let stations: Vec<_> = ADS_STATIONS.iter().map(|name| gc.add_end_station(*name)).collect();
+    let switches: Vec<_> = (0..ADS_SWITCHES).map(|i| gc.add_switch(format!("ads-sw{i}"))).collect();
+    for &sw in &switches {
+        for &es in &stations {
+            gc.add_candidate_link(sw, es, 1.0).expect("unique pairs");
+        }
+    }
+    for i in 0..switches.len() {
+        for j in i + 1..switches.len() {
+            gc.add_candidate_link(switches[i], switches[j], 1.0).expect("unique pairs");
+        }
+    }
+    Scenario { name: "ads", graph: Arc::new(gc), original: None, tas: TasConfig::default() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_count_matches_the_paper() {
+        let s = ads();
+        // 12 * 4 + C(4, 2) = 48 + 6 = 54.
+        assert_eq!(s.graph.candidate_link_count(), 54);
+    }
+
+    #[test]
+    fn no_direct_station_connections() {
+        let s = ads();
+        for link in s.graph.links() {
+            let (u, v) = s.graph.link_endpoints(link);
+            assert!(s.graph.is_switch(u) || s.graph.is_switch(v));
+        }
+    }
+
+    #[test]
+    fn every_switch_pair_is_a_candidate() {
+        let s = ads();
+        let sw = s.graph.switches();
+        for i in 0..sw.len() {
+            for j in i + 1..sw.len() {
+                assert!(s.graph.link_between(sw[i], sw[j]).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn station_names_cover_the_applications() {
+        let s = ads();
+        let names: Vec<&str> =
+            s.graph.end_stations().iter().map(|&e| s.graph.name(e)).collect();
+        assert!(names.contains(&"compute-a"));
+        assert!(names.contains(&"actuator-brake"));
+        assert_eq!(names.len(), 12);
+    }
+}

@@ -1,0 +1,68 @@
+//! Design scenarios and workloads for the NPTSN evaluation (Section VI).
+//!
+//! Two scenarios drive the paper's experiments:
+//!
+//! * [`orion`] — a network abstracted from the ORION crew exploration
+//!   vehicle \[30\]: 31 end stations, 15 optional switches, candidate links
+//!   between node pairs within 3 hops of the original topology, plus the
+//!   manually designed original topology used as a baseline. The exact
+//!   ORION topology is not redistributable, so this is a *deterministic
+//!   synthetic stand-in* preserving the properties the evaluation depends
+//!   on: the scale, single-attached end stations (which force the original
+//!   to all-ASIL-D), and the candidate-link density (the paper reports 189
+//!   optional links; this construction yields 200).
+//! * [`ads`] — the autonomous-driving-system scenario from \[31\]: 12 end
+//!   stations, 4 optional switches, the complete candidate set minus
+//!   direct ES–ES connections — exactly the 54 optional links the paper
+//!   states.
+//!
+//! Workloads are periodic unicast TT flows with period = deadline = the
+//! base period, endpoints drawn uniformly from the end stations
+//! ([`random_flows`]), matching Section VI-A.
+//!
+//! # Examples
+//!
+//! ```
+//! use nptsn_scenarios::{ads, orion, random_flows};
+//!
+//! let orion = orion();
+//! assert_eq!(orion.graph.end_stations().len(), 31);
+//! assert_eq!(orion.graph.switches().len(), 15);
+//!
+//! let ads = ads();
+//! assert_eq!(ads.graph.candidate_link_count(), 54);
+//!
+//! let flows = random_flows(&ads.graph, 12, 7);
+//! assert_eq!(flows.len(), 12);
+//! ```
+
+#![warn(missing_docs)]
+
+mod ads;
+mod orion;
+mod workload;
+
+pub use ads::ads;
+pub use orion::orion;
+pub use workload::{flow_count_suite, random_flows};
+
+use std::sync::Arc;
+
+use nptsn_sched::TasConfig;
+use nptsn_topo::{ConnectionGraph, Topology};
+
+/// A design scenario: the planning inputs shared by every test case built
+/// on it.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name for reports ("orion", "ads").
+    pub name: &'static str,
+    /// The graph of possible connections `Gc`.
+    pub graph: Arc<ConnectionGraph>,
+    /// The manually designed original topology, when the scenario has one
+    /// (ORION); used by the original-network baseline with all components
+    /// at ASIL D.
+    pub original: Option<Topology>,
+    /// The TAS configuration: 500 µs base period, 20 slots (Section VI-A).
+    pub tas: TasConfig,
+}

@@ -1,0 +1,136 @@
+//! Randomized TT-flow workload generation (Section VI-A).
+
+use nptsn_sched::{FlowSet, FlowSpec};
+use nptsn_topo::ConnectionGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Frame size used for generated flows. The paper does not state frame
+/// sizes; 256 bytes is a typical safety-critical control frame and fits
+/// comfortably in one 25 µs slot at 1 Gbit/s.
+pub(crate) const FRAME_BYTES: u32 = 256;
+
+/// Generates `count` periodic unicast TT flows with sources and
+/// destinations drawn uniformly (without self-loops) from the end stations
+/// of `graph`, period and deadline equal to the 500 µs base period —
+/// the workload recipe of Section VI-A.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics when the graph has fewer than two end stations or `count` is
+/// zero.
+///
+/// # Examples
+///
+/// ```
+/// use nptsn_scenarios::{orion, random_flows};
+///
+/// let s = orion();
+/// let flows = random_flows(&s.graph, 10, 42);
+/// assert_eq!(flows.len(), 10);
+/// // Reproducible.
+/// assert_eq!(flows, random_flows(&s.graph, 10, 42));
+/// ```
+pub fn random_flows(graph: &ConnectionGraph, count: usize, seed: u64) -> FlowSet {
+    let stations = graph.end_stations();
+    assert!(stations.len() >= 2, "need at least two end stations");
+    assert!(count > 0, "at least one flow is required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut flows = Vec::with_capacity(count);
+    for _ in 0..count {
+        let s = stations[rng.gen_range(0..stations.len())];
+        let d = loop {
+            let d = stations[rng.gen_range(0..stations.len())];
+            if d != s {
+                break d;
+            }
+        };
+        flows.push(FlowSpec::new(s, d, 500, FRAME_BYTES));
+    }
+    FlowSet::new(flows).expect("generated flows are valid")
+}
+
+/// Builds the Fig. 4 test-case suite: for every entry of `flow_counts`,
+/// `cases_per_count` independent workloads (the paper uses counts
+/// 10..50 with ten cases each, 50 in total).
+///
+/// Returns `(flow_count, case_index, flows)` triples; seeds derive
+/// deterministically from `base_seed`.
+pub fn flow_count_suite(
+    graph: &ConnectionGraph,
+    flow_counts: &[usize],
+    cases_per_count: usize,
+    base_seed: u64,
+) -> Vec<(usize, usize, FlowSet)> {
+    let mut out = Vec::with_capacity(flow_counts.len() * cases_per_count);
+    for (ci, &count) in flow_counts.iter().enumerate() {
+        for case in 0..cases_per_count {
+            let seed = base_seed
+                .wrapping_mul(1_000_003)
+                .wrapping_add((ci * 1000 + case) as u64);
+            out.push((count, case, random_flows(graph, count, seed)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ads, orion};
+
+    #[test]
+    fn flows_connect_distinct_end_stations() {
+        let s = orion();
+        let flows = random_flows(&s.graph, 50, 1);
+        for (_, spec) in flows.iter() {
+            assert_ne!(spec.source(), spec.destination());
+            assert!(s.graph.is_end_station(spec.source()));
+            assert!(s.graph.is_end_station(spec.destination()));
+            assert_eq!(spec.period_us(), 500);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = ads();
+        let a = random_flows(&s.graph, 12, 1);
+        let b = random_flows(&s.graph, 12, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn suite_covers_the_grid() {
+        let s = orion();
+        let suite = flow_count_suite(&s.graph, &[10, 20, 30, 40, 50], 10, 0);
+        assert_eq!(suite.len(), 50);
+        for (count, _, flows) in &suite {
+            assert_eq!(flows.len(), *count);
+        }
+        // All workloads distinct.
+        for i in 0..suite.len() {
+            for j in 0..i {
+                assert!(
+                    suite[i].2 != suite[j].2 || suite[i].0 != suite[j].0,
+                    "duplicate workload at {i} and {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_cover_many_stations() {
+        // With 50 flows over 31 stations the workload should touch a broad
+        // subset (sanity check of the uniform sampling).
+        let s = orion();
+        let flows = random_flows(&s.graph, 50, 3);
+        let mut touched = std::collections::HashSet::new();
+        for (_, spec) in flows.iter() {
+            touched.insert(spec.source());
+            touched.insert(spec.destination());
+        }
+        assert!(touched.len() > 20, "only {} stations touched", touched.len());
+    }
+}

@@ -1,0 +1,72 @@
+//! Time-Aware-Shaper (TAS) scheduling and stateless recovery for TSSDN.
+//!
+//! This crate implements the flow and scheduling model of Section II of the
+//! NPTSN paper (DSN 2023):
+//!
+//! * [`TasConfig`] — the global TAS schedule: a base period `B` divided into
+//!   uniform time slots on every directed link (IEEE 802.1Qbv).
+//! * [`FlowSpec`] / [`FlowSet`] — the specification `FS` of the periodic
+//!   time-triggered (TT) flows: source, destination, period, frame size.
+//! * [`FlowState`] — the flow state `FI`: per-flow paths and the time slots
+//!   reserved on each link.
+//! * [`ScheduleTable`] — per-directed-link slot occupancy used while
+//!   constructing schedules.
+//! * [`NetworkBehavior`] — the stateless Network Behavior Function (NBF)
+//!   `Φ : (Gt, Gf, B, FS) → (FI', ER)` abstraction, with two built-in
+//!   recovery mechanisms: [`ShortestPathRecovery`] (the heuristic of \[9\],
+//!   made stateless) and [`LoadBalancedRecovery`].
+//! * [`schedule_frer`] — static dual-path FRER scheduling used by the TRH
+//!   baseline \[4\].
+//!
+//! # Examples
+//!
+//! ```
+//! use nptsn_sched::{FlowSet, FlowSpec, NetworkBehavior, ShortestPathRecovery, TasConfig};
+//! use nptsn_topo::{Asil, ConnectionGraph, FailureScenario};
+//!
+//! let mut gc = ConnectionGraph::new();
+//! let a = gc.add_end_station("a");
+//! let b = gc.add_end_station("b");
+//! let s = gc.add_switch("s");
+//! gc.add_candidate_link(a, s, 1.0).unwrap();
+//! gc.add_candidate_link(s, b, 1.0).unwrap();
+//! let mut topo = gc.empty_topology();
+//! topo.add_switch(s, nptsn_topo::Asil::A).unwrap();
+//! topo.add_link(a, s).unwrap();
+//! topo.add_link(s, b).unwrap();
+//!
+//! let tas = TasConfig::default(); // 500 us / 20 slots
+//! let flows = FlowSet::new(vec![FlowSpec::new(a, b, 500, 128)]).unwrap();
+//! let nbf = ShortestPathRecovery::new();
+//! let outcome = nbf.recover(&topo, &FailureScenario::none(), &tas, &flows);
+//! assert!(outcome.errors.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod flow;
+mod frer;
+mod nbf;
+mod redundant;
+mod schedule;
+mod sim;
+mod stateful;
+mod state;
+mod table;
+mod tas;
+
+pub use error::SchedError;
+pub use flow::{ErrorReport, FlowId, FlowSet, FlowSpec};
+pub use frer::schedule_frer;
+pub use nbf::{LoadBalancedRecovery, NetworkBehavior, RecoveryOutcome, ShortestPathRecovery};
+pub use redundant::RedundantRecovery;
+pub use sim::{simulate, FrameRecord, SimulationReport};
+pub use stateful::{IncrementalRecovery, Stateless, StatefulBehavior};
+pub use schedule::schedule_flow_on_path;
+pub use state::{FlowAssignment, FlowState};
+pub use table::ScheduleTable;
+pub use tas::TasConfig;
+
+/// Result alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, SchedError>;

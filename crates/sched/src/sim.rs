@@ -1,0 +1,315 @@
+//! A frame-level TAS network simulator.
+//!
+//! The paper treats the NBF as "a deterministic function once the TSSDN
+//! controller is selected, and it can be obtained via network simulation"
+//! (Section II-B). This module provides that simulation side: it *executes*
+//! a [`FlowState`] over one base period — releasing frames at their
+//! sources, forwarding them hop by hop in exactly the reserved slots under
+//! a globally synchronized clock — and reports per-frame delivery records.
+//!
+//! Besides serving as an executable semantics for schedules (every schedule
+//! produced by the crate's schedulers must *simulate* correctly: frames
+//! delivered, in their release windows, without two frames ever occupying
+//! one directed link slot), it yields the end-to-end latency numbers a
+//! controller would observe.
+
+use nptsn_topo::{FailureScenario, NodeId, Topology};
+
+use crate::error::SchedError;
+use crate::flow::{FlowId, FlowSet};
+use crate::state::FlowState;
+use crate::table::ScheduleTable;
+use crate::tas::TasConfig;
+use crate::Result;
+
+/// The simulated journey of one frame (one repetition of one flow).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameRecord {
+    /// The flow the frame belongs to.
+    pub flow: FlowId,
+    /// Repetition index within the base period.
+    pub repetition: usize,
+    /// Slot in which the source started transmitting.
+    pub departure_slot: usize,
+    /// Slot in which the last hop completed.
+    pub arrival_slot: usize,
+    /// Nodes traversed, source to destination.
+    pub route: Vec<NodeId>,
+}
+
+impl FrameRecord {
+    /// End-to-end latency in slots (inclusive of the first transmission
+    /// slot).
+    pub fn latency_slots(&self) -> usize {
+        self.arrival_slot - self.departure_slot + 1
+    }
+
+    /// End-to-end latency in microseconds under `tas`.
+    pub fn latency_us(&self, tas: &TasConfig) -> u64 {
+        self.latency_slots() as u64 * tas.slot_duration_us()
+    }
+}
+
+/// Result of simulating one base period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationReport {
+    /// One record per delivered frame, in (flow, repetition) order.
+    pub frames: Vec<FrameRecord>,
+    /// Flows that had no assignment in the flow state (not simulated).
+    pub unassigned_flows: usize,
+}
+
+impl SimulationReport {
+    /// The worst end-to-end latency over all delivered frames, in slots.
+    pub fn worst_latency_slots(&self) -> usize {
+        self.frames.iter().map(FrameRecord::latency_slots).max().unwrap_or(0)
+    }
+
+    /// Mean end-to-end latency in slots.
+    pub fn mean_latency_slots(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.frames.iter().map(|f| f.latency_slots() as f64).sum::<f64>()
+            / self.frames.len() as f64
+    }
+}
+
+/// Executes `state` over one base period of `tas` on the residual network
+/// of `topology − failure` and verifies TAS semantics frame by frame.
+///
+/// The simulation walks the globally synchronized slot clock; in every slot
+/// each directed link transmits at most one frame, frames advance exactly
+/// one hop per reserved slot, and a frame may only be transmitted by a node
+/// that already holds it (store-and-forward causality).
+///
+/// # Errors
+///
+/// Returns [`SchedError::InvalidState`] when the flow state violates TAS
+/// semantics on this network: a reserved slot on a dead link, two frames
+/// in one directed slot, a transmission scheduled before the frame arrived,
+/// a frame not delivered by the end of its release window, or an endpoint
+/// mismatch. A valid scheduler output never triggers these — this is the
+/// executable cross-check used by the property tests.
+pub fn simulate(
+    topology: &Topology,
+    failure: &FailureScenario,
+    tas: &TasConfig,
+    flows: &FlowSet,
+    state: &FlowState,
+) -> Result<SimulationReport> {
+    let gc = topology.connection_graph();
+    // Slot-occupancy cross-check (double booking).
+    let mut table = ScheduleTable::new(gc, tas);
+    let mut frames = Vec::new();
+    let mut unassigned = 0;
+
+    for (flow, spec) in flows.iter() {
+        let Some(assignment) = state.assignment(flow) else {
+            unassigned += 1;
+            continue;
+        };
+        let path = assignment.path();
+        if path.source() != spec.source() || path.destination() != spec.destination() {
+            return Err(SchedError::InvalidState(format!(
+                "{flow}: path endpoints disagree with the specification"
+            )));
+        }
+        let reps = tas.repetitions(spec.period_us())?;
+        if assignment.slots().len() != reps {
+            return Err(SchedError::InvalidState(format!(
+                "{flow}: {} repetitions scheduled, spec requires {reps}",
+                assignment.slots().len()
+            )));
+        }
+        let window = tas.window_slots(reps);
+        for (rep, slots) in assignment.slots().iter().enumerate() {
+            let release = rep * window;
+            let deadline = (rep + 1) * window; // exclusive
+            // The frame materializes at the source at its release instant.
+            let mut holder_since = release;
+            let mut route = vec![path.source()];
+            for (h, ((u, v), &slot)) in path.edges().zip(slots.iter()).enumerate() {
+                if slot < holder_since {
+                    return Err(SchedError::InvalidState(format!(
+                        "{flow} rep {rep} hop {h}: transmission at slot {slot} \
+                         before the frame is available (slot {holder_since})"
+                    )));
+                }
+                if slot >= deadline {
+                    return Err(SchedError::InvalidState(format!(
+                        "{flow} rep {rep} hop {h}: slot {slot} past the deadline {deadline}"
+                    )));
+                }
+                let Some(link) = gc.link_between(u, v) else {
+                    return Err(SchedError::InvalidState(format!(
+                        "{flow} rep {rep} hop {h}: no candidate link ({u}, {v})"
+                    )));
+                };
+                if !topology.contains_link(link)
+                    || failure.contains_link(link)
+                    || failure.contains_switch(u)
+                    || failure.contains_switch(v)
+                {
+                    return Err(SchedError::InvalidState(format!(
+                        "{flow} rep {rep} hop {h}: link ({u}, {v}) is dead"
+                    )));
+                }
+                if !table.is_free(u, link, slot) {
+                    return Err(SchedError::InvalidState(format!(
+                        "{flow} rep {rep} hop {h}: directed slot {slot} on {link} double-booked"
+                    )));
+                }
+                table.occupy(u, link, slot, flow);
+                // The frame is available at v from the next slot on.
+                holder_since = slot + 1;
+                route.push(v);
+            }
+            frames.push(FrameRecord {
+                flow,
+                repetition: rep,
+                departure_slot: slots.first().copied().unwrap_or(release),
+                arrival_slot: slots.last().copied().unwrap_or(release),
+                route,
+            });
+        }
+    }
+    Ok(SimulationReport { frames, unassigned_flows: unassigned })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+    use crate::nbf::{NetworkBehavior, ShortestPathRecovery};
+    use crate::state::FlowAssignment;
+    use nptsn_topo::{Asil, ConnectionGraph, Path};
+
+    fn line() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut gc = ConnectionGraph::new();
+        let a = gc.add_end_station("a");
+        let b = gc.add_end_station("b");
+        let s = gc.add_switch("s");
+        gc.add_candidate_link(a, s, 1.0).unwrap();
+        gc.add_candidate_link(s, b, 1.0).unwrap();
+        let mut topo = gc.empty_topology();
+        topo.add_switch(s, Asil::A).unwrap();
+        topo.add_link(a, s).unwrap();
+        topo.add_link(s, b).unwrap();
+        (topo, a, b, s)
+    }
+
+    #[test]
+    fn recovery_output_simulates_cleanly() {
+        let (topo, a, b, _) = line();
+        let tas = TasConfig::default();
+        let flows = FlowSet::new(vec![
+            FlowSpec::new(a, b, 500, 256),
+            FlowSpec::new(b, a, 250, 128),
+        ])
+        .unwrap();
+        let out = ShortestPathRecovery::new().recover(
+            &topo,
+            &FailureScenario::none(),
+            &tas,
+            &flows,
+        );
+        assert!(out.is_success());
+        let report = simulate(&topo, &FailureScenario::none(), &tas, &flows, &out.state)
+            .expect("valid schedules simulate");
+        // Flow 0: 1 frame; flow 1: 2 repetitions = 2 frames.
+        assert_eq!(report.frames.len(), 3);
+        assert_eq!(report.unassigned_flows, 0);
+        assert_eq!(report.worst_latency_slots(), 2);
+        assert!((report.mean_latency_slots() - 2.0).abs() < 1e-9);
+        // Latency in microseconds: 2 slots x 25 us.
+        assert_eq!(report.frames[0].latency_us(&tas), 50);
+    }
+
+    #[test]
+    fn double_booking_is_caught() {
+        let (topo, a, b, s) = line();
+        let tas = TasConfig::default();
+        let flows = FlowSet::new(vec![
+            FlowSpec::new(a, b, 500, 128),
+            FlowSpec::new(a, b, 500, 128),
+        ])
+        .unwrap();
+        let mut state = FlowState::unassigned(2);
+        let asg = FlowAssignment::new(Path::new(vec![a, s, b]), vec![vec![0, 1]]);
+        state.assign(FlowId::from_index(0), asg.clone());
+        state.assign(FlowId::from_index(1), asg);
+        let err = simulate(&topo, &FailureScenario::none(), &tas, &flows, &state).unwrap_err();
+        assert!(err.to_string().contains("double-booked"), "{err}");
+    }
+
+    #[test]
+    fn causality_violation_is_caught() {
+        let (topo, a, b, s) = line();
+        let tas = TasConfig::default();
+        let flows = FlowSet::new(vec![FlowSpec::new(a, b, 500, 128)]).unwrap();
+        let mut state = FlowState::unassigned(1);
+        // Second hop transmitted in the same slot as the first: the frame
+        // has not arrived at the switch yet.
+        state.assign(
+            FlowId::from_index(0),
+            FlowAssignment::new(Path::new(vec![a, s, b]), vec![vec![3, 3]]),
+        );
+        let err = simulate(&topo, &FailureScenario::none(), &tas, &flows, &state).unwrap_err();
+        assert!(err.to_string().contains("before the frame is available"), "{err}");
+    }
+
+    #[test]
+    fn dead_links_are_caught() {
+        let (topo, a, b, s) = line();
+        let tas = TasConfig::default();
+        let flows = FlowSet::new(vec![FlowSpec::new(a, b, 500, 128)]).unwrap();
+        let mut state = FlowState::unassigned(1);
+        state.assign(
+            FlowId::from_index(0),
+            FlowAssignment::new(Path::new(vec![a, s, b]), vec![vec![0, 1]]),
+        );
+        let failure = FailureScenario::switches(vec![s]);
+        let err = simulate(&topo, &failure, &tas, &flows, &state).unwrap_err();
+        assert!(err.to_string().contains("dead"), "{err}");
+    }
+
+    #[test]
+    fn deadline_overrun_is_caught() {
+        let (topo, a, b, s) = line();
+        let tas = TasConfig::default();
+        // Two repetitions: windows [0, 10) and [10, 20).
+        let flows = FlowSet::new(vec![FlowSpec::new(a, b, 250, 128)]).unwrap();
+        let mut state = FlowState::unassigned(1);
+        state.assign(
+            FlowId::from_index(0),
+            // Second repetition's last hop lands in slot 9 < release 10:
+            // causality passes relative to its window? No — rep 1 releases
+            // at 10, so slot 9 violates availability; use a past-deadline
+            // slot instead for rep 0.
+            FlowAssignment::new(Path::new(vec![a, s, b]), vec![vec![8, 12], vec![14, 15]]),
+        );
+        let err = simulate(&topo, &FailureScenario::none(), &tas, &flows, &state).unwrap_err();
+        assert!(err.to_string().contains("deadline"), "{err}");
+    }
+
+    #[test]
+    fn unassigned_flows_are_counted_not_failed() {
+        let (topo, a, b, _) = line();
+        let tas = TasConfig::default();
+        let flows = FlowSet::new(vec![
+            FlowSpec::new(a, b, 500, 128),
+            FlowSpec::new(b, a, 500, 128),
+        ])
+        .unwrap();
+        let mut state = FlowState::unassigned(2);
+        let s = topo.selected_switches()[0];
+        state.assign(
+            FlowId::from_index(0),
+            FlowAssignment::new(Path::new(vec![a, s, b]), vec![vec![0, 1]]),
+        );
+        let report = simulate(&topo, &FailureScenario::none(), &tas, &flows, &state).unwrap();
+        assert_eq!(report.frames.len(), 1);
+        assert_eq!(report.unassigned_flows, 1);
+    }
+}

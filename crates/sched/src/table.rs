@@ -1,0 +1,176 @@
+//! Per-directed-link slot occupancy.
+
+use nptsn_topo::{ConnectionGraph, LinkId, NodeId};
+
+use crate::flow::FlowId;
+use crate::tas::TasConfig;
+
+/// Slot occupancy of every directed link in the network.
+///
+/// TAS reserves time slots per egress port, i.e. per *directed* link; the
+/// two directions of an undirected link are independent resources
+/// (Section II-A). The table is rebuilt for every (stateless) recovery run.
+///
+/// # Examples
+///
+/// ```
+/// use nptsn_sched::{FlowId, ScheduleTable, TasConfig};
+/// use nptsn_topo::ConnectionGraph;
+///
+/// let mut gc = ConnectionGraph::new();
+/// let a = gc.add_end_station("a");
+/// let s = gc.add_switch("s");
+/// let link = gc.add_candidate_link(a, s, 1.0).unwrap();
+///
+/// let tas = TasConfig::default();
+/// let mut table = ScheduleTable::new(&gc, &tas);
+/// assert!(table.is_free(a, link, 0));
+/// // Occupying a -> s leaves s -> a free.
+/// table.occupy(a, link, 0, FlowId::from_index(0));
+/// assert!(!table.is_free(a, link, 0));
+/// assert!(table.is_free(s, link, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScheduleTable {
+    /// `occupancy[2 * link + dir][slot]`; `dir` is 0 when transmitting from
+    /// the link's canonical (lower-indexed) endpoint.
+    occupancy: Vec<Vec<Option<FlowId>>>,
+    /// The canonical (lower-indexed) endpoint of each link.
+    canonical: Vec<NodeId>,
+    slots: usize,
+}
+
+impl FlowId {
+    /// Builds a flow id from a raw index. Intended for doc examples and
+    /// tools; regular code receives ids from [`crate::FlowSet::iter`].
+    pub fn from_index(index: usize) -> FlowId {
+        FlowId(index)
+    }
+}
+
+impl ScheduleTable {
+    /// Creates an empty table covering every candidate link of `gc` with
+    /// the slot count of `tas`.
+    pub fn new(gc: &ConnectionGraph, tas: &TasConfig) -> ScheduleTable {
+        let canonical = gc
+            .links()
+            .map(|l| {
+                let (a, b) = gc.link_endpoints(l);
+                if a.index() < b.index() {
+                    a
+                } else {
+                    b
+                }
+            })
+            .collect();
+        ScheduleTable {
+            occupancy: vec![vec![None; tas.slots()]; gc.candidate_link_count() * 2],
+            canonical,
+            slots: tas.slots(),
+        }
+    }
+
+    fn row(&self, from: NodeId, link: LinkId) -> usize {
+        let dir = usize::from(from != self.canonical[link.index()]);
+        link.index() * 2 + dir
+    }
+
+    /// Whether `slot` is free on the directed link `from -> other end` of
+    /// `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range or `link` is unknown.
+    pub fn is_free(&self, from: NodeId, link: LinkId, slot: usize) -> bool {
+        self.slot_owner(from, link, slot).is_none()
+    }
+
+    /// The flow occupying `slot` on the directed link, if any.
+    pub fn slot_owner(&self, from: NodeId, link: LinkId, slot: usize) -> Option<FlowId> {
+        self.occupancy[self.row(from, link)][slot]
+    }
+
+    /// Marks `slot` on the directed link as used by `flow`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already occupied (schedulers must check with
+    /// [`is_free`](ScheduleTable::is_free) first) or out of range.
+    pub fn occupy(&mut self, from: NodeId, link: LinkId, slot: usize, flow: FlowId) {
+        let row = self.row(from, link);
+        let cell = &mut self.occupancy[row][slot];
+        assert!(cell.is_none(), "slot {slot} on {link} already occupied");
+        *cell = Some(flow);
+    }
+
+    /// Number of occupied slots on the directed link starting at `from`.
+    pub fn used_slots(&self, from: NodeId, link: LinkId) -> usize {
+        self.occupancy[self.row(from, link)]
+            .iter()
+            .filter(|s| s.is_some())
+            .count()
+    }
+
+    /// Total occupied slots across both directions of `link`.
+    pub fn used_slots_bidirectional(&self, link: LinkId) -> usize {
+        self.occupancy[link.index() * 2]
+            .iter()
+            .chain(self.occupancy[link.index() * 2 + 1].iter())
+            .filter(|s| s.is_some())
+            .count()
+    }
+
+    /// Slots per base period.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ConnectionGraph, NodeId, NodeId, LinkId) {
+        let mut gc = ConnectionGraph::new();
+        let a = gc.add_end_station("a");
+        let s = gc.add_switch("s");
+        let link = gc.add_candidate_link(a, s, 1.0).unwrap();
+        (gc, a, s, link)
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let (gc, a, s, link) = setup();
+        let tas = TasConfig::default();
+        let mut table = ScheduleTable::new(&gc, &tas);
+        table.occupy(a, link, 3, FlowId::from_index(0));
+        assert!(!table.is_free(a, link, 3));
+        assert!(table.is_free(s, link, 3));
+        assert!(table.is_free(a, link, 4));
+        assert_eq!(table.slot_owner(a, link, 3), Some(FlowId::from_index(0)));
+        assert_eq!(table.slot_owner(s, link, 3), None);
+    }
+
+    #[test]
+    fn used_slot_counters() {
+        let (gc, a, s, link) = setup();
+        let tas = TasConfig::default();
+        let mut table = ScheduleTable::new(&gc, &tas);
+        table.occupy(a, link, 0, FlowId::from_index(0));
+        table.occupy(a, link, 1, FlowId::from_index(1));
+        table.occupy(s, link, 0, FlowId::from_index(2));
+        assert_eq!(table.used_slots(a, link), 2);
+        assert_eq!(table.used_slots(s, link), 1);
+        assert_eq!(table.used_slots_bidirectional(link), 3);
+        assert_eq!(table.slots(), tas.slots());
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_occupy_panics() {
+        let (gc, a, _, link) = setup();
+        let mut table = ScheduleTable::new(&gc, &TasConfig::default());
+        table.occupy(a, link, 0, FlowId::from_index(0));
+        table.occupy(a, link, 0, FlowId::from_index(1));
+    }
+}

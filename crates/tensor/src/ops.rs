@@ -1,0 +1,451 @@
+//! Forward operations; each builds a new graph node.
+
+use crate::tensor::Tensor;
+
+/// How a right-hand operand is broadcast against the left-hand shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Broadcast {
+    /// Same shape.
+    None,
+    /// `(1, cols)` row repeated over every row of the lhs.
+    Row,
+    /// `(1, 1)` scalar.
+    Scalar,
+}
+
+/// The operation that produced a tensor, with handles to its inputs.
+pub(crate) enum Op {
+    Leaf,
+    Add(Tensor, Tensor, Broadcast),
+    Sub(Tensor, Tensor, Broadcast),
+    Mul(Tensor, Tensor, Broadcast),
+    MatMul(Tensor, Tensor),
+    Scale(Tensor, f32),
+    AddScalar(Tensor),
+    Neg(Tensor),
+    Relu(Tensor),
+    Tanh(Tensor),
+    Sigmoid(Tensor),
+    Exp(Tensor),
+    Sum(Tensor),
+    Mean(Tensor),
+    MeanRows(Tensor),
+    LogSoftmaxRows(Tensor),
+    GatherCols(Tensor, Vec<usize>),
+    ConcatCols(Vec<Tensor>),
+    Clamp(Tensor, f32, f32),
+    Minimum(Tensor, Tensor),
+}
+
+impl Op {
+    /// The input tensors of this operation.
+    pub(crate) fn children(&self) -> Vec<&Tensor> {
+        match self {
+            Op::Leaf => Vec::new(),
+            Op::Add(a, b, _) | Op::Sub(a, b, _) | Op::Mul(a, b, _) => vec![a, b],
+            Op::MatMul(a, b) | Op::Minimum(a, b) => vec![a, b],
+            Op::Scale(a, _)
+            | Op::AddScalar(a)
+            | Op::Neg(a)
+            | Op::Relu(a)
+            | Op::Tanh(a)
+            | Op::Sigmoid(a)
+            | Op::Exp(a)
+            | Op::Sum(a)
+            | Op::Mean(a)
+            | Op::MeanRows(a)
+            | Op::LogSoftmaxRows(a)
+            | Op::GatherCols(a, _)
+            | Op::Clamp(a, _, _) => vec![a],
+            Op::ConcatCols(xs) => xs.iter().collect(),
+        }
+    }
+}
+
+fn broadcast_of(lhs: &Tensor, rhs: &Tensor, op: &str) -> Broadcast {
+    if lhs.shape() == rhs.shape() {
+        Broadcast::None
+    } else if rhs.shape() == (1, 1) {
+        Broadcast::Scalar
+    } else if rhs.rows() == 1 && rhs.cols() == lhs.cols() {
+        Broadcast::Row
+    } else {
+        panic!(
+            "{op}: incompatible shapes {:?} and {:?} (rhs must match, be (1, cols) or (1, 1))",
+            lhs.shape(),
+            rhs.shape()
+        );
+    }
+}
+
+fn zip_broadcast(
+    lhs: &Tensor,
+    rhs: &Tensor,
+    broadcast: Broadcast,
+    f: impl Fn(f32, f32) -> f32,
+) -> Vec<f32> {
+    let a = lhs.data();
+    let b = rhs.data();
+    let cols = lhs.cols();
+    match broadcast {
+        Broadcast::None => a.iter().zip(b.iter()).map(|(&x, &y)| f(x, y)).collect(),
+        Broadcast::Scalar => a.iter().map(|&x| f(x, b[0])).collect(),
+        Broadcast::Row => a
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| f(x, b[i % cols]))
+            .collect(),
+    }
+}
+
+impl Tensor {
+    fn unary(&self, data: Vec<f32>, op: Op) -> Tensor {
+        Tensor::new_internal(self.rows(), self.cols(), data, op, self.requires_grad())
+    }
+
+    /// Elementwise addition. `other` may be the same shape, a `(1, cols)`
+    /// row (broadcast over rows) or a `(1, 1)` scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics on incompatible shapes.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        let b = broadcast_of(self, other, "add");
+        let data = zip_broadcast(self, other, b, |x, y| x + y);
+        let rg = self.requires_grad() || other.requires_grad();
+        Tensor::new_internal(self.rows(), self.cols(), data, Op::Add(self.clone(), other.clone(), b), rg)
+    }
+
+    /// Elementwise subtraction with the same broadcasting as
+    /// [`add`](Tensor::add).
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        let b = broadcast_of(self, other, "sub");
+        let data = zip_broadcast(self, other, b, |x, y| x - y);
+        let rg = self.requires_grad() || other.requires_grad();
+        Tensor::new_internal(self.rows(), self.cols(), data, Op::Sub(self.clone(), other.clone(), b), rg)
+    }
+
+    /// Elementwise (Hadamard) product with the same broadcasting as
+    /// [`add`](Tensor::add).
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        let b = broadcast_of(self, other, "mul");
+        let data = zip_broadcast(self, other, b, |x, y| x * y);
+        let rg = self.requires_grad() || other.requires_grad();
+        Tensor::new_internal(self.rows(), self.cols(), data, Op::Mul(self.clone(), other.clone(), b), rg)
+    }
+
+    /// Matrix product `self (m, k) @ other (k, n) -> (m, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = self.shape();
+        let (k2, n) = other.shape();
+        assert_eq!(k, k2, "matmul: inner dimensions {k} and {k2} disagree");
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        drop(a);
+        drop(b);
+        let rg = self.requires_grad() || other.requires_grad();
+        Tensor::new_internal(m, n, out, Op::MatMul(self.clone(), other.clone()), rg)
+    }
+
+    /// Multiplies every element by `factor`.
+    pub fn scale(&self, factor: f32) -> Tensor {
+        let data = self.data().iter().map(|&x| x * factor).collect();
+        self.unary(data, Op::Scale(self.clone(), factor))
+    }
+
+    /// Adds `value` to every element.
+    pub fn add_scalar(&self, value: f32) -> Tensor {
+        let data = self.data().iter().map(|&x| x + value).collect();
+        self.unary(data, Op::AddScalar(self.clone()))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        let data = self.data().iter().map(|&x| -x).collect();
+        self.unary(data, Op::Neg(self.clone()))
+    }
+
+    /// Elementwise `max(x, 0)`.
+    pub fn relu(&self) -> Tensor {
+        let data = self.data().iter().map(|&x| x.max(0.0)).collect();
+        self.unary(data, Op::Relu(self.clone()))
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        let data = self.data().iter().map(|&x| x.tanh()).collect();
+        self.unary(data, Op::Tanh(self.clone()))
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        let data = self.data().iter().map(|&x| 1.0 / (1.0 + (-x).exp())).collect();
+        self.unary(data, Op::Sigmoid(self.clone()))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        let data = self.data().iter().map(|&x| x.exp()).collect();
+        self.unary(data, Op::Exp(self.clone()))
+    }
+
+    /// Elementwise square (sugar for `mul(self)` without doubling the
+    /// graph fan-in).
+    pub fn square(&self) -> Tensor {
+        self.mul(self)
+    }
+
+    /// Sum of all elements as a `(1, 1)` scalar.
+    pub fn sum(&self) -> Tensor {
+        let s = self.data().iter().sum();
+        Tensor::new_internal(1, 1, vec![s], Op::Sum(self.clone()), self.requires_grad())
+    }
+
+    /// Mean of all elements as a `(1, 1)` scalar.
+    pub fn mean(&self) -> Tensor {
+        let s: f32 = self.data().iter().sum();
+        let m = s / self.len() as f32;
+        Tensor::new_internal(1, 1, vec![m], Op::Mean(self.clone()), self.requires_grad())
+    }
+
+    /// Column-wise mean over rows: `(m, n) -> (1, n)`. This is the graph
+    /// readout (mean pooling) that turns GCN node embeddings into the graph
+    /// embedding vector.
+    pub fn mean_rows(&self) -> Tensor {
+        let (m, n) = self.shape();
+        let data = self.data();
+        let mut out = vec![0.0f32; n];
+        for i in 0..m {
+            for (j, o) in out.iter_mut().enumerate() {
+                *o += data[i * n + j];
+            }
+        }
+        for o in &mut out {
+            *o /= m as f32;
+        }
+        drop(data);
+        Tensor::new_internal(1, n, out, Op::MeanRows(self.clone()), self.requires_grad())
+    }
+
+    /// Row-wise log-softmax: each row becomes `x - logsumexp(row)`,
+    /// numerically stabilized by the row maximum.
+    pub fn log_softmax_rows(&self) -> Tensor {
+        let (m, n) = self.shape();
+        let data = self.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let row = &data[i * n..(i + 1) * n];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = max + row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+            for (j, &x) in row.iter().enumerate() {
+                out[i * n + j] = x - lse;
+            }
+        }
+        drop(data);
+        Tensor::new_internal(m, n, out, Op::LogSoftmaxRows(self.clone()), self.requires_grad())
+    }
+
+    /// Gathers one element per row: `out[i, 0] = self[i, indices[i]]`.
+    ///
+    /// Used to pick the log-probability of the chosen action out of each
+    /// step's policy row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `indices.len() != rows` or an index is out of range.
+    pub fn gather_cols(&self, indices: &[usize]) -> Tensor {
+        let (m, n) = self.shape();
+        assert_eq!(indices.len(), m, "one index per row required");
+        let data = self.data();
+        let mut out = Vec::with_capacity(m);
+        for (i, &j) in indices.iter().enumerate() {
+            assert!(j < n, "gather index {j} out of range for {n} columns");
+            out.push(data[i * n + j]);
+        }
+        drop(data);
+        Tensor::new_internal(
+            m,
+            1,
+            out,
+            Op::GatherCols(self.clone(), indices.to_vec()),
+            self.requires_grad(),
+        )
+    }
+
+    /// Concatenates tensors with equal row counts along the column axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is empty or row counts differ.
+    pub fn concat_cols(parts: &[Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_cols needs at least one tensor");
+        let m = parts[0].rows();
+        assert!(
+            parts.iter().all(|p| p.rows() == m),
+            "concat_cols requires equal row counts"
+        );
+        let n: usize = parts.iter().map(Tensor::cols).sum();
+        let mut out = Vec::with_capacity(m * n);
+        let borrows: Vec<_> = parts.iter().map(|p| p.data()).collect();
+        for i in 0..m {
+            for (p, b) in parts.iter().zip(&borrows) {
+                let c = p.cols();
+                out.extend_from_slice(&b[i * c..(i + 1) * c]);
+            }
+        }
+        drop(borrows);
+        let rg = parts.iter().any(Tensor::requires_grad);
+        Tensor::new_internal(m, n, out, Op::ConcatCols(parts.to_vec()), rg)
+    }
+
+    /// Elementwise clamp into `[lo, hi]`; the gradient passes only where
+    /// the input lies inside the interval (PyTorch convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        assert!(lo <= hi, "clamp bounds inverted: {lo} > {hi}");
+        let data = self.data().iter().map(|&x| x.clamp(lo, hi)).collect();
+        self.unary(data, Op::Clamp(self.clone(), lo, hi))
+    }
+
+    /// Elementwise minimum of two same-shape tensors (the PPO objective's
+    /// pessimistic bound, Eq. 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn minimum(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "minimum requires equal shapes");
+        let data = self
+            .data()
+            .iter()
+            .zip(other.data().iter())
+            .map(|(&x, &y)| x.min(y))
+            .collect();
+        let rg = self.requires_grad() || other.requires_grad();
+        Tensor::new_internal(
+            self.rows(),
+            self.cols(),
+            data,
+            Op::Minimum(self.clone(), other.clone()),
+            rg,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_broadcasts() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let row = Tensor::from_vec(1, 2, vec![10.0, 20.0]);
+        let scalar = Tensor::scalar(100.0);
+        assert_eq!(a.add(&row).to_vec(), vec![11.0, 22.0, 13.0, 24.0]);
+        assert_eq!(a.add(&scalar).to_vec(), vec![101.0, 102.0, 103.0, 104.0]);
+        assert_eq!(a.add(&a).to_vec(), vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible shapes")]
+    fn bad_broadcast_panics() {
+        let a = Tensor::from_vec(2, 2, vec![0.0; 4]);
+        let b = Tensor::from_vec(2, 1, vec![0.0; 2]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.to_vec(), vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn activations() {
+        let x = Tensor::from_vec(1, 3, vec![-1.0, 0.0, 2.0]);
+        assert_eq!(x.relu().to_vec(), vec![0.0, 0.0, 2.0]);
+        assert_eq!(x.neg().to_vec(), vec![1.0, 0.0, -2.0]);
+        let t = x.tanh().to_vec();
+        assert!((t[0] + 0.7616).abs() < 1e-4);
+        let s = x.sigmoid().to_vec();
+        assert!((s[1] - 0.5).abs() < 1e-6);
+        let e = x.exp().to_vec();
+        assert!((e[2] - 2.0f32.exp()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reductions() {
+        let x = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(x.sum().item(), 10.0);
+        assert_eq!(x.mean().item(), 2.5);
+        assert_eq!(x.mean_rows().to_vec(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn log_softmax_rows_is_normalized() {
+        let x = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]);
+        let ls = x.log_softmax_rows();
+        for i in 0..2 {
+            let total: f32 = (0..3).map(|j| ls.at(i, j).exp()).sum();
+            assert!((total - 1.0).abs() < 1e-5, "row {i} sums to {total}");
+        }
+        // Invariance under shifts.
+        let shifted = x.add_scalar(1000.0).log_softmax_rows();
+        for i in 0..2 {
+            for j in 0..3 {
+                assert!((ls.at(i, j) - shifted.at(i, j)).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_and_concat() {
+        let x = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(x.gather_cols(&[2, 0]).to_vec(), vec![3.0, 4.0]);
+        let y = Tensor::from_vec(2, 1, vec![7.0, 8.0]);
+        let c = Tensor::concat_cols(&[x, y]);
+        assert_eq!(c.shape(), (2, 4));
+        assert_eq!(c.to_vec(), vec![1.0, 2.0, 3.0, 7.0, 4.0, 5.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn clamp_and_minimum() {
+        let x = Tensor::from_vec(1, 4, vec![-2.0, 0.5, 1.5, 3.0]);
+        assert_eq!(x.clamp(0.0, 1.0).to_vec(), vec![0.0, 0.5, 1.0, 1.0]);
+        let y = Tensor::from_vec(1, 4, vec![0.0, 0.0, 2.0, 2.0]);
+        assert_eq!(x.minimum(&y).to_vec(), vec![-2.0, 0.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn requires_grad_propagates() {
+        let p = Tensor::param(1, 2, vec![1.0, 2.0]);
+        let c = Tensor::from_vec(1, 2, vec![3.0, 4.0]);
+        assert!(p.add(&c).requires_grad());
+        assert!(!c.scale(2.0).requires_grad());
+        assert!(Tensor::concat_cols(&[c.clone(), p.clone()]).requires_grad());
+    }
+}

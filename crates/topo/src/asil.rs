@@ -1,0 +1,169 @@
+//! Automotive Safety Integrity Levels (ISO 26262).
+
+use std::fmt;
+
+/// An Automotive Safety Integrity Level as defined by ISO 26262.
+///
+/// Levels range from [`Asil::A`] (least critical) to [`Asil::D`] (most
+/// critical). Network planning allocates an ASIL to every selected switch;
+/// link ASILs are derived from their endpoints.
+///
+/// # Examples
+///
+/// ```
+/// use nptsn_topo::Asil;
+///
+/// assert!(Asil::A < Asil::D);
+/// assert_eq!(Asil::B.upgraded(), Some(Asil::C));
+/// assert_eq!(Asil::D.upgraded(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Asil {
+    /// ASIL A — least critical.
+    A,
+    /// ASIL B.
+    B,
+    /// ASIL C.
+    C,
+    /// ASIL D — most critical.
+    D,
+}
+
+impl Asil {
+    /// All levels in increasing order of criticality.
+    pub const ALL: [Asil; 4] = [Asil::A, Asil::B, Asil::C, Asil::D];
+
+    /// Returns the zero-based index of the level (`A` is 0, `D` is 3).
+    ///
+    /// ```
+    /// # use nptsn_topo::Asil;
+    /// assert_eq!(Asil::C.index(), 2);
+    /// ```
+    pub fn index(self) -> usize {
+        match self {
+            Asil::A => 0,
+            Asil::B => 1,
+            Asil::C => 2,
+            Asil::D => 3,
+        }
+    }
+
+    /// Builds a level from its zero-based index, or `None` if out of range.
+    ///
+    /// ```
+    /// # use nptsn_topo::Asil;
+    /// assert_eq!(Asil::from_index(3), Some(Asil::D));
+    /// assert_eq!(Asil::from_index(4), None);
+    /// ```
+    pub fn from_index(index: usize) -> Option<Asil> {
+        Asil::ALL.get(index).copied()
+    }
+
+    /// The next-higher level, or `None` for [`Asil::D`].
+    ///
+    /// Switch-upgrade actions in NPTSN increase a switch's ASIL by exactly
+    /// one level per action (Section IV-B).
+    pub fn upgraded(self) -> Option<Asil> {
+        Asil::from_index(self.index() + 1)
+    }
+
+    /// Component failure probability `cfp(ASIL)` over a 1000-hour mission.
+    ///
+    /// The paper derives failure probabilities from the ISO 26262 failure
+    /// rates (1e-6 .. 1e-9 per hour for ASIL A..D) assuming exponentially
+    /// distributed failures over 1000 working hours:
+    /// `cfp = 1 - exp(-rate * 1000)` (Section VI-A).
+    ///
+    /// Note that the exact value for ASIL D is *slightly below* 1e-6, which
+    /// is what allows a single ASIL-D component to function without a backup
+    /// when the reliability goal is `R = 1e-6` (its failure is a safe fault).
+    ///
+    /// ```
+    /// # use nptsn_topo::Asil;
+    /// assert!(Asil::D.failure_probability() < 1e-6);
+    /// assert!(Asil::A.failure_probability() > 9e-4);
+    /// ```
+    pub fn failure_probability(self) -> f64 {
+        1.0 - (-self.failure_rate_per_hour() * 1000.0).exp()
+    }
+
+    /// ISO 26262 random-hardware-failure rate in failures per hour.
+    pub fn failure_rate_per_hour(self) -> f64 {
+        match self {
+            Asil::A => 1e-6,
+            Asil::B => 1e-7,
+            Asil::C => 1e-8,
+            Asil::D => 1e-9,
+        }
+    }
+}
+
+impl fmt::Display for Asil {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Asil::A => "ASIL-A",
+            Asil::B => "ASIL-B",
+            Asil::C => "ASIL-C",
+            Asil::D => "ASIL-D",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_criticality() {
+        assert!(Asil::A < Asil::B);
+        assert!(Asil::B < Asil::C);
+        assert!(Asil::C < Asil::D);
+    }
+
+    #[test]
+    fn upgrade_chain_terminates_at_d() {
+        assert_eq!(Asil::A.upgraded(), Some(Asil::B));
+        assert_eq!(Asil::B.upgraded(), Some(Asil::C));
+        assert_eq!(Asil::C.upgraded(), Some(Asil::D));
+        assert_eq!(Asil::D.upgraded(), None);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for asil in Asil::ALL {
+            assert_eq!(Asil::from_index(asil.index()), Some(asil));
+        }
+        assert_eq!(Asil::from_index(17), None);
+    }
+
+    #[test]
+    fn failure_probability_decreases_with_level() {
+        let mut prev = 1.0;
+        for asil in Asil::ALL {
+            let p = asil.failure_probability();
+            assert!(p < prev, "{asil} probability {p} not below {prev}");
+            assert!(p > 0.0);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn failure_probability_matches_table_i_magnitudes() {
+        // Table I lists 1e-3 .. 1e-6; the exact exponential values are just
+        // below those magnitudes.
+        assert!((Asil::A.failure_probability() - 1e-3).abs() < 1e-5);
+        assert!((Asil::B.failure_probability() - 1e-4).abs() < 1e-7);
+        assert!((Asil::C.failure_probability() - 1e-5).abs() < 1e-9);
+        assert!((Asil::D.failure_probability() - 1e-6).abs() < 1e-11);
+        // Strictly below 1e-6: single ASIL-D failures are safe at R = 1e-6.
+        assert!(Asil::D.failure_probability() < 1e-6);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for asil in Asil::ALL {
+            assert!(!asil.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Failure scenarios `Gf`.
+
+use std::fmt;
+
+use crate::graph::{LinkId, NodeId};
+
+/// A failure scenario `Gf`: a set of permanently failed switches and links
+/// (Section II-A).
+///
+/// When a link fails, connections are closed in both directions; when a
+/// switch fails, every link attached to it is unusable. The failure analyzer
+/// reduces arbitrary failures to switch-only failures (Eq. 6), so most
+/// scenarios carry only switches, but links are supported for generality and
+/// for the reduction proof tests.
+///
+/// # Examples
+///
+/// ```
+/// use nptsn_topo::{ConnectionGraph, FailureScenario};
+///
+/// let mut gc = ConnectionGraph::new();
+/// let s0 = gc.add_switch("s0");
+/// let s1 = gc.add_switch("s1");
+/// let f = FailureScenario::switches(vec![s1, s0, s1]);
+/// // Deduplicated and sorted.
+/// assert_eq!(f.failed_switches(), &[s0, s1]);
+/// assert_eq!(f.order(), 2);
+/// assert!(!f.is_empty());
+/// assert!(FailureScenario::none().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FailureScenario {
+    switches: Vec<NodeId>,
+    links: Vec<LinkId>,
+}
+
+impl FailureScenario {
+    /// The empty failure (no component failed). The NBF applied to it yields
+    /// the initial flow state `FI_0`.
+    pub fn none() -> FailureScenario {
+        FailureScenario::default()
+    }
+
+    /// A scenario with the given failed switches and links. Both lists are
+    /// sorted and deduplicated.
+    pub fn new(mut switches: Vec<NodeId>, mut links: Vec<LinkId>) -> FailureScenario {
+        switches.sort_unstable();
+        switches.dedup();
+        links.sort_unstable();
+        links.dedup();
+        FailureScenario { switches, links }
+    }
+
+    /// A switch-only scenario.
+    pub fn switches(switches: Vec<NodeId>) -> FailureScenario {
+        FailureScenario::new(switches, Vec::new())
+    }
+
+    /// A link-only scenario.
+    pub fn links(links: Vec<LinkId>) -> FailureScenario {
+        FailureScenario::new(Vec::new(), links)
+    }
+
+    /// The failed switches, sorted ascending.
+    pub fn failed_switches(&self) -> &[NodeId] {
+        &self.switches
+    }
+
+    /// The failed links, sorted ascending.
+    pub fn failed_links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Whether `node` is among the failed switches.
+    pub fn contains_switch(&self, node: NodeId) -> bool {
+        self.switches.binary_search(&node).is_ok()
+    }
+
+    /// Whether `link` is among the failed links.
+    pub fn contains_link(&self, link: LinkId) -> bool {
+        self.links.binary_search(&link).is_ok()
+    }
+
+    /// Whether no component failed.
+    pub fn is_empty(&self) -> bool {
+        self.switches.is_empty() && self.links.is_empty()
+    }
+
+    /// Number of failed components (the failure order).
+    pub fn order(&self) -> usize {
+        self.switches.len() + self.links.len()
+    }
+
+    /// Whether every failed component of `self` also fails in `other`.
+    ///
+    /// Used by the failure analyzer's memoization: a flow state that
+    /// survives `other` also survives any subset of it (Section V).
+    pub fn is_subset_of(&self, other: &FailureScenario) -> bool {
+        self.switches.iter().all(|s| other.contains_switch(*s))
+            && self.links.iter().all(|l| other.contains_link(*l))
+    }
+}
+
+impl fmt::Display for FailureScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("no failure");
+        }
+        write!(f, "failure{{")?;
+        let mut first = true;
+        for s in &self.switches {
+            if !first {
+                f.write_str(", ")?;
+            }
+            write!(f, "{s}")?;
+            first = false;
+        }
+        for l in &self.links {
+            if !first {
+                f.write_str(", ")?;
+            }
+            write!(f, "{l}")?;
+            first = false;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    fn l(i: usize) -> LinkId {
+        LinkId(i)
+    }
+
+    #[test]
+    fn scenarios_are_normalized() {
+        let f = FailureScenario::new(vec![n(3), n(1), n(3)], vec![l(2), l(2), l(0)]);
+        assert_eq!(f.failed_switches(), &[n(1), n(3)]);
+        assert_eq!(f.failed_links(), &[l(0), l(2)]);
+        assert_eq!(f.order(), 4);
+    }
+
+    #[test]
+    fn membership_queries() {
+        let f = FailureScenario::new(vec![n(1)], vec![l(5)]);
+        assert!(f.contains_switch(n(1)));
+        assert!(!f.contains_switch(n(2)));
+        assert!(f.contains_link(l(5)));
+        assert!(!f.contains_link(l(4)));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let small = FailureScenario::switches(vec![n(1)]);
+        let big = FailureScenario::switches(vec![n(1), n(2)]);
+        let other = FailureScenario::switches(vec![n(3)]);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(!other.is_subset_of(&big));
+        assert!(FailureScenario::none().is_subset_of(&small));
+        // Mixed: a link is never a subset of a switch-only scenario.
+        let with_link = FailureScenario::new(vec![n(1)], vec![l(0)]);
+        assert!(!with_link.is_subset_of(&big));
+        assert!(small.is_subset_of(&with_link));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(FailureScenario::none().to_string(), "no failure");
+        let f = FailureScenario::new(vec![n(1)], vec![l(0)]);
+        assert_eq!(f.to_string(), "failure{n1, l0}");
+    }
+}

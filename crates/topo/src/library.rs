@@ -1,0 +1,329 @@
+//! The component library of switches and links (Table I).
+
+use crate::asil::Asil;
+use crate::error::TopoError;
+use crate::Result;
+
+/// A switch model in the component library: a port count and a base cost
+/// per ASIL level.
+///
+/// Small switches can be combined into larger ones, so the library simply
+/// lists the available port counts with their costs (Section II-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchModel {
+    ports: usize,
+    /// Cost per ASIL level, indexed by [`Asil::index`].
+    cost: [f64; 4],
+}
+
+impl SwitchModel {
+    /// Creates a switch model with the given number of ports and per-ASIL
+    /// costs (indexed A..D).
+    pub fn new(ports: usize, cost: [f64; 4]) -> SwitchModel {
+        SwitchModel { ports, cost }
+    }
+
+    /// Number of external ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Cost of this model at the given ASIL.
+    pub fn cost(&self, asil: Asil) -> f64 {
+        self.cost[asil.index()]
+    }
+}
+
+/// The component library: available switch models and link cost factors
+/// (Section II-C, Table I).
+///
+/// The library defines
+///
+/// * `csw(deg, ASIL)` — the cost of a switch with degree `deg`: the cheapest
+///   model with at least `deg` ports at the given ASIL,
+/// * `clk(ASIL, len)` — the cost of a link: per-unit-length cost times cable
+///   length, and
+/// * the maximum switch degree (ports of the largest model), which the
+///   topology must respect so that feasible switches exist.
+///
+/// # Examples
+///
+/// ```
+/// use nptsn_topo::{Asil, ComponentLibrary};
+///
+/// let lib = ComponentLibrary::automotive();
+/// // Table I: a 6-port ASIL-B switch costs 15.
+/// assert_eq!(lib.switch_cost(5, Asil::B).unwrap(), 15.0);
+/// // Table I: ASIL-C links cost 4 per unit length.
+/// assert_eq!(lib.link_cost(Asil::C, 2.0), 8.0);
+/// assert_eq!(lib.max_switch_degree(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentLibrary {
+    switches: Vec<SwitchModel>,
+    /// Link cost per unit length, indexed by ASIL.
+    link_cost_per_unit: [f64; 4],
+}
+
+impl ComponentLibrary {
+    /// Builds a library from explicit switch models and link cost factors.
+    ///
+    /// Models are sorted by port count; equal port counts keep the cheaper
+    /// ASIL-A model first (only the cheapest is ever selected).
+    pub fn new(mut switches: Vec<SwitchModel>, link_cost_per_unit: [f64; 4]) -> ComponentLibrary {
+        switches.sort_by(|a, b| {
+            a.ports
+                .cmp(&b.ports)
+                .then(a.cost[0].partial_cmp(&b.cost[0]).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        ComponentLibrary { switches, link_cost_per_unit }
+    }
+
+    /// The automotive component library of Table I.
+    ///
+    /// 4/6/8-port switches at ASIL-A base costs 8/10/16, scaled by 1.5x per
+    /// ASIL level (floored, matching the table: 12/15/24, 18/22/36,
+    /// 27/33/54), and links at 1/2/4/8 per unit length (2x per level).
+    pub fn automotive() -> ComponentLibrary {
+        ComponentLibrary::new(
+            vec![
+                SwitchModel::new(4, [8.0, 12.0, 18.0, 27.0]),
+                SwitchModel::new(6, [10.0, 15.0, 22.0, 33.0]),
+                SwitchModel::new(8, [16.0, 24.0, 36.0, 54.0]),
+            ],
+            [1.0, 2.0, 4.0, 8.0],
+        )
+    }
+
+    /// Builds a library by scaling ASIL-A base costs: switch costs grow by
+    /// `switch_factor` per level (floored as in Table I) and link costs by
+    /// `link_factor` per level.
+    ///
+    /// `base_switches` lists `(ports, asil_a_cost)` pairs.
+    ///
+    /// ```
+    /// # use nptsn_topo::{Asil, ComponentLibrary};
+    /// let lib = ComponentLibrary::scaled(&[(4, 8.0), (6, 10.0), (8, 16.0)], 1.5, 1.0, 2.0);
+    /// assert_eq!(lib, ComponentLibrary::automotive());
+    /// ```
+    pub fn scaled(
+        base_switches: &[(usize, f64)],
+        switch_factor: f64,
+        link_base: f64,
+        link_factor: f64,
+    ) -> ComponentLibrary {
+        let switches = base_switches
+            .iter()
+            .map(|&(ports, base)| {
+                let mut cost = [0.0; 4];
+                for (level, slot) in cost.iter_mut().enumerate() {
+                    *slot = (base * switch_factor.powi(level as i32)).floor();
+                }
+                SwitchModel::new(ports, cost)
+            })
+            .collect();
+        let mut link_cost = [0.0; 4];
+        for (level, slot) in link_cost.iter_mut().enumerate() {
+            *slot = link_base * link_factor.powi(level as i32);
+        }
+        ComponentLibrary::new(switches, link_cost)
+    }
+
+    /// The available switch models, sorted by port count.
+    pub fn switch_models(&self) -> &[SwitchModel] {
+        &self.switches
+    }
+
+    /// Expands the library with *combined* switches: Section II-C notes
+    /// that small switches can be combined into large ones and included in
+    /// the library to enable more port options. Combining two models with
+    /// `p1` and `p2` ports consumes one port on each for the interconnect,
+    /// yielding `p1 + p2 - 2` external ports at the summed cost.
+    ///
+    /// Combinations are generated up to `rounds` pairwise merges; only
+    /// combinations that are the cheapest for their port count survive
+    /// (dominated models are dropped).
+    ///
+    /// ```
+    /// # use nptsn_topo::{Asil, ComponentLibrary};
+    /// let lib = ComponentLibrary::automotive().with_combined_switches(1);
+    /// // Two 8-port switches combine into a 14-port model costing 32 at A.
+    /// assert_eq!(lib.max_switch_degree(), 14);
+    /// assert_eq!(lib.switch_cost(14, Asil::A).unwrap(), 32.0);
+    /// // 4+4 -> 6 ports at cost 16 is dominated by the native 6-port (10).
+    /// assert_eq!(lib.switch_cost(6, Asil::A).unwrap(), 10.0);
+    /// ```
+    pub fn with_combined_switches(&self, rounds: usize) -> ComponentLibrary {
+        let mut models: Vec<SwitchModel> = self.switches.clone();
+        let mut frontier = self.switches.clone();
+        for _ in 0..rounds {
+            let mut next = Vec::new();
+            for a in &frontier {
+                for b in &self.switches {
+                    if a.ports < 2 || b.ports < 2 {
+                        continue;
+                    }
+                    let ports = a.ports + b.ports - 2;
+                    let mut cost = [0.0; 4];
+                    for (i, c) in cost.iter_mut().enumerate() {
+                        *c = a.cost[i] + b.cost[i];
+                    }
+                    next.push(SwitchModel::new(ports, cost));
+                }
+            }
+            models.extend(next.iter().cloned());
+            frontier = next;
+        }
+        // Drop dominated models: for each port count keep the cheapest (by
+        // ASIL-A cost), and drop models whose cost is not below every model
+        // with at least as many ports.
+        models.sort_by(|a, b| {
+            a.ports
+                .cmp(&b.ports)
+                .then(a.cost[0].partial_cmp(&b.cost[0]).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let mut kept: Vec<SwitchModel> = Vec::new();
+        for m in models.into_iter().rev() {
+            // Iterating from the largest: keep m only if it is cheaper than
+            // everything kept so far (which all have >= ports).
+            if kept.iter().all(|k| m.cost[0] < k.cost[0]) {
+                kept.push(m);
+            }
+        }
+        kept.reverse();
+        ComponentLibrary { switches: kept, link_cost_per_unit: self.link_cost_per_unit }
+    }
+
+    /// The largest port count available; topologies must keep switch degrees
+    /// at or below this bound.
+    pub fn max_switch_degree(&self) -> usize {
+        self.switches.iter().map(SwitchModel::ports).max().unwrap_or(0)
+    }
+
+    /// Cost `csw(degree, asil)` of the cheapest switch model with at least
+    /// `degree` ports.
+    ///
+    /// A degree-0 switch (selected but not yet connected) is priced as the
+    /// smallest model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopoError::NoSwitchModel`] when no model has enough ports.
+    pub fn switch_cost(&self, degree: usize, asil: Asil) -> Result<f64> {
+        self.switches
+            .iter()
+            .find(|m| m.ports >= degree)
+            .map(|m| m.cost(asil))
+            .ok_or(TopoError::NoSwitchModel { degree })
+    }
+
+    /// Cost `clk(asil, length)` of a link.
+    pub fn link_cost(&self, asil: Asil, length: f64) -> f64 {
+        self.link_cost_per_unit[asil.index()] * length
+    }
+
+    /// Link cost per unit length at the given ASIL.
+    pub fn link_cost_per_unit(&self, asil: Asil) -> f64 {
+        self.link_cost_per_unit[asil.index()]
+    }
+}
+
+impl Default for ComponentLibrary {
+    /// The automotive library of Table I.
+    fn default() -> ComponentLibrary {
+        ComponentLibrary::automotive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_switch_costs() {
+        let lib = ComponentLibrary::automotive();
+        // Every (ports, ASIL) cell of Table I.
+        let expect = [
+            (4, [8.0, 12.0, 18.0, 27.0]),
+            (6, [10.0, 15.0, 22.0, 33.0]),
+            (8, [16.0, 24.0, 36.0, 54.0]),
+        ];
+        for (ports, costs) in expect {
+            for (level, cost) in costs.iter().enumerate() {
+                let asil = Asil::from_index(level).unwrap();
+                assert_eq!(lib.switch_cost(ports, asil).unwrap(), *cost);
+            }
+        }
+    }
+
+    #[test]
+    fn table_i_link_costs() {
+        let lib = ComponentLibrary::automotive();
+        assert_eq!(lib.link_cost(Asil::A, 1.0), 1.0);
+        assert_eq!(lib.link_cost(Asil::B, 1.0), 2.0);
+        assert_eq!(lib.link_cost(Asil::C, 1.0), 4.0);
+        assert_eq!(lib.link_cost(Asil::D, 1.0), 8.0);
+        assert_eq!(lib.link_cost(Asil::D, 2.5), 20.0);
+    }
+
+    #[test]
+    fn cheapest_sufficient_model_is_selected() {
+        let lib = ComponentLibrary::automotive();
+        // Degrees 0..=4 use the 4-port model; 5..=6 the 6-port; 7..=8 the 8-port.
+        assert_eq!(lib.switch_cost(0, Asil::A).unwrap(), 8.0);
+        assert_eq!(lib.switch_cost(3, Asil::A).unwrap(), 8.0);
+        assert_eq!(lib.switch_cost(5, Asil::A).unwrap(), 10.0);
+        assert_eq!(lib.switch_cost(7, Asil::A).unwrap(), 16.0);
+        assert_eq!(lib.switch_cost(8, Asil::A).unwrap(), 16.0);
+    }
+
+    #[test]
+    fn oversized_degree_is_an_error() {
+        let lib = ComponentLibrary::automotive();
+        assert_eq!(lib.switch_cost(9, Asil::A), Err(TopoError::NoSwitchModel { degree: 9 }));
+        assert_eq!(lib.max_switch_degree(), 8);
+    }
+
+    #[test]
+    fn scaled_reproduces_table_i() {
+        let lib = ComponentLibrary::scaled(&[(4, 8.0), (6, 10.0), (8, 16.0)], 1.5, 1.0, 2.0);
+        assert_eq!(lib, ComponentLibrary::automotive());
+    }
+
+    #[test]
+    fn combined_switches_extend_the_port_range() {
+        let lib = ComponentLibrary::automotive().with_combined_switches(1);
+        // 8+8-2 = 14 ports max after one round.
+        assert_eq!(lib.max_switch_degree(), 14);
+        // Costs by construction: 4+6 -> 8 ports at 18 is dominated by the
+        // native 8-port (16); 6+6 -> 10 ports at 20; 6+8 -> 12 at 26;
+        // 8+8 -> 14 at 32.
+        assert_eq!(lib.switch_cost(9, Asil::A).unwrap(), 20.0);
+        assert_eq!(lib.switch_cost(12, Asil::A).unwrap(), 26.0);
+        assert_eq!(lib.switch_cost(14, Asil::A).unwrap(), 32.0);
+        // Native small models survive.
+        assert_eq!(lib.switch_cost(4, Asil::A).unwrap(), 8.0);
+        assert_eq!(lib.switch_cost(6, Asil::B).unwrap(), 15.0);
+    }
+
+    #[test]
+    fn combination_rounds_compound() {
+        let one = ComponentLibrary::automotive().with_combined_switches(1);
+        let two = ComponentLibrary::automotive().with_combined_switches(2);
+        assert!(two.max_switch_degree() > one.max_switch_degree());
+        assert_eq!(two.max_switch_degree(), 20); // 14 + 8 - 2
+        // Zero rounds is the identity.
+        let zero = ComponentLibrary::automotive().with_combined_switches(0);
+        assert_eq!(zero, ComponentLibrary::automotive());
+    }
+
+    #[test]
+    fn models_sorted_by_ports() {
+        let lib = ComponentLibrary::new(
+            vec![SwitchModel::new(8, [1.0; 4]), SwitchModel::new(4, [1.0; 4])],
+            [1.0; 4],
+        );
+        let ports: Vec<_> = lib.switch_models().iter().map(SwitchModel::ports).collect();
+        assert_eq!(ports, vec![4, 8]);
+    }
+}

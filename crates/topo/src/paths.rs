@@ -1,0 +1,514 @@
+//! Path types and graph search: BFS, Dijkstra, Yen's K-shortest paths and
+//! node-disjoint path search.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{LinkId, NodeId};
+
+/// Adjacency representation used by all search routines: for every node
+/// index, its `(neighbor, link, length)` triples.
+///
+/// Both [`crate::Topology::adjacency`] (active links) and
+/// [`crate::Topology::residual_adjacency`] (after a failure) produce this
+/// shape, as do the filtered candidate-graph views built by the SOAG.
+pub type Adjacency = Vec<Vec<(NodeId, LinkId, f64)>>;
+
+/// A loopless path through the network: an ordered node sequence.
+///
+/// Paths are the granularity of NPTSN's addition actions — "the minimum
+/// connectivity from the perspective of the flows" (Section IV-B).
+///
+/// # Examples
+///
+/// ```
+/// use nptsn_topo::{ConnectionGraph, Path};
+///
+/// let mut gc = ConnectionGraph::new();
+/// let a = gc.add_end_station("a");
+/// let s = gc.add_switch("s");
+/// let b = gc.add_end_station("b");
+/// let p = Path::new(vec![a, s, b]);
+/// assert_eq!(p.hop_count(), 2);
+/// assert_eq!(p.source(), a);
+/// assert_eq!(p.destination(), b);
+/// assert_eq!(p.edges().count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+}
+
+impl Path {
+    /// Creates a path from an ordered node sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` is empty or revisits a node (paths are loopless).
+    pub fn new(nodes: Vec<NodeId>) -> Path {
+        assert!(!nodes.is_empty(), "a path needs at least one node");
+        for (i, n) in nodes.iter().enumerate() {
+            assert!(
+                !nodes[..i].contains(n),
+                "paths are loopless but {n} appears twice"
+            );
+        }
+        Path { nodes }
+    }
+
+    /// The ordered node sequence.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of hops (edges).
+    pub fn hop_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// First node.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// Whether the path traverses `node`.
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Consecutive node pairs (the undirected edges of the path).
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Total length of the path under `adj` weights, or `None` if an edge is
+    /// missing from `adj`.
+    pub fn length_in(&self, adj: &Adjacency) -> Option<f64> {
+        let mut total = 0.0;
+        for (u, v) in self.edges() {
+            let w = adj[u.index()].iter().find(|(n, _, _)| *n == v)?.2;
+            total += w;
+        }
+        Some(total)
+    }
+}
+
+/// Min-heap entry ordered by (distance, node index) for deterministic
+/// tie-breaking.
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Hop distances from `source` to every node, `None` for unreachable nodes.
+///
+/// # Examples
+///
+/// ```
+/// use nptsn_topo::{bfs_distances, Asil, ConnectionGraph};
+///
+/// let mut gc = ConnectionGraph::new();
+/// let a = gc.add_end_station("a");
+/// let s = gc.add_switch("s");
+/// let b = gc.add_end_station("b");
+/// gc.add_candidate_link(a, s, 1.0).unwrap();
+/// gc.add_candidate_link(s, b, 1.0).unwrap();
+/// let mut topo = gc.empty_topology();
+/// topo.add_switch(s, Asil::A).unwrap();
+/// topo.add_link(a, s).unwrap();
+/// topo.add_link(s, b).unwrap();
+///
+/// let dist = bfs_distances(&topo.adjacency(), a);
+/// assert_eq!(dist[b.index()], Some(2));
+/// ```
+pub fn bfs_distances(adj: &Adjacency, source: NodeId) -> Vec<Option<usize>> {
+    let mut dist = vec![None; adj.len()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for &(v, _, _) in &adj[u.index()] {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Dijkstra shortest path from `source` to `target` by total link length;
+/// `None` when unreachable. Ties break deterministically by node index.
+pub fn dijkstra_shortest_path(adj: &Adjacency, source: NodeId, target: NodeId) -> Option<Path> {
+    dijkstra_filtered(adj, source, target, &|_| true, &|_, _| true)
+}
+
+/// Dijkstra restricted to nodes passing `node_ok` and edges passing
+/// `edge_ok(from, link)`. The source and target are always allowed.
+pub(crate) fn dijkstra_filtered(
+    adj: &Adjacency,
+    source: NodeId,
+    target: NodeId,
+    node_ok: &dyn Fn(NodeId) -> bool,
+    edge_ok: &dyn Fn(NodeId, LinkId) -> bool,
+) -> Option<Path> {
+    let n = adj.len();
+    if source.index() >= n || target.index() >= n {
+        return None;
+    }
+    if source == target {
+        return Some(Path::new(vec![source]));
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: source.index() });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        if u == target.index() {
+            break;
+        }
+        for &(v, link, w) in &adj[u] {
+            if v != target && v != source && !node_ok(v) {
+                continue;
+            }
+            if !edge_ok(NodeId(u), link) {
+                continue;
+            }
+            let nd = d + w;
+            // Strict improvement, or equal distance with a smaller
+            // predecessor for determinism.
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                prev[v.index()] = Some(NodeId(u));
+                heap.push(HeapEntry { dist: nd, node: v.index() });
+            }
+        }
+    }
+    if dist[target.index()].is_infinite() {
+        return None;
+    }
+    let mut nodes = vec![target];
+    let mut cur = target;
+    while let Some(p) = prev[cur.index()] {
+        nodes.push(p);
+        cur = p;
+    }
+    nodes.reverse();
+    debug_assert_eq!(nodes[0], source);
+    Some(Path::new(nodes))
+}
+
+/// Yen's algorithm: up to `k` loopless shortest paths from `source` to
+/// `target`, ordered by increasing length (ties broken by node sequence).
+///
+/// Used by the SOAG (Algorithm 1, line 5) to propose path-addition actions.
+/// Returns fewer than `k` paths when the graph does not contain that many.
+///
+/// # Examples
+///
+/// ```
+/// use nptsn_topo::{k_shortest_paths, Asil, ConnectionGraph};
+///
+/// let mut gc = ConnectionGraph::new();
+/// let a = gc.add_end_station("a");
+/// let b = gc.add_end_station("b");
+/// let s0 = gc.add_switch("s0");
+/// let s1 = gc.add_switch("s1");
+/// for (u, v) in [(a, s0), (a, s1), (s0, b), (s1, b), (s0, s1)] {
+///     gc.add_candidate_link(u, v, 1.0).unwrap();
+/// }
+/// let mut topo = gc.empty_topology();
+/// topo.add_switch(s0, Asil::A).unwrap();
+/// topo.add_switch(s1, Asil::A).unwrap();
+/// for (u, v) in [(a, s0), (a, s1), (s0, b), (s1, b), (s0, s1)] {
+///     topo.add_link(u, v).unwrap();
+/// }
+/// let paths = k_shortest_paths(&topo.adjacency(), a, b, 4);
+/// assert_eq!(paths.len(), 4);
+/// assert_eq!(paths[0].hop_count(), 2);
+/// assert!(paths[3].hop_count() >= paths[0].hop_count());
+/// ```
+pub fn k_shortest_paths(adj: &Adjacency, source: NodeId, target: NodeId, k: usize) -> Vec<Path> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let Some(first) = dijkstra_shortest_path(adj, source, target) else {
+        return Vec::new();
+    };
+    let mut result = vec![first];
+    // Candidate set: (cost, path). Kept sorted on extraction.
+    let mut candidates: Vec<(f64, Path)> = Vec::new();
+
+    while result.len() < k {
+        let last = result.last().expect("result is non-empty").clone();
+        for i in 0..last.hop_count() {
+            let spur_node = last.nodes()[i];
+            let root: Vec<NodeId> = last.nodes()[..=i].to_vec();
+
+            // Edges removed: for every known path sharing this root, the
+            // edge it takes out of the spur node.
+            let mut banned_edges: Vec<(NodeId, NodeId)> = Vec::new();
+            for p in result.iter().map(|p| p as &Path).chain(candidates.iter().map(|(_, p)| p)) {
+                if p.nodes().len() > i + 1 && p.nodes()[..=i] == root[..] {
+                    banned_edges.push((p.nodes()[i], p.nodes()[i + 1]));
+                }
+            }
+            // Nodes removed: the root except the spur node itself.
+            let banned_nodes: Vec<NodeId> = root[..i].to_vec();
+
+            let node_ok = |n: NodeId| !banned_nodes.contains(&n);
+            let edge_ok = |from: NodeId, link: LinkId| {
+                !banned_edges.iter().any(|&(u, v)| {
+                    from == u
+                        && adj[u.index()]
+                            .iter()
+                            .any(|&(nb, l, _)| l == link && nb == v)
+                })
+            };
+            if let Some(spur) =
+                dijkstra_filtered(adj, spur_node, target, &node_ok, &edge_ok)
+            {
+                let mut nodes = root[..i].to_vec();
+                nodes.extend_from_slice(spur.nodes());
+                // The concatenation can revisit a root node through the spur
+                // path only if the spur path loops back, which banned_nodes
+                // prevents; still, guard against duplicates defensively.
+                if nodes.iter().enumerate().all(|(j, n)| !nodes[..j].contains(n)) {
+                    let candidate = Path::new(nodes);
+                    let cost = candidate
+                        .length_in(adj)
+                        .expect("candidate uses existing edges");
+                    if !result.contains(&candidate)
+                        && !candidates.iter().any(|(_, p)| p == &candidate)
+                    {
+                        candidates.push((cost, candidate));
+                    }
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Extract the best candidate deterministically.
+        candidates.sort_by(|(ca, pa), (cb, pb)| {
+            ca.partial_cmp(cb)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| pa.nodes().cmp(pb.nodes()))
+        });
+        let (_, best) = candidates.remove(0);
+        result.push(best);
+    }
+    result
+}
+
+/// Greedily finds up to `count` mutually node-disjoint paths (sharing only
+/// the endpoints) from `source` to `target`, shortest first.
+///
+/// This is the path-construction primitive of the TRH baseline \[4\], which
+/// creates FRER-disjoint paths per flow. Returns `None` when fewer than
+/// `count` disjoint paths exist under this greedy strategy.
+pub fn node_disjoint_paths(
+    adj: &Adjacency,
+    source: NodeId,
+    target: NodeId,
+    count: usize,
+) -> Option<Vec<Path>> {
+    let mut used = vec![false; adj.len()];
+    let mut paths = Vec::with_capacity(count);
+    for _ in 0..count {
+        let node_ok = |n: NodeId| !used[n.index()];
+        let path = dijkstra_filtered(adj, source, target, &node_ok, &|_, _| true)?;
+        for &n in path.nodes() {
+            if n != source && n != target {
+                used[n.index()] = true;
+            }
+        }
+        paths.push(path);
+    }
+    Some(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asil::Asil;
+    use crate::graph::ConnectionGraph;
+    use crate::topology::Topology;
+    use std::sync::Arc;
+
+    /// Two parallel 2-hop routes a-s0-b and a-s1-b plus a chord s0-s1.
+    fn theta() -> (Adjacency, NodeId, NodeId, NodeId, NodeId) {
+        let mut gc = ConnectionGraph::new();
+        let a = gc.add_end_station("a");
+        let b = gc.add_end_station("b");
+        let s0 = gc.add_switch("s0");
+        let s1 = gc.add_switch("s1");
+        for (u, v) in [(a, s0), (a, s1), (s0, b), (s1, b), (s0, s1)] {
+            gc.add_candidate_link(u, v, 1.0).unwrap();
+        }
+        let mut topo = Topology::empty(Arc::new(gc));
+        topo.add_switch(s0, Asil::A).unwrap();
+        topo.add_switch(s1, Asil::A).unwrap();
+        for (u, v) in [(a, s0), (a, s1), (s0, b), (s1, b), (s0, s1)] {
+            topo.add_link(u, v).unwrap();
+        }
+        (topo.adjacency(), a, b, s0, s1)
+    }
+
+    #[test]
+    #[should_panic(expected = "loopless")]
+    fn paths_reject_revisits() {
+        let _ = Path::new(vec![NodeId(0), NodeId(1), NodeId(0)]);
+    }
+
+    #[test]
+    fn bfs_distances_count_hops() {
+        let (adj, a, b, s0, _) = theta();
+        let dist = bfs_distances(&adj, a);
+        assert_eq!(dist[a.index()], Some(0));
+        assert_eq!(dist[s0.index()], Some(1));
+        assert_eq!(dist[b.index()], Some(2));
+    }
+
+    #[test]
+    fn bfs_reports_unreachable() {
+        let mut gc = ConnectionGraph::new();
+        let a = gc.add_end_station("a");
+        let b = gc.add_end_station("b");
+        let topo = gc.empty_topology();
+        let dist = bfs_distances(&topo.adjacency(), a);
+        assert_eq!(dist[b.index()], None);
+    }
+
+    #[test]
+    fn dijkstra_finds_shortest() {
+        let (adj, a, b, ..) = theta();
+        let p = dijkstra_shortest_path(&adj, a, b).unwrap();
+        assert_eq!(p.hop_count(), 2);
+        assert_eq!(p.source(), a);
+        assert_eq!(p.destination(), b);
+    }
+
+    #[test]
+    fn dijkstra_prefers_low_weight_over_few_hops() {
+        let mut gc = ConnectionGraph::new();
+        let a = gc.add_end_station("a");
+        let b = gc.add_end_station("b");
+        let s0 = gc.add_switch("s0");
+        let s1 = gc.add_switch("s1");
+        gc.add_candidate_link(a, s0, 10.0).unwrap();
+        gc.add_candidate_link(s0, b, 10.0).unwrap();
+        gc.add_candidate_link(a, s1, 1.0).unwrap();
+        gc.add_candidate_link(s1, s0, 1.0).unwrap();
+        let mut topo = gc.empty_topology();
+        topo.add_switch(s0, Asil::A).unwrap();
+        topo.add_switch(s1, Asil::A).unwrap();
+        for (u, v) in [(a, s0), (s0, b), (a, s1), (s1, s0)] {
+            topo.add_link(u, v).unwrap();
+        }
+        let p = dijkstra_shortest_path(&topo.adjacency(), a, b).unwrap();
+        // a-s1-s0-b (cost 12) beats a-s0-b (cost 20).
+        assert_eq!(p.hop_count(), 3);
+        assert!(p.contains_node(s1));
+    }
+
+    #[test]
+    fn dijkstra_same_source_target() {
+        let (adj, a, ..) = theta();
+        let p = dijkstra_shortest_path(&adj, a, a).unwrap();
+        assert_eq!(p.hop_count(), 0);
+    }
+
+    #[test]
+    fn yen_enumerates_loopless_paths_in_order() {
+        let (adj, a, b, ..) = theta();
+        let paths = k_shortest_paths(&adj, a, b, 10);
+        // Loopless a-b paths in the theta graph: two 2-hop and two 3-hop.
+        assert_eq!(paths.len(), 4);
+        let mut prev = 0.0;
+        for p in &paths {
+            assert_eq!(p.source(), a);
+            assert_eq!(p.destination(), b);
+            let len = p.length_in(&adj).unwrap();
+            assert!(len >= prev);
+            prev = len;
+            // Looplessness.
+            let mut seen = std::collections::HashSet::new();
+            assert!(p.nodes().iter().all(|n| seen.insert(*n)));
+        }
+        // All distinct.
+        for i in 0..paths.len() {
+            for j in 0..i {
+                assert_ne!(paths[i], paths[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn yen_respects_k() {
+        let (adj, a, b, ..) = theta();
+        assert_eq!(k_shortest_paths(&adj, a, b, 1).len(), 1);
+        assert_eq!(k_shortest_paths(&adj, a, b, 0).len(), 0);
+        assert_eq!(k_shortest_paths(&adj, a, b, 3).len(), 3);
+    }
+
+    #[test]
+    fn yen_unreachable_is_empty() {
+        let mut gc = ConnectionGraph::new();
+        let a = gc.add_end_station("a");
+        let b = gc.add_end_station("b");
+        let topo = gc.empty_topology();
+        assert!(k_shortest_paths(&topo.adjacency(), a, b, 5).is_empty());
+    }
+
+    #[test]
+    fn disjoint_paths_found_in_theta() {
+        let (adj, a, b, s0, s1) = theta();
+        let paths = node_disjoint_paths(&adj, a, b, 2).unwrap();
+        assert_eq!(paths.len(), 2);
+        // One goes through s0, the other through s1.
+        let through: Vec<bool> = paths.iter().map(|p| p.contains_node(s0)).collect();
+        assert_ne!(through[0], through[1]);
+        let _ = s1;
+        // Three disjoint paths do not exist.
+        assert!(node_disjoint_paths(&adj, a, b, 3).is_none());
+    }
+
+    #[test]
+    fn yen_is_deterministic() {
+        let (adj, a, b, ..) = theta();
+        let p1 = k_shortest_paths(&adj, a, b, 4);
+        let p2 = k_shortest_paths(&adj, a, b, 4);
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests for the topology model and the path algorithms.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use nptsn_topo::{
+    k_shortest_paths, Asil, ComponentLibrary, ConnectionGraph, FailureScenario, NodeId, Topology,
+};
+use proptest::prelude::*;
+
+/// A random connected-ish candidate graph: `es` end stations, `sw` switches,
+/// plus a random subset of the switch-ES and switch-switch pairs.
+fn arb_graph() -> impl Strategy<Value = (Arc<ConnectionGraph>, Vec<NodeId>, Vec<NodeId>)> {
+    (2usize..5, 2usize..6, any::<u64>()).prop_map(|(es, sw, seed)| {
+        let mut gc = ConnectionGraph::new();
+        let stations: Vec<NodeId> = (0..es).map(|i| gc.add_end_station(format!("es{i}"))).collect();
+        let switches: Vec<NodeId> = (0..sw).map(|i| gc.add_switch(format!("sw{i}"))).collect();
+        // Deterministic pseudo-random edge selection from the seed.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for &s in &switches {
+            for &t in stations.iter().chain(switches.iter()) {
+                if s == t {
+                    continue;
+                }
+                if gc.link_between(s, t).is_some() {
+                    continue;
+                }
+                // ~70% of candidate pairs become candidate links.
+                if next() % 10 < 7 {
+                    let len = 1.0 + (next() % 3) as f64;
+                    gc.add_candidate_link(s, t, len).unwrap();
+                }
+            }
+        }
+        (Arc::new(gc), stations, switches)
+    })
+}
+
+/// Builds a topology selecting all switches with pseudo-random ASILs and
+/// adding every candidate link that fits the degree constraints.
+fn saturated_topology(
+    gc: &Arc<ConnectionGraph>,
+    switches: &[NodeId],
+    seed: u64,
+) -> Topology {
+    let mut topo = Topology::empty(Arc::clone(gc));
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for &sw in switches {
+        let asil = Asil::from_index((next() % 4) as usize).unwrap();
+        topo.add_switch(sw, asil).unwrap();
+    }
+    for link in gc.links() {
+        let (u, v) = gc.link_endpoints(link);
+        let _ = topo.add_link(u, v); // degree violations are fine to skip
+    }
+    topo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Yen's K shortest paths are loopless, distinct, sorted by length and
+    /// all connect source to destination.
+    #[test]
+    fn yen_paths_are_sound((gc, stations, switches) in arb_graph(), k in 1usize..8, seed: u64) {
+        let topo = saturated_topology(&gc, &switches, seed);
+        let adj = topo.adjacency();
+        let s = stations[0];
+        let d = stations[1];
+        let paths = k_shortest_paths(&adj, s, d, k);
+        prop_assert!(paths.len() <= k);
+        let mut prev = 0.0;
+        let mut seen = HashSet::new();
+        for p in &paths {
+            prop_assert_eq!(p.source(), s);
+            prop_assert_eq!(p.destination(), d);
+            let mut nodes = HashSet::new();
+            prop_assert!(p.nodes().iter().all(|n| nodes.insert(*n)), "loopless");
+            let len = p.length_in(&adj).expect("edges exist");
+            prop_assert!(len >= prev - 1e-9, "sorted by length");
+            prev = len;
+            prop_assert!(seen.insert(p.nodes().to_vec()), "distinct");
+        }
+    }
+
+    /// The first Yen path equals the Dijkstra shortest path.
+    #[test]
+    fn yen_first_path_is_shortest((gc, stations, switches) in arb_graph(), seed: u64) {
+        let topo = saturated_topology(&gc, &switches, seed);
+        let adj = topo.adjacency();
+        let s = stations[0];
+        let d = stations[1];
+        let dij = nptsn_topo::dijkstra_shortest_path(&adj, s, d);
+        let yen = k_shortest_paths(&adj, s, d, 1);
+        match dij {
+            Some(p) => {
+                prop_assert_eq!(yen.len(), 1);
+                prop_assert_eq!(
+                    p.length_in(&adj).unwrap(),
+                    yen[0].length_in(&adj).unwrap()
+                );
+            }
+            None => prop_assert!(yen.is_empty()),
+        }
+    }
+
+    /// Link ASIL always equals the minimum endpoint ASIL, across arbitrary
+    /// upgrade sequences.
+    #[test]
+    fn link_asil_invariant((gc, _stations, switches) in arb_graph(), seed: u64, upgrades in proptest::collection::vec(0usize..6, 0..12)) {
+        let mut topo = saturated_topology(&gc, &switches, seed);
+        for u in upgrades {
+            let sw = switches[u % switches.len()];
+            let _ = topo.upgrade_switch(sw); // may fail at ASIL-D; fine
+        }
+        for link in topo.links() {
+            let (u, v) = gc.link_endpoints(link);
+            let expected = topo.node_asil(u).unwrap().min(topo.node_asil(v).unwrap());
+            prop_assert_eq!(topo.link_asil(link), expected);
+        }
+    }
+
+    /// Network cost never decreases when a switch is upgraded.
+    #[test]
+    fn upgrades_never_reduce_cost((gc, _stations, switches) in arb_graph(), seed: u64) {
+        let lib = ComponentLibrary::automotive();
+        let mut topo = saturated_topology(&gc, &switches, seed);
+        for &sw in &switches {
+            let before = topo.network_cost(&lib);
+            if topo.upgrade_switch(sw).is_ok() {
+                let after = topo.network_cost(&lib);
+                prop_assert!(after >= before, "upgrade lowered cost: {} -> {}", before, after);
+            }
+        }
+    }
+
+    /// Degrees never exceed the configured limits and the cost is always
+    /// computable (every degree fits a library model).
+    #[test]
+    fn degrees_within_limits((gc, _stations, switches) in arb_graph(), seed: u64) {
+        let topo = saturated_topology(&gc, &switches, seed);
+        for node in gc.nodes() {
+            prop_assert!(topo.degree(node) <= gc.max_degree(node));
+        }
+        prop_assert!(topo.try_network_cost(&ComponentLibrary::automotive()).is_ok());
+    }
+
+    /// Failure probability is monotone: a superset scenario is never more
+    /// probable than its subset.
+    #[test]
+    fn failure_probability_monotone((gc, _stations, switches) in arb_graph(), seed: u64) {
+        let topo = saturated_topology(&gc, &switches, seed);
+        let selected: Vec<NodeId> = topo.selected_switches().to_vec();
+        for i in 0..selected.len() {
+            let small = FailureScenario::switches(vec![selected[i]]);
+            for j in 0..selected.len() {
+                if i == j {
+                    continue;
+                }
+                let big = FailureScenario::switches(vec![selected[i], selected[j]]);
+                prop_assert!(small.is_subset_of(&big));
+                prop_assert!(
+                    topo.failure_probability(&big) <= topo.failure_probability(&small)
+                );
+            }
+        }
+    }
+
+    /// The residual adjacency of a failure is a subgraph of the full
+    /// adjacency and contains no failed node.
+    #[test]
+    fn residual_is_subgraph((gc, _stations, switches) in arb_graph(), seed: u64, which in 0usize..4) {
+        let topo = saturated_topology(&gc, &switches, seed);
+        let failed = switches[which % switches.len()];
+        let failure = FailureScenario::switches(vec![failed]);
+        let full = topo.adjacency();
+        let residual = topo.residual_adjacency(&failure);
+        prop_assert!(residual[failed.index()].is_empty());
+        for (i, row) in residual.iter().enumerate() {
+            for &(n, l, w) in row {
+                prop_assert!(n != failed);
+                prop_assert!(full[i].contains(&(n, l, w)));
+            }
+        }
+    }
+}

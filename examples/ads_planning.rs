@@ -1,0 +1,72 @@
+//! Plan the autonomous-driving-system (ADS) network of Section VI-B.
+//!
+//! 12 end stations, up to 4 switches, 54 optional links, 12 TT flows over
+//! the 7 safety applications. Prints the training curve and the final
+//! plan's ASIL allocation.
+//!
+//! Run with: `cargo run --release --example ads_planning`
+
+use std::sync::Arc;
+
+use nptsn::{Planner, PlannerConfig, PlanningProblem};
+use nptsn_scenarios::{ads, random_flows};
+use nptsn_sched::ShortestPathRecovery;
+use nptsn_topo::ComponentLibrary;
+
+fn main() {
+    let scenario = ads();
+    let flows = random_flows(&scenario.graph, 12, 2023);
+    println!(
+        "ADS scenario: {} stations, {} optional switches, {} optional links, {} flows",
+        scenario.graph.end_stations().len(),
+        scenario.graph.switches().len(),
+        scenario.graph.candidate_link_count(),
+        flows.len()
+    );
+
+    let problem = PlanningProblem::new(
+        Arc::clone(&scenario.graph),
+        ComponentLibrary::automotive(),
+        scenario.tas,
+        flows,
+        1e-6,
+        Arc::new(ShortestPathRecovery::new()),
+    )
+    .expect("scenario inputs are consistent");
+
+    let config = PlannerConfig::quick();
+    println!(
+        "training: {} epochs x {} steps, K = {}, GCN-{} + MLP {:?}",
+        config.max_epochs,
+        config.steps_per_epoch,
+        config.k_paths,
+        config.gcn_layers,
+        config.mlp_hidden
+    );
+    let start = std::time::Instant::now();
+    let report = Planner::new(problem.clone(), config).run_with_progress(|s| {
+        if s.epoch % 4 == 0 {
+            println!(
+                "  epoch {:>3}: return {:>7.3}  episodes {:>3}  solutions {:>3}  best {:?}",
+                s.epoch, s.mean_episode_return, s.episodes, s.solutions_found, s.best_cost
+            );
+        }
+    });
+    println!("trained in {:.1?}", start.elapsed());
+
+    match report.best {
+        Some(best) => {
+            println!("\nbest plan: {best}");
+            let hist = best.asil_histogram();
+            println!(
+                "ASIL allocation: A {} / B {} / C {} / D {}",
+                hist[0], hist[1], hist[2], hist[3]
+            );
+            println!(
+                "verified: {}",
+                nptsn::verify_topology(&problem, &best.topology).is_reliable()
+            );
+        }
+        None => println!("no valid plan found — raise the training budget"),
+    }
+}

@@ -1,0 +1,104 @@
+//! Compare every planner of the evaluation on one ADS workload:
+//! NPTSN, the greedy SOAG ablation, TRH (static FRER) and the
+//! NeuroPlan-style link-level RL agent.
+//!
+//! Run with: `cargo run --release --example compare_baselines`
+
+use std::sync::Arc;
+
+use nptsn::{GreedyPlanner, Planner, PlannerConfig, PlanningProblem};
+use nptsn_baselines::{NeuroPlanAgent, Trh};
+use nptsn_scenarios::{ads, random_flows};
+use nptsn_sched::ShortestPathRecovery;
+use nptsn_topo::ComponentLibrary;
+
+fn main() {
+    let scenario = ads();
+    let flows = random_flows(&scenario.graph, 12, 7);
+    let problem = PlanningProblem::new(
+        Arc::clone(&scenario.graph),
+        ComponentLibrary::automotive(),
+        scenario.tas,
+        flows,
+        1e-6,
+        Arc::new(ShortestPathRecovery::new()),
+    )
+    .expect("scenario inputs are consistent");
+
+    println!("ADS, 12 flows, R = 1e-6\n");
+    println!("{:<12} {:>9} {:>10} {:>22}", "planner", "reliable", "cost", "ASIL (A/B/C/D)");
+
+    // TRH: static FRER redundancy over ASIL-B components.
+    let trh = Trh::new().plan(&problem);
+    println!(
+        "{:<12} {:>9} {:>10.0} {:>22}",
+        "TRH",
+        trh.reliable,
+        trh.cost,
+        format!("all B ({} switches)", trh.topology.selected_switches().len())
+    );
+
+    // Greedy ablation: SOAG actions, myopic cost rule.
+    let greedy = GreedyPlanner::new(problem.clone(), 16).run(8, 0);
+    match &greedy {
+        Some(sol) => {
+            let h = sol.asil_histogram();
+            println!(
+                "{:<12} {:>9} {:>10.0} {:>22}",
+                "greedy",
+                true,
+                sol.cost,
+                format!("{}/{}/{}/{}", h[0], h[1], h[2], h[3])
+            );
+        }
+        None => println!("{:<12} {:>9} {:>10} {:>22}", "greedy", false, "-", "-"),
+    }
+
+    // NeuroPlan-adapted: link-granularity RL.
+    let np_config = PlannerConfig {
+        max_epochs: 12,
+        steps_per_epoch: 256,
+        ..PlannerConfig::quick()
+    };
+    let np = NeuroPlanAgent::new(problem.clone(), np_config).run();
+    match &np.best {
+        Some(sol) => {
+            let h = sol.asil_histogram();
+            println!(
+                "{:<12} {:>9} {:>10.0} {:>22}",
+                "NeuroPlan",
+                true,
+                sol.cost,
+                format!("{}/{}/{}/{}", h[0], h[1], h[2], h[3])
+            );
+        }
+        None => println!(
+            "{:<12} {:>9} {:>10} {:>22}",
+            "NeuroPlan",
+            false,
+            "-",
+            format!("({} dead ends)", np.dead_ends)
+        ),
+    }
+
+    // NPTSN.
+    let report = Planner::new(problem.clone(), PlannerConfig::quick()).run();
+    match &report.best {
+        Some(sol) => {
+            let h = sol.asil_histogram();
+            println!(
+                "{:<12} {:>9} {:>10.0} {:>22}",
+                "NPTSN",
+                true,
+                sol.cost,
+                format!("{}/{}/{}/{}", h[0], h[1], h[2], h[3])
+            );
+        }
+        None => println!("{:<12} {:>9} {:>10} {:>22}", "NPTSN", false, "-", "-"),
+    }
+
+    println!(
+        "\n(Each RL planner runs a reduced budget here; the full Table II \
+         settings are PlannerConfig::default_paper().)"
+    );
+}

@@ -1,0 +1,96 @@
+//! Explore the failure analyzer and recovery machinery directly.
+//!
+//! Builds a small TSSDN by hand, injects failures, shows the recovery
+//! re-routing flows, and runs the full Algorithm 3 analysis at different
+//! reliability goals.
+//!
+//! Run with: `cargo run --release --example failure_analysis`
+
+use std::sync::Arc;
+
+use nptsn::{FailureAnalyzer, PlanningProblem, Verdict};
+use nptsn_sched::{FlowSet, FlowSpec, NetworkBehavior, ShortestPathRecovery, TasConfig};
+use nptsn_topo::{Asil, ComponentLibrary, ConnectionGraph, FailureScenario};
+
+fn main() {
+    // A theta network: two parallel switches between the stations.
+    let mut gc = ConnectionGraph::new();
+    let a = gc.add_end_station("sensor");
+    let b = gc.add_end_station("ecu");
+    let s0 = gc.add_switch("sw0");
+    let s1 = gc.add_switch("sw1");
+    for (u, v) in [(a, s0), (s0, b), (a, s1), (s1, b), (s0, s1)] {
+        gc.add_candidate_link(u, v, 1.0).unwrap();
+    }
+    let gc = Arc::new(gc);
+
+    let mut topo = gc.empty_topology();
+    topo.add_switch(s0, Asil::A).unwrap();
+    topo.add_switch(s1, Asil::A).unwrap();
+    for (u, v) in [(a, s0), (s0, b), (a, s1), (s1, b)] {
+        topo.add_link(u, v).unwrap();
+    }
+
+    let tas = TasConfig::default();
+    let flows = FlowSet::new(vec![FlowSpec::new(a, b, 500, 256)]).unwrap();
+    let nbf = ShortestPathRecovery::new();
+
+    // 1. Run the NBF under explicit failure scenarios.
+    println!("== recovery behavior (stateless NBF: {}) ==", nbf.name());
+    for failure in [
+        FailureScenario::none(),
+        FailureScenario::switches(vec![s0]),
+        FailureScenario::switches(vec![s1]),
+        FailureScenario::switches(vec![s0, s1]),
+    ] {
+        let out = nbf.recover(&topo, &failure, &tas, &flows);
+        let path = out
+            .state
+            .assignment(nptsn_sched::FlowId::from_index(0))
+            .map(|asg| {
+                asg.path()
+                    .nodes()
+                    .iter()
+                    .map(|&n| gc.name(n).to_string())
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
+            })
+            .unwrap_or_else(|| "UNRECOVERABLE".to_string());
+        println!("  {failure}: {path}   ({})", out.errors);
+    }
+
+    // 2. Failure probabilities (Eq. 2).
+    println!("\n== failure probabilities ==");
+    for (label, failure) in [
+        ("single ASIL-A switch", FailureScenario::switches(vec![s0])),
+        ("both ASIL-A switches", FailureScenario::switches(vec![s0, s1])),
+    ] {
+        println!("  {label}: {:.3e}", topo.failure_probability(&failure));
+    }
+
+    // 3. Full Algorithm 3 analysis at different reliability goals.
+    println!("\n== failure analysis (Algorithm 3) ==");
+    let flows2 = flows.clone();
+    for goal in [1e-6, 1e-9] {
+        let problem = PlanningProblem::new(
+            Arc::clone(&gc),
+            ComponentLibrary::automotive(),
+            tas,
+            flows2.clone(),
+            goal,
+            Arc::new(ShortestPathRecovery::new()),
+        )
+        .unwrap();
+        match FailureAnalyzer::new().analyze(&problem, &topo) {
+            Verdict::Reliable => println!("  R = {goal:.0e}: RELIABLE"),
+            Verdict::Unreliable { failure, errors } => {
+                println!("  R = {goal:.0e}: UNRELIABLE under {failure} ({errors})")
+            }
+        }
+    }
+    println!(
+        "\nAt R = 1e-6 the dual-A failure (~1e-6 exact exponential value is \
+         just below R) is a safe fault; at R = 1e-9 it must be survived and \
+         the theta network fails the guarantee."
+    );
+}

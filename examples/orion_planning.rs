@@ -1,0 +1,71 @@
+//! Plan the ORION crew-exploration-vehicle network (Section VI-A) and
+//! compare against the manually designed original topology.
+//!
+//! Run with: `cargo run --release --example orion_planning [flows] [epochs]`
+
+use std::sync::Arc;
+
+use nptsn::{Planner, PlannerConfig, PlanningProblem};
+use nptsn_baselines::evaluate_original;
+use nptsn_scenarios::{orion, random_flows};
+use nptsn_sched::ShortestPathRecovery;
+use nptsn_topo::ComponentLibrary;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let flow_count: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let epochs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+
+    let scenario = orion();
+    let flows = random_flows(&scenario.graph, flow_count, 1);
+    println!(
+        "ORION scenario: {} stations, {} optional switches, {} optional links, {} flows",
+        scenario.graph.end_stations().len(),
+        scenario.graph.switches().len(),
+        scenario.graph.candidate_link_count(),
+        flows.len()
+    );
+
+    let problem = PlanningProblem::new(
+        Arc::clone(&scenario.graph),
+        ComponentLibrary::automotive(),
+        scenario.tas,
+        flows,
+        1e-6,
+        Arc::new(ShortestPathRecovery::new()),
+    )
+    .expect("scenario inputs are consistent");
+
+    // Baseline: the original all-ASIL-D design.
+    let original = evaluate_original(&problem, scenario.original.as_ref().unwrap());
+    println!(
+        "original topology: reliable = {}, cost = {:.0}",
+        original.reliable, original.cost
+    );
+
+    // NPTSN.
+    let config = PlannerConfig { max_epochs: epochs, ..PlannerConfig::quick() };
+    let start = std::time::Instant::now();
+    let report = Planner::new(problem.clone(), config).run_with_progress(|s| {
+        println!(
+            "  epoch {:>3}: return {:>7.3}  solutions {:>3}  best {:?}",
+            s.epoch, s.mean_episode_return, s.solutions_found, s.best_cost
+        );
+    });
+    println!("trained in {:.1?}", start.elapsed());
+
+    match report.best {
+        Some(best) => {
+            println!("\nNPTSN plan: {best}");
+            println!(
+                "cost reduction vs original: {:.1}x",
+                original.cost / best.cost
+            );
+            println!(
+                "verified: {}",
+                nptsn::verify_topology(&problem, &best.topology).is_reliable()
+            );
+        }
+        None => println!("no valid plan found — raise the training budget"),
+    }
+}

@@ -1,0 +1,90 @@
+//! Quickstart: plan a tiny TSSDN end to end.
+//!
+//! Builds a four-station, two-switch candidate graph, runs the NPTSN
+//! planner with a small budget and prints the resulting topology, ASIL
+//! allocation and cost.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+
+use nptsn::{Planner, PlannerConfig, PlanningProblem};
+use nptsn_sched::{FlowSet, FlowSpec, ShortestPathRecovery, TasConfig};
+use nptsn_topo::{ComponentLibrary, ConnectionGraph};
+
+fn main() {
+    // 1. Describe the possible connections Gc: four end stations that may
+    //    attach to either of two switches, which may interconnect.
+    let mut gc = ConnectionGraph::new();
+    let cam = gc.add_end_station("camera");
+    let lidar = gc.add_end_station("lidar");
+    let ecu = gc.add_end_station("ecu");
+    let brake = gc.add_end_station("brake");
+    let sw0 = gc.add_switch("sw0");
+    let sw1 = gc.add_switch("sw1");
+    for es in [cam, lidar, ecu, brake] {
+        gc.add_candidate_link(es, sw0, 1.0).unwrap();
+        gc.add_candidate_link(es, sw1, 1.0).unwrap();
+    }
+    gc.add_candidate_link(sw0, sw1, 1.0).unwrap();
+
+    // 2. The TT flows: sensors stream to the ECU, the ECU commands the
+    //    brake. Period = deadline = the 500 us base period.
+    let flows = FlowSet::new(vec![
+        FlowSpec::new(cam, ecu, 500, 256),
+        FlowSpec::new(lidar, ecu, 500, 256),
+        FlowSpec::new(ecu, brake, 500, 128),
+    ])
+    .unwrap();
+
+    // 3. Assemble the planning problem: Table I component library, 20-slot
+    //    TAS cycle, reliability goal R = 1e-6, shortest-path recovery NBF.
+    let problem = PlanningProblem::new(
+        Arc::new(gc),
+        ComponentLibrary::automotive(),
+        TasConfig::default(),
+        flows,
+        1e-6,
+        Arc::new(ShortestPathRecovery::new()),
+    )
+    .expect("inputs are consistent");
+
+    // 4. Train the planner briefly and take the best verified plan.
+    let config = PlannerConfig {
+        max_epochs: 8,
+        steps_per_epoch: 128,
+        ..PlannerConfig::quick()
+    };
+    println!("training NPTSN for {} epochs...", config.max_epochs);
+    let report = Planner::new(problem.clone(), config).run_with_progress(|s| {
+        println!(
+            "  epoch {:>2}: mean episode return {:>7.3}, best cost {:?}",
+            s.epoch, s.mean_episode_return, s.best_cost
+        );
+    });
+
+    let best = report.best.expect("this problem has valid plans");
+    println!("\nbest plan: {best}");
+    let gc = problem.connection_graph();
+    for &sw in best.topology.selected_switches() {
+        println!(
+            "  switch {:<6} {:?}  degree {}",
+            gc.name(sw),
+            best.topology.switch_asil(sw).unwrap(),
+            best.topology.degree(sw),
+        );
+    }
+    for link in best.topology.links() {
+        let (u, v) = gc.link_endpoints(link);
+        println!(
+            "  link   {:<6} -- {:<6} {:?}",
+            gc.name(u),
+            gc.name(v),
+            best.topology.link_asil(link),
+        );
+    }
+    println!(
+        "\nverified: {}",
+        nptsn::verify_topology(&problem, &best.topology).is_reliable()
+    );
+}

@@ -1,0 +1,20 @@
+//! Workspace umbrella crate for the NPTSN reproduction.
+//!
+//! This crate exists to host the repository-level `examples/` and `tests/`
+//! directories; the actual functionality lives in the member crates:
+//!
+//! * [`nptsn_topo`] — graph, ASIL, component library and failure model.
+//! * [`nptsn_sched`] — TAS scheduling and stateless recovery (NBF).
+//! * [`nptsn_tensor`] / [`nptsn_nn`] / [`nptsn_rl`] — the learning stack.
+//! * [`nptsn`] — the planner itself (SOAG, failure analyzer, PPO training).
+//! * [`nptsn_scenarios`] — ORION and ADS design scenarios.
+//! * [`nptsn_baselines`] — original-topology, TRH and NeuroPlan baselines.
+
+pub use nptsn;
+pub use nptsn_baselines;
+pub use nptsn_nn;
+pub use nptsn_rl;
+pub use nptsn_scenarios;
+pub use nptsn_sched;
+pub use nptsn_tensor;
+pub use nptsn_topo;

@@ -1,0 +1,152 @@
+//! Property test of the failure analyzer's switch-only reduction (Eq. 6):
+//! if Algorithm 3 declares a topology reliable, then *arbitrary* non-safe
+//! faults — including link failures — must be survivable.
+
+use std::sync::Arc;
+
+use nptsn::{verify_topology, PlanningProblem};
+use nptsn_scenarios::random_flows;
+use nptsn_sched::ShortestPathRecovery;
+use nptsn_topo::{
+    Asil, ComponentLibrary, ConnectionGraph, FailureScenario, LinkId, NodeId, Topology,
+};
+use proptest::prelude::*;
+
+/// A random redundant-ish topology: stations dual-homed onto a random
+/// switch mesh with random ASILs.
+fn arb_case() -> impl Strategy<Value = (PlanningProblem, Topology)> {
+    (3usize..6, 2usize..5, any::<u64>()).prop_map(|(es, sw, seed)| {
+        let mut gc = ConnectionGraph::new();
+        let stations: Vec<NodeId> =
+            (0..es).map(|i| gc.add_end_station(format!("es{i}"))).collect();
+        let switches: Vec<NodeId> = (0..sw).map(|i| gc.add_switch(format!("sw{i}"))).collect();
+        // Every station may attach to every switch; full switch mesh.
+        for &e in &stations {
+            for &s in &switches {
+                gc.add_candidate_link(e, s, 1.0).unwrap();
+            }
+        }
+        for i in 0..switches.len() {
+            for j in i + 1..switches.len() {
+                gc.add_candidate_link(switches[i], switches[j], 1.0).unwrap();
+            }
+        }
+        let gc = Arc::new(gc);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut topo = Topology::empty(Arc::clone(&gc));
+        for &s in &switches {
+            topo.add_switch(s, Asil::from_index((next() % 4) as usize).unwrap()).unwrap();
+        }
+        // Dual-home each station on two distinct switches (when possible).
+        for (i, &e) in stations.iter().enumerate() {
+            let s1 = switches[i % switches.len()];
+            let s2 = switches[(i + 1) % switches.len()];
+            topo.add_link(e, s1).unwrap();
+            if s2 != s1 {
+                topo.add_link(e, s2).unwrap();
+            }
+        }
+        // Random subset of the switch mesh.
+        for i in 0..switches.len() {
+            for j in i + 1..switches.len() {
+                if next() % 2 == 0 {
+                    let _ = topo.add_link(switches[i], switches[j]);
+                }
+            }
+        }
+        let flows = random_flows(&gc, 4, seed);
+        let problem = PlanningProblem::new(
+            Arc::clone(&gc),
+            ComponentLibrary::automotive(),
+            nptsn_sched::TasConfig::default(),
+            flows,
+            1e-6,
+            Arc::new(ShortestPathRecovery::new()),
+        )
+        .unwrap();
+        (problem, topo)
+    })
+}
+
+/// Enumerates small mixed switch+link failure scenarios of the topology.
+fn mixed_faults(topo: &Topology) -> Vec<FailureScenario> {
+    let links: Vec<LinkId> = topo.links().collect();
+    let switches = topo.selected_switches().to_vec();
+    let mut out = Vec::new();
+    for &l in &links {
+        out.push(FailureScenario::links(vec![l]));
+    }
+    for &s in &switches {
+        for &l in &links {
+            out.push(FailureScenario::new(vec![s], vec![l]));
+        }
+    }
+    for i in 0..links.len() {
+        for j in 0..i {
+            out.push(FailureScenario::links(vec![links[i], links[j]]));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Soundness of Eq. 6: a topology that passes the switch-only analysis
+    /// survives every mixed fault whose probability is >= R.
+    #[test]
+    fn reliable_topologies_survive_link_faults((problem, topo) in arb_case()) {
+        if !verify_topology(&problem, &topo).is_reliable() {
+            // Nothing to check: the analyzer already found a counterexample.
+            return Ok(());
+        }
+        let r = problem.reliability_goal();
+        for fault in mixed_faults(&topo) {
+            let p = topo.failure_probability(&fault);
+            if p < r {
+                continue; // safe fault
+            }
+            let outcome = problem.nbf().recover(&topo, &fault, problem.tas(), problem.flows());
+            prop_assert!(
+                outcome.errors.is_empty(),
+                "reliable verdict but fault {} (p = {:.2e}) is unrecoverable",
+                fault,
+                p
+            );
+        }
+    }
+
+    /// The reduction direction itself: for every mixed fault, the mapped
+    /// switch-only fault (replace each failed link by its lower-ASIL
+    /// endpoint) is at least as probable.
+    #[test]
+    fn mapped_fault_is_at_least_as_probable((problem, topo) in arb_case()) {
+        let _ = problem;
+        let gc = topo.connection_graph();
+        for fault in mixed_faults(&topo) {
+            let mut switches = fault.failed_switches().to_vec();
+            for &l in fault.failed_links() {
+                let (u, v) = gc.link_endpoints(l);
+                // low(u, v): the endpoint with the lowest ASIL; end
+                // stations are high-ASIL, and a failed link between two
+                // stations cannot occur (no ES-ES links here).
+                let au = topo.node_asil(u).unwrap();
+                let av = topo.node_asil(v).unwrap();
+                let low = if au <= av { u } else { v };
+                if gc.is_switch(low) {
+                    switches.push(low);
+                }
+            }
+            let mapped = FailureScenario::switches(switches);
+            prop_assert!(
+                topo.failure_probability(&mapped) >= topo.failure_probability(&fault) - 1e-18
+            );
+        }
+    }
+}
