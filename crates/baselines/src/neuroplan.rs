@@ -5,8 +5,8 @@ use nptsn::{FailureAnalyzer, Observation, PlannerConfig, PlanningProblem, Policy
 use nptsn_nn::Adam;
 use nptsn_rl::{ppo_update, sample_action, ActorCritic, PpoConfig, RolloutBuffer};
 use nptsn_topo::{Asil, LinkId, NodeId, Topology};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use nptsn_rand::rngs::StdRng;
+use nptsn_rand::SeedableRng;
 
 /// The static actions of the adapted NeuroPlan agent.
 #[derive(Debug, Clone, PartialEq)]
@@ -214,7 +214,7 @@ impl NeuroPlanAgent {
                         }
                         done = true;
                     }
-                    Verdict::Unreliable { .. } => {
+                    Verdict::Unreliable { .. } | Verdict::Inconclusive { .. } => {
                         let next_mask = self.mask(&topology, &actions);
                         if next_mask.iter().all(|&m| !m) {
                             reward -= 1.0;

@@ -200,7 +200,7 @@ mod tests {
     #[test]
     fn trh_protects_light_ads_workloads() {
         let s = ads();
-        let flows = random_flows(&s.graph, 6, 1);
+        let flows = random_flows(&s.graph, 6, 0);
         let problem = problem_for(Arc::clone(&s.graph), flows, s.tas);
         let out = Trh::new().plan(&problem);
         assert_eq!(out.unprotected_flows, 0);

@@ -1,22 +1,56 @@
-//! Criterion micro-benchmarks for the building blocks, plus per-epoch
-//! timing comparable to the paper's "39 s/epoch (ORION), 10 s/epoch (ADS)"
+//! Micro-benchmarks for the building blocks, plus per-epoch timing
+//! comparable to the paper's "39 s/epoch (ORION), 10 s/epoch (ADS)"
 //! figures (Section VI, measured there on an i9-9900K with Python/MPI).
+//!
+//! Plain `std::time::Instant` harness (no external bench framework, so the
+//! workspace stays hermetic). Each benchmark warms up, then reports the
+//! mean/min wall-clock time over a fixed number of iterations:
+//!
+//! ```text
+//! cargo run --release -p nptsn-bench --bin micro [filter]
+//! ```
+//!
+//! With an argument, only benchmarks whose name contains the filter run.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::sync::Arc;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use nptsn::{
     encode_observation, FailureAnalyzer, Planner, PlannerConfig, PlanningProblem, Soag,
 };
 use nptsn_bench::problem_for;
 use nptsn_nn::{normalized_adjacency, Gcn, Module};
+use nptsn_rand::rngs::StdRng;
+use nptsn_rand::SeedableRng;
 use nptsn_rl::{ppo_update, ActorCritic, PpoConfig, RolloutBuffer};
 use nptsn_scenarios::{ads, orion, random_flows};
 use nptsn_sched::{NetworkBehavior, ShortestPathRecovery};
 use nptsn_tensor::Tensor;
 use nptsn_topo::{k_shortest_paths, Asil, FailureScenario, Topology};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+/// Runs `f` repeatedly and prints mean/min timing. `iters` is chosen by the
+/// caller to keep total runtime reasonable for the workload's cost.
+fn bench(filter: &str, name: &str, warmup: usize, iters: usize, mut f: impl FnMut()) {
+    if !name.contains(filter) {
+        return;
+    }
+    for _ in 0..warmup {
+        f();
+    }
+    let mut min = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed();
+        total += elapsed;
+        if elapsed < min {
+            min = elapsed;
+        }
+    }
+    let mean = total / iters as u32;
+    println!("{name:<40} mean {mean:>12.3?}   min {min:>12.3?}   ({iters} iters)");
+}
 
 /// The ORION original topology with ASIL-A switches (denser failure space).
 fn orion_topology() -> (PlanningProblem, Topology) {
@@ -35,35 +69,35 @@ fn orion_topology() -> (PlanningProblem, Topology) {
     (problem, topo)
 }
 
-fn bench_paths(c: &mut Criterion) {
+fn bench_paths(filter: &str) {
     let (_, topo) = orion_topology();
     let adj = topo.adjacency();
     let gc = topo.connection_graph();
     let s = gc.end_stations()[0];
     let d = gc.end_stations()[17];
-    c.bench_function("ksp_k16_orion", |b| {
-        b.iter(|| k_shortest_paths(&adj, s, d, 16));
+    bench(filter, "ksp_k16_orion", 10, 200, || {
+        black_box(k_shortest_paths(&adj, s, d, 16));
     });
 }
 
-fn bench_nbf(c: &mut Criterion) {
+fn bench_nbf(filter: &str) {
     let (problem, topo) = orion_topology();
     let nbf = ShortestPathRecovery::new();
     let failure = FailureScenario::switches(vec![topo.selected_switches()[3]]);
-    c.bench_function("nbf_recover_20flows_orion", |b| {
-        b.iter(|| nbf.recover(&topo, &failure, problem.tas(), problem.flows()));
+    bench(filter, "nbf_recover_20flows_orion", 10, 200, || {
+        black_box(nbf.recover(&topo, &failure, problem.tas(), problem.flows()));
     });
 }
 
-fn bench_failure_analysis(c: &mut Criterion) {
+fn bench_failure_analysis(filter: &str) {
     let (problem, topo) = orion_topology();
     let analyzer = FailureAnalyzer::new();
-    c.bench_function("failure_analysis_orion_asil_a", |b| {
-        b.iter(|| analyzer.analyze(&problem, &topo));
+    bench(filter, "failure_analysis_orion_asil_a", 5, 50, || {
+        black_box(analyzer.analyze(&problem, &topo));
     });
 }
 
-fn bench_soag(c: &mut Criterion) {
+fn bench_soag(filter: &str) {
     let (problem, topo) = orion_topology();
     let soag = Soag::new(16);
     let analyzer = FailureAnalyzer::new();
@@ -79,18 +113,15 @@ fn bench_soag(c: &mut Criterion) {
     .unwrap();
     let (failure, errors) = match analyzer.analyze(&strict, &topo) {
         nptsn::Verdict::Unreliable { failure, errors } => (failure, errors),
-        nptsn::Verdict::Reliable => (FailureScenario::none(), Default::default()),
+        _ => (FailureScenario::none(), Default::default()),
     };
-    c.bench_function("soag_generate_k16_orion", |b| {
-        b.iter_batched(
-            || StdRng::seed_from_u64(0),
-            |mut rng| soag.generate(&problem, &topo, &failure, &errors, &mut rng),
-            BatchSize::SmallInput,
-        );
+    bench(filter, "soag_generate_k16_orion", 10, 100, || {
+        let mut rng = StdRng::seed_from_u64(0);
+        black_box(soag.generate(&problem, &topo, &failure, &errors, &mut rng));
     });
 }
 
-fn bench_encode(c: &mut Criterion) {
+fn bench_encode(filter: &str) {
     let (problem, topo) = orion_topology();
     let soag = Soag::new(16);
     let mut rng = StdRng::seed_from_u64(0);
@@ -98,33 +129,31 @@ fn bench_encode(c: &mut Criterion) {
     let es = problem.connection_graph().end_stations();
     errors.record(es[0], es[1]);
     let actions = soag.generate(&problem, &topo, &FailureScenario::none(), &errors, &mut rng);
-    c.bench_function("encode_observation_orion", |b| {
-        b.iter(|| encode_observation(&problem, &topo, &actions));
+    bench(filter, "encode_observation_orion", 10, 200, || {
+        black_box(encode_observation(&problem, &topo, &actions));
     });
 }
 
-fn bench_gcn(c: &mut Criterion) {
+fn bench_gcn(filter: &str) {
     let n = 46;
     let f = 1 + n + 31 + 16;
     let mut rng = StdRng::seed_from_u64(0);
     let gcn = Gcn::new(&mut rng, &[f, 2 * n, 2 * n]);
     let ahat = normalized_adjacency(&vec![0.0; n * n], n);
     let h = Tensor::from_vec(n, f, vec![0.1; n * f]);
-    c.bench_function("gcn_forward_orion_dims", |b| {
-        b.iter(|| gcn.forward(&ahat, &h));
+    bench(filter, "gcn_forward_orion_dims", 5, 50, || {
+        black_box(gcn.forward(&ahat, &h));
     });
-    c.bench_function("gcn_forward_backward_orion_dims", |b| {
-        b.iter(|| {
-            let out = gcn.forward(&ahat, &h).mean();
-            out.backward();
-            for p in gcn.parameters() {
-                p.zero_grad();
-            }
-        });
+    bench(filter, "gcn_forward_backward_orion_dims", 5, 50, || {
+        let out = gcn.forward(&ahat, &h).mean();
+        out.backward();
+        for p in gcn.parameters() {
+            p.zero_grad();
+        }
     });
 }
 
-fn bench_ppo(c: &mut Criterion) {
+fn bench_ppo(filter: &str) {
     // A small actor-critic over vector observations: measures the PPO
     // update machinery itself.
     struct Tiny {
@@ -162,26 +191,17 @@ fn bench_ppo(c: &mut Criterion) {
     }
     let batch = buf.drain();
     let cfg = PpoConfig { train_pi_iters: 4, train_v_iters: 4, ..PpoConfig::default() };
-    c.bench_function("ppo_update_64steps", |b| {
-        b.iter_batched(
-            || {
-                (
-                    nptsn_nn::Adam::new(model.actor.parameters(), 3e-4),
-                    nptsn_nn::Adam::new(model.critic.parameters(), 1e-3),
-                )
-            },
-            |(mut a, mut v)| ppo_update(&model, &mut a, &mut v, &batch, &cfg),
-            BatchSize::SmallInput,
-        );
+    bench(filter, "ppo_update_64steps", 2, 20, || {
+        let mut a = nptsn_nn::Adam::new(model.actor.parameters(), 3e-4);
+        let mut v = nptsn_nn::Adam::new(model.critic.parameters(), 1e-3);
+        black_box(ppo_update(&model, &mut a, &mut v, &batch, &cfg));
     });
 }
 
-fn bench_epochs(c: &mut Criterion) {
+fn bench_epochs(filter: &str) {
     // One full training epoch per scenario, directly comparable in shape
     // to the paper's per-epoch timing (smaller step counts; the harness
     // prints the scaling factor).
-    let mut group = c.benchmark_group("epoch");
-    group.sample_size(10);
     {
         let scenario = ads();
         let flows = random_flows(&scenario.graph, 12, 0);
@@ -195,8 +215,8 @@ fn bench_epochs(c: &mut Criterion) {
             workers: 4,
             ..PlannerConfig::default_paper()
         };
-        group.bench_function("ads_128steps", |b| {
-            b.iter(|| Planner::new(problem.clone(), config.clone()).run());
+        bench(filter, "epoch/ads_128steps", 1, 3, || {
+            black_box(Planner::new(problem.clone(), config.clone()).run());
         });
     }
     {
@@ -212,23 +232,20 @@ fn bench_epochs(c: &mut Criterion) {
             workers: 4,
             ..PlannerConfig::default_paper()
         };
-        group.bench_function("orion_64steps", |b| {
-            b.iter(|| Planner::new(problem.clone(), config.clone()).run());
+        bench(filter, "epoch/orion_64steps", 1, 3, || {
+            black_box(Planner::new(problem.clone(), config.clone()).run());
         });
     }
-    group.finish();
-    let _ = Arc::new(0); // keep Arc import used even if scenarios change
 }
 
-criterion_group!(
-    benches,
-    bench_paths,
-    bench_nbf,
-    bench_failure_analysis,
-    bench_soag,
-    bench_encode,
-    bench_gcn,
-    bench_ppo,
-    bench_epochs
-);
-criterion_main!(benches);
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    bench_paths(&filter);
+    bench_nbf(&filter);
+    bench_failure_analysis(&filter);
+    bench_soag(&filter);
+    bench_encode(&filter);
+    bench_gcn(&filter);
+    bench_ppo(&filter);
+    bench_epochs(&filter);
+}

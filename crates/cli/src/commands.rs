@@ -144,6 +144,14 @@ fn cmd_verify(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliE
             writeln!(out, "RELIABLE (cost {cost:.1})").map_err(io_err)?;
             Ok(())
         }
+        Verdict::Inconclusive { scenarios_checked } => {
+            writeln!(
+                out,
+                "INCONCLUSIVE after {scenarios_checked} scenarios (analysis budget exhausted)"
+            )
+            .map_err(io_err)?;
+            Ok(())
+        }
         Verdict::Unreliable { failure, errors } => {
             let gc = parsed.problem.connection_graph();
             let named: Vec<&str> =

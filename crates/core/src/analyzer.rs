@@ -3,6 +3,7 @@
 use nptsn_sched::ErrorReport;
 use nptsn_topo::{FailureScenario, NodeId, Topology};
 
+use crate::error::NptsnError;
 use crate::problem::PlanningProblem;
 
 /// Which nodes the analyzer injects failures into.
@@ -31,6 +32,15 @@ pub enum Verdict {
         /// The endpoint pairs the NBF failed to restore under it.
         errors: ErrorReport,
     },
+    /// The analysis budget ran out before every non-safe fault was checked:
+    /// no counterexample was found, but reliability is *not* guaranteed.
+    /// Only produced by budgeted analyzers (never by the unbounded
+    /// default).
+    Inconclusive {
+        /// How many failure scenarios were injected before the budget ran
+        /// out.
+        scenarios_checked: u64,
+    },
 }
 
 impl Verdict {
@@ -38,6 +48,50 @@ impl Verdict {
     pub fn is_reliable(&self) -> bool {
         matches!(self, Verdict::Reliable)
     }
+}
+
+/// A deterministic work budget for [`FailureAnalyzer::analyze`], measured
+/// in failure scenarios injected (NBF invocations) — not wall-clock time,
+/// so budgeted runs stay reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisBudget(Option<u64>);
+
+impl AnalysisBudget {
+    /// No limit: Algorithm 3 runs to completion (the default).
+    pub const UNBOUNDED: AnalysisBudget = AnalysisBudget(None);
+
+    /// At most `n` failure scenarios are injected; the verdict degrades to
+    /// [`Verdict::Inconclusive`] if enumeration is cut short.
+    pub fn scenarios(n: u64) -> AnalysisBudget {
+        AnalysisBudget(Some(n))
+    }
+
+    /// The scenario limit, or `None` when unbounded.
+    pub fn limit(&self) -> Option<u64> {
+        self.0
+    }
+}
+
+impl Default for AnalysisBudget {
+    fn default() -> AnalysisBudget {
+        AnalysisBudget::UNBOUNDED
+    }
+}
+
+/// The outcome of one analysis run with coverage statistics, so callers
+/// that trade soundness-of-claim for latency can see exactly what they
+/// bought.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisReport {
+    /// The verdict (anytime: [`Verdict::Inconclusive`] when the budget ran
+    /// out).
+    pub verdict: Verdict,
+    /// How many failure scenarios were injected (NBF invocations).
+    pub scenarios_checked: u64,
+    /// Whether the enumeration ran to completion. `true` means the verdict
+    /// is exactly what the unbounded analyzer would have produced; `false`
+    /// means the budget was exhausted first.
+    pub exhausted: bool,
 }
 
 /// Failure injection per Algorithm 3: checks every switch-failure subset
@@ -88,18 +142,25 @@ impl Verdict {
 #[derive(Debug, Clone)]
 pub struct FailureAnalyzer {
     scope: NodeScope,
+    budget: AnalysisBudget,
 }
 
 impl FailureAnalyzer {
-    /// An analyzer over switch failures only (the default, sound without
-    /// flow-level redundancy).
+    /// An analyzer over switch failures only with an unbounded budget (the
+    /// default, sound without flow-level redundancy).
     pub fn new() -> FailureAnalyzer {
-        FailureAnalyzer { scope: NodeScope::SwitchesOnly }
+        FailureAnalyzer { scope: NodeScope::SwitchesOnly, budget: AnalysisBudget::UNBOUNDED }
     }
 
     /// An analyzer with an explicit node scope.
     pub fn with_scope(scope: NodeScope) -> FailureAnalyzer {
-        FailureAnalyzer { scope }
+        FailureAnalyzer { scope, budget: AnalysisBudget::UNBOUNDED }
+    }
+
+    /// Returns this analyzer with the given work budget (builder-style).
+    pub fn with_budget(mut self, budget: AnalysisBudget) -> FailureAnalyzer {
+        self.budget = budget;
+        self
     }
 
     /// The configured node scope.
@@ -107,34 +168,54 @@ impl FailureAnalyzer {
         self.scope
     }
 
+    /// The configured work budget.
+    pub fn budget(&self) -> AnalysisBudget {
+        self.budget
+    }
+
     /// Runs Algorithm 3 on `topology`.
+    ///
+    /// With the default unbounded budget the result is exact; with a
+    /// [`AnalysisBudget::scenarios`] budget it may be
+    /// [`Verdict::Inconclusive`]. For coverage statistics use
+    /// [`try_analyze`](FailureAnalyzer::try_analyze).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is internally inconsistent (a selected switch
+    /// without an ASIL) — impossible through the public `Topology` API.
     pub fn analyze(&self, problem: &PlanningProblem, topology: &Topology) -> Verdict {
+        self.try_analyze(problem, topology).expect("inconsistent topology").verdict
+    }
+
+    /// Runs Algorithm 3 and returns the verdict with coverage statistics,
+    /// surfacing internal inconsistencies as errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NptsnError::Topo`] if the topology is internally
+    /// inconsistent (e.g. a selected switch without an ASIL).
+    pub fn try_analyze(
+        &self,
+        problem: &PlanningProblem,
+        topology: &Topology,
+    ) -> Result<AnalysisReport, NptsnError> {
         let r = problem.reliability_goal();
         // Candidate fault nodes with their failure probabilities, sorted by
         // decreasing probability (line 1).
-        let mut nodes: Vec<(NodeId, f64)> = match self.scope {
-            NodeScope::SwitchesOnly => topology
-                .selected_switches()
-                .iter()
-                .map(|&s| (s, topology.switch_asil(s).expect("selected").failure_probability()))
-                .collect(),
-            NodeScope::AllNodes => {
-                let gc = topology.connection_graph();
-                let mut v: Vec<(NodeId, f64)> = topology
-                    .selected_switches()
-                    .iter()
-                    .map(|&s| {
-                        (s, topology.switch_asil(s).expect("selected").failure_probability())
-                    })
-                    .collect();
-                v.extend(
-                    gc.end_stations()
-                        .iter()
-                        .map(|&e| (e, gc.end_station_asil(e).failure_probability())),
-                );
-                v
-            }
-        };
+        let mut nodes: Vec<(NodeId, f64)> = Vec::new();
+        for &s in topology.selected_switches() {
+            let asil = topology.switch_asil(s).ok_or_else(|| {
+                NptsnError::internal(format!("selected switch {s} has no ASIL"))
+            })?;
+            nodes.push((s, asil.failure_probability()));
+        }
+        if self.scope == NodeScope::AllNodes {
+            let gc = topology.connection_graph();
+            nodes.extend(
+                gc.end_stations().iter().map(|&e| (e, gc.end_station_asil(e).failure_probability())),
+            );
+        }
         nodes.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .unwrap_or(std::cmp::Ordering::Equal)
@@ -155,11 +236,16 @@ impl FailureAnalyzer {
         }
 
         // Lines 2-14: check subsets from maxord down to the empty failure.
+        // The budget caps the number of NBF invocations; safe faults and
+        // superset-pruned subsets are free (no recovery is attempted).
+        let limit = self.budget.limit().unwrap_or(u64::MAX);
+        let mut scenarios_checked: u64 = 0;
+        let mut out_of_budget = false;
         let mut checked: Vec<FailureScenario> = Vec::new();
         for order in (0..=maxord).rev() {
             let mut verdict = None;
             for_each_combination(nodes.len(), order, &mut |indices| {
-                if verdict.is_some() {
+                if verdict.is_some() || out_of_budget {
                     return;
                 }
                 let probability: f64 = indices.iter().map(|&i| nodes[i].1).product();
@@ -171,6 +257,11 @@ impl FailureAnalyzer {
                 if checked.iter().any(|bigger| failure.is_subset_of(bigger)) {
                     return; // a superset already survived
                 }
+                if scenarios_checked >= limit {
+                    out_of_budget = true;
+                    return;
+                }
+                scenarios_checked += 1;
                 let outcome = problem.nbf().recover(
                     topology,
                     &failure,
@@ -184,10 +275,17 @@ impl FailureAnalyzer {
                 }
             });
             if let Some(v) = verdict {
-                return v;
+                return Ok(AnalysisReport { verdict: v, scenarios_checked, exhausted: true });
+            }
+            if out_of_budget {
+                return Ok(AnalysisReport {
+                    verdict: Verdict::Inconclusive { scenarios_checked },
+                    scenarios_checked,
+                    exhausted: false,
+                });
             }
         }
-        Verdict::Reliable
+        Ok(AnalysisReport { verdict: Verdict::Reliable, scenarios_checked, exhausted: true })
     }
 }
 
@@ -309,7 +407,7 @@ mod tests {
                 assert_eq!(failure.failed_switches(), &[s0, s1]);
                 assert!(!errors.is_empty());
             }
-            Verdict::Reliable => panic!("dual failure should not be survivable"),
+            other => panic!("dual failure should not be survivable: {other:?}"),
         }
     }
 
@@ -361,7 +459,7 @@ mod tests {
                 assert!(failure.is_empty(), "the empty failure is the culprit");
                 assert_eq!(errors.len(), 1);
             }
-            Verdict::Reliable => panic!("no links: nominal scheduling must fail"),
+            other => panic!("no links: nominal scheduling must fail: {other:?}"),
         }
     }
 
@@ -419,7 +517,7 @@ mod tests {
             Verdict::Unreliable { failure, .. } => {
                 assert!(!failure.is_empty());
             }
-            Verdict::Reliable => panic!("source failure cannot be survived"),
+            other => panic!("source failure cannot be survived: {other:?}"),
         }
     }
 
@@ -431,5 +529,81 @@ mod tests {
             errors: ErrorReport::empty(),
         };
         assert!(!v.is_reliable());
+        assert!(!Verdict::Inconclusive { scenarios_checked: 3 }.is_reliable());
+    }
+
+    #[test]
+    fn unbounded_report_is_exhausted_and_matches_analyze() {
+        let (problem, topo, ..) = theta_problem();
+        let analyzer = FailureAnalyzer::new();
+        assert_eq!(analyzer.budget(), AnalysisBudget::UNBOUNDED);
+        let report = analyzer.try_analyze(&problem, &topo).unwrap();
+        assert!(report.exhausted);
+        assert!(report.scenarios_checked > 0);
+        assert_eq!(report.verdict, analyzer.analyze(&problem, &topo));
+    }
+
+    #[test]
+    fn small_budget_returns_inconclusive_with_coverage() {
+        // The theta network needs 2 NBF invocations (the two single
+        // failures; the nominal check is superset-pruned after they
+        // survive), so a budget of 1 must cut enumeration short.
+        let (problem, topo, ..) = theta_problem();
+        let analyzer = FailureAnalyzer::new().with_budget(AnalysisBudget::scenarios(1));
+        let report = analyzer.try_analyze(&problem, &topo).unwrap();
+        assert!(!report.exhausted);
+        assert_eq!(report.scenarios_checked, 1);
+        assert_eq!(report.verdict, Verdict::Inconclusive { scenarios_checked: 1 });
+        // The anytime verdict also comes through the panicking wrapper.
+        assert!(!analyzer.analyze(&problem, &topo).is_reliable());
+    }
+
+    #[test]
+    fn sufficient_budget_matches_unbounded_verdict() {
+        let (problem, topo, ..) = theta_problem();
+        let unbounded = FailureAnalyzer::new().try_analyze(&problem, &topo).unwrap();
+        let budgeted = FailureAnalyzer::new()
+            .with_budget(AnalysisBudget::scenarios(unbounded.scenarios_checked))
+            .try_analyze(&problem, &topo)
+            .unwrap();
+        assert!(budgeted.exhausted);
+        assert_eq!(budgeted.verdict, unbounded.verdict);
+        assert_eq!(budgeted.scenarios_checked, unbounded.scenarios_checked);
+    }
+
+    #[test]
+    fn budget_counts_only_nbf_invocations() {
+        // Safe faults and superset-pruned scenarios must not consume
+        // budget: with exactly the unbounded run's scenario count, the
+        // verdict stays exact even though many more subsets exist.
+        let (problem, topo, s0, s1) = theta_problem();
+        let strict = PlanningProblem::new(
+            problem.connection_graph_arc(),
+            problem.library().clone(),
+            *problem.tas(),
+            problem.flows().clone(),
+            1e-9,
+            problem.nbf_arc(),
+        )
+        .unwrap();
+        let unbounded = FailureAnalyzer::new().try_analyze(&strict, &topo).unwrap();
+        let budgeted = FailureAnalyzer::new()
+            .with_budget(AnalysisBudget::scenarios(unbounded.scenarios_checked))
+            .try_analyze(&strict, &topo)
+            .unwrap();
+        match budgeted.verdict {
+            Verdict::Unreliable { failure, .. } => {
+                assert_eq!(failure.failed_switches(), &[s0, s1]);
+            }
+            other => panic!("expected the dual failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_accessors() {
+        assert_eq!(AnalysisBudget::default().limit(), None);
+        assert_eq!(AnalysisBudget::scenarios(7).limit(), Some(7));
+        let a = FailureAnalyzer::new().with_budget(AnalysisBudget::scenarios(7));
+        assert_eq!(a.budget().limit(), Some(7));
     }
 }

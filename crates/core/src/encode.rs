@@ -146,8 +146,8 @@ mod tests {
     use crate::soag::Soag;
     use nptsn_sched::{ErrorReport, FlowSet, FlowSpec, ShortestPathRecovery, TasConfig};
     use nptsn_topo::{Asil, ComponentLibrary, ConnectionGraph, FailureScenario, NodeId};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nptsn_rand::rngs::StdRng;
+    use nptsn_rand::SeedableRng;
     use std::sync::Arc;
 
     fn setup() -> (PlanningProblem, NodeId, NodeId, NodeId) {

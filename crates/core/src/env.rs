@@ -2,7 +2,7 @@
 
 use nptsn_sched::ErrorReport;
 use nptsn_topo::{FailureScenario, Topology};
-use rand::Rng;
+use nptsn_rand::Rng;
 
 use crate::analyzer::{FailureAnalyzer, Verdict};
 use crate::encode::{encode_observation, Observation};
@@ -39,7 +39,7 @@ pub struct StepOutcome {
 /// use nptsn::{PlanningEnv, PlanningProblem};
 /// use nptsn_sched::{FlowSet, FlowSpec, ShortestPathRecovery, TasConfig};
 /// use nptsn_topo::{ComponentLibrary, ConnectionGraph};
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use nptsn_rand::{rngs::StdRng, SeedableRng};
 /// use std::sync::Arc;
 ///
 /// let mut gc = ConnectionGraph::new();
@@ -117,8 +117,11 @@ impl PlanningEnv {
             Verdict::Unreliable { failure, errors } => (failure, errors),
             // Degenerate: an empty network already meets the goal. Offer
             // switch actions only; the caller will record the zero-cost
-            // solution on its first analysis.
-            Verdict::Reliable => (FailureScenario::none(), ErrorReport::empty()),
+            // solution on its first analysis. A budget-truncated verdict
+            // likewise has no counterexample to steer the SOAG with.
+            Verdict::Reliable | Verdict::Inconclusive { .. } => {
+                (FailureScenario::none(), ErrorReport::empty())
+            }
         };
         self.actions =
             self.soag.generate(&self.problem, &self.topology, &failure, &errors, rng);
@@ -174,28 +177,35 @@ impl PlanningEnv {
         let mut reward = ((self.last_cost - new_cost) as f32) / self.reward_scaling;
         self.last_cost = new_cost;
 
-        match self.analyzer.analyze(&self.problem, &self.topology) {
+        let (failure, errors) = match self.analyzer.analyze(&self.problem, &self.topology) {
             Verdict::Reliable => {
                 let solution =
                     Solution { topology: self.topology.clone(), cost: new_cost };
-                StepOutcome { reward, done: true, truncated: false, solution: Some(solution) }
+                return StepOutcome {
+                    reward,
+                    done: true,
+                    truncated: false,
+                    solution: Some(solution),
+                };
             }
-            Verdict::Unreliable { failure, errors } => {
-                self.actions =
-                    self.soag.generate(&self.problem, &self.topology, &failure, &errors, rng);
-                if self.actions.all_masked() {
-                    // Dead end: no valid action can repair the network.
-                    reward -= 1.0;
-                    return StepOutcome { reward, done: true, truncated: false, solution: None };
-                }
-                self.observation =
-                    encode_observation(&self.problem, &self.topology, &self.actions);
-                if self.episode_steps >= self.max_episode_steps {
-                    return StepOutcome { reward, done: true, truncated: true, solution: None };
-                }
-                StepOutcome { reward, done: false, truncated: false, solution: None }
-            }
+            Verdict::Unreliable { failure, errors } => (failure, errors),
+            // Inconclusive (budgeted analyzer, no counterexample found):
+            // not verified reliable, so keep building, steering the SOAG
+            // with an empty failure/error report.
+            Verdict::Inconclusive { .. } => (FailureScenario::none(), ErrorReport::empty()),
+        };
+        self.actions =
+            self.soag.generate(&self.problem, &self.topology, &failure, &errors, rng);
+        if self.actions.all_masked() {
+            // Dead end: no valid action can repair the network.
+            reward -= 1.0;
+            return StepOutcome { reward, done: true, truncated: false, solution: None };
         }
+        self.observation = encode_observation(&self.problem, &self.topology, &self.actions);
+        if self.episode_steps >= self.max_episode_steps {
+            return StepOutcome { reward, done: true, truncated: true, solution: None };
+        }
+        StepOutcome { reward, done: false, truncated: false, solution: None }
     }
 }
 
@@ -204,8 +214,8 @@ mod tests {
     use super::*;
     use nptsn_sched::{FlowSet, FlowSpec, ShortestPathRecovery, TasConfig};
     use nptsn_topo::{Asil, ComponentLibrary, ConnectionGraph, NodeId};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nptsn_rand::rngs::StdRng;
+    use nptsn_rand::SeedableRng;
     use std::sync::Arc;
 
     fn theta_problem() -> (PlanningProblem, NodeId, NodeId, NodeId, NodeId) {

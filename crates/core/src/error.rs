@@ -1,0 +1,128 @@
+//! The workspace-wide error type.
+//!
+//! Error-handling policy (see also `DESIGN.md`):
+//!
+//! - **Library internals return `Result`.** Anything that can fail because
+//!   of the *problem instance* — malformed topologies, unschedulable flow
+//!   sets, inconsistent analyzer state — surfaces as a structured error so
+//!   a long planning run can skip or degrade rather than abort.
+//! - **API-boundary contract violations may panic**, and say so in their
+//!   doc comments (e.g. [`crate::PlanningEnv::step`] on a masked action,
+//!   `Topology::network_cost` when `try_network_cost` would error). These
+//!   are programming errors, not data errors.
+//! - **Training episodes are isolated**: `Planner::run` wraps each rollout
+//!   worker in `catch_unwind`, so a panic escaping a single episode is
+//!   counted and skipped instead of killing the run.
+
+use std::error::Error;
+use std::fmt;
+
+use nptsn_sched::SchedError;
+use nptsn_topo::TopoError;
+
+/// The unified error for planning operations, wrapping the layer-specific
+/// [`TopoError`] and [`SchedError`] types.
+///
+/// # Examples
+///
+/// ```
+/// use nptsn::NptsnError;
+/// use nptsn_topo::{ConnectionGraph, TopoError};
+///
+/// let mut gc = ConnectionGraph::new();
+/// let a = gc.add_end_station("a");
+/// let err: NptsnError = gc.add_candidate_link(a, a, 1.0).unwrap_err().into();
+/// assert!(matches!(err, NptsnError::Topo(TopoError::SelfLoop(_))));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum NptsnError {
+    /// A graph or topology operation failed.
+    Topo(TopoError),
+    /// A scheduling or flow-set operation failed.
+    Sched(SchedError),
+    /// An action index was invalid for the current environment state.
+    InvalidAction {
+        /// The offending action index.
+        index: usize,
+        /// Why the action could not be applied.
+        reason: String,
+    },
+    /// An internal invariant did not hold; carries a description. Seeing
+    /// this is a bug, but callers still get a `Result` instead of an abort.
+    Internal(String),
+}
+
+impl NptsnError {
+    /// Shorthand for an [`NptsnError::Internal`] with a formatted message.
+    pub fn internal(msg: impl Into<String>) -> NptsnError {
+        NptsnError::Internal(msg.into())
+    }
+}
+
+impl fmt::Display for NptsnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NptsnError::Topo(e) => write!(f, "topology error: {e}"),
+            NptsnError::Sched(e) => write!(f, "scheduling error: {e}"),
+            NptsnError::InvalidAction { index, reason } => {
+                write!(f, "invalid action {index}: {reason}")
+            }
+            NptsnError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl Error for NptsnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NptsnError::Topo(e) => Some(e),
+            NptsnError::Sched(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopoError> for NptsnError {
+    fn from(e: TopoError) -> NptsnError {
+        NptsnError::Topo(e)
+    }
+}
+
+impl From<SchedError> for NptsnError {
+    fn from(e: SchedError) -> NptsnError {
+        NptsnError::Sched(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nptsn_topo::ConnectionGraph;
+
+    #[test]
+    fn display_and_source() {
+        let mut gc = ConnectionGraph::new();
+        let a = gc.add_end_station("a");
+        let topo_err = gc.add_candidate_link(a, a, 1.0).unwrap_err();
+        let e = NptsnError::from(topo_err);
+        assert!(e.to_string().contains("topology error"));
+        assert!(e.source().is_some());
+
+        let e = NptsnError::from(SchedError::NoFlows);
+        assert!(e.to_string().contains("scheduling error"));
+        assert!(e.source().is_some());
+
+        let e = NptsnError::InvalidAction { index: 7, reason: "masked out".into() };
+        assert!(e.to_string().contains("invalid action 7"));
+        assert!(e.source().is_none());
+
+        let e = NptsnError::internal("oops");
+        assert!(e.to_string().contains("oops"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NptsnError>();
+    }
+}

@@ -1,7 +1,7 @@
 //! A greedy ablation planner: SOAG actions without the learned policy.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use nptsn_rand::rngs::StdRng;
+use nptsn_rand::SeedableRng;
 
 use crate::analyzer::{FailureAnalyzer, Verdict};
 use crate::env::PlanningEnv;

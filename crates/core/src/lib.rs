@@ -66,6 +66,7 @@ mod analyzer;
 mod config;
 mod encode;
 mod env;
+mod error;
 mod greedy;
 mod model;
 mod planner;
@@ -73,10 +74,11 @@ mod problem;
 mod soag;
 mod solution;
 
-pub use analyzer::{FailureAnalyzer, NodeScope, Verdict};
+pub use analyzer::{AnalysisBudget, AnalysisReport, FailureAnalyzer, NodeScope, Verdict};
 pub use config::PlannerConfig;
 pub use encode::{encode_observation, Observation};
 pub use env::{PlanningEnv, StepOutcome};
+pub use error::NptsnError;
 pub use greedy::{verify_topology, GreedyPlanner};
 pub use model::PolicyNetwork;
 pub use planner::{EpochStats, Planner, PlannerReport};

@@ -3,8 +3,8 @@
 use nptsn_nn::{Activation, Gcn, Mlp, Module};
 use nptsn_rl::{masked_log_probs, ActorCritic};
 use nptsn_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use nptsn_rand::rngs::StdRng;
+use nptsn_rand::SeedableRng;
 
 use crate::config::PlannerConfig;
 use crate::encode::{Observation, AUX_LEN};

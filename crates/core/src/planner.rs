@@ -2,8 +2,8 @@
 
 use nptsn_nn::{export_params, import_params, Adam, Module};
 use nptsn_rl::{ppo_update, sample_action, ActorCritic, Batch, PpoConfig, RolloutBuffer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use nptsn_rand::rngs::StdRng;
+use nptsn_rand::SeedableRng;
 
 use crate::config::PlannerConfig;
 use crate::encode::Observation;
@@ -38,6 +38,10 @@ pub struct EpochStats {
     pub approx_kl: f32,
     /// Mean policy entropy.
     pub entropy: f32,
+    /// Rollout workers whose episode panicked this epoch. Poisoned workers
+    /// contribute no experience; the epoch continues with the rest (see the
+    /// error-handling policy in `DESIGN.md`).
+    pub poisoned_workers: usize,
 }
 
 /// The outcome of a planning run.
@@ -179,44 +183,65 @@ impl Planner {
             let workers = self.config.workers.max(1);
             let steps_per_worker = (self.config.steps_per_epoch / workers).max(1);
 
-            let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+            // Each worker's rollout runs under `catch_unwind`: a panic in
+            // one episode (a poisoned NBF, a malformed scenario) poisons
+            // only that worker's share of the epoch, never the run.
+            let results: Vec<Option<WorkerResult>> = std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(workers);
                 for worker in 0..workers {
                     let snapshot = &snapshot;
                     let problem = self.problem.clone();
                     let config = &self.config;
                     handles.push(scope.spawn(move || {
-                        collect_rollout(
-                            problem,
-                            config,
-                            snapshot,
-                            n,
-                            feature_count,
-                            action_count,
-                            steps_per_worker,
-                            // Distinct stream per (epoch, worker).
-                            config
-                                .seed
-                                .wrapping_add(1 + epoch as u64 * workers as u64 + worker as u64),
-                        )
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            collect_rollout(
+                                problem,
+                                config,
+                                snapshot,
+                                n,
+                                feature_count,
+                                action_count,
+                                steps_per_worker,
+                                // Distinct stream per (epoch, worker).
+                                config.seed.wrapping_add(
+                                    1 + epoch as u64 * workers as u64 + worker as u64,
+                                ),
+                            )
+                        }))
+                        .ok()
                     }));
                 }
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                // A join error means the panic escaped `catch_unwind`
+                // (possible for foreign exceptions): count it as poisoned
+                // too instead of propagating.
+                handles.into_iter().map(|h| h.join().ok().flatten()).collect()
             });
 
-            let mut batches = Vec::with_capacity(results.len());
+            let mut batches = Vec::new();
             let mut episode_returns = Vec::new();
             let mut solutions_found = 0;
+            let mut poisoned_workers = 0;
             for r in results {
-                batches.push(r.batch);
-                episode_returns.extend(r.episode_returns);
-                solutions_found += r.solutions_found;
-                if let Some(sol) = r.best {
-                    keep_best(&mut best, sol);
+                match r {
+                    Some(r) => {
+                        batches.push(r.batch);
+                        episode_returns.extend(r.episode_returns);
+                        solutions_found += r.solutions_found;
+                        if let Some(sol) = r.best {
+                            keep_best(&mut best, sol);
+                        }
+                    }
+                    None => poisoned_workers += 1,
                 }
             }
             let batch = Batch::merge(batches);
-            let stats = ppo_update(&master, &mut actor_opt, &mut critic_opt, &batch, &ppo);
+            // With every worker poisoned there is no experience to learn
+            // from; record the epoch and move on.
+            let stats = if batch.is_empty() {
+                nptsn_rl::PpoStats::default()
+            } else {
+                ppo_update(&master, &mut actor_opt, &mut critic_opt, &batch, &ppo)
+            };
 
             let mean_return = if episode_returns.is_empty() {
                 0.0
@@ -233,6 +258,7 @@ impl Planner {
                 value_loss: stats.value_loss,
                 approx_kl: stats.approx_kl,
                 entropy: stats.entropy,
+                poisoned_workers,
             };
             progress(&epoch_stats);
             epochs.push(epoch_stats);
@@ -423,7 +449,7 @@ mod tests {
         )
         .unwrap();
         use nptsn_rl::ActorCritic;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = nptsn_rand::rngs::StdRng::seed_from_u64(0);
         let env = crate::env::PlanningEnv::new(planner.problem.clone(), 4, 1e3, 64, &mut rng);
         let mask = env.mask().to_vec();
         let (a, va) = restored.evaluate(env.observation(), &mask);
@@ -438,9 +464,59 @@ mod tests {
         let a = Planner::new(theta_problem(), cfg.clone()).run();
         let b = Planner::new(theta_problem(), cfg).run();
         assert_eq!(a.reward_curve(), b.reward_curve());
+        assert_eq!(a.epochs, b.epochs);
         assert_eq!(
             a.best.as_ref().map(|s| s.cost),
             b.best.as_ref().map(|s| s.cost)
         );
+        // Structural equality of the planned networks, not just cost.
+        assert_eq!(
+            a.best.as_ref().map(|s| &s.topology),
+            b.best.as_ref().map(|s| &s.topology)
+        );
+        assert_eq!(a.policy_checkpoint, b.policy_checkpoint);
+    }
+
+    #[test]
+    fn panicking_episodes_poison_workers_not_the_run() {
+        // An NBF that panics on every invocation — a stand-in for a buggy
+        // controller plug-in (the NBF is an externally supplied black box).
+        struct PanickingNbf;
+        impl nptsn_sched::NetworkBehavior for PanickingNbf {
+            fn recover(
+                &self,
+                _: &nptsn_topo::Topology,
+                _: &nptsn_topo::FailureScenario,
+                _: &TasConfig,
+                _: &FlowSet,
+            ) -> nptsn_sched::RecoveryOutcome {
+                panic!("injected NBF fault");
+            }
+            fn name(&self) -> &str {
+                "panicking"
+            }
+        }
+
+        let base = theta_problem();
+        let problem = PlanningProblem::new(
+            base.connection_graph_arc(),
+            base.library().clone(),
+            *base.tas(),
+            base.flows().clone(),
+            1e-6,
+            Arc::new(PanickingNbf),
+        )
+        .unwrap();
+        let cfg =
+            PlannerConfig { workers: 2, max_epochs: 2, ..PlannerConfig::smoke_test() };
+        let report = Planner::new(problem, cfg.clone()).run();
+        // The run completes every epoch instead of aborting the process;
+        // each poisoned worker is accounted for and no plan is reported.
+        assert_eq!(report.epochs.len(), cfg.max_epochs);
+        for epoch in &report.epochs {
+            assert_eq!(epoch.poisoned_workers, cfg.workers);
+            assert_eq!(epoch.episodes, 0);
+        }
+        assert!(report.best.is_none());
     }
 }

@@ -2,7 +2,7 @@
 
 use nptsn_sched::ErrorReport;
 use nptsn_topo::{k_shortest_paths, FailureScenario, NodeId, Path, Topology};
-use rand::Rng;
+use nptsn_rand::Rng;
 
 use crate::problem::PlanningProblem;
 
@@ -209,8 +209,8 @@ mod tests {
     use super::*;
     use nptsn_sched::{FlowSet, FlowSpec, ShortestPathRecovery, TasConfig};
     use nptsn_topo::{Asil, ComponentLibrary, ConnectionGraph};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nptsn_rand::rngs::StdRng;
+    use nptsn_rand::SeedableRng;
     use std::sync::Arc;
 
     fn theta() -> (PlanningProblem, NodeId, NodeId, NodeId, NodeId) {

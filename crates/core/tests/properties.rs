@@ -1,95 +1,102 @@
-//! Property-based tests of the planner's invariants: SOAG masks, the
+//! Randomized tests of the planner's invariants: SOAG masks, the
 //! environment's reward accounting, encoding shapes and analyzer
 //! monotonicity.
+//!
+//! Formerly proptest-based; now seeded deterministic sweeps driven by
+//! `nptsn-rand` so the workspace needs no external dev-dependencies.
 
 use std::sync::Arc;
 
 use nptsn::{
     encode_observation, verify_topology, PlanningEnv, PlanningProblem, Soag, Verdict,
 };
+use nptsn_rand::rngs::StdRng;
+use nptsn_rand::{Rng, RngCore, SeedableRng};
 use nptsn_sched::{ErrorReport, FlowSet, FlowSpec, ShortestPathRecovery, TasConfig};
 use nptsn_topo::{Asil, ComponentLibrary, ConnectionGraph, FailureScenario, NodeId};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+const CASES: u64 = 32;
 
 /// A random planning problem over a dual-homed candidate mesh.
-fn arb_problem() -> impl Strategy<Value = PlanningProblem> {
-    (3usize..6, 2usize..5, 1usize..6, any::<u64>()).prop_map(|(es, sw, nflows, seed)| {
-        let mut gc = ConnectionGraph::new();
-        let stations: Vec<NodeId> =
-            (0..es).map(|i| gc.add_end_station(format!("es{i}"))).collect();
-        let switches: Vec<NodeId> = (0..sw).map(|i| gc.add_switch(format!("sw{i}"))).collect();
-        for &e in &stations {
-            for &s in &switches {
-                gc.add_candidate_link(e, s, 1.0).unwrap();
-            }
+fn random_problem(rng: &mut StdRng) -> PlanningProblem {
+    let es = rng.gen_range(3usize..6);
+    let sw = rng.gen_range(2usize..5);
+    let nflows = rng.gen_range(1usize..6);
+    let mut gc = ConnectionGraph::new();
+    let stations: Vec<NodeId> = (0..es).map(|i| gc.add_end_station(format!("es{i}"))).collect();
+    let switches: Vec<NodeId> = (0..sw).map(|i| gc.add_switch(format!("sw{i}"))).collect();
+    for &e in &stations {
+        for &s in &switches {
+            gc.add_candidate_link(e, s, 1.0).unwrap();
         }
-        for i in 0..switches.len() {
-            for j in i + 1..switches.len() {
-                gc.add_candidate_link(switches[i], switches[j], 1.0).unwrap();
-            }
+    }
+    for i in 0..switches.len() {
+        for j in i + 1..switches.len() {
+            gc.add_candidate_link(switches[i], switches[j], 1.0).unwrap();
         }
-        let mut rng = StdRng::seed_from_u64(seed);
-        use rand::Rng;
-        let mut flows = Vec::new();
-        for _ in 0..nflows {
-            let s = stations[rng.gen_range(0..stations.len())];
-            let mut d = stations[rng.gen_range(0..stations.len())];
-            if d == s {
-                d = stations[(s.index() + 1) % stations.len()];
-            }
-            flows.push(FlowSpec::new(s, d, 500, 256));
+    }
+    let mut flows = Vec::new();
+    for _ in 0..nflows {
+        let s = stations[rng.gen_range(0..stations.len())];
+        let mut d = stations[rng.gen_range(0..stations.len())];
+        if d == s {
+            d = stations[(s.index() + 1) % stations.len()];
         }
-        PlanningProblem::new(
-            Arc::new(gc),
-            ComponentLibrary::automotive(),
-            TasConfig::default(),
-            FlowSet::new(flows).unwrap(),
-            1e-6,
-            Arc::new(ShortestPathRecovery::new()),
-        )
-        .unwrap()
-    })
+        flows.push(FlowSpec::new(s, d, 500, 256));
+    }
+    PlanningProblem::new(
+        Arc::new(gc),
+        ComponentLibrary::automotive(),
+        TasConfig::default(),
+        FlowSet::new(flows).unwrap(),
+        1e-6,
+        Arc::new(ShortestPathRecovery::new()),
+    )
+    .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Every masked-in SOAG action applies successfully and preserves the
-    /// degree constraints; the action space layout is stable.
-    #[test]
-    fn valid_soag_actions_always_apply(problem in arb_problem(), seed: u64, k in 2usize..12) {
+/// Every masked-in SOAG action applies successfully and preserves the
+/// degree constraints; the action space layout is stable.
+#[test]
+fn valid_soag_actions_always_apply() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xc04e_0000 + case);
+        let problem = random_problem(&mut rng);
+        let seed = rng.next_u64();
+        let k = rng.gen_range(2usize..12);
         let gc = problem.connection_graph();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut env = PlanningEnv::new(problem.clone(), k, 1e3, 64, &mut rng);
-        prop_assert_eq!(env.action_count(), gc.switches().len() + k);
+        assert_eq!(env.action_count(), gc.switches().len() + k);
         for _ in 0..12 {
-            let valid: Vec<usize> =
-                (0..env.action_count()).filter(|&i| env.mask()[i]).collect();
+            let valid: Vec<usize> = (0..env.action_count()).filter(|&i| env.mask()[i]).collect();
             if valid.is_empty() {
                 break;
             }
-            use rand::Rng;
             let idx = valid[rng.gen_range(0..valid.len())];
             let out = env.step(idx, &mut rng);
             // Degree constraints hold after every step.
             for node in gc.nodes() {
-                prop_assert!(env.topology().degree(node) <= gc.max_degree(node));
+                assert!(env.topology().degree(node) <= gc.max_degree(node));
             }
             if out.done {
                 if let Some(sol) = out.solution {
-                    prop_assert!(verify_topology(&problem, &sol.topology).is_reliable());
+                    assert!(verify_topology(&problem, &sol.topology).is_reliable());
                 }
                 break;
             }
         }
     }
+}
 
-    /// Rewards track the cost delta exactly (dead-end penalty aside), so an
-    /// episode's return telescopes to -final_cost / scale.
-    #[test]
-    fn episode_return_telescopes_to_cost(problem in arb_problem(), seed: u64) {
+/// Rewards track the cost delta exactly (dead-end penalty aside), so an
+/// episode's return telescopes to -final_cost / scale.
+#[test]
+fn episode_return_telescopes_to_cost() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xc04e_1000 + case);
+        let problem = random_problem(&mut rng);
+        let seed = rng.next_u64();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut env = PlanningEnv::new(problem.clone(), 6, 1e3, 64, &mut rng);
         let lib = problem.library();
@@ -101,21 +108,30 @@ proptest! {
             if out.done {
                 let cost = env.topology().network_cost(lib) as f32;
                 if out.solution.is_some() {
-                    prop_assert!((ret + cost / 1e3).abs() < 1e-4,
-                        "return {} vs -cost/1e3 {}", ret, -cost / 1e3);
+                    assert!(
+                        (ret + cost / 1e3).abs() < 1e-4,
+                        "case {case}: return {ret} vs -cost/1e3 {}",
+                        -cost / 1e3
+                    );
                 } else if !out.truncated {
                     // Dead end: return = -cost/1e3 - 1.
-                    prop_assert!((ret + cost / 1e3 + 1.0).abs() < 1e-4);
+                    assert!((ret + cost / 1e3 + 1.0).abs() < 1e-4, "case {case}");
                 }
                 break;
             }
         }
     }
+}
 
-    /// Observation shapes always match the declared layout, and the
-    /// features are finite.
-    #[test]
-    fn encoding_shapes_are_consistent(problem in arb_problem(), seed: u64, k in 1usize..10) {
+/// Observation shapes always match the declared layout, and the
+/// features are finite.
+#[test]
+fn encoding_shapes_are_consistent() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xc04e_2000 + case);
+        let problem = random_problem(&mut rng);
+        let seed = rng.next_u64();
+        let k = rng.gen_range(1usize..10);
         let gc = problem.connection_graph();
         let soag = Soag::new(k);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -131,24 +147,29 @@ proptest! {
         let set = soag.generate(&problem, &topo, &FailureScenario::none(), &er, &mut rng);
         let obs = encode_observation(&problem, &topo, &set);
         let n = gc.node_count();
-        prop_assert_eq!(obs.node_count, n);
-        prop_assert_eq!(obs.feature_count, 1 + n + gc.end_stations().len() + k);
-        prop_assert_eq!(obs.ahat.len(), n * n);
-        prop_assert_eq!(obs.features.len(), n * obs.feature_count);
-        prop_assert!(obs.ahat.iter().chain(obs.features.iter()).all(|v| v.is_finite()));
+        assert_eq!(obs.node_count, n);
+        assert_eq!(obs.feature_count, 1 + n + gc.end_stations().len() + k);
+        assert_eq!(obs.ahat.len(), n * n);
+        assert_eq!(obs.features.len(), n * obs.feature_count);
+        assert!(obs.ahat.iter().chain(obs.features.iter()).all(|v| v.is_finite()));
         // Â is symmetric.
         for i in 0..n {
             for j in 0..i {
-                prop_assert!((obs.ahat[i * n + j] - obs.ahat[j * n + i]).abs() < 1e-6);
+                assert!((obs.ahat[i * n + j] - obs.ahat[j * n + i]).abs() < 1e-6);
             }
         }
     }
+}
 
-    /// Upgrading any switch of a reliable topology keeps it reliable:
-    /// upgrades only shrink the set of non-safe faults and never change
-    /// recovery behavior.
-    #[test]
-    fn upgrades_preserve_reliability(problem in arb_problem(), seed: u64) {
+/// Upgrading any switch of a reliable topology keeps it reliable:
+/// upgrades only shrink the set of non-safe faults and never change
+/// recovery behavior.
+#[test]
+fn upgrades_preserve_reliability() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xc04e_3000 + case);
+        let problem = random_problem(&mut rng);
+        let seed = rng.next_u64();
         // Build some reliable topology via the environment with a scripted
         // policy; skip the case if none is found quickly.
         let mut rng = StdRng::seed_from_u64(seed);
@@ -166,22 +187,26 @@ proptest! {
             }
         }
         if let Some(mut topo) = reliable {
-            prop_assert!(verify_topology(&problem, &topo).is_reliable());
+            assert!(verify_topology(&problem, &topo).is_reliable());
             for &sw in topo.selected_switches().to_vec().iter() {
                 let _ = topo.upgrade_switch(sw);
             }
-            prop_assert!(
+            assert!(
                 verify_topology(&problem, &topo).is_reliable(),
-                "upgrades must never break reliability"
+                "case {case}: upgrades must never break reliability"
             );
         }
     }
+}
 
-    /// The analyzer's verdict agrees with a brute-force check over all
-    /// switch subsets (tiny instances).
-    #[test]
-    fn analyzer_matches_brute_force(problem in arb_problem(), seed: u64) {
-        let gc = problem.connection_graph();
+/// The analyzer's verdict agrees with a brute-force check over all
+/// switch subsets (tiny instances).
+#[test]
+fn analyzer_matches_brute_force() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xc04e_4000 + case);
+        let problem = random_problem(&mut rng);
+        let seed = rng.next_u64();
         let mut rng = StdRng::seed_from_u64(seed ^ 0xabc);
         // A random mid-construction topology.
         let mut env = PlanningEnv::new(problem.clone(), 6, 1e3, 64, &mut rng);
@@ -214,7 +239,6 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(matches!(verdict, Verdict::Reliable), all_pass);
-        let _ = gc;
+        assert_eq!(matches!(verdict, Verdict::Reliable), all_pass, "case {case}");
     }
 }

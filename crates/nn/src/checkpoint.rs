@@ -3,20 +3,70 @@
 //! The planner trains one policy per planning problem; checkpoints let a
 //! deployment save the best policy next to the chosen topology, resume a
 //! long ORION run, or ship weights between machines. The format is a
-//! deliberately simple self-describing little-endian layout (magic,
-//! version, tensor count, then `(rows, cols, data)` per tensor) — no
-//! external serialization dependency required.
+//! deliberately simple self-describing little-endian layout — no external
+//! serialization dependency required:
+//!
+//! ```text
+//! +--------------------+  "NPTSNCK" + ASCII version digit ('2')
+//! | magic      8 bytes |
+//! +--------------------+
+//! | count      u64 LE  |  number of tensors
+//! +--------------------+
+//! | rows       u64 LE  |\
+//! | cols       u64 LE  | > repeated `count` times
+//! | data  f32 LE × r·c |/
+//! +--------------------+
+//! | crc32      u32 LE  |  IEEE CRC-32 of every preceding byte
+//! +--------------------+
+//! ```
+//!
+//! The trailing checksum makes silent corruption (a flipped bit on disk, a
+//! partially flushed write) a detectable [`CheckpointError::BadChecksum`]
+//! instead of garbage weights; truncated streams fail structurally with
+//! [`CheckpointError::Truncated`]. Version-1 checkpoints (no trailer) are
+//! rejected with [`CheckpointError::UnsupportedVersion`] rather than
+//! misread. For crash-safe persistence use [`save_params_atomic`], which
+//! writes a temporary file, fsyncs it, and renames it into place so the
+//! destination always holds either the old or the new checkpoint in full.
+
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::Path;
 
 use nptsn_tensor::Tensor;
 
-/// Magic prefix of the checkpoint format.
-const MAGIC: &[u8; 8] = b"NPTSNCK1";
+/// Magic prefix of the checkpoint format, excluding the version digit.
+const MAGIC_PREFIX: &[u8; 7] = b"NPTSNCK";
+
+/// Current format version (an ASCII digit, making the full magic
+/// `NPTSNCK2`).
+const VERSION: u8 = b'2';
+
+/// IEEE CRC-32 (the Ethernet/zlib polynomial, reflected), bitwise — the
+/// checkpoint path is not hot enough to justify a table.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// Errors from [`params_from_bytes`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckpointError {
     /// The byte stream does not start with the checkpoint magic.
     BadMagic,
+    /// The stream carries the checkpoint magic but a format version this
+    /// build cannot read (e.g. a pre-checksum `NPTSNCK1` file).
+    UnsupportedVersion {
+        /// The raw version byte found in the stream.
+        found: u8,
+    },
     /// The stream ended before the declared contents.
     Truncated,
     /// The checkpoint's tensor count or shapes do not match the target
@@ -27,22 +77,76 @@ pub enum CheckpointError {
     },
     /// Trailing bytes after the declared contents.
     TrailingBytes,
+    /// The CRC-32 trailer does not match the stream contents: the
+    /// checkpoint was corrupted after it was written.
+    BadChecksum {
+        /// The checksum declared in the trailer.
+        expected: u32,
+        /// The checksum of the bytes actually present.
+        actual: u32,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CheckpointError::BadMagic => f.write_str("not an NPTSN checkpoint"),
+            CheckpointError::UnsupportedVersion { found } => {
+                write!(f, "unsupported checkpoint version byte 0x{found:02x}")
+            }
             CheckpointError::Truncated => f.write_str("checkpoint is truncated"),
             CheckpointError::ShapeMismatch { index } => {
                 write!(f, "checkpoint shape mismatch at tensor {index}")
             }
             CheckpointError::TrailingBytes => f.write_str("trailing bytes after checkpoint"),
+            CheckpointError::BadChecksum { expected, actual } => {
+                write!(f, "checkpoint checksum mismatch: stored {expected:#010x}, computed {actual:#010x}")
+            }
         }
     }
 }
 
 impl std::error::Error for CheckpointError {}
+
+/// Errors from the file-level checkpoint API ([`save_params_atomic`],
+/// [`load_params`]).
+#[derive(Debug)]
+pub enum CheckpointFileError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file was read but its contents are not a valid checkpoint.
+    Format(CheckpointError),
+}
+
+impl std::fmt::Display for CheckpointFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointFileError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointFileError::Format(e) => write!(f, "checkpoint format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointFileError::Io(e) => Some(e),
+            CheckpointFileError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<CheckpointError> for CheckpointFileError {
+    fn from(e: CheckpointError) -> CheckpointFileError {
+        CheckpointFileError::Format(e)
+    }
+}
+
+impl From<std::io::Error> for CheckpointFileError {
+    fn from(e: std::io::Error) -> CheckpointFileError {
+        CheckpointFileError::Io(e)
+    }
+}
 
 /// Serializes a parameter list into a checkpoint byte vector.
 ///
@@ -60,8 +164,9 @@ impl std::error::Error for CheckpointError {}
 /// ```
 pub fn params_to_bytes(params: &[Tensor]) -> Vec<u8> {
     let payload: usize = params.iter().map(|p| 16 + 4 * p.len()).sum();
-    let mut out = Vec::with_capacity(8 + 8 + payload);
-    out.extend_from_slice(MAGIC);
+    let mut out = Vec::with_capacity(8 + 8 + payload + 4);
+    out.extend_from_slice(MAGIC_PREFIX);
+    out.push(VERSION);
     out.extend_from_slice(&(params.len() as u64).to_le_bytes());
     for p in params {
         out.extend_from_slice(&(p.rows() as u64).to_le_bytes());
@@ -70,6 +175,8 @@ pub fn params_to_bytes(params: &[Tensor]) -> Vec<u8> {
             out.extend_from_slice(&v.to_le_bytes());
         }
     }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
     out
 }
 
@@ -80,7 +187,10 @@ pub fn params_to_bytes(params: &[Tensor]) -> Vec<u8> {
 /// # Errors
 ///
 /// Returns a [`CheckpointError`] describing the first structural problem;
-/// on error the target parameters are left untouched.
+/// on error the target parameters are left untouched. Structural errors
+/// (bad magic, unsupported version, truncation, shape mismatch) are
+/// reported before the checksum, so [`CheckpointError::BadChecksum`]
+/// specifically means "structurally plausible but corrupted in place".
 pub fn params_from_bytes(params: &[Tensor], bytes: &[u8]) -> Result<(), CheckpointError> {
     fn take<'a>(cursor: &mut &'a [u8], n: usize) -> Result<&'a [u8], CheckpointError> {
         if cursor.len() < n {
@@ -90,11 +200,27 @@ pub fn params_from_bytes(params: &[Tensor], bytes: &[u8]) -> Result<(), Checkpoi
         *cursor = tail;
         Ok(head)
     }
-    let mut cursor = bytes;
-    let magic = take(&mut cursor, 8)?;
-    if magic != MAGIC {
+    if bytes.len() < 8 {
+        // A prefix of the magic reads as a torn write, anything else as a
+        // foreign format.
+        return if MAGIC_PREFIX.starts_with(&bytes[..bytes.len().min(7)]) {
+            Err(CheckpointError::Truncated)
+        } else {
+            Err(CheckpointError::BadMagic)
+        };
+    }
+    if &bytes[..7] != MAGIC_PREFIX {
         return Err(CheckpointError::BadMagic);
     }
+    if bytes[7] != VERSION {
+        return Err(CheckpointError::UnsupportedVersion { found: bytes[7] });
+    }
+    // Everything before the 4-byte CRC trailer is the checksummed body.
+    if bytes.len() < 8 + 8 + 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let mut cursor = &body[8..];
     let count = u64::from_le_bytes(take(&mut cursor, 8)?.try_into().expect("8 bytes")) as usize;
     if count != params.len() {
         return Err(CheckpointError::ShapeMismatch { index: count.min(params.len()) });
@@ -117,9 +243,65 @@ pub fn params_from_bytes(params: &[Tensor], bytes: &[u8]) -> Result<(), Checkpoi
     if !cursor.is_empty() {
         return Err(CheckpointError::TrailingBytes);
     }
+    let expected = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+    let actual = crc32(body);
+    if expected != actual {
+        return Err(CheckpointError::BadChecksum { expected, actual });
+    }
     for (p, d) in params.iter().zip(decoded) {
         p.set_data(&d);
     }
+    Ok(())
+}
+
+/// Writes a checkpoint of `params` to `path` crash-safely: the bytes go to
+/// a temporary file in the same directory, are flushed to stable storage,
+/// and are renamed over `path` in one step. A crash (or full disk) at any
+/// point leaves `path` either absent or holding its previous complete
+/// contents — never a half-written checkpoint.
+///
+/// # Errors
+///
+/// Returns [`CheckpointFileError::Io`] if any filesystem step fails; the
+/// temporary file is cleaned up on a best-effort basis.
+pub fn save_params_atomic(params: &[Tensor], path: &Path) -> Result<(), CheckpointFileError> {
+    let bytes = params_to_bytes(params);
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("checkpoint path {} has no file name", path.display()),
+        )
+    })?;
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    // Same directory as the destination so the rename cannot cross a
+    // filesystem boundary (which would make it non-atomic).
+    let tmp = dir.join(format!(".{}.tmp.{}", file_name.to_string_lossy(), std::process::id()));
+    let write = (|| -> std::io::Result<()> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if write.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    write.map_err(CheckpointFileError::Io)
+}
+
+/// Reads the checkpoint at `path` into `params` (same contract as
+/// [`params_from_bytes`]).
+///
+/// # Errors
+///
+/// [`CheckpointFileError::Io`] if the file cannot be read,
+/// [`CheckpointFileError::Format`] if its contents fail validation; in
+/// both cases the target parameters are left untouched.
+pub fn load_params(params: &[Tensor], path: &Path) -> Result<(), CheckpointFileError> {
+    let bytes = fs::read(path)?;
+    params_from_bytes(params, &bytes)?;
     Ok(())
 }
 
@@ -127,8 +309,21 @@ pub fn params_from_bytes(params: &[Tensor], bytes: &[u8]) -> Result<(), Checkpoi
 mod tests {
     use super::*;
     use crate::{Activation, Mlp, Module};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nptsn_rand::rngs::StdRng;
+    use nptsn_rand::SeedableRng;
+
+    /// A unique temp-dir path per test (no wall clock available: process id
+    /// + test name keep parallel test runs apart).
+    fn temp_path(test: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("nptsn-ck-{}-{test}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn crc32_reference_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
 
     #[test]
     fn roundtrip_restores_network_behavior() {
@@ -150,12 +345,74 @@ mod tests {
     }
 
     #[test]
+    fn stale_version_rejected() {
+        // A v1 checkpoint: same layout minus the trailer, magic NPTSNCK1.
+        let p = nptsn_tensor::Tensor::param(1, 1, vec![1.0]);
+        let mut bytes = params_to_bytes(std::slice::from_ref(&p));
+        bytes[7] = b'1';
+        bytes.truncate(bytes.len() - 4); // v1 had no CRC trailer
+        assert_eq!(
+            params_from_bytes(std::slice::from_ref(&p), &bytes),
+            Err(CheckpointError::UnsupportedVersion { found: b'1' })
+        );
+        // A future version is refused the same way, even when intact.
+        let mut future = params_to_bytes(std::slice::from_ref(&p));
+        future[7] = b'3';
+        assert_eq!(
+            params_from_bytes(std::slice::from_ref(&p), &future),
+            Err(CheckpointError::UnsupportedVersion { found: b'3' })
+        );
+    }
+
+    #[test]
     fn truncation_rejected_without_mutation() {
         let p = nptsn_tensor::Tensor::param(1, 2, vec![5.0, 6.0]);
-        let mut bytes = params_to_bytes(std::slice::from_ref(&p));
-        bytes.truncate(bytes.len() - 3);
-        assert_eq!(params_from_bytes(std::slice::from_ref(&p), &bytes), Err(CheckpointError::Truncated));
-        assert_eq!(p.to_vec(), vec![5.0, 6.0], "target untouched on error");
+        let full = params_to_bytes(std::slice::from_ref(&p));
+        // Every proper prefix must fail cleanly — never panic, never
+        // mutate. Short prefixes of valid magic read as truncation, not as
+        // a foreign format.
+        for cut in 0..full.len() {
+            let err = params_from_bytes(std::slice::from_ref(&p), &full[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated | CheckpointError::TrailingBytes
+                ),
+                "prefix of {cut} bytes: unexpected {err:?}"
+            );
+            assert_eq!(p.to_vec(), vec![5.0, 6.0], "target untouched on error");
+        }
+    }
+
+    #[test]
+    fn every_flipped_bit_is_detected() {
+        let p = nptsn_tensor::Tensor::param(1, 2, vec![5.0, 6.0]);
+        let full = params_to_bytes(std::slice::from_ref(&p));
+        for byte in 0..full.len() {
+            let mut corrupt = full.clone();
+            corrupt[byte] ^= 0x10;
+            let err = params_from_bytes(std::slice::from_ref(&p), &corrupt).unwrap_err();
+            assert_eq!(p.to_vec(), vec![5.0, 6.0], "byte {byte}: target mutated");
+            // Flips in the data or trailer surface as checksum failures;
+            // flips in magic/header fields fail structurally first.
+            match byte {
+                0..=6 => assert_eq!(err, CheckpointError::BadMagic, "byte {byte}"),
+                7 => assert!(
+                    matches!(err, CheckpointError::UnsupportedVersion { .. }),
+                    "byte {byte}: {err:?}"
+                ),
+                _ => assert!(
+                    matches!(
+                        err,
+                        CheckpointError::BadChecksum { .. }
+                            | CheckpointError::ShapeMismatch { .. }
+                            | CheckpointError::Truncated
+                            | CheckpointError::TrailingBytes
+                    ),
+                    "byte {byte}: {err:?}"
+                ),
+            }
+        }
     }
 
     #[test]
@@ -188,11 +445,70 @@ mod tests {
     fn errors_display() {
         for e in [
             CheckpointError::BadMagic,
+            CheckpointError::UnsupportedVersion { found: b'1' },
             CheckpointError::Truncated,
             CheckpointError::ShapeMismatch { index: 3 },
             CheckpointError::TrailingBytes,
+            CheckpointError::BadChecksum { expected: 1, actual: 2 },
         ] {
             assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn atomic_file_roundtrip() {
+        let path = temp_path("roundtrip");
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Mlp::new(&mut rng, &[2, 4, 1], Activation::Tanh, Activation::Identity);
+        let b = Mlp::new(&mut rng, &[2, 4, 1], Activation::Tanh, Activation::Identity);
+        save_params_atomic(&a.parameters(), &path).unwrap();
+        load_params(&b.parameters(), &path).unwrap();
+        let x = nptsn_tensor::Tensor::from_vec(1, 2, vec![0.5, -0.25]);
+        assert_eq!(a.forward(&x).to_vec(), b.forward(&x).to_vec());
+        // Overwriting an existing checkpoint also goes through the rename.
+        save_params_atomic(&b.parameters(), &path).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_fault_injection() {
+        let path = temp_path("faults");
+        let p = nptsn_tensor::Tensor::param(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        save_params_atomic(std::slice::from_ref(&p), &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Simulated torn write: the file holds only a prefix.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        match load_params(std::slice::from_ref(&p), &path) {
+            Err(CheckpointFileError::Format(CheckpointError::Truncated)) => {}
+            other => panic!("expected truncation, got {other:?}"),
+        }
+
+        // Bit rot: one flipped bit in the tensor payload.
+        let mut rotted = good.clone();
+        let mid = 8 + 8 + 16 + 2; // inside the first tensor's f32 data
+        rotted[mid] ^= 0x01;
+        std::fs::write(&path, &rotted).unwrap();
+        match load_params(std::slice::from_ref(&p), &path) {
+            Err(CheckpointFileError::Format(CheckpointError::BadChecksum { .. })) => {}
+            other => panic!("expected checksum failure, got {other:?}"),
+        }
+
+        // Missing file: an I/O error, not a panic.
+        let _ = std::fs::remove_file(&path);
+        match load_params(std::slice::from_ref(&p), &path) {
+            Err(CheckpointFileError::Io(_)) => {}
+            other => panic!("expected i/o error, got {other:?}"),
+        }
+        assert_eq!(p.to_vec(), vec![1.0, 2.0, 3.0, 4.0], "target never mutated");
+    }
+
+    #[test]
+    fn save_rejects_directoryless_path() {
+        let p = nptsn_tensor::Tensor::param(1, 1, vec![1.0]);
+        match save_params_atomic(std::slice::from_ref(&p), Path::new("/")) {
+            Err(CheckpointFileError::Io(_)) => {}
+            other => panic!("expected i/o error, got {other:?}"),
         }
     }
 }

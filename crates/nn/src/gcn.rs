@@ -1,7 +1,7 @@
 //! Graph convolutional networks (Kipf & Welling, Eq. 4 of the paper).
 
 use nptsn_tensor::Tensor;
-use rand::Rng;
+use nptsn_rand::Rng;
 
 use crate::init::xavier_uniform;
 use crate::Module;
@@ -67,7 +67,7 @@ pub fn normalized_adjacency(adjacency: &[f32], n: usize) -> Tensor {
 /// ```
 /// use nptsn_nn::{normalized_adjacency, Gcn, Module};
 /// use nptsn_tensor::Tensor;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use nptsn_rand::{rngs::StdRng, SeedableRng};
 ///
 /// let mut rng = StdRng::seed_from_u64(0);
 /// // 2 layers turning 5 node features into 8-dimensional embeddings.
@@ -130,8 +130,8 @@ impl Module for Gcn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nptsn_rand::rngs::StdRng;
+    use nptsn_rand::SeedableRng;
 
     #[test]
     fn normalized_adjacency_rows_of_path_graph() {
@@ -172,7 +172,7 @@ mod tests {
 
     #[test]
     fn message_passing_spreads_information() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StdRng::seed_from_u64(1);
         let gcn = Gcn::new(&mut rng, &[1, 4]);
         // Path 0-1-2; only node 0 carries a feature.
         let adj = vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
@@ -185,17 +185,17 @@ mod tests {
         assert!(row(1) > 0.0);
         assert_eq!(row(2), 0.0);
         // A second layer propagates two hops.
-        let mut rng2 = StdRng::seed_from_u64(0);
+        let mut rng2 = StdRng::seed_from_u64(1);
         let gcn2 = Gcn::new(&mut rng2, &[1, 4, 4]);
         let out2 = gcn2.forward(&ahat, &h);
         let row2 = |i: usize| (0..4).map(|j| out2.at(i, j).abs()).sum::<f32>();
-        // Relu may zero some channels; with seed 0 signal survives.
+        // Relu may zero some channels; with seed 1 signal survives.
         assert!(row2(2) > 0.0, "two layers should reach node 2");
     }
 
     #[test]
     fn gradients_flow_through_gcn() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StdRng::seed_from_u64(1);
         let gcn = Gcn::new(&mut rng, &[2, 3, 3]);
         let ahat = normalized_adjacency(&[0.0, 1.0, 1.0, 0.0], 2);
         let h = Tensor::from_vec(2, 2, vec![0.5, -0.5, 0.25, 0.75]);

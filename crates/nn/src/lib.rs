@@ -19,7 +19,7 @@
 //! ```
 //! use nptsn_nn::{Activation, Adam, Mlp, Module};
 //! use nptsn_tensor::Tensor;
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use nptsn_rand::{rngs::StdRng, SeedableRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let mlp = Mlp::new(&mut rng, &[2, 16, 1], Activation::Tanh, Activation::Identity);
@@ -49,9 +49,12 @@ mod linear;
 mod mlp;
 
 pub use adam::Adam;
-pub use checkpoint::{params_from_bytes, params_to_bytes, CheckpointError};
+pub use checkpoint::{
+    load_params, params_from_bytes, params_to_bytes, save_params_atomic, CheckpointError,
+    CheckpointFileError,
+};
 pub use gcn::{normalized_adjacency, Gcn};
-pub use init::xavier_uniform;
+pub use init::{kaiming_normal, xavier_uniform};
 pub use linear::Linear;
 pub use mlp::{Activation, Mlp};
 
@@ -89,8 +92,8 @@ pub fn import_params(params: &[Tensor], values: &[Vec<f32>]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nptsn_rand::rngs::StdRng;
+    use nptsn_rand::SeedableRng;
 
     #[test]
     fn export_import_roundtrip() {

@@ -1,7 +1,7 @@
 //! Fully connected layers.
 
 use nptsn_tensor::Tensor;
-use rand::Rng;
+use nptsn_rand::Rng;
 
 use crate::init::xavier_uniform;
 use crate::Module;
@@ -14,7 +14,7 @@ use crate::Module;
 /// ```
 /// use nptsn_nn::{Linear, Module};
 /// use nptsn_tensor::Tensor;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use nptsn_rand::{rngs::StdRng, SeedableRng};
 ///
 /// let mut rng = StdRng::seed_from_u64(0);
 /// let layer = Linear::new(&mut rng, 3, 2);
@@ -76,8 +76,8 @@ impl Module for Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nptsn_rand::rngs::StdRng;
+    use nptsn_rand::SeedableRng;
 
     #[test]
     fn forward_is_affine() {

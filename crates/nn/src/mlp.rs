@@ -1,7 +1,7 @@
 //! Multi-layer perceptrons.
 
 use nptsn_tensor::Tensor;
-use rand::Rng;
+use nptsn_rand::Rng;
 
 use crate::linear::Linear;
 use crate::Module;
@@ -44,7 +44,7 @@ impl Activation {
 /// ```
 /// use nptsn_nn::{Activation, Mlp, Module};
 /// use nptsn_tensor::Tensor;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use nptsn_rand::{rngs::StdRng, SeedableRng};
 ///
 /// let mut rng = StdRng::seed_from_u64(0);
 /// let mlp = Mlp::new(&mut rng, &[4, 256, 256, 3], Activation::Tanh, Activation::Identity);
@@ -114,8 +114,8 @@ impl Module for Mlp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nptsn_rand::rngs::StdRng;
+    use nptsn_rand::SeedableRng;
 
     #[test]
     fn shapes_and_parameters() {

@@ -1,7 +1,7 @@
 //! Masked categorical policy distributions.
 
 use nptsn_tensor::Tensor;
-use rand::Rng;
+use nptsn_rand::Rng;
 
 /// Logit offset applied to masked actions; exp(-1e9) underflows to exactly
 /// zero probability while keeping the computation finite.
@@ -55,7 +55,7 @@ pub fn masked_log_probs(logits: &Tensor, mask: &[bool]) -> Tensor {
 /// # Examples
 ///
 /// ```
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use nptsn_rand::{rngs::StdRng, SeedableRng};
 ///
 /// let mut rng = StdRng::seed_from_u64(0);
 /// let lp = vec![(0.5f32).ln(), (0.5f32).ln()];
@@ -127,8 +127,8 @@ pub fn entropy_of_log_probs(log_probs: &[f32]) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nptsn_rand::rngs::StdRng;
+    use nptsn_rand::SeedableRng;
 
     #[test]
     fn masked_probabilities_renormalize() {

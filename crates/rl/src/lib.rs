@@ -26,7 +26,7 @@
 //! use nptsn_nn::{Activation, Adam, Mlp, Module};
 //! use nptsn_rl::{ppo_update, ActorCritic, PpoConfig, RolloutBuffer};
 //! use nptsn_tensor::Tensor;
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use nptsn_rand::{rngs::StdRng, SeedableRng};
 //!
 //! struct Bandit {
 //!     actor: Mlp,

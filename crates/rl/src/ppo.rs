@@ -46,7 +46,7 @@ impl Default for PpoConfig {
 }
 
 /// Diagnostics of one PPO update.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PpoStats {
     /// Final clipped-surrogate policy loss.
     pub policy_loss: f32,
@@ -171,8 +171,8 @@ mod tests {
     use crate::dist::{masked_log_probs, sample_action};
     use crate::RolloutBuffer;
     use nptsn_nn::{Activation, Mlp, Module};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nptsn_rand::rngs::StdRng;
+    use nptsn_rand::SeedableRng;
 
     /// A contextual bandit: obs is a one-hot context of width 2; action
     /// matching the context pays 1.

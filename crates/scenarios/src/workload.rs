@@ -2,8 +2,8 @@
 
 use nptsn_sched::{FlowSet, FlowSpec};
 use nptsn_topo::ConnectionGraph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nptsn_rand::rngs::StdRng;
+use nptsn_rand::{Rng, SeedableRng};
 
 /// Frame size used for generated flows. The paper does not state frame
 /// sizes; 256 bytes is a typical safety-critical control frame and fits

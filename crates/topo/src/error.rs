@@ -52,6 +52,10 @@ pub enum TopoError {
         /// The degree that could not be accommodated.
         degree: usize,
     },
+    /// A path was constructed from an empty node sequence.
+    EmptyPath,
+    /// A path revisited a node (paths are loopless).
+    RepeatedNode(NodeId),
 }
 
 impl fmt::Display for TopoError {
@@ -82,6 +86,10 @@ impl fmt::Display for TopoError {
             TopoError::NoSwitchModel { degree } => {
                 write!(f, "component library has no switch with at least {degree} ports")
             }
+            TopoError::EmptyPath => f.write_str("a path needs at least one node"),
+            TopoError::RepeatedNode(n) => {
+                write!(f, "paths are loopless but {n} appears twice")
+            }
         }
     }
 }
@@ -104,6 +112,8 @@ mod tests {
             TopoError::SwitchAlreadySelected(NodeId(4)),
             TopoError::AlreadyAtMaxAsil(NodeId(4)),
             TopoError::DegreeExceeded { node: NodeId(1), max_degree: 8 },
+            TopoError::EmptyPath,
+            TopoError::RepeatedNode(NodeId(5)),
             TopoError::EndpointNotSelected(NodeId(5)),
             TopoError::NoSwitchModel { degree: 12 },
         ];

@@ -4,6 +4,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::error::TopoError;
 use crate::graph::{LinkId, NodeId};
 
 /// Adjacency representation used by all search routines: for every node
@@ -45,15 +46,29 @@ impl Path {
     /// # Panics
     ///
     /// Panics when `nodes` is empty or revisits a node (paths are loopless).
+    /// Use [`Path::try_new`] to validate untrusted sequences instead.
     pub fn new(nodes: Vec<NodeId>) -> Path {
-        assert!(!nodes.is_empty(), "a path needs at least one node");
-        for (i, n) in nodes.iter().enumerate() {
-            assert!(
-                !nodes[..i].contains(n),
-                "paths are loopless but {n} appears twice"
-            );
+        Path::try_new(nodes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`Path::new`] for node sequences that come
+    /// from outside the path-search algorithms (plan files, external
+    /// controllers).
+    ///
+    /// # Errors
+    ///
+    /// [`TopoError::EmptyPath`] for an empty sequence,
+    /// [`TopoError::RepeatedNode`] when a node appears twice.
+    pub fn try_new(nodes: Vec<NodeId>) -> Result<Path, TopoError> {
+        if nodes.is_empty() {
+            return Err(TopoError::EmptyPath);
         }
-        Path { nodes }
+        for (i, n) in nodes.iter().enumerate() {
+            if nodes[..i].contains(n) {
+                return Err(TopoError::RepeatedNode(*n));
+            }
+        }
+        Ok(Path { nodes })
     }
 
     /// The ordered node sequence.
@@ -383,6 +398,17 @@ mod tests {
             topo.add_link(u, v).unwrap();
         }
         (topo.adjacency(), a, b, s0, s1)
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_sequences() {
+        let (_, a, b, s0, _) = theta();
+        assert_eq!(Path::try_new(vec![]), Err(TopoError::EmptyPath));
+        assert_eq!(Path::try_new(vec![a, s0, a]), Err(TopoError::RepeatedNode(a)));
+        assert_eq!(
+            Path::try_new(vec![a, s0, b]).map(|p| p.hop_count()),
+            Ok(2)
+        );
     }
 
     #[test]

@@ -51,6 +51,8 @@ use crate::Result;
 #[derive(Debug, Clone)]
 pub struct Topology {
     gc: Arc<ConnectionGraph>,
+    // PartialEq below compares the selection state only (switch ASILs and
+    // present links); the remaining fields are derived from it.
     /// Indexed by node index; `None` for end stations and unselected
     /// switches.
     switch_asil: Vec<Option<Asil>>,
@@ -59,6 +61,16 @@ pub struct Topology {
     degree: Vec<usize>,
     selected_switches: Vec<NodeId>,
     link_count: usize,
+}
+
+/// Structural equality: two topologies are equal when they select the same
+/// switches at the same ASILs and contain the same links. The connection
+/// graphs must have identical node/link layouts for the comparison to be
+/// meaningful (always true for topologies over the same problem).
+impl PartialEq for Topology {
+    fn eq(&self, other: &Topology) -> bool {
+        self.switch_asil == other.switch_asil && self.link_present == other.link_present
+    }
 }
 
 impl Topology {
@@ -223,12 +235,23 @@ impl Topology {
     /// # Panics
     ///
     /// Panics if the link is not part of the topology (its endpoints would
-    /// have no ASIL).
+    /// have no ASIL). Use [`try_link_asil`](Topology::try_link_asil) when
+    /// the link may come from untrusted input.
     pub fn link_asil(&self, link: LinkId) -> Asil {
+        self.try_link_asil(link).expect("link endpoint without ASIL")
+    }
+
+    /// Fallible variant of [`link_asil`](Topology::link_asil).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopoError::EndpointNotSelected`] if an endpoint of `link`
+    /// is a switch outside the topology (so it has no ASIL).
+    pub fn try_link_asil(&self, link: LinkId) -> Result<Asil> {
         let (u, v) = self.gc.link_endpoints(link);
-        let au = self.node_asil(u).expect("link endpoint without ASIL");
-        let av = self.node_asil(v).expect("link endpoint without ASIL");
-        au.min(av)
+        let au = self.node_asil(u).ok_or(TopoError::EndpointNotSelected(u))?;
+        let av = self.node_asil(v).ok_or(TopoError::EndpointNotSelected(v))?;
+        Ok(au.min(av))
     }
 
     /// Checks whether `path` could be added without violating degree
@@ -293,12 +316,13 @@ impl Topology {
     ///
     /// End stations are defined by the applications and do not contribute.
     ///
-    /// # Errors
+    /// # Panics
     ///
-    /// Returns [`TopoError::NoSwitchModel`] if a switch degree exceeds every
-    /// model in the library (prevented by the degree constraints when the
-    /// library's [`max_switch_degree`](ComponentLibrary::max_switch_degree)
-    /// is used).
+    /// Panics if a switch degree exceeds every model in the library
+    /// (prevented by the degree constraints when the library's
+    /// [`max_switch_degree`](ComponentLibrary::max_switch_degree) is used).
+    /// Use [`try_network_cost`](Topology::try_network_cost) when the
+    /// topology may come from untrusted input.
     pub fn network_cost(&self, library: &ComponentLibrary) -> f64 {
         self.try_network_cost(library)
             .expect("switch degree exceeds the component library")
@@ -308,27 +332,47 @@ impl Topology {
     pub fn try_network_cost(&self, library: &ComponentLibrary) -> Result<f64> {
         let mut cost = 0.0;
         for &sw in &self.selected_switches {
-            let asil = self.switch_asil[sw.index()].expect("selected switch has ASIL");
+            let asil =
+                self.switch_asil[sw.index()].ok_or(TopoError::SwitchNotSelected(sw))?;
             cost += library.switch_cost(self.degree[sw.index()], asil)?;
         }
         for link in self.links() {
-            cost += library.link_cost(self.link_asil(link), self.gc.link_length(link));
+            cost += library.link_cost(self.try_link_asil(link)?, self.gc.link_length(link));
         }
         Ok(cost)
     }
 
     /// Probability of failure scenario `Gf` (Eq. 2): the product of the
     /// component failure probabilities of every failed switch and link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario references a switch outside the topology. Use
+    /// [`try_failure_probability`](Topology::try_failure_probability) when
+    /// the scenario may come from untrusted input.
     pub fn failure_probability(&self, failure: &FailureScenario) -> f64 {
+        self.try_failure_probability(failure).expect("failed switch is selected")
+    }
+
+    /// Fallible variant of
+    /// [`failure_probability`](Topology::failure_probability).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopoError::SwitchNotSelected`] if the scenario fails a
+    /// switch outside the topology, or
+    /// [`TopoError::EndpointNotSelected`] if it fails a link with an
+    /// unselected endpoint.
+    pub fn try_failure_probability(&self, failure: &FailureScenario) -> Result<f64> {
         let mut p = 1.0;
         for &sw in failure.failed_switches() {
-            let asil = self.switch_asil(sw).expect("failed switch is selected");
+            let asil = self.switch_asil(sw).ok_or(TopoError::SwitchNotSelected(sw))?;
             p *= asil.failure_probability();
         }
         for &link in failure.failed_links() {
-            p *= self.link_asil(link).failure_probability();
+            p *= self.try_link_asil(link)?.failure_probability();
         }
-        p
+        Ok(p)
     }
 
     /// Adjacency of the active topology: for every node, its `(neighbor,

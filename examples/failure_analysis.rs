@@ -86,6 +86,9 @@ fn main() {
             Verdict::Unreliable { failure, errors } => {
                 println!("  R = {goal:.0e}: UNRELIABLE under {failure} ({errors})")
             }
+            Verdict::Inconclusive { scenarios_checked } => {
+                println!("  R = {goal:.0e}: INCONCLUSIVE after {scenarios_checked} scenarios")
+            }
         }
     }
     println!(

@@ -87,6 +87,9 @@ fn main() {
             Verdict::Unreliable { failure, errors } => {
                 println!("  {scope:?}: UNRELIABLE under {failure} ({errors})")
             }
+            Verdict::Inconclusive { scenarios_checked } => {
+                println!("  {scope:?}: INCONCLUSIVE after {scenarios_checked} scenarios")
+            }
         }
     }
 }

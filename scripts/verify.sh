@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Hermetic verification: build, test, and lint with no registry access.
+# The workspace has zero external dependencies, so --offline must succeed
+# even with an empty cargo registry cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --offline -- -D warnings

@@ -1,77 +1,82 @@
-//! Property test of the failure analyzer's switch-only reduction (Eq. 6):
+//! Randomized test of the failure analyzer's switch-only reduction (Eq. 6):
 //! if Algorithm 3 declares a topology reliable, then *arbitrary* non-safe
 //! faults — including link failures — must be survivable.
+//!
+//! Formerly proptest-based; now a seeded deterministic sweep driven by
+//! `nptsn-rand` so the workspace needs no external dev-dependencies.
 
 use std::sync::Arc;
 
 use nptsn::{verify_topology, PlanningProblem};
+use nptsn_rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
 use nptsn_scenarios::random_flows;
 use nptsn_sched::ShortestPathRecovery;
 use nptsn_topo::{
     Asil, ComponentLibrary, ConnectionGraph, FailureScenario, LinkId, NodeId, Topology,
 };
-use proptest::prelude::*;
+
+const CASES: u64 = 24;
 
 /// A random redundant-ish topology: stations dual-homed onto a random
 /// switch mesh with random ASILs.
-fn arb_case() -> impl Strategy<Value = (PlanningProblem, Topology)> {
-    (3usize..6, 2usize..5, any::<u64>()).prop_map(|(es, sw, seed)| {
-        let mut gc = ConnectionGraph::new();
-        let stations: Vec<NodeId> =
-            (0..es).map(|i| gc.add_end_station(format!("es{i}"))).collect();
-        let switches: Vec<NodeId> = (0..sw).map(|i| gc.add_switch(format!("sw{i}"))).collect();
-        // Every station may attach to every switch; full switch mesh.
-        for &e in &stations {
-            for &s in &switches {
-                gc.add_candidate_link(e, s, 1.0).unwrap();
-            }
-        }
-        for i in 0..switches.len() {
-            for j in i + 1..switches.len() {
-                gc.add_candidate_link(switches[i], switches[j], 1.0).unwrap();
-            }
-        }
-        let gc = Arc::new(gc);
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        let mut topo = Topology::empty(Arc::clone(&gc));
+fn random_case(rng: &mut StdRng) -> (PlanningProblem, Topology) {
+    let es = rng.gen_range(3usize..6);
+    let sw = rng.gen_range(2usize..5);
+    let seed: u64 = rng.next_u64();
+    let mut gc = ConnectionGraph::new();
+    let stations: Vec<NodeId> = (0..es).map(|i| gc.add_end_station(format!("es{i}"))).collect();
+    let switches: Vec<NodeId> = (0..sw).map(|i| gc.add_switch(format!("sw{i}"))).collect();
+    // Every station may attach to every switch; full switch mesh.
+    for &e in &stations {
         for &s in &switches {
-            topo.add_switch(s, Asil::from_index((next() % 4) as usize).unwrap()).unwrap();
+            gc.add_candidate_link(e, s, 1.0).unwrap();
         }
-        // Dual-home each station on two distinct switches (when possible).
-        for (i, &e) in stations.iter().enumerate() {
-            let s1 = switches[i % switches.len()];
-            let s2 = switches[(i + 1) % switches.len()];
-            topo.add_link(e, s1).unwrap();
-            if s2 != s1 {
-                topo.add_link(e, s2).unwrap();
+    }
+    for i in 0..switches.len() {
+        for j in i + 1..switches.len() {
+            gc.add_candidate_link(switches[i], switches[j], 1.0).unwrap();
+        }
+    }
+    let gc = Arc::new(gc);
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut topo = Topology::empty(Arc::clone(&gc));
+    for &s in &switches {
+        topo.add_switch(s, Asil::from_index((next() % 4) as usize).unwrap()).unwrap();
+    }
+    // Dual-home each station on two distinct switches (when possible).
+    for (i, &e) in stations.iter().enumerate() {
+        let s1 = switches[i % switches.len()];
+        let s2 = switches[(i + 1) % switches.len()];
+        topo.add_link(e, s1).unwrap();
+        if s2 != s1 {
+            topo.add_link(e, s2).unwrap();
+        }
+    }
+    // Random subset of the switch mesh.
+    for i in 0..switches.len() {
+        for j in i + 1..switches.len() {
+            if next() % 2 == 0 {
+                let _ = topo.add_link(switches[i], switches[j]);
             }
         }
-        // Random subset of the switch mesh.
-        for i in 0..switches.len() {
-            for j in i + 1..switches.len() {
-                if next() % 2 == 0 {
-                    let _ = topo.add_link(switches[i], switches[j]);
-                }
-            }
-        }
-        let flows = random_flows(&gc, 4, seed);
-        let problem = PlanningProblem::new(
-            Arc::clone(&gc),
-            ComponentLibrary::automotive(),
-            nptsn_sched::TasConfig::default(),
-            flows,
-            1e-6,
-            Arc::new(ShortestPathRecovery::new()),
-        )
-        .unwrap();
-        (problem, topo)
-    })
+    }
+    let flows = random_flows(&gc, 4, seed);
+    let problem = PlanningProblem::new(
+        Arc::clone(&gc),
+        ComponentLibrary::automotive(),
+        nptsn_sched::TasConfig::default(),
+        flows,
+        1e-6,
+        Arc::new(ShortestPathRecovery::new()),
+    )
+    .unwrap();
+    (problem, topo)
 }
 
 /// Enumerates small mixed switch+link failure scenarios of the topology.
@@ -95,16 +100,16 @@ fn mixed_faults(topo: &Topology) -> Vec<FailureScenario> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Soundness of Eq. 6: a topology that passes the switch-only analysis
-    /// survives every mixed fault whose probability is >= R.
-    #[test]
-    fn reliable_topologies_survive_link_faults((problem, topo) in arb_case()) {
+/// Soundness of Eq. 6: a topology that passes the switch-only analysis
+/// survives every mixed fault whose probability is >= R.
+#[test]
+fn reliable_topologies_survive_link_faults() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x9e06_0000 + case);
+        let (problem, topo) = random_case(&mut rng);
         if !verify_topology(&problem, &topo).is_reliable() {
             // Nothing to check: the analyzer already found a counterexample.
-            return Ok(());
+            continue;
         }
         let r = problem.reliability_goal();
         for fault in mixed_faults(&topo) {
@@ -113,21 +118,22 @@ proptest! {
                 continue; // safe fault
             }
             let outcome = problem.nbf().recover(&topo, &fault, problem.tas(), problem.flows());
-            prop_assert!(
+            assert!(
                 outcome.errors.is_empty(),
-                "reliable verdict but fault {} (p = {:.2e}) is unrecoverable",
-                fault,
-                p
+                "case {case}: reliable verdict but fault {fault} (p = {p:.2e}) is unrecoverable",
             );
         }
     }
+}
 
-    /// The reduction direction itself: for every mixed fault, the mapped
-    /// switch-only fault (replace each failed link by its lower-ASIL
-    /// endpoint) is at least as probable.
-    #[test]
-    fn mapped_fault_is_at_least_as_probable((problem, topo) in arb_case()) {
-        let _ = problem;
+/// The reduction direction itself: for every mixed fault, the mapped
+/// switch-only fault (replace each failed link by its lower-ASIL
+/// endpoint) is at least as probable.
+#[test]
+fn mapped_fault_is_at_least_as_probable() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x9e06_1000 + case);
+        let (_problem, topo) = random_case(&mut rng);
         let gc = topo.connection_graph();
         for fault in mixed_faults(&topo) {
             let mut switches = fault.failed_switches().to_vec();
@@ -144,8 +150,9 @@ proptest! {
                 }
             }
             let mapped = FailureScenario::switches(switches);
-            prop_assert!(
-                topo.failure_probability(&mapped) >= topo.failure_probability(&fault) - 1e-18
+            assert!(
+                topo.failure_probability(&mapped) >= topo.failure_probability(&fault) - 1e-18,
+                "case {case}: mapped fault less probable than {fault}",
             );
         }
     }
