@@ -13,10 +13,12 @@
 //! With an argument, only benchmarks whose name contains the filter run.
 
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nptsn::{
-    encode_observation, FailureAnalyzer, Planner, PlannerConfig, PlanningProblem, Soag,
+    encode_observation, FailureAnalyzer, Planner, PlannerConfig, PlanningProblem, ScenarioCache,
+    Soag,
 };
 use nptsn_bench::problem_for;
 use nptsn_nn::{normalized_adjacency, Gcn, Module};
@@ -95,6 +97,140 @@ fn bench_failure_analysis(filter: &str) {
     bench(filter, "failure_analysis_orion_asil_a", 5, 50, || {
         black_box(analyzer.analyze(&problem, &topo));
     });
+}
+
+/// A fig-4-scale analysis workload with real enumeration depth: the
+/// saturated ORION network (every switch at ASIL-A, every candidate link
+/// that fits the degree constraints) under 40 flows. Unlike the paper's
+/// original tree-like ORION — where the very first injected failure is a
+/// counterexample — the saturated network survives every non-safe fault,
+/// so Algorithm 3 runs the full enumeration (~1 ms of NBF work per
+/// scenario), which is where analyzer parallelism pays off.
+fn saturated_orion() -> (PlanningProblem, Topology) {
+    let scenario = orion();
+    let flows = random_flows(&scenario.graph, 40, 0);
+    let problem = problem_for(&scenario, flows);
+    let mut topo = scenario.graph.empty_topology();
+    for &sw in scenario.graph.switches() {
+        let _ = topo.add_switch(sw, Asil::A);
+    }
+    let links: Vec<_> = scenario.graph.links().collect();
+    for link in links {
+        let (u, v) = scenario.graph.link_endpoints(link);
+        let _ = topo.add_link(u, v);
+    }
+    (problem, topo)
+}
+
+/// Machine-readable analyzer benchmark: median wall-clock and ns/scenario
+/// for 1/2/4/8 analyzer workers on the saturated ORION workload, plus the
+/// shared-cache hit rate on a warm re-run. Writes `BENCH_analyzer.json`
+/// to the working directory (override the path with `NPTSN_BENCH_OUT`);
+/// `NPTSN_BENCH_SMOKE=1` shrinks the iteration counts to a plumbing check.
+fn bench_analyzer_json(filter: &str) {
+    if !"analyzer_json".contains(filter) {
+        return;
+    }
+    let smoke = std::env::var("NPTSN_BENCH_SMOKE").is_ok();
+    let (warmup, iters) = if smoke { (1usize, 3usize) } else { (3, 15) };
+    let (strict, topo) = saturated_orion();
+
+    let reference = FailureAnalyzer::new().try_analyze(&strict, &topo).unwrap();
+    let scenarios = reference.scenarios_checked.max(1);
+
+    let mut rows = Vec::new();
+    let mut base_median_ns = 0u128;
+    for workers in [1usize, 2, 4, 8] {
+        let analyzer = FailureAnalyzer::new().with_workers(workers);
+        for _ in 0..warmup {
+            black_box(analyzer.analyze(&strict, &topo));
+        }
+        let mut samples = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let start = Instant::now();
+            let verdict = black_box(analyzer.analyze(&strict, &topo));
+            samples.push(start.elapsed());
+            assert_eq!(verdict, reference.verdict, "parallelism changed the verdict");
+        }
+        samples.sort();
+        let median_ns = samples[samples.len() / 2].as_nanos();
+        if workers == 1 {
+            base_median_ns = median_ns;
+        }
+        let speedup = base_median_ns as f64 / median_ns.max(1) as f64;
+        println!(
+            "analyzer_json: {workers} worker(s)  median {:>10.3?}  \
+             {:>7.1} ns/scenario  speedup x{speedup:.2}",
+            Duration::from_nanos(median_ns as u64),
+            median_ns as f64 / scenarios as f64,
+        );
+        rows.push((workers, median_ns, speedup));
+    }
+
+    // Cache effectiveness: a cold run fills the shared cache, a warm run
+    // answers from it; time the warm configuration separately.
+    let cache = Arc::new(ScenarioCache::new());
+    let cached = FailureAnalyzer::new().with_workers(4).with_shared_cache(Arc::clone(&cache));
+    let cold = cached.try_analyze(&strict, &topo).unwrap();
+    let warm = cached.try_analyze(&strict, &topo).unwrap();
+    let warm_total = (warm.cache_hits + warm.cache_misses).max(1);
+    let warm_hit_rate = warm.cache_hits as f64 / warm_total as f64;
+    let mut warm_samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(cached.analyze(&strict, &topo));
+        warm_samples.push(start.elapsed());
+    }
+    warm_samples.sort();
+    let warm_median_ns = warm_samples[warm_samples.len() / 2].as_nanos();
+    println!(
+        "analyzer_json: warm cache (4 workers)  median {:>10.3?}  hit rate {:.3}",
+        Duration::from_nanos(warm_median_ns as u64),
+        warm_hit_rate,
+    );
+
+    // Hand-written JSON: the workspace is hermetic, no serde.
+    //
+    // `cpu_cores` contextualizes the worker sweep: thread fan-out cannot
+    // beat sequential on a single-core host, so readers (and CI) should
+    // judge `speedup_vs_sequential` against the core count and fall back
+    // to the cache speedup — which is core-count-independent — for the
+    // wall-clock win.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cached_speedup = base_median_ns as f64 / warm_median_ns.max(1) as f64;
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"failure_analysis_orion_saturated_40flows\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"iters\": {iters},\n"));
+    json.push_str(&format!("  \"cpu_cores\": {cores},\n"));
+    json.push_str(&format!("  \"scenarios_checked\": {scenarios},\n"));
+    json.push_str(&format!(
+        "  \"speedup_4workers_cached_vs_sequential\": {cached_speedup:.1},\n"
+    ));
+    json.push_str("  \"workers\": [\n");
+    for (i, (workers, median_ns, speedup)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {workers}, \"median_ns\": {median_ns}, \
+             \"ns_per_scenario\": {:.1}, \"speedup_vs_sequential\": {speedup:.3}}}{}\n",
+            *median_ns as f64 / scenarios as f64,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"cache\": {{\"cold_hits\": {}, \"cold_misses\": {}, \"warm_hits\": {}, \
+         \"warm_misses\": {}, \"warm_hit_rate\": {warm_hit_rate:.4}, \
+         \"warm_median_ns\": {warm_median_ns}, \
+         \"warm_speedup_vs_sequential\": {cached_speedup:.1}}}\n",
+        cold.cache_hits, cold.cache_misses, warm.cache_hits, warm.cache_misses,
+    ));
+    json.push_str("}\n");
+
+    let out_path = std::env::var("NPTSN_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_analyzer.json".to_string());
+    std::fs::write(&out_path, &json)
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("analyzer_json: wrote {out_path}");
 }
 
 fn bench_soag(filter: &str) {
@@ -243,6 +379,7 @@ fn main() {
     bench_paths(&filter);
     bench_nbf(&filter);
     bench_failure_analysis(&filter);
+    bench_analyzer_json(&filter);
     bench_soag(&filter);
     bench_encode(&filter);
     bench_gcn(&filter);

@@ -34,8 +34,9 @@ nptsn — RL-based network planning for in-vehicle TSSDN (DSN 2023 reproduction)
 
 USAGE:
     nptsn plan <problem.tssdn> [--epochs N] [--steps N] [--seed N] [--greedy]
+               [--analyzer-workers N]
         Plan the network; prints the plan file for the best solution.
-    nptsn verify <problem.tssdn> <plan file>
+    nptsn verify <problem.tssdn> <plan file> [--analyzer-workers N]
         Check a plan's reliability guarantee with the failure analyzer.
     nptsn simulate <problem.tssdn> <plan file>
         Execute the recovered schedule frame by frame and report latencies.
@@ -86,6 +87,7 @@ fn cmd_plan(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErr
     let mut steps = 256usize;
     let mut seed = 0u64;
     let mut greedy = false;
+    let mut analyzer_workers = 1usize;
     let mut iter = args.iter().map(String::as_str);
     while let Some(arg) = iter.next() {
         match arg {
@@ -93,6 +95,9 @@ fn cmd_plan(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErr
             "--steps" => steps = parse_flag(iter.next(), "--steps")?,
             "--seed" => seed = parse_flag(iter.next(), "--seed")?,
             "--greedy" => greedy = true,
+            "--analyzer-workers" => {
+                analyzer_workers = parse_workers(iter.next())?;
+            }
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
             other => return Err(CliError(format!("unexpected argument '{other}'"))),
         }
@@ -104,6 +109,7 @@ fn cmd_plan(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErr
         max_epochs: epochs,
         steps_per_epoch: steps,
         seed,
+        analyzer_workers,
         ..PlannerConfig::quick()
     };
     let best = if greedy {
@@ -130,16 +136,41 @@ fn parse_flag<T: std::str::FromStr>(value: Option<&str>, flag: &str) -> Result<T
         .map_err(|_| CliError(format!("invalid value for {flag}")))
 }
 
+/// Parses `--analyzer-workers`, rejecting 0 (the analyzer would clamp it
+/// to 1 anyway, but a CLI user asking for zero threads made a mistake).
+fn parse_workers(value: Option<&str>) -> Result<usize, CliError> {
+    let n: usize = parse_flag(value, "--analyzer-workers")?;
+    if n == 0 {
+        return Err(CliError("--analyzer-workers must be at least 1".into()));
+    }
+    Ok(n)
+}
+
 fn cmd_verify(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
-    let [problem_path, plan_path] = args else {
-        return Err(CliError("verify: expected <problem.tssdn> <plan file>".into()));
+    let mut paths = Vec::new();
+    let mut analyzer_workers = 1usize;
+    let mut iter = args.iter().map(String::as_str);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--analyzer-workers" => {
+                analyzer_workers = parse_workers(iter.next())?;
+            }
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            other => return Err(CliError(format!("unexpected argument '{other}'"))),
+        }
+    }
+    let [problem_path, plan_path] = paths.as_slice() else {
+        return Err(CliError(
+            "verify: expected <problem.tssdn> <plan file> [--analyzer-workers N]".into(),
+        ));
     };
     let parsed = load(problem_path)?;
     let plan_text = std::fs::read_to_string(plan_path)
         .map_err(|e| CliError(format!("cannot read {plan_path}: {e}")))?;
     let topology = parse_plan(&parsed, &plan_text).map_err(CliError)?;
     let cost = topology.network_cost(parsed.problem.library());
-    match FailureAnalyzer::new().analyze(&parsed.problem, &topology) {
+    let analyzer = FailureAnalyzer::new().with_workers(analyzer_workers);
+    match analyzer.analyze(&parsed.problem, &topology) {
         Verdict::Reliable => {
             writeln!(out, "RELIABLE (cost {cost:.1})").map_err(io_err)?;
             Ok(())
@@ -346,6 +377,34 @@ a b 500 128
         let plan_path = write_temp("rlplan.plan", &plan_text);
         let verify_text = run_ok(&["verify", &problem_path, &plan_path]);
         assert!(verify_text.contains("RELIABLE"));
+    }
+
+    #[test]
+    fn verify_accepts_analyzer_workers_flag() {
+        let problem_path = write_temp("vworkers.tssdn", DOC);
+        let plan_text = run_ok(&["plan", &problem_path, "--greedy"]);
+        let plan_path = write_temp("vworkers.plan", &plan_text);
+        // The parallel analyzer must return the same verdict text.
+        let seq = run_ok(&["verify", &problem_path, &plan_path]);
+        let par =
+            run_ok(&["verify", &problem_path, &plan_path, "--analyzer-workers", "4"]);
+        assert_eq!(seq, par);
+        assert!(par.contains("RELIABLE"), "{par}");
+        // Flag order should not matter.
+        let flipped =
+            run_ok(&["verify", "--analyzer-workers", "2", &problem_path, &plan_path]);
+        assert_eq!(seq, flipped);
+    }
+
+    #[test]
+    fn analyzer_workers_rejects_zero_and_garbage() {
+        for bad in [&["plan", "x.tssdn", "--analyzer-workers", "0"][..],
+                    &["verify", "a", "b", "--analyzer-workers", "none"][..]] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            let mut out = Vec::new();
+            let err = run(&args, &mut out).unwrap_err();
+            assert!(err.to_string().contains("--analyzer-workers"), "{err}");
+        }
     }
 
     #[test]

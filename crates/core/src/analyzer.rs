@@ -1,10 +1,32 @@
 //! The failure analyzer: Algorithm 3, the failure injection check.
+//!
+//! This is the planner's hot path — every RL environment step runs it —
+//! so the enumeration engine is built for speed without changing a single
+//! verdict (see `DESIGN.md` §8):
+//!
+//! * scenarios are [`ScenarioBits`] bitsets and survivors live in an
+//!   order-bucketed [`SupersetMemo`], so the superset-pruning test is a
+//!   few word operations instead of a linear element-wise scan;
+//! * the NBF invocations of each failure order can fan out across worker
+//!   threads ([`FailureAnalyzer::with_workers`]) with a deterministic
+//!   merge: the first counterexample in lexicographic enumeration order
+//!   wins and the budget is charged exactly as sequential enumeration
+//!   would, so verdicts and `scenarios_checked` are bit-identical;
+//! * NBF outcomes can be memoized across runs in a shared, bounded
+//!   [`ScenarioCache`] keyed by `(topology fingerprint, scenario)`
+//!   ([`FailureAnalyzer::with_shared_cache`]) — sound because the NBF is
+//!   stateless, and implicitly invalidated by topology mutation because
+//!   the fingerprint changes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use nptsn_sched::ErrorReport;
 use nptsn_topo::{FailureScenario, NodeId, Topology};
 
 use crate::error::NptsnError;
 use crate::problem::PlanningProblem;
+use crate::scenario_cache::{ScenarioBits, ScenarioCache, SupersetMemo};
 
 /// Which nodes the analyzer injects failures into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,12 +108,21 @@ pub struct AnalysisReport {
     /// The verdict (anytime: [`Verdict::Inconclusive`] when the budget ran
     /// out).
     pub verdict: Verdict,
-    /// How many failure scenarios were injected (NBF invocations).
+    /// How many failure scenarios were injected. Scenarios answered from
+    /// the shared cache count too — the scenario was *checked*, the NBF
+    /// work was just already paid for — so this figure is identical with
+    /// and without a cache, and the budget stays configuration-independent.
     pub scenarios_checked: u64,
     /// Whether the enumeration ran to completion. `true` means the verdict
     /// is exactly what the unbounded analyzer would have produced; `false`
     /// means the budget was exhausted first.
     pub exhausted: bool,
+    /// Scenario checks answered from the shared [`ScenarioCache`] during
+    /// this run (0 without a cache).
+    pub cache_hits: u64,
+    /// Scenario checks that invoked the NBF and recorded the outcome in
+    /// the shared cache (0 without a cache).
+    pub cache_misses: u64,
 }
 
 /// Failure injection per Algorithm 3: checks every switch-failure subset
@@ -143,23 +174,56 @@ pub struct AnalysisReport {
 pub struct FailureAnalyzer {
     scope: NodeScope,
     budget: AnalysisBudget,
+    workers: usize,
+    cache: Option<Arc<ScenarioCache>>,
 }
 
 impl FailureAnalyzer {
     /// An analyzer over switch failures only with an unbounded budget (the
-    /// default, sound without flow-level redundancy).
+    /// default, sound without flow-level redundancy), sequential and
+    /// uncached.
     pub fn new() -> FailureAnalyzer {
-        FailureAnalyzer { scope: NodeScope::SwitchesOnly, budget: AnalysisBudget::UNBOUNDED }
+        FailureAnalyzer {
+            scope: NodeScope::SwitchesOnly,
+            budget: AnalysisBudget::UNBOUNDED,
+            workers: 1,
+            cache: None,
+        }
     }
 
     /// An analyzer with an explicit node scope.
     pub fn with_scope(scope: NodeScope) -> FailureAnalyzer {
-        FailureAnalyzer { scope, budget: AnalysisBudget::UNBOUNDED }
+        FailureAnalyzer { scope, ..FailureAnalyzer::new() }
     }
 
     /// Returns this analyzer with the given work budget (builder-style).
     pub fn with_budget(mut self, budget: AnalysisBudget) -> FailureAnalyzer {
         self.budget = budget;
+        self
+    }
+
+    /// Returns this analyzer with NBF invocations fanned out over
+    /// `workers` threads (builder-style; values below 1 are clamped to 1,
+    /// which keeps everything on the calling thread).
+    ///
+    /// The parallel engine returns bit-identical verdicts and
+    /// `scenarios_checked` to sequential enumeration: within one failure
+    /// order the superset memo is frozen (distinct equal-order scenarios
+    /// are never subsets of each other), so the set of scenarios to check
+    /// is fixed up front; workers may race ahead of a counterexample, but
+    /// the merge picks the first one in lexicographic enumeration order
+    /// and charges the budget as if enumeration had stopped right there.
+    pub fn with_workers(mut self, workers: usize) -> FailureAnalyzer {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Returns this analyzer with a shared NBF-outcome cache
+    /// (builder-style). The cache must only ever be shared between
+    /// analyzers over the *same* planning problem and node scope — the
+    /// environment attaches one cache per episode worker.
+    pub fn with_shared_cache(mut self, cache: Arc<ScenarioCache>) -> FailureAnalyzer {
+        self.cache = Some(cache);
         self
     }
 
@@ -171,6 +235,16 @@ impl FailureAnalyzer {
     /// The configured work budget.
     pub fn budget(&self) -> AnalysisBudget {
         self.budget
+    }
+
+    /// The configured worker-thread count (1 = sequential).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The shared NBF-outcome cache, when one is attached.
+    pub fn cache(&self) -> Option<&Arc<ScenarioCache>> {
+        self.cache.as_ref()
     }
 
     /// Runs Algorithm 3 on `topology`.
@@ -236,57 +310,240 @@ impl FailureAnalyzer {
         }
 
         // Lines 2-14: check subsets from maxord down to the empty failure.
-        // The budget caps the number of NBF invocations; safe faults and
+        // The budget caps the number of scenario checks; safe faults and
         // superset-pruned subsets are free (no recovery is attempted).
+        //
+        // Per order, enumeration proceeds in two phases. Phase A walks the
+        // combinations lexicographically and collects the *chargeable*
+        // scenarios — non-safe and not covered by a higher-order survivor.
+        // The memo is frozen during an order (equal-order scenarios never
+        // prune each other), so this set matches what sequential
+        // enumeration would inject. Phase B evaluates the NBF for the
+        // first `budget-remaining` of them, sequentially or across worker
+        // threads, and merges deterministically: the earliest
+        // counterexample wins and the budget is charged up to it.
         let limit = self.budget.limit().unwrap_or(u64::MAX);
+        let fingerprint = self.cache.as_deref().map(|_| topology.fingerprint());
+        let cache_ctx: Option<(&ScenarioCache, u128)> =
+            self.cache.as_deref().zip(fingerprint);
         let mut scenarios_checked: u64 = 0;
-        let mut out_of_budget = false;
-        let mut checked: Vec<FailureScenario> = Vec::new();
+        let mut cache_hits: u64 = 0;
+        let mut cache_misses: u64 = 0;
+        let mut memo = SupersetMemo::new();
+        let mut combo_buf: Vec<usize> = Vec::new();
+        let mut scratch = ScenarioBits::with_capacity(nodes.len());
+        let mut chargeable: Vec<ScenarioBits> = Vec::new();
         for order in (0..=maxord).rev() {
-            let mut verdict = None;
-            for_each_combination(nodes.len(), order, &mut |indices| {
-                if verdict.is_some() || out_of_budget {
-                    return;
-                }
+            // Phase A: the chargeable scenarios of this order, in
+            // lexicographic enumeration order. Pruned and safe scenarios
+            // never materialize a `FailureScenario` (no allocation).
+            chargeable.clear();
+            for_each_combination(nodes.len(), order, &mut combo_buf, &mut |indices| {
                 let probability: f64 = indices.iter().map(|&i| nodes[i].1).product();
                 if probability < r {
                     return; // safe fault
                 }
-                let failure =
-                    FailureScenario::switches(indices.iter().map(|&i| nodes[i].0).collect());
-                if checked.iter().any(|bigger| failure.is_subset_of(bigger)) {
+                scratch.clear();
+                for &i in indices {
+                    scratch.insert(i);
+                }
+                if memo.covers(&scratch, order) {
                     return; // a superset already survived
                 }
-                if scenarios_checked >= limit {
-                    out_of_budget = true;
-                    return;
-                }
-                scenarios_checked += 1;
-                let outcome = problem.nbf().recover(
-                    topology,
-                    &failure,
-                    problem.tas(),
-                    problem.flows(),
-                );
-                if outcome.errors.is_empty() {
-                    checked.push(failure);
-                } else {
-                    verdict = Some(Verdict::Unreliable { failure, errors: outcome.errors });
-                }
+                chargeable.push(scratch.clone());
             });
-            if let Some(v) = verdict {
-                return Ok(AnalysisReport { verdict: v, scenarios_checked, exhausted: true });
+
+            // Phase B: evaluate what the budget allows.
+            let allowed =
+                usize::try_from((limit - scenarios_checked).min(chargeable.len() as u64))
+                    .unwrap_or(chargeable.len());
+            let outcome = if self.workers > 1 && allowed >= 2 {
+                self.evaluate_parallel(problem, topology, &nodes, cache_ctx, &chargeable[..allowed])
+            } else {
+                evaluate_sequential(problem, topology, &nodes, cache_ctx, &chargeable[..allowed])
+            };
+            cache_hits += outcome.cache_hits;
+            cache_misses += outcome.cache_misses;
+            if let Some((position, errors)) = outcome.first_failure {
+                // Sequential enumeration would have injected exactly the
+                // scenarios up to and including the counterexample.
+                scenarios_checked += position as u64 + 1;
+                let failure = scenario_of(&nodes, &chargeable[position]);
+                return Ok(AnalysisReport {
+                    verdict: Verdict::Unreliable { failure, errors },
+                    scenarios_checked,
+                    exhausted: true,
+                    cache_hits,
+                    cache_misses,
+                });
             }
-            if out_of_budget {
+            scenarios_checked += allowed as u64;
+            if allowed < chargeable.len() {
                 return Ok(AnalysisReport {
                     verdict: Verdict::Inconclusive { scenarios_checked },
                     scenarios_checked,
                     exhausted: false,
+                    cache_hits,
+                    cache_misses,
                 });
             }
+            // Every scenario of this order survived: it can prune strict
+            // subsets in the lower orders still to come.
+            for bits in chargeable.drain(..) {
+                memo.insert(bits, order);
+            }
         }
-        Ok(AnalysisReport { verdict: Verdict::Reliable, scenarios_checked, exhausted: true })
+        Ok(AnalysisReport {
+            verdict: Verdict::Reliable,
+            scenarios_checked,
+            exhausted: true,
+            cache_hits,
+            cache_misses,
+        })
     }
+
+    /// Evaluates one order's chargeable scenarios across worker threads.
+    ///
+    /// Work is dealt round-robin (worker `w` takes indices `w`, `w + W`,
+    /// …); a shared atomic records the earliest counterexample index found
+    /// so far, letting workers skip scenarios that can no longer matter.
+    /// Every index below the final minimum is guaranteed to have been
+    /// evaluated (a skip requires a recorded failure at a smaller index),
+    /// so the merged first-failure position equals the sequential one.
+    fn evaluate_parallel(
+        &self,
+        problem: &PlanningProblem,
+        topology: &Topology,
+        nodes: &[(NodeId, f64)],
+        cache_ctx: Option<(&ScenarioCache, u128)>,
+        scenarios: &[ScenarioBits],
+    ) -> OrderOutcome {
+        let workers = self.workers.min(scenarios.len());
+        let first_fail = AtomicUsize::new(usize::MAX);
+        let per_worker: Vec<WorkerOutcome> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for w in 0..workers {
+                    let first_fail = &first_fail;
+                    handles.push(scope.spawn(move || {
+                        let mut earliest: Option<(usize, ErrorReport)> = None;
+                        let mut hits = 0u64;
+                        let mut misses = 0u64;
+                        let mut index = w;
+                        while index < scenarios.len() {
+                            if index <= first_fail.load(Ordering::Relaxed) {
+                                let errors = evaluate_scenario(
+                                    problem,
+                                    topology,
+                                    nodes,
+                                    cache_ctx,
+                                    &scenarios[index],
+                                    &mut hits,
+                                    &mut misses,
+                                );
+                                if !errors.is_empty() {
+                                    first_fail.fetch_min(index, Ordering::Relaxed);
+                                    if earliest.as_ref().is_none_or(|(p, _)| index < *p) {
+                                        earliest = Some((index, errors));
+                                    }
+                                }
+                            }
+                            index += workers;
+                        }
+                        (earliest, hits, misses)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                    .collect()
+            });
+
+        let mut merged = OrderOutcome::default();
+        for (earliest, hits, misses) in per_worker {
+            merged.cache_hits += hits;
+            merged.cache_misses += misses;
+            if let Some((index, errors)) = earliest {
+                if merged.first_failure.as_ref().is_none_or(|(p, _)| index < *p) {
+                    merged.first_failure = Some((index, errors));
+                }
+            }
+        }
+        merged
+    }
+}
+
+/// One worker's share of a parallel order evaluation: the earliest
+/// counterexample it found (if any) plus its cache hit/miss counts.
+type WorkerOutcome = (Option<(usize, ErrorReport)>, u64, u64);
+
+/// The result of evaluating one failure order's chargeable scenarios.
+#[derive(Debug, Default)]
+struct OrderOutcome {
+    /// Position (within the chargeable slice) and error report of the
+    /// lexicographically first counterexample, if any.
+    first_failure: Option<(usize, ErrorReport)>,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Sequential Phase B: evaluate scenarios in order, stopping at the first
+/// counterexample exactly like the seed enumeration did.
+fn evaluate_sequential(
+    problem: &PlanningProblem,
+    topology: &Topology,
+    nodes: &[(NodeId, f64)],
+    cache_ctx: Option<(&ScenarioCache, u128)>,
+    scenarios: &[ScenarioBits],
+) -> OrderOutcome {
+    let mut outcome = OrderOutcome::default();
+    for (index, bits) in scenarios.iter().enumerate() {
+        let errors = evaluate_scenario(
+            problem,
+            topology,
+            nodes,
+            cache_ctx,
+            bits,
+            &mut outcome.cache_hits,
+            &mut outcome.cache_misses,
+        );
+        if !errors.is_empty() {
+            outcome.first_failure = Some((index, errors));
+            break;
+        }
+    }
+    outcome
+}
+
+/// One scenario check: cache lookup first, NBF invocation on a miss.
+fn evaluate_scenario(
+    problem: &PlanningProblem,
+    topology: &Topology,
+    nodes: &[(NodeId, f64)],
+    cache_ctx: Option<(&ScenarioCache, u128)>,
+    bits: &ScenarioBits,
+    hits: &mut u64,
+    misses: &mut u64,
+) -> ErrorReport {
+    if let Some((cache, fingerprint)) = cache_ctx {
+        if let Some(errors) = cache.lookup(fingerprint, bits) {
+            *hits += 1;
+            return errors;
+        }
+    }
+    let failure = scenario_of(nodes, bits);
+    let outcome = problem.nbf().recover(topology, &failure, problem.tas(), problem.flows());
+    if let Some((cache, fingerprint)) = cache_ctx {
+        *misses += 1;
+        cache.insert(fingerprint, bits.clone(), outcome.errors.clone());
+    }
+    outcome.errors
+}
+
+/// Materializes the `FailureScenario` for a candidate-index bitset — only
+/// ever called for scenarios that actually reach the NBF or the verdict.
+fn scenario_of(nodes: &[(NodeId, f64)], bits: &ScenarioBits) -> FailureScenario {
+    FailureScenario::switches(bits.iter().map(|i| nodes[i].0).collect())
 }
 
 impl Default for FailureAnalyzer {
@@ -296,14 +553,21 @@ impl Default for FailureAnalyzer {
 }
 
 /// Calls `f` with every `k`-element index combination of `0..n`, in
-/// lexicographic order.
-fn for_each_combination(n: usize, k: usize, f: &mut impl FnMut(&[usize])) {
+/// lexicographic order. `indices` is the caller's scratch buffer, reused
+/// across orders so per-order enumeration allocates nothing.
+fn for_each_combination(
+    n: usize,
+    k: usize,
+    indices: &mut Vec<usize>,
+    f: &mut impl FnMut(&[usize]),
+) {
     if k > n {
         return;
     }
-    let mut indices: Vec<usize> = (0..k).collect();
+    indices.clear();
+    indices.extend(0..k);
     loop {
-        f(&indices);
+        f(indices);
         // Advance to the next combination.
         let mut i = k;
         loop {
@@ -334,7 +598,8 @@ mod tests {
 
     fn combos(n: usize, k: usize) -> Vec<Vec<usize>> {
         let mut out = Vec::new();
-        for_each_combination(n, k, &mut |c| out.push(c.to_vec()));
+        let mut buf = Vec::new();
+        for_each_combination(n, k, &mut buf, &mut |c| out.push(c.to_vec()));
         out
     }
 
@@ -605,5 +870,130 @@ mod tests {
         assert_eq!(AnalysisBudget::scenarios(7).limit(), Some(7));
         let a = FailureAnalyzer::new().with_budget(AnalysisBudget::scenarios(7));
         assert_eq!(a.budget().limit(), Some(7));
+    }
+
+    #[test]
+    fn worker_and_cache_accessors() {
+        let a = FailureAnalyzer::new();
+        assert_eq!(a.workers(), 1);
+        assert!(a.cache().is_none());
+        let a = a.with_workers(0);
+        assert_eq!(a.workers(), 1, "worker counts clamp to 1");
+        let cache = Arc::new(ScenarioCache::new());
+        let a = a.with_workers(4).with_shared_cache(Arc::clone(&cache));
+        assert_eq!(a.workers(), 4);
+        assert!(Arc::ptr_eq(a.cache().unwrap(), &cache));
+    }
+
+    /// Every (workers, cache) configuration must produce bit-identical
+    /// verdicts and scenario counts on the same inputs.
+    fn assert_all_configs_agree(problem: &PlanningProblem, topo: &Topology) {
+        let reference = FailureAnalyzer::new().try_analyze(problem, topo).unwrap();
+        for workers in [1, 2, 3, 8] {
+            for with_cache in [false, true] {
+                let mut analyzer = FailureAnalyzer::new().with_workers(workers);
+                if with_cache {
+                    analyzer = analyzer.with_shared_cache(Arc::new(ScenarioCache::new()));
+                }
+                // Twice on purpose: the second run hits the warm cache.
+                for round in 0..2 {
+                    let report = analyzer.try_analyze(problem, topo).unwrap();
+                    assert_eq!(
+                        report.verdict, reference.verdict,
+                        "workers={workers} cache={with_cache} round={round}"
+                    );
+                    assert_eq!(
+                        report.scenarios_checked, reference.scenarios_checked,
+                        "workers={workers} cache={with_cache} round={round}"
+                    );
+                    assert_eq!(report.exhausted, reference.exhausted);
+                    if !with_cache {
+                        assert_eq!((report.cache_hits, report.cache_misses), (0, 0));
+                    } else if round == 1 {
+                        assert!(
+                            report.cache_hits > 0,
+                            "a repeated analysis must hit the warm cache"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_cached_match_sequential_on_reliable_topology() {
+        let (problem, topo, ..) = theta_problem();
+        assert_all_configs_agree(&problem, &topo);
+    }
+
+    #[test]
+    fn parallel_and_cached_match_sequential_on_counterexamples() {
+        let (problem, topo, ..) = theta_problem();
+        let strict = PlanningProblem::new(
+            problem.connection_graph_arc(),
+            problem.library().clone(),
+            *problem.tas(),
+            problem.flows().clone(),
+            1e-9,
+            problem.nbf_arc(),
+        )
+        .unwrap();
+        assert_all_configs_agree(&strict, &topo);
+        // And on a nominally unschedulable (empty) network.
+        let empty = problem.connection_graph().empty_topology();
+        assert_all_configs_agree(&problem, &empty);
+    }
+
+    #[test]
+    fn cache_survives_across_runs_and_counts_checks() {
+        let (problem, topo, ..) = theta_problem();
+        let cache = Arc::new(ScenarioCache::new());
+        let analyzer = FailureAnalyzer::new().with_shared_cache(Arc::clone(&cache));
+        let cold = analyzer.try_analyze(&problem, &topo).unwrap();
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cold.cache_misses, cold.scenarios_checked);
+        let warm = analyzer.try_analyze(&problem, &topo).unwrap();
+        assert_eq!(warm.cache_hits, warm.scenarios_checked, "warm run is all hits");
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(warm.verdict, cold.verdict);
+        assert_eq!(cache.stats().hits, warm.cache_hits);
+        // Mutating the topology changes the fingerprint: no stale reuse.
+        let mut upgraded = topo.clone();
+        upgraded.upgrade_switch(upgraded.selected_switches()[0]).unwrap();
+        let fresh = analyzer.try_analyze(&problem, &upgraded).unwrap();
+        assert_eq!(fresh.cache_hits, 0, "different topology must not hit");
+    }
+
+    #[test]
+    fn budgeted_parallel_matches_budgeted_sequential() {
+        let (problem, topo, ..) = theta_problem();
+        let strict = PlanningProblem::new(
+            problem.connection_graph_arc(),
+            problem.library().clone(),
+            *problem.tas(),
+            problem.flows().clone(),
+            1e-9,
+            problem.nbf_arc(),
+        )
+        .unwrap();
+        let total = FailureAnalyzer::new()
+            .try_analyze(&strict, &topo)
+            .unwrap()
+            .scenarios_checked;
+        for budget in 0..=total + 1 {
+            let seq = FailureAnalyzer::new()
+                .with_budget(AnalysisBudget::scenarios(budget))
+                .try_analyze(&strict, &topo)
+                .unwrap();
+            let par = FailureAnalyzer::new()
+                .with_budget(AnalysisBudget::scenarios(budget))
+                .with_workers(4)
+                .with_shared_cache(Arc::new(ScenarioCache::new()))
+                .try_analyze(&strict, &topo)
+                .unwrap();
+            assert_eq!(par.verdict, seq.verdict, "budget={budget}");
+            assert_eq!(par.scenarios_checked, seq.scenarios_checked, "budget={budget}");
+            assert_eq!(par.exhausted, seq.exhausted, "budget={budget}");
+        }
     }
 }

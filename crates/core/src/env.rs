@@ -4,9 +4,12 @@ use nptsn_sched::ErrorReport;
 use nptsn_topo::{FailureScenario, Topology};
 use nptsn_rand::Rng;
 
+use std::sync::Arc;
+
 use crate::analyzer::{FailureAnalyzer, Verdict};
 use crate::encode::{encode_observation, Observation};
 use crate::problem::PlanningProblem;
+use crate::scenario_cache::ScenarioCache;
 use crate::soag::{apply_action, ActionSet, Soag};
 use crate::solution::Solution;
 
@@ -75,6 +78,13 @@ pub struct PlanningEnv {
 
 impl PlanningEnv {
     /// Creates the environment and performs the first reset.
+    ///
+    /// The failure analyzer runs sequentially with a fresh per-environment
+    /// [`ScenarioCache`], so NBF outcomes are reused across the steps and
+    /// episode resets of this environment (every reset re-analyzes the
+    /// empty topology, and episodes revisit construction prefixes). Use
+    /// [`with_analyzer`](PlanningEnv::with_analyzer) to configure worker
+    /// threads or share a cache explicitly.
     pub fn new(
         problem: PlanningProblem,
         k_paths: usize,
@@ -82,12 +92,35 @@ impl PlanningEnv {
         max_episode_steps: usize,
         rng: &mut impl Rng,
     ) -> PlanningEnv {
+        let analyzer =
+            FailureAnalyzer::new().with_shared_cache(Arc::new(ScenarioCache::new()));
+        PlanningEnv::with_analyzer(
+            problem,
+            k_paths,
+            reward_scaling,
+            max_episode_steps,
+            analyzer,
+            rng,
+        )
+    }
+
+    /// Creates the environment with an explicit failure analyzer — the
+    /// seam for worker-thread fan-out ([`FailureAnalyzer::with_workers`]),
+    /// budgets and cache sharing. Performs the first reset.
+    pub fn with_analyzer(
+        problem: PlanningProblem,
+        k_paths: usize,
+        reward_scaling: f32,
+        max_episode_steps: usize,
+        analyzer: FailureAnalyzer,
+        rng: &mut impl Rng,
+    ) -> PlanningEnv {
         let topology = problem.connection_graph().empty_topology();
         let soag = Soag::new(k_paths);
         let mut env = PlanningEnv {
             problem,
             soag,
-            analyzer: FailureAnalyzer::new(),
+            analyzer,
             reward_scaling,
             max_episode_steps,
             topology: topology.clone(),
@@ -151,6 +184,12 @@ impl PlanningEnv {
     /// The planning problem.
     pub fn problem(&self) -> &PlanningProblem {
         &self.problem
+    }
+
+    /// The failure analyzer in use — its cache exposes hit/miss counters
+    /// for diagnosing how much NBF work memoization is saving.
+    pub fn analyzer(&self) -> &FailureAnalyzer {
+        &self.analyzer
     }
 
     /// Total number of action slots (`|V^c_sw| + K`).
@@ -298,6 +337,31 @@ mod tests {
             solution.switch_count() == 2 || hist[3] == 1,
             "unexpected plan: {solution}"
         );
+    }
+
+    #[test]
+    fn episode_resets_hit_the_scenario_cache() {
+        // Every reset re-analyzes the empty topology; from the second
+        // reset on, those NBF checks come from the per-env cache.
+        let (mut env, mut rng) = env();
+        let cache = Arc::clone(env.analyzer().cache().expect("default env has a cache"));
+        let after_first = cache.stats();
+        env.reset(&mut rng);
+        let after_second = cache.stats();
+        assert!(
+            after_second.hits > after_first.hits,
+            "second reset should reuse cached NBF outcomes: {after_second:?}"
+        );
+    }
+
+    #[test]
+    fn custom_analyzer_is_honored() {
+        let (problem, ..) = theta_problem();
+        let mut rng = StdRng::seed_from_u64(7);
+        let analyzer = FailureAnalyzer::new().with_workers(2);
+        let env = PlanningEnv::with_analyzer(problem, 6, 1e3, 64, analyzer, &mut rng);
+        assert_eq!(env.analyzer().workers(), 2);
+        assert!(env.analyzer().cache().is_none());
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! The crate implements the full NPTSN architecture (Fig. 2):
 //!
 //! * [`FailureAnalyzer`] — the failure-injection check of Algorithm 3 with
-//!   the switch-only reduction (Eq. 6) and superset memoization.
+//!   the switch-only reduction (Eq. 6), bitset superset memoization
+//!   ([`SupersetMemo`]), optional worker-thread fan-out and a shared
+//!   NBF-outcome cache ([`ScenarioCache`]) — all verdict-preserving.
 //! * [`Soag`] — the Survival-Oriented Action Generator of Algorithm 1:
 //!   a dynamic action space of switch upgrades and K shortest-path
 //!   additions targeting the last non-recoverable failure, with validity
@@ -71,6 +73,7 @@ mod greedy;
 mod model;
 mod planner;
 mod problem;
+mod scenario_cache;
 mod soag;
 mod solution;
 
@@ -83,6 +86,7 @@ pub use greedy::{verify_topology, GreedyPlanner};
 pub use model::PolicyNetwork;
 pub use planner::{EpochStats, Planner, PlannerReport};
 pub use problem::PlanningProblem;
+pub use scenario_cache::{CacheStats, ScenarioBits, ScenarioCache, SupersetMemo};
 pub use soag::{Action, ActionSet, Soag};
 pub use solution::{asil_label, Solution};
 

@@ -1,0 +1,217 @@
+//! Seeded equivalence sweep for the parallel, memoized failure analyzer.
+//!
+//! The contract under test: for every problem, topology, worker count,
+//! cache configuration and budget, [`FailureAnalyzer`] returns a verdict
+//! **bit-identical** to the sequential unbounded enumeration of
+//! Algorithm 3 — same `Verdict` variant, same counterexample scenario,
+//! same error pairs, same `scenarios_checked`. Parallelism and
+//! memoization are pure go-faster knobs; they may never change a result.
+
+use std::sync::Arc;
+
+use nptsn::{
+    AnalysisBudget, FailureAnalyzer, PlanningEnv, PlanningProblem, ScenarioCache, Verdict,
+};
+use nptsn_rand::rngs::StdRng;
+use nptsn_rand::{Rng, RngCore, SeedableRng};
+use nptsn_sched::{FlowSet, FlowSpec, ShortestPathRecovery, TasConfig};
+use nptsn_topo::{ComponentLibrary, ConnectionGraph, NodeId, Topology};
+
+const CASES: u64 = 24;
+
+/// A random dual-homed candidate mesh. `reliability_goal` is drawn from
+/// the caller so sweeps cover both lenient goals (most faults safe,
+/// little work) and strict ones (maxord high enough that the parallel
+/// fan-out and the superset memo actually engage).
+fn random_problem(rng: &mut StdRng, reliability_goal: f64) -> PlanningProblem {
+    let es = rng.gen_range(3usize..5);
+    let sw = rng.gen_range(2usize..6);
+    let nflows = rng.gen_range(1usize..5);
+    let mut gc = ConnectionGraph::new();
+    let stations: Vec<NodeId> = (0..es).map(|i| gc.add_end_station(format!("es{i}"))).collect();
+    let switches: Vec<NodeId> = (0..sw).map(|i| gc.add_switch(format!("sw{i}"))).collect();
+    for &e in &stations {
+        for &s in &switches {
+            gc.add_candidate_link(e, s, 1.0).unwrap();
+        }
+    }
+    for i in 0..switches.len() {
+        for j in i + 1..switches.len() {
+            gc.add_candidate_link(switches[i], switches[j], 1.0).unwrap();
+        }
+    }
+    let mut flows = Vec::new();
+    for _ in 0..nflows {
+        let s = stations[rng.gen_range(0..stations.len())];
+        let mut d = stations[rng.gen_range(0..stations.len())];
+        if d == s {
+            d = stations[(s.index() + 1) % stations.len()];
+        }
+        flows.push(FlowSpec::new(s, d, 500, 256));
+    }
+    PlanningProblem::new(
+        Arc::new(gc),
+        ComponentLibrary::automotive(),
+        TasConfig::default(),
+        FlowSet::new(flows).unwrap(),
+        reliability_goal,
+        Arc::new(ShortestPathRecovery::new()),
+    )
+    .unwrap()
+}
+
+/// A random mid-construction topology reached by stepping the environment
+/// with a scripted policy — the same state distribution the analyzer sees
+/// during training.
+fn random_topology(problem: &PlanningProblem, seed: u64, steps: usize) -> Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut env = PlanningEnv::new(problem.clone(), 6, 1e3, 64, &mut rng);
+    for _ in 0..steps {
+        let valid: Vec<usize> = (0..env.action_count()).filter(|&i| env.mask()[i]).collect();
+        if valid.is_empty() {
+            break;
+        }
+        let idx = valid[rng.gen_range(0..valid.len())];
+        if env.step(idx, &mut rng).done {
+            break;
+        }
+    }
+    env.topology().clone()
+}
+
+fn assert_reports_identical(
+    reference: &nptsn::AnalysisReport,
+    candidate: &nptsn::AnalysisReport,
+    label: &str,
+) {
+    assert_eq!(reference.verdict, candidate.verdict, "{label}: verdict diverged");
+    assert_eq!(
+        reference.scenarios_checked, candidate.scenarios_checked,
+        "{label}: scenarios_checked diverged"
+    );
+    assert_eq!(reference.exhausted, candidate.exhausted, "{label}: exhausted diverged");
+}
+
+/// Parallel and cached analyzers agree bit-for-bit with the sequential
+/// unbounded reference across random problems and construction states.
+#[test]
+fn parallel_cached_analyzer_is_bit_identical_to_sequential() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xe9a0_0000 + case);
+        // Strict goals force high maxord (deep enumeration); lenient ones
+        // exercise the safe-fault fast path.
+        let goal = [1e-6, 1e-9, 1e-12][case as usize % 3];
+        let problem = random_problem(&mut rng, goal);
+        let topo_seed = rng.next_u64();
+        let steps = rng.gen_range(0usize..10);
+        let topology = random_topology(&problem, topo_seed, steps);
+
+        let reference = FailureAnalyzer::new()
+            .try_analyze(&problem, &topology)
+            .expect("consistent topology");
+
+        for workers in [2usize, 4, 8] {
+            // Parallel, no cache.
+            let parallel = FailureAnalyzer::new()
+                .with_workers(workers)
+                .try_analyze(&problem, &topology)
+                .unwrap();
+            assert_reports_identical(
+                &reference,
+                &parallel,
+                &format!("case {case} workers {workers} uncached"),
+            );
+
+            // Parallel + shared cache, run twice: the warm second run must
+            // still agree even though it answers from the cache.
+            let cache = Arc::new(ScenarioCache::new());
+            let cached = FailureAnalyzer::new()
+                .with_workers(workers)
+                .with_shared_cache(Arc::clone(&cache));
+            let cold = cached.try_analyze(&problem, &topology).unwrap();
+            let warm = cached.try_analyze(&problem, &topology).unwrap();
+            assert_reports_identical(
+                &reference,
+                &cold,
+                &format!("case {case} workers {workers} cold cache"),
+            );
+            assert_reports_identical(
+                &reference,
+                &warm,
+                &format!("case {case} workers {workers} warm cache"),
+            );
+            if cold.cache_misses > 0 {
+                assert!(
+                    warm.cache_hits > 0,
+                    "case {case}: warm run should reuse cold run's NBF outcomes"
+                );
+            }
+        }
+    }
+}
+
+/// Budgeted analyzers agree too: the parallel merge charges the budget
+/// exactly as sequential enumeration would, for every cutoff point.
+#[test]
+fn budgeted_parallel_matches_budgeted_sequential() {
+    for case in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0x6b5d_0000 + case);
+        let goal = [1e-9, 1e-12][case as usize % 2];
+        let problem = random_problem(&mut rng, goal);
+        let topology = random_topology(&problem, rng.next_u64(), rng.gen_range(0usize..8));
+
+        // The total work of an unbounded run bounds the interesting budgets.
+        let total = FailureAnalyzer::new()
+            .try_analyze(&problem, &topology)
+            .unwrap()
+            .scenarios_checked;
+        for budget in 0..=total + 1 {
+            let seq = FailureAnalyzer::new()
+                .with_budget(AnalysisBudget::scenarios(budget))
+                .try_analyze(&problem, &topology)
+                .unwrap();
+            let par = FailureAnalyzer::new()
+                .with_budget(AnalysisBudget::scenarios(budget))
+                .with_workers(4)
+                .with_shared_cache(Arc::new(ScenarioCache::new()))
+                .try_analyze(&problem, &topology)
+                .unwrap();
+            assert_reports_identical(
+                &seq,
+                &par,
+                &format!("case {case} budget {budget}/{total}"),
+            );
+        }
+    }
+}
+
+/// The counterexample itself — scenario and error pairs — is identical,
+/// not merely the verdict discriminant. An unreliable topology must yield
+/// the *first* failing scenario in lexicographic enumeration order from
+/// every configuration.
+#[test]
+fn counterexamples_are_identical_not_just_verdicts() {
+    let mut seen_unreliable = 0u32;
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xceed_0000 + case);
+        // Strict goal: empty and shallow topologies are all unreliable.
+        let problem = random_problem(&mut rng, 1e-12);
+        let topology = random_topology(&problem, rng.next_u64(), rng.gen_range(0usize..4));
+        let reference = FailureAnalyzer::new().analyze(&problem, &topology);
+        if let Verdict::Unreliable { failure, errors } = &reference {
+            seen_unreliable += 1;
+            for workers in [2usize, 8] {
+                let candidate = FailureAnalyzer::new()
+                    .with_workers(workers)
+                    .with_shared_cache(Arc::new(ScenarioCache::new()))
+                    .analyze(&problem, &topology);
+                let Verdict::Unreliable { failure: f2, errors: e2 } = candidate else {
+                    panic!("case {case}: parallel analyzer flipped an Unreliable verdict");
+                };
+                assert_eq!(failure, &f2, "case {case}: different counterexample scenario");
+                assert_eq!(errors, &e2, "case {case}: different error report");
+            }
+        }
+    }
+    assert!(seen_unreliable > 0, "the sweep never exercised the Unreliable arm");
+}

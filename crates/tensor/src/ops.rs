@@ -146,16 +146,27 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let av = a[i * k + p];
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
+        // Panel-blocked i/p/j kernel: `b` is processed in horizontal
+        // panels of `KC` rows so a panel stays cache-resident while every
+        // row of `a` streams over it (the unblocked loop re-reads all of
+        // `b` for each row of `a`). Each output element still accumulates
+        // its partial products in ascending-p order and zero entries of
+        // `a` are still skipped (adjacency and mask matrices are mostly
+        // zeros), so the result is bitwise identical to the naive kernel.
+        const KC: usize = 64;
+        for pk in (0..k).step_by(KC) {
+            let pend = (pk + KC).min(k);
+            for i in 0..m {
+                let arow = &a[i * k + pk..i * k + pend];
                 let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
+                for (p, &av) in (pk..pend).zip(arow) {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
                 }
             }
         }
@@ -382,6 +393,65 @@ mod tests {
         let c = a.matmul(&b);
         assert_eq!(c.shape(), (2, 2));
         assert_eq!(c.to_vec(), vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    /// Textbook triple loop over `at(i, p) * at(p, j)` in ascending-p
+    /// order — the reference the blocked kernel must match bitwise.
+    fn matmul_reference(a: &Tensor, b: &Tensor) -> Vec<f32> {
+        let (m, k) = a.shape();
+        let (_, n) = b.shape();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    out[i * n + j] += a.at(i, p) * b.at(p, j);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_blocked_matches_reference_on_random_shapes() {
+        use nptsn_rand::rngs::StdRng;
+        use nptsn_rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5eed_a7a7);
+        for case in 0..40 {
+            // Shapes straddling the KC=64 panel boundary, plus tiny ones.
+            let m = rng.gen_range(1usize..24);
+            let k = rng.gen_range(1usize..200);
+            let n = rng.gen_range(1usize..24);
+            let sparsity = rng.gen_range(0.0f32..0.9);
+            let gen = |rng: &mut StdRng, len: usize| -> Vec<f32> {
+                (0..len)
+                    .map(|_| {
+                        if rng.gen_range(0.0f32..1.0) < sparsity {
+                            0.0
+                        } else {
+                            rng.gen_range(-2.0f32..2.0)
+                        }
+                    })
+                    .collect()
+            };
+            let a = Tensor::from_vec(m, k, gen(&mut rng, m * k));
+            let b = Tensor::from_vec(k, n, gen(&mut rng, k * n));
+            let expect = matmul_reference(&a, &b);
+            let got = a.matmul(&b).to_vec();
+            // Bitwise equality: the kernel preserves the ascending-p
+            // accumulation order, so not even the last ulp may move.
+            assert_eq!(got, expect, "case {case}: shapes ({m},{k})x({k},{n})");
+        }
+    }
+
+    #[test]
+    fn matmul_exact_on_k_above_panel_width() {
+        // k = 130 spans three KC=64 panels; ones x identity-like patterns
+        // make any mis-indexing visible as an integer discrepancy.
+        let k = 130;
+        let a = Tensor::from_vec(1, k, (0..k).map(|p| (p % 7) as f32).collect());
+        let b = Tensor::from_vec(k, 1, vec![1.0; k]);
+        let expect: f32 = (0..k).map(|p| (p % 7) as f32).sum();
+        assert_eq!(a.matmul(&b).to_vec(), vec![expect]);
     }
 
     #[test]

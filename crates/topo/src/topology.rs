@@ -375,6 +375,35 @@ impl Topology {
         Ok(p)
     }
 
+    /// A 128-bit fingerprint of the selection state (switch ASILs and
+    /// present links) — the same fields [`PartialEq`] compares, so equal
+    /// topologies always have equal fingerprints.
+    ///
+    /// The failure analyzer keys its NBF-outcome cache on this value:
+    /// mutating the topology (adding a switch or link, upgrading an ASIL)
+    /// changes the fingerprint, so stale entries are never read back.
+    /// Two FNV-1a streams with independent offsets/primes make accidental
+    /// collisions (~2^-128 per pair) negligible even across long runs.
+    pub fn fingerprint(&self) -> u128 {
+        // FNV-1a, two independent 64-bit streams.
+        let mut lo: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut hi: u64 = 0x6c62_272e_07bb_0142;
+        let mut mix = |byte: u8| {
+            lo = (lo ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+            hi = (hi ^ u64::from(byte).rotate_left(17)).wrapping_mul(0x0000_01b3_0000_0193);
+        };
+        for asil in &self.switch_asil {
+            mix(match asil {
+                None => 0,
+                Some(a) => 1 + *a as u8,
+            });
+        }
+        for &present in &self.link_present {
+            mix(u8::from(present));
+        }
+        (u128::from(hi) << 64) | u128::from(lo)
+    }
+
     /// Adjacency of the active topology: for every node, its `(neighbor,
     /// link, length)` triples over present links.
     pub fn adjacency(&self) -> Adjacency {
@@ -563,6 +592,36 @@ mod tests {
         let f2 = FailureScenario::new(vec![], vec![link]);
         // Link ASIL = min(A, B) = A.
         assert!((topo.failure_probability(&f2) - Asil::A.failure_probability()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fingerprint_tracks_selection_state() {
+        let (gc, a, b, s0, s1) = diamondish();
+        let mut topo = Topology::empty(Arc::clone(&gc));
+        let empty = topo.fingerprint();
+        assert_eq!(empty, Topology::empty(Arc::clone(&gc)).fingerprint());
+
+        topo.add_switch(s0, Asil::A).unwrap();
+        let with_s0 = topo.fingerprint();
+        assert_ne!(empty, with_s0);
+        topo.upgrade_switch(s0).unwrap();
+        assert_ne!(with_s0, topo.fingerprint(), "ASIL upgrades change the fingerprint");
+        topo.add_link(a, s0).unwrap();
+        let with_link = topo.fingerprint();
+        assert_ne!(topo.fingerprint(), with_s0);
+
+        // Equal selection states agree regardless of construction order.
+        let mut twin = Topology::empty(Arc::clone(&gc));
+        twin.add_switch(s0, Asil::B).unwrap();
+        twin.add_link(a, s0).unwrap();
+        assert_eq!(twin, topo);
+        assert_eq!(twin.fingerprint(), with_link);
+
+        // And selecting a different component diverges.
+        let mut other = Topology::empty(gc);
+        other.add_switch(s1, Asil::B).unwrap();
+        other.add_link(b, s1).unwrap();
+        assert_ne!(other.fingerprint(), with_link);
     }
 
     #[test]

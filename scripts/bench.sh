@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Analyzer benchmark: builds the bench binary offline in release mode and
+# writes BENCH_analyzer.json (median ns/scenario for 1/2/4/8 analyzer
+# workers plus the shared-cache hit rate) to the repository root.
+#
+# Usage: scripts/bench.sh [--smoke]
+#   --smoke   shrink iteration counts to a fast plumbing check (used by
+#             scripts/verify.sh; numbers are NOT representative)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    export NPTSN_BENCH_SMOKE=1
+    # Smoke numbers are not representative; keep them out of the committed
+    # BENCH_analyzer.json unless the caller explicitly asked for a path.
+    export NPTSN_BENCH_OUT="${NPTSN_BENCH_OUT:-target/BENCH_analyzer.smoke.json}"
+fi
+
+cargo build --release --offline -p nptsn-bench --bin micro
+exec ./target/release/micro analyzer_json

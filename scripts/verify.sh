@@ -8,3 +8,7 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 cargo clippy --offline -- -D warnings
+
+# Smoke-run the analyzer benchmark: exercises the parallel + cached
+# analyzer end to end and checks the BENCH_analyzer.json plumbing.
+scripts/bench.sh --smoke
