@@ -1,15 +1,16 @@
 //! The `nptsn` subcommands.
 
 use std::fmt;
+use std::sync::Arc;
 
 use nptsn::{
-    FailureAnalyzer, GreedyPlanner, Planner, PlannerConfig, Verdict,
+    FailureAnalyzer, GreedyPlanner, Planner, PlannerConfig, ScenarioCache, Verdict,
 };
+use nptsn_format::json::analysis_report_json;
+use nptsn_format::{parse_plan, parse_problem, write_plan, ParsedProblem};
 use nptsn_sched::simulate;
+use nptsn_serve::{ServeConfig, Server};
 use nptsn_topo::FailureScenario;
-
-use crate::format::{parse_problem, ParsedProblem};
-use crate::planfile::{parse_plan, write_plan};
 
 /// Errors surfaced to the command line (message plus exit code 1).
 #[derive(Debug)]
@@ -36,8 +37,10 @@ USAGE:
     nptsn plan <problem.tssdn> [--epochs N] [--steps N] [--seed N] [--greedy]
                [--analyzer-workers N]
         Plan the network; prints the plan file for the best solution.
-    nptsn verify <problem.tssdn> <plan file> [--analyzer-workers N]
+    nptsn verify <problem.tssdn> <plan file> [--analyzer-workers N] [--json]
         Check a plan's reliability guarantee with the failure analyzer.
+        --json prints the full analysis report as machine-readable JSON
+        (the same document the serve verify endpoint returns).
     nptsn simulate <problem.tssdn> <plan file>
         Execute the recovered schedule frame by frame and report latencies.
     nptsn report <problem.tssdn> <plan file>
@@ -45,6 +48,9 @@ USAGE:
         and worst-case latency.
     nptsn inspect <problem.tssdn>
         Print a summary of the parsed problem.
+    nptsn serve [--addr HOST:PORT] [--serve-workers N] [--queue-depth N]
+        Run the HTTP planning service (job queue + worker pool; see
+        DESIGN.md §9). Stops on POST /shutdown after draining the queue.
     nptsn help
         Show this message.
 ";
@@ -65,6 +71,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
         Some("simulate") => cmd_simulate(&args[1..], out),
         Some("report") => cmd_report(&args[1..], out),
         Some("inspect") => cmd_inspect(&args[1..], out),
+        Some("serve") => cmd_serve(&args[1..], out),
         Some(other) => Err(CliError(format!(
             "unknown command '{other}'; run 'nptsn help' for usage"
         ))),
@@ -149,19 +156,21 @@ fn parse_workers(value: Option<&str>) -> Result<usize, CliError> {
 fn cmd_verify(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
     let mut paths = Vec::new();
     let mut analyzer_workers = 1usize;
+    let mut json = false;
     let mut iter = args.iter().map(String::as_str);
     while let Some(arg) = iter.next() {
         match arg {
             "--analyzer-workers" => {
                 analyzer_workers = parse_workers(iter.next())?;
             }
+            "--json" => json = true,
             other if !other.starts_with('-') => paths.push(other.to_string()),
             other => return Err(CliError(format!("unexpected argument '{other}'"))),
         }
     }
     let [problem_path, plan_path] = paths.as_slice() else {
         return Err(CliError(
-            "verify: expected <problem.tssdn> <plan file> [--analyzer-workers N]".into(),
+            "verify: expected <problem.tssdn> <plan file> [--analyzer-workers N] [--json]".into(),
         ));
     };
     let parsed = load(problem_path)?;
@@ -169,10 +178,39 @@ fn cmd_verify(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliE
         .map_err(|e| CliError(format!("cannot read {plan_path}: {e}")))?;
     let topology = parse_plan(&parsed, &plan_text).map_err(CliError)?;
     let cost = topology.network_cost(parsed.problem.library());
-    let analyzer = FailureAnalyzer::new().with_workers(analyzer_workers);
-    match analyzer.analyze(&parsed.problem, &topology) {
+    // A fresh cache per run: its hit/miss counters tell how much scenario
+    // work within this analysis was redundant.
+    let analyzer = FailureAnalyzer::new()
+        .with_workers(analyzer_workers)
+        .with_shared_cache(Arc::new(ScenarioCache::new()));
+    let report = analyzer
+        .try_analyze(&parsed.problem, &topology)
+        .map_err(|e| CliError(format!("analysis failed: {e}")))?;
+
+    if json {
+        // The same serializer the serve verify endpoint uses, so tooling
+        // sees one schema regardless of transport.
+        writeln!(out, "{}", analysis_report_json(&parsed.problem, &report, Some(cost)))
+            .map_err(io_err)?;
+        return match report.verdict {
+            Verdict::Unreliable { .. } => {
+                Err(CliError("the plan does not meet the reliability goal".into()))
+            }
+            _ => Ok(()),
+        };
+    }
+
+    let coverage = format!(
+        "checked {} scenarios{}; cache: {} hits, {} misses",
+        report.scenarios_checked,
+        if report.exhausted { "" } else { " (analysis budget exhausted)" },
+        report.cache_hits,
+        report.cache_misses,
+    );
+    match report.verdict {
         Verdict::Reliable => {
             writeln!(out, "RELIABLE (cost {cost:.1})").map_err(io_err)?;
+            writeln!(out, "{coverage}").map_err(io_err)?;
             Ok(())
         }
         Verdict::Inconclusive { scenarios_checked } => {
@@ -181,6 +219,7 @@ fn cmd_verify(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliE
                 "INCONCLUSIVE after {scenarios_checked} scenarios (analysis budget exhausted)"
             )
             .map_err(io_err)?;
+            writeln!(out, "{coverage}").map_err(io_err)?;
             Ok(())
         }
         Verdict::Unreliable { failure, errors } => {
@@ -193,9 +232,51 @@ fn cmd_verify(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliE
                 named.join(", ")
             )
             .map_err(io_err)?;
+            writeln!(out, "{coverage}").map_err(io_err)?;
             Err(CliError("the plan does not meet the reliability goal".into()))
         }
     }
+}
+
+fn cmd_serve(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let mut config = ServeConfig { addr: "127.0.0.1:7878".to_string(), ..ServeConfig::default() };
+    let mut iter = args.iter().map(String::as_str);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--addr" => {
+                config.addr = iter
+                    .next()
+                    .ok_or_else(|| CliError("--addr needs a value".into()))?
+                    .to_string();
+            }
+            "--serve-workers" => {
+                config.workers = parse_flag(iter.next(), "--serve-workers")?;
+                if config.workers == 0 {
+                    return Err(CliError("--serve-workers must be at least 1".into()));
+                }
+            }
+            "--queue-depth" => {
+                config.queue_depth = parse_flag(iter.next(), "--queue-depth")?;
+                if config.queue_depth == 0 {
+                    return Err(CliError("--queue-depth must be at least 1".into()));
+                }
+            }
+            other => return Err(CliError(format!("unexpected argument '{other}'"))),
+        }
+    }
+    let workers = config.workers;
+    let queue_depth = config.queue_depth;
+    let server = Server::bind(config).map_err(|e| CliError(format!("cannot bind: {e}")))?;
+    writeln!(
+        out,
+        "nptsn-serve listening on {} ({workers} workers, queue depth {queue_depth})",
+        server.local_addr()
+    )
+    .map_err(io_err)?;
+    out.flush().map_err(io_err)?;
+    server.wait();
+    writeln!(out, "nptsn-serve drained and stopped").map_err(io_err)?;
+    Ok(())
 }
 
 fn cmd_simulate(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
@@ -384,16 +465,52 @@ a b 500 128
         let problem_path = write_temp("vworkers.tssdn", DOC);
         let plan_text = run_ok(&["plan", &problem_path, "--greedy"]);
         let plan_path = write_temp("vworkers.plan", &plan_text);
-        // The parallel analyzer must return the same verdict text.
+        // The parallel analyzer must return the same verdict text. (Only
+        // the cache hit/miss split may vary with thread interleaving, so
+        // the comparison stops at the verdict line.)
         let seq = run_ok(&["verify", &problem_path, &plan_path]);
         let par =
             run_ok(&["verify", &problem_path, &plan_path, "--analyzer-workers", "4"]);
-        assert_eq!(seq, par);
+        assert_eq!(seq.lines().next(), par.lines().next(), "{seq} vs {par}");
         assert!(par.contains("RELIABLE"), "{par}");
+        assert!(seq.contains("cache:"), "{seq}");
+        assert!(seq.contains("checked"), "{seq}");
         // Flag order should not matter.
         let flipped =
             run_ok(&["verify", "--analyzer-workers", "2", &problem_path, &plan_path]);
-        assert_eq!(seq, flipped);
+        assert_eq!(seq.lines().next(), flipped.lines().next());
+    }
+
+    #[test]
+    fn verify_json_emits_the_shared_report_schema() {
+        let problem_path = write_temp("vjson.tssdn", DOC);
+        let plan_text = run_ok(&["plan", &problem_path, "--greedy"]);
+        let plan_path = write_temp("vjson.plan", &plan_text);
+        let json = run_ok(&["verify", &problem_path, &plan_path, "--json"]);
+        assert!(json.contains("\"verdict\":\"reliable\""), "{json}");
+        assert!(json.contains("\"reliable\":true"), "{json}");
+        assert!(json.contains("\"scenarios_checked\":"), "{json}");
+        assert!(json.contains("\"cache_hits\":"), "{json}");
+        assert!(json.contains("\"cost\":"), "{json}");
+    }
+
+    #[test]
+    fn verify_json_reports_unreliable_plans_and_fails() {
+        let problem_path = write_temp("vjsonbad.tssdn", DOC);
+        let plan_path = write_temp(
+            "vjsonbad.plan",
+            "[switches]\ns0 A\n[plan-links]\na s0\nb s0\n",
+        );
+        let mut out = Vec::new();
+        let args: Vec<String> = ["verify", &problem_path, &plan_path, "--json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&args, &mut out).unwrap_err();
+        assert!(err.to_string().contains("reliability goal"));
+        let json = String::from_utf8(out).unwrap();
+        assert!(json.contains("\"verdict\":\"unreliable\""), "{json}");
+        assert!(json.contains("\"failed_switches\":[\"s0\"]"), "{json}");
     }
 
     #[test]

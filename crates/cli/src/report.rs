@@ -160,7 +160,7 @@ pub fn render_report(problem: &PlanningProblem, report: &CoverageReport) -> Stri
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::format::parse_problem;
+    use nptsn_format::parse_problem;
     use nptsn_topo::Asil;
 
     const DOC: &str = "\

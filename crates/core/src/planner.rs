@@ -175,6 +175,22 @@ impl Planner {
 
     /// Runs the full training loop, invoking `progress` after every epoch.
     pub fn run_with_progress(&self, mut progress: impl FnMut(&EpochStats)) -> PlannerReport {
+        self.run_until(move |stats| {
+            progress(stats);
+            true
+        })
+    }
+
+    /// Runs the training loop until completion or until `progress` returns
+    /// `false`, which stops training cleanly at the end of that epoch (the
+    /// epoch's stats are still recorded and the report carries everything
+    /// learned so far, including the policy checkpoint).
+    ///
+    /// This is the cancellation hook of the serving layer: a `DELETE` on a
+    /// running plan job flips a flag the callback observes, and the run
+    /// winds down at the next epoch boundary instead of being killed
+    /// mid-update.
+    pub fn run_until(&self, mut progress: impl FnMut(&EpochStats) -> bool) -> PlannerReport {
         let (n, feature_count, action_count) = self.network_dims();
 
         let master =
@@ -275,8 +291,11 @@ impl Planner {
                 entropy: stats.entropy,
                 poisoned_workers,
             };
-            progress(&epoch_stats);
+            let keep_going = progress(&epoch_stats);
             epochs.push(epoch_stats);
+            if !keep_going {
+                break;
+            }
         }
 
         let policy_checkpoint = nptsn_nn::params_to_bytes(&master.parameters());
@@ -435,6 +454,27 @@ mod tests {
         // And it verifies.
         let analyzer = crate::analyzer::FailureAnalyzer::new();
         assert!(analyzer.analyze(&planner.problem, &best.topology).is_reliable());
+    }
+
+    #[test]
+    fn run_until_stops_at_the_epoch_boundary() {
+        let planner = Planner::new(theta_problem(), PlannerConfig::smoke_test());
+        // Cancel after the second epoch: exactly two epochs are recorded
+        // and the checkpoint still restores into a fresh network.
+        let report = planner.run_until(|stats| stats.epoch < 1);
+        assert_eq!(report.epochs.len(), 2);
+        assert_eq!(report.epochs[1].epoch, 1);
+        let policy = planner.build_policy();
+        nptsn_nn::params_from_bytes(
+            &nptsn_nn::Module::parameters(&policy),
+            &report.policy_checkpoint,
+        )
+        .unwrap();
+        // An always-continue run_until matches run_with_progress exactly.
+        let full = planner.run_until(|_| true);
+        let reference = planner.run();
+        assert_eq!(full.reward_curve(), reference.reward_curve());
+        assert_eq!(full.policy_checkpoint, reference.policy_checkpoint);
     }
 
     #[test]

@@ -1,5 +1,13 @@
-//! Library backing the `nptsn` command-line tool: the `.tssdn` problem
-//! file format, the plan file format, and the subcommand implementations.
+//! Interchange formats of the NPTSN toolchain, shared by the command-line
+//! front end (`nptsn-cli`) and the planning service (`nptsn-serve`):
+//!
+//! * [`parse_problem`] — the `.tssdn` problem file format (see the format
+//!   reference below);
+//! * [`parse_plan`] / [`write_plan`] — plan files (a topology plus ASIL
+//!   allocation);
+//! * [`json`] — a minimal JSON writer plus the machine-readable
+//!   serializations of analyzer and planner reports (the `nptsn verify
+//!   --json` output and the service's response bodies).
 //!
 //! # The `.tssdn` problem format
 //!
@@ -40,8 +48,8 @@
 //!
 //! # Plan files
 //!
-//! `plan` writes (and `verify` reads) a plan file listing the selected
-//! switches with their ASIL and the selected links:
+//! `write_plan` produces (and `parse_plan` reads) a plan file listing the
+//! selected switches with their ASIL and the selected links:
 //!
 //! ```text
 //! [switches]        # name asil
@@ -53,12 +61,9 @@
 
 #![warn(missing_docs)]
 
-mod commands;
-mod report;
+pub mod json;
+mod planfile;
+mod problem;
 
-pub use commands::{run, CliError};
-// The format parsers live in `nptsn-format` (shared with `nptsn-serve`);
-// re-exported here so existing `nptsn_cli::parse_problem` callers keep
-// working.
-pub use nptsn_format::{parse_plan, parse_problem, write_plan, ParsedProblem};
-pub use report::{coverage_report, render_report, CoverageReport, CoverageRow};
+pub use planfile::{parse_plan, write_plan};
+pub use problem::{parse_problem, ParsedProblem};

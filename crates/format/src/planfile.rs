@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use nptsn_topo::{Asil, NodeId, Topology};
 
-use crate::format::ParsedProblem;
+use crate::problem::ParsedProblem;
 
 /// Serializes a planned topology into the plan file format.
 ///
@@ -22,13 +22,13 @@ use crate::format::ParsedProblem;
 /// [flows]
 /// a b 500 128
 /// ";
-/// let parsed = nptsn_cli::parse_problem(doc).unwrap();
+/// let parsed = nptsn_format::parse_problem(doc).unwrap();
 /// let mut topo = parsed.problem.connection_graph().empty_topology();
 /// topo.add_switch(parsed.nodes_by_name["s"], nptsn_topo::Asil::D).unwrap();
 /// topo.add_link(parsed.nodes_by_name["a"], parsed.nodes_by_name["s"]).unwrap();
 ///
-/// let text = nptsn_cli::write_plan(&topo);
-/// let restored = nptsn_cli::parse_plan(&parsed, &text).unwrap();
+/// let text = nptsn_format::write_plan(&topo);
+/// let restored = nptsn_format::parse_plan(&parsed, &text).unwrap();
 /// assert!(restored.contains_switch(parsed.nodes_by_name["s"]));
 /// ```
 pub fn write_plan(topology: &Topology) -> String {
@@ -118,7 +118,7 @@ pub fn parse_plan(parsed: &ParsedProblem, text: &str) -> Result<Topology, String
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::format::parse_problem;
+    use crate::problem::parse_problem;
 
     const DOC: &str = "\
 [nodes]

@@ -42,7 +42,7 @@ pub struct ParsedProblem {
 /// [flows]
 /// a b 500 256
 /// ";
-/// let parsed = nptsn_cli::parse_problem(text).unwrap();
+/// let parsed = nptsn_format::parse_problem(text).unwrap();
 /// assert_eq!(parsed.problem.flows().len(), 1);
 /// assert_eq!(parsed.problem.reliability_goal(), 1e-6); // default
 /// ```

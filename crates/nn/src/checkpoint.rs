@@ -254,6 +254,80 @@ pub fn params_from_bytes(params: &[Tensor], bytes: &[u8]) -> Result<(), Checkpoi
     Ok(())
 }
 
+/// Structurally validates a checkpoint byte stream *without* a target
+/// parameter list: checks the magic, version, framing and the CRC-32
+/// trailer, and returns the declared tensor shapes in order.
+///
+/// This is the ingestion guard of the serving layer: an uploaded
+/// checkpoint is validated (and its shapes compared against the policy the
+/// problem implies) before any network parameters are touched, so a
+/// truncated body or flipped bit maps to a clean client error instead of
+/// a partially restored model.
+///
+/// # Errors
+///
+/// The same [`CheckpointError`] taxonomy as [`params_from_bytes`], except
+/// that `ShapeMismatch` cannot occur (there is no target to mismatch);
+/// declared sizes that exceed the stream report as
+/// [`CheckpointError::Truncated`].
+pub fn checkpoint_shapes(bytes: &[u8]) -> Result<Vec<(usize, usize)>, CheckpointError> {
+    fn take<'a>(cursor: &mut &'a [u8], n: usize) -> Result<&'a [u8], CheckpointError> {
+        if cursor.len() < n {
+            return Err(CheckpointError::Truncated);
+        }
+        let (head, tail) = cursor.split_at(n);
+        *cursor = tail;
+        Ok(head)
+    }
+    if bytes.len() < 8 {
+        return if MAGIC_PREFIX.starts_with(&bytes[..bytes.len().min(7)]) {
+            Err(CheckpointError::Truncated)
+        } else {
+            Err(CheckpointError::BadMagic)
+        };
+    }
+    if &bytes[..7] != MAGIC_PREFIX {
+        return Err(CheckpointError::BadMagic);
+    }
+    if bytes[7] != VERSION {
+        return Err(CheckpointError::UnsupportedVersion { found: bytes[7] });
+    }
+    if bytes.len() < 8 + 8 + 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let mut cursor = &body[8..];
+    let count = u64::from_le_bytes(take(&mut cursor, 8)?.try_into().expect("8 bytes"));
+    // Each tensor needs at least its 16-byte shape header, so a declared
+    // count beyond that bound is a truncation (or a hostile header), not a
+    // reason to allocate.
+    if count > (cursor.len() / 16) as u64 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut shapes = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let rows = u64::from_le_bytes(take(&mut cursor, 8)?.try_into().expect("8 bytes")) as usize;
+        let cols = u64::from_le_bytes(take(&mut cursor, 8)?.try_into().expect("8 bytes")) as usize;
+        // Overflow-safe payload size; anything that exceeds the remaining
+        // stream is truncation.
+        let payload = rows
+            .checked_mul(cols)
+            .and_then(|n| n.checked_mul(4))
+            .ok_or(CheckpointError::Truncated)?;
+        take(&mut cursor, payload)?;
+        shapes.push((rows, cols));
+    }
+    if !cursor.is_empty() {
+        return Err(CheckpointError::TrailingBytes);
+    }
+    let expected = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+    let actual = crc32(body);
+    if expected != actual {
+        return Err(CheckpointError::BadChecksum { expected, actual });
+    }
+    Ok(shapes)
+}
+
 /// Writes a checkpoint of `params` to `path` crash-safely: the bytes go to
 /// a temporary file in the same directory, are flushed to stable storage,
 /// and are renamed over `path` in one step. A crash (or full disk) at any
@@ -453,6 +527,55 @@ mod tests {
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn shapes_probe_matches_layout() {
+        let a = nptsn_tensor::Tensor::param(2, 3, vec![0.0; 6]);
+        let b = nptsn_tensor::Tensor::param(1, 4, vec![0.0; 4]);
+        let bytes = params_to_bytes(&[a, b]);
+        assert_eq!(checkpoint_shapes(&bytes).unwrap(), vec![(2, 3), (1, 4)]);
+        assert_eq!(checkpoint_shapes(&params_to_bytes(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn shapes_probe_rejects_every_fault() {
+        let p = nptsn_tensor::Tensor::param(1, 2, vec![5.0, 6.0]);
+        let full = params_to_bytes(std::slice::from_ref(&p));
+        // Truncation at every cut point.
+        for cut in 0..full.len() {
+            assert!(
+                matches!(
+                    checkpoint_shapes(&full[..cut]),
+                    Err(CheckpointError::Truncated | CheckpointError::TrailingBytes)
+                ),
+                "prefix of {cut} bytes"
+            );
+        }
+        // A flipped payload bit is a checksum failure.
+        let mut rotted = full.clone();
+        rotted[20] ^= 0x40;
+        assert!(matches!(
+            checkpoint_shapes(&rotted),
+            Err(CheckpointError::BadChecksum { .. } | CheckpointError::Truncated)
+        ));
+        // Foreign bytes and stale versions are refused up front.
+        assert_eq!(checkpoint_shapes(b"GETxHTTP/1.1"), Err(CheckpointError::BadMagic));
+        let mut v1 = full.clone();
+        v1[7] = b'1';
+        assert_eq!(
+            checkpoint_shapes(&v1),
+            Err(CheckpointError::UnsupportedVersion { found: b'1' })
+        );
+        // A hostile count/shape header cannot force an allocation or an
+        // overflow: it reads as truncation.
+        let mut hostile = full.clone();
+        hostile[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(checkpoint_shapes(&hostile), Err(CheckpointError::Truncated));
+        let mut wide = full.clone();
+        wide[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        wide[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(checkpoint_shapes(&wide), Err(CheckpointError::Truncated));
     }
 
     #[test]

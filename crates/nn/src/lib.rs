@@ -50,8 +50,8 @@ mod mlp;
 
 pub use adam::Adam;
 pub use checkpoint::{
-    load_params, params_from_bytes, params_to_bytes, save_params_atomic, CheckpointError,
-    CheckpointFileError,
+    checkpoint_shapes, load_params, params_from_bytes, params_to_bytes, save_params_atomic,
+    CheckpointError, CheckpointFileError,
 };
 pub use gcn::{normalized_adjacency, Gcn};
 pub use init::{kaiming_normal, xavier_uniform};

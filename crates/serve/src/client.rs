@@ -1,0 +1,174 @@
+//! A minimal blocking HTTP client for exercising the service — used by the
+//! end-to-end tests, the smoke test in `scripts/verify.sh` and the serving
+//! benchmark. One [`Client`] holds one keep-alive connection.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A response as the client sees it.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// The status code.
+    pub status: u16,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The first header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A blocking keep-alive HTTP client for one server address.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    connection: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// A client for the given address; connects lazily.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client { addr, connection: None }
+    }
+
+    /// A `GET` request.
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, &[], &[])
+    }
+
+    /// A `POST` request with a body.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+        self.request("POST", path, &[], body)
+    }
+
+    /// A `POST` request with extra headers (e.g. `X-Problem-Length`).
+    pub fn post_with_headers(
+        &mut self,
+        path: &str,
+        headers: &[(&str, String)],
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        self.request("POST", path, headers, body)
+    }
+
+    /// A `DELETE` request.
+    pub fn delete(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("DELETE", path, &[], &[])
+    }
+
+    fn connect(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
+        if self.connection.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+            stream.set_nodelay(true)?;
+            self.connection = Some(BufReader::new(stream));
+        }
+        Ok(self.connection.as_mut().expect("connection just established"))
+    }
+
+    /// Sends one request, reconnecting once if the kept-alive connection
+    /// went away since the last exchange.
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, String)],
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        match self.try_request(method, path, headers, body) {
+            Ok(response) => Ok(response),
+            Err(_) if self.connection.is_some() => {
+                self.connection = None;
+                self.try_request(method, path, headers, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, String)],
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        let reader = self.connect()?;
+        {
+            let stream = reader.get_mut();
+            let mut head = format!(
+                "{method} {path} HTTP/1.1\r\nHost: nptsn\r\nContent-Length: {}\r\n",
+                body.len()
+            );
+            for (name, value) in headers {
+                head.push_str(&format!("{name}: {value}\r\n"));
+            }
+            head.push_str("\r\n");
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(body)?;
+            stream.flush()?;
+        }
+
+        let status_line = read_line(reader)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad status line {status_line:?}"))
+            })?;
+
+        let mut headers_out = Vec::new();
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            let line = read_line(reader)?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                    })?;
+                }
+                if name == "connection" && value.eq_ignore_ascii_case("close") {
+                    close = true;
+                }
+                headers_out.push((name, value));
+            }
+        }
+
+        let mut body_out = vec![0u8; content_length];
+        reader.read_exact(&mut body_out)?;
+        if close {
+            self.connection = None;
+        }
+        Ok(ClientResponse { status, headers: headers_out, body: body_out })
+    }
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> io::Result<String> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}

@@ -1,0 +1,618 @@
+//! The bounded job queue and worker-pool executor behind the service.
+//!
+//! Lifecycle: `submitted → running → done | failed | cancelled`. The queue
+//! depth is fixed at construction; a submission against a full queue is
+//! rejected immediately (the HTTP layer maps that to `503` +
+//! `Retry-After`) so heavy traffic degrades with backpressure instead of
+//! unbounded memory growth. Shutdown is a *drain*: the queue stops
+//! accepting work, the workers finish every job already accepted — running
+//! and queued — and no result is dropped.
+//!
+//! Request payloads are parsed and validated at submission time (problem
+//! text, plan text, checkpoint structure), so every malformed upload is a
+//! synchronous `4xx` and a worker never picks up a job that cannot start.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use nptsn::{
+    EpochStats, FailureAnalyzer, GreedyPlanner, Planner, PlannerConfig, ScenarioCache, Solution,
+};
+use nptsn_format::json::{analysis_report_json, epoch_stats_json, Object};
+use nptsn_format::{write_plan, ParsedProblem};
+use nptsn_topo::Topology;
+
+use crate::server::ServeMetrics;
+
+/// Identifies one submitted job.
+pub type JobId = u64;
+
+/// A validated plan request: train (or greedily construct) a topology for
+/// the parsed problem.
+#[derive(Debug, Clone)]
+pub struct PlanRequest {
+    /// The parsed problem (validated at submission).
+    pub parsed: ParsedProblem,
+    /// Training epochs (ignored for greedy).
+    pub epochs: usize,
+    /// Environment steps per epoch (ignored for greedy).
+    pub steps: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Use the greedy ablation planner instead of RL.
+    pub greedy: bool,
+    /// Analyzer fan-out inside each rollout worker.
+    pub analyzer_workers: usize,
+}
+
+/// A validated verify request: run the failure analyzer on a submitted
+/// plan.
+#[derive(Debug, Clone)]
+pub struct VerifyRequest {
+    /// The parsed problem.
+    pub parsed: ParsedProblem,
+    /// The topology parsed from the uploaded plan file.
+    pub topology: Topology,
+    /// Analyzer worker threads.
+    pub analyzer_workers: usize,
+}
+
+/// A validated inference request: restore an uploaded `NPTSNCK2` policy
+/// checkpoint and plan without learning.
+#[derive(Debug, Clone)]
+pub struct InferRequest {
+    /// The parsed problem.
+    pub parsed: ParsedProblem,
+    /// The checkpoint bytes (structurally validated at submission).
+    pub checkpoint: Vec<u8>,
+    /// Deployment episodes to attempt.
+    pub attempts: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+/// What a worker executes.
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// Train/construct a plan.
+    Plan(PlanRequest),
+    /// Verify a plan's reliability guarantee.
+    Verify(VerifyRequest),
+    /// Checkpoint-backed policy inference.
+    Infer(InferRequest),
+    /// A diagnostic job that busy-waits for the given duration — the
+    /// load-generation stand-in used by the backpressure tests and the
+    /// serving benchmark.
+    Burn {
+        /// How long the job occupies a worker, in milliseconds.
+        millis: u64,
+    },
+}
+
+impl JobKind {
+    /// A short lowercase label for status output and metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobKind::Plan(_) => "plan",
+            JobKind::Verify(_) => "verify",
+            JobKind::Infer(_) => "infer",
+            JobKind::Burn { .. } => "burn",
+        }
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted and waiting in the queue.
+    Submitted,
+    /// Picked up by a worker.
+    Running,
+    /// Finished with a result.
+    Done,
+    /// Finished with an error.
+    Failed,
+    /// Cancelled before or during execution.
+    Cancelled,
+}
+
+impl JobState {
+    /// The lowercase label used in status JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobState::Submitted => "submitted",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job can no longer change state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+    }
+}
+
+/// The output of a finished job.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// A plan (from `plan` or `infer`): the plan file, its cost, and — for
+    /// RL runs — the trained policy checkpoint.
+    Plan {
+        /// The plan file text.
+        planfile: String,
+        /// Network cost of the solution.
+        cost: f64,
+        /// Human-readable solution summary.
+        summary: String,
+        /// `NPTSNCK2` bytes of the trained policy (RL plan jobs only).
+        checkpoint: Option<Vec<u8>>,
+    },
+    /// A verification report, pre-serialized with the shared JSON
+    /// serializer (identical to `nptsn verify --json`).
+    Verify {
+        /// The `analysis_report_json` text.
+        json: String,
+        /// Whether the verdict was `Reliable`.
+        reliable: bool,
+    },
+    /// A completed burn job.
+    Burn,
+}
+
+/// Live progress of a running job (epoch stats stream for plan jobs).
+#[derive(Debug, Default)]
+pub struct Progress {
+    epochs: Mutex<Vec<EpochStats>>,
+}
+
+impl Progress {
+    fn push(&self, stats: EpochStats) {
+        self.epochs.lock().unwrap_or_else(|e| e.into_inner()).push(stats);
+    }
+
+    /// Number of epochs completed so far and the latest stats, if any.
+    pub fn snapshot(&self) -> (usize, Option<EpochStats>) {
+        let epochs = self.epochs.lock().unwrap_or_else(|e| e.into_inner());
+        (epochs.len(), epochs.last().cloned())
+    }
+}
+
+/// One tracked job.
+#[derive(Debug)]
+struct JobEntry {
+    kind_name: &'static str,
+    /// Present while the job waits in the queue; taken by the worker.
+    pending: Option<JobKind>,
+    state: JobState,
+    cancel: Arc<AtomicBool>,
+    progress: Arc<Progress>,
+    outcome: Option<JobOutcome>,
+    error: Option<String>,
+}
+
+/// A point-in-time view of one job, safe to serialize outside the lock.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// The job id.
+    pub id: JobId,
+    /// The kind label (`plan`, `verify`, `infer`, `burn`).
+    pub kind: &'static str,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Epochs completed so far (plan jobs).
+    pub epochs_completed: usize,
+    /// The most recent epoch diagnostics (plan jobs).
+    pub latest_epoch: Option<EpochStats>,
+    /// The outcome, once terminal.
+    pub outcome: Option<JobOutcome>,
+    /// The failure message, if the job failed.
+    pub error: Option<String>,
+}
+
+impl JobSnapshot {
+    /// The status JSON served by `GET /jobs/<id>`.
+    pub fn to_json(&self) -> String {
+        let mut obj = Object::new();
+        obj.int("id", self.id);
+        obj.str("kind", self.kind);
+        obj.str("state", self.state.label());
+        obj.int("epochs_completed", self.epochs_completed as u64);
+        match &self.latest_epoch {
+            Some(stats) => obj.raw("latest_epoch", &epoch_stats_json(stats)),
+            None => obj.null("latest_epoch"),
+        }
+        match &self.outcome {
+            Some(JobOutcome::Plan { cost, summary, checkpoint, .. }) => {
+                obj.num("cost", *cost);
+                obj.str("summary", summary);
+                obj.bool("checkpoint_available", checkpoint.is_some());
+            }
+            Some(JobOutcome::Verify { reliable, .. }) => {
+                obj.bool("reliable", *reliable);
+            }
+            Some(JobOutcome::Burn) | None => {}
+        }
+        match &self.error {
+            Some(e) => obj.str("error", e),
+            None => obj.null("error"),
+        }
+        obj.finish()
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity — retry later (HTTP 503 + `Retry-After`).
+    Full,
+    /// The service is draining for shutdown.
+    ShuttingDown,
+}
+
+/// The result of a cancellation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was still queued and is now cancelled.
+    Cancelled,
+    /// The job is running; the cancel flag is set and the job will wind
+    /// down at its next cancellation point (epoch boundary).
+    Signalled,
+    /// The job had already finished.
+    AlreadyFinished,
+    /// No such job.
+    NotFound,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    next_id: JobId,
+    queue: VecDeque<JobId>,
+    jobs: HashMap<JobId, JobEntry>,
+    open: bool,
+}
+
+/// The bounded job queue shared by the HTTP handlers and the worker pool.
+#[derive(Debug)]
+pub struct JobQueue {
+    depth: usize,
+    state: Mutex<QueueState>,
+    work_ready: Condvar,
+}
+
+impl JobQueue {
+    /// A queue admitting at most `depth` waiting jobs (running jobs do not
+    /// count against the depth).
+    pub fn new(depth: usize) -> JobQueue {
+        JobQueue {
+            depth: depth.max(1),
+            state: Mutex::new(QueueState { open: true, ..QueueState::default() }),
+            work_ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The configured queue depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of jobs currently waiting.
+    pub fn queued(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Accepts a job, or rejects it with backpressure.
+    pub fn submit(&self, kind: JobKind) -> Result<JobId, SubmitError> {
+        let mut state = self.lock();
+        if !state.open {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.queue.len() >= self.depth {
+            return Err(SubmitError::Full);
+        }
+        state.next_id += 1;
+        let id = state.next_id;
+        state.jobs.insert(
+            id,
+            JobEntry {
+                kind_name: kind.name(),
+                pending: Some(kind),
+                state: JobState::Submitted,
+                cancel: Arc::new(AtomicBool::new(false)),
+                progress: Arc::new(Progress::default()),
+                outcome: None,
+                error: None,
+            },
+        );
+        state.queue.push_back(id);
+        drop(state);
+        self.work_ready.notify_one();
+        Ok(id)
+    }
+
+    /// A snapshot of one job, or `None` if the id is unknown.
+    pub fn snapshot(&self, id: JobId) -> Option<JobSnapshot> {
+        let state = self.lock();
+        let entry = state.jobs.get(&id)?;
+        let (epochs_completed, latest_epoch) = entry.progress.snapshot();
+        Some(JobSnapshot {
+            id,
+            kind: entry.kind_name,
+            state: entry.state,
+            epochs_completed,
+            latest_epoch,
+            outcome: entry.outcome.clone(),
+            error: entry.error.clone(),
+        })
+    }
+
+    /// Requests cancellation of a job.
+    pub fn cancel(&self, id: JobId) -> CancelOutcome {
+        let mut state = self.lock();
+        let Some(entry) = state.jobs.get_mut(&id) else {
+            return CancelOutcome::NotFound;
+        };
+        match entry.state {
+            JobState::Submitted => {
+                entry.state = JobState::Cancelled;
+                entry.pending = None;
+                state.queue.retain(|&q| q != id);
+                CancelOutcome::Cancelled
+            }
+            JobState::Running => {
+                entry.cancel.store(true, Ordering::Relaxed);
+                CancelOutcome::Signalled
+            }
+            _ => CancelOutcome::AlreadyFinished,
+        }
+    }
+
+    /// Stops accepting new jobs and wakes every worker so the queue
+    /// drains; already-accepted jobs still run to completion.
+    pub fn close(&self) {
+        self.lock().open = false;
+        self.work_ready.notify_all();
+    }
+
+    /// One worker's run loop: take jobs until the queue is closed *and*
+    /// drained. Results are recorded on the job entry — nothing accepted
+    /// is ever dropped.
+    pub fn worker_loop(&self, metrics: &ServeMetrics) {
+        loop {
+            let (id, kind, cancel, progress) = {
+                let mut state = self.lock();
+                loop {
+                    if let Some(id) = state.queue.pop_front() {
+                        let entry = state.jobs.get_mut(&id).expect("queued job exists");
+                        let kind = entry.pending.take().expect("queued job has a kind");
+                        entry.state = JobState::Running;
+                        break (
+                            id,
+                            kind,
+                            Arc::clone(&entry.cancel),
+                            Arc::clone(&entry.progress),
+                        );
+                    }
+                    if !state.open {
+                        return;
+                    }
+                    state = self
+                        .work_ready
+                        .wait(state)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            };
+
+            metrics.jobs_running.add(1);
+            metrics.jobs_queued.set(self.queued() as i64);
+            // A panicking job poisons only itself, never the worker: the
+            // pool keeps serving (same policy as the planner's rollout
+            // workers).
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                execute(&kind, &cancel, &progress, metrics)
+            }))
+            .unwrap_or_else(|_| Err("job panicked".to_string()));
+            metrics.jobs_running.sub(1);
+
+            let mut state = self.lock();
+            let entry = state.jobs.get_mut(&id).expect("running job exists");
+            match result {
+                Ok(outcome) => {
+                    entry.outcome = Some(outcome);
+                    if cancel.load(Ordering::Relaxed) {
+                        entry.state = JobState::Cancelled;
+                        metrics.jobs_cancelled.inc();
+                    } else {
+                        entry.state = JobState::Done;
+                        metrics.jobs_completed.inc();
+                    }
+                }
+                Err(message) => {
+                    if cancel.load(Ordering::Relaxed) {
+                        entry.state = JobState::Cancelled;
+                        metrics.jobs_cancelled.inc();
+                    } else {
+                        entry.state = JobState::Failed;
+                        metrics.jobs_failed.inc();
+                    }
+                    entry.error = Some(message);
+                }
+            }
+        }
+    }
+}
+
+/// The planner configuration a service job uses: the laptop-scale `quick`
+/// architecture with the request's budget knobs. Inference rebuilds the
+/// same architecture, so checkpoints produced by service plan jobs always
+/// restore cleanly.
+fn service_config(epochs: usize, steps: usize, seed: u64, analyzer_workers: usize) -> PlannerConfig {
+    PlannerConfig {
+        max_epochs: epochs,
+        steps_per_epoch: steps,
+        seed,
+        analyzer_workers: analyzer_workers.max(1),
+        ..PlannerConfig::quick()
+    }
+}
+
+fn plan_outcome(solution: Solution, checkpoint: Option<Vec<u8>>) -> JobOutcome {
+    JobOutcome::Plan {
+        planfile: write_plan(&solution.topology),
+        cost: solution.cost,
+        summary: solution.to_string(),
+        checkpoint,
+    }
+}
+
+/// Runs one job to completion. Returns `Err` with a message for planning
+/// dead-ends and restoration failures; infrastructure-level panics are
+/// caught by the worker loop.
+fn execute(
+    kind: &JobKind,
+    cancel: &AtomicBool,
+    progress: &Progress,
+    metrics: &ServeMetrics,
+) -> Result<JobOutcome, String> {
+    match kind {
+        JobKind::Plan(req) => {
+            let config = service_config(req.epochs, req.steps, req.seed, req.analyzer_workers);
+            if req.greedy {
+                let best = GreedyPlanner::new(req.parsed.problem.clone(), config.k_paths)
+                    .run(8, req.seed);
+                return match best {
+                    Some(solution) => Ok(plan_outcome(solution, None)),
+                    None => Err("greedy planner found no valid plan".to_string()),
+                };
+            }
+            let planner = Planner::new(req.parsed.problem.clone(), config);
+            let report = planner.run_until(|stats| {
+                metrics.planner_epochs.inc();
+                metrics.planner_solutions.add(stats.solutions_found as u64);
+                progress.push(stats.clone());
+                !cancel.load(Ordering::Relaxed)
+            });
+            match report.best {
+                Some(solution) => Ok(plan_outcome(solution, Some(report.policy_checkpoint))),
+                None if cancel.load(Ordering::Relaxed) => {
+                    Err("cancelled before a valid plan was found".to_string())
+                }
+                None => Err("no valid plan found; raise epochs/steps".to_string()),
+            }
+        }
+        JobKind::Verify(req) => {
+            let analyzer = FailureAnalyzer::new()
+                .with_workers(req.analyzer_workers)
+                .with_shared_cache(Arc::new(ScenarioCache::new()));
+            let report = analyzer
+                .try_analyze(&req.parsed.problem, &req.topology)
+                .map_err(|e| format!("analysis failed: {e}"))?;
+            metrics.analyzer_scenarios.add(report.scenarios_checked);
+            metrics.analyzer_cache_hits.add(report.cache_hits);
+            metrics.analyzer_cache_misses.add(report.cache_misses);
+            let reliable = report.verdict.is_reliable();
+            let cost = req.topology.network_cost(req.parsed.problem.library());
+            let json = analysis_report_json(&req.parsed.problem, &report, Some(cost));
+            Ok(JobOutcome::Verify { json, reliable })
+        }
+        JobKind::Infer(req) => {
+            let config = service_config(1, 1, req.seed, 1);
+            let planner = Planner::new(req.parsed.problem.clone(), config);
+            let policy = planner.build_policy();
+            nptsn_nn::params_from_bytes(
+                &nptsn_nn::Module::parameters(&policy),
+                &req.checkpoint,
+            )
+            .map_err(|e| format!("checkpoint rejected: {e}"))?;
+            match planner.plan_with_policy(&policy, req.attempts, req.seed) {
+                Some(solution) => Ok(plan_outcome(solution, None)),
+                None => Err("the restored policy found no valid plan".to_string()),
+            }
+        }
+        JobKind::Burn { millis } => {
+            // Sleep in slices so cancellation stays responsive.
+            let mut remaining = *millis;
+            while remaining > 0 && !cancel.load(Ordering::Relaxed) {
+                let slice = remaining.min(10);
+                std::thread::sleep(std::time::Duration::from_millis(slice));
+                remaining -= slice;
+            }
+            Ok(JobOutcome::Burn)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServeMetrics;
+
+    fn burn(millis: u64) -> JobKind {
+        JobKind::Burn { millis }
+    }
+
+    #[test]
+    fn backpressure_rejects_when_full() {
+        let queue = JobQueue::new(2);
+        queue.submit(burn(0)).unwrap();
+        queue.submit(burn(0)).unwrap();
+        assert_eq!(queue.submit(burn(0)), Err(SubmitError::Full));
+        assert_eq!(queue.queued(), 2);
+    }
+
+    #[test]
+    fn closed_queue_refuses_submissions_but_drains() {
+        let metrics = ServeMetrics::new();
+        let queue = Arc::new(JobQueue::new(8));
+        let a = queue.submit(burn(1)).unwrap();
+        let b = queue.submit(burn(1)).unwrap();
+        queue.close();
+        assert_eq!(queue.submit(burn(0)), Err(SubmitError::ShuttingDown));
+        // A worker started after close still drains both jobs, then exits.
+        queue.worker_loop(&metrics);
+        for id in [a, b] {
+            let snap = queue.snapshot(id).unwrap();
+            assert_eq!(snap.state, JobState::Done, "job {id}");
+            assert!(matches!(snap.outcome, Some(JobOutcome::Burn)));
+        }
+        assert_eq!(metrics.jobs_completed.get(), 2);
+    }
+
+    #[test]
+    fn queued_jobs_cancel_instantly() {
+        let queue = JobQueue::new(4);
+        let id = queue.submit(burn(1000)).unwrap();
+        assert_eq!(queue.cancel(id), CancelOutcome::Cancelled);
+        assert_eq!(queue.snapshot(id).unwrap().state, JobState::Cancelled);
+        assert_eq!(queue.queued(), 0);
+        assert_eq!(queue.cancel(id), CancelOutcome::AlreadyFinished);
+        assert_eq!(queue.cancel(999), CancelOutcome::NotFound);
+    }
+
+    #[test]
+    fn snapshots_serialize_states() {
+        let queue = JobQueue::new(4);
+        let id = queue.submit(burn(0)).unwrap();
+        let json = queue.snapshot(id).unwrap().to_json();
+        assert!(json.contains("\"state\":\"submitted\""), "{json}");
+        assert!(json.contains("\"kind\":\"burn\""));
+        assert!(json.contains("\"latest_epoch\":null"));
+        assert!(queue.snapshot(99).is_none());
+    }
+
+    #[test]
+    fn job_states_know_terminality() {
+        assert!(!JobState::Submitted.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+        assert_eq!(JobState::Running.label(), "running");
+    }
+}

@@ -1,0 +1,41 @@
+//! nptsn-serve: a std-only HTTP planning and inference service for NPTSN.
+//!
+//! The service wraps the planner ([`nptsn::Planner`]), the greedy ablation,
+//! the failure analyzer and checkpoint-backed inference behind a small
+//! HTTP/1.1 API, with:
+//!
+//! * a **bounded job queue** and a **worker pool** — a full queue answers
+//!   `503` + `Retry-After` (backpressure), and shutdown drains every
+//!   accepted job before the process stops;
+//! * **live progress**: plan jobs stream per-epoch [`nptsn::EpochStats`]
+//!   through `GET /jobs/<id>`, and `DELETE` cancels a run cleanly at the
+//!   next epoch boundary;
+//! * an in-tree **metrics registry** ([`metrics::Registry`]) exported in
+//!   the Prometheus text format at `/metrics`.
+//!
+//! Everything is built on `std` alone — `std::net::TcpListener`, threads,
+//! atomics — in keeping with the workspace's zero-dependency policy. The
+//! HTTP layer ([`http`]) is a deliberate subset: `Content-Length` bodies,
+//! keep-alive, hard limits on lines/headers/body size, nothing else.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use nptsn_serve::{Server, ServeConfig};
+//!
+//! let server = Server::bind(ServeConfig::default()).expect("bind");
+//! println!("listening on {}", server.local_addr());
+//! server.wait(); // until POST /shutdown
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod metrics;
+pub mod server;
+
+pub use client::{Client, ClientResponse};
+pub use jobs::{JobId, JobQueue, JobSnapshot, JobState};
+pub use server::{ServeConfig, ServeMetrics, Server};

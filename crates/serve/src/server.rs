@@ -1,0 +1,750 @@
+//! The TCP server: accepts connections, routes requests to the job queue,
+//! exposes `/healthz` and `/metrics`, and coordinates graceful shutdown.
+//!
+//! # Endpoints
+//!
+//! | Method & path              | Purpose                                       |
+//! |----------------------------|-----------------------------------------------|
+//! | `GET /healthz`             | Liveness + queue occupancy                    |
+//! | `GET /metrics`             | Prometheus text exposition                    |
+//! | `POST /jobs/plan`          | Submit a `.tssdn` problem for planning        |
+//! | `POST /jobs/verify`        | Submit a problem + plan for verification      |
+//! | `POST /jobs/infer`         | Plan from an uploaded `NPTSNCK2` checkpoint   |
+//! | `POST /jobs/burn`          | Diagnostic load job (tests, benchmarks)       |
+//! | `GET /jobs/<id>`           | Job status with live epoch stats              |
+//! | `GET /jobs/<id>/plan`      | The resulting plan file                       |
+//! | `GET /jobs/<id>/result`    | The full result document                      |
+//! | `GET /jobs/<id>/checkpoint`| The trained policy checkpoint (`NPTSNCK2`)    |
+//! | `DELETE /jobs/<id>`        | Cancel a queued or running job                |
+//! | `POST /shutdown`           | Drain the queue and stop                      |
+//!
+//! A full queue answers `503` with a `Retry-After` header — backpressure,
+//! not an error. Shutdown closes the queue, lets the workers finish every
+//! accepted job, then stops the acceptor; nothing accepted is dropped.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use nptsn_format::json::Object;
+use nptsn_format::{parse_plan, parse_problem};
+use nptsn_nn::checkpoint_shapes;
+
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::jobs::{
+    CancelOutcome, InferRequest, JobKind, JobOutcome, JobQueue, JobState, PlanRequest,
+    SubmitError, VerifyRequest,
+};
+use crate::metrics::{Counter, Gauge, Histogram, Registry};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The address to bind (`host:port`; port `0` picks an ephemeral one).
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Maximum number of jobs waiting in the queue.
+    pub queue_depth: usize,
+    /// Maximum accepted request body, in bytes.
+    pub max_body_bytes: usize,
+    /// The `Retry-After` hint (seconds) sent with backpressure responses.
+    pub retry_after_secs: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 16,
+            max_body_bytes: 4 * 1024 * 1024,
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// Every metric the service records, with pre-registered handles so the
+/// hot paths never touch the registry lock.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// The registry backing `/metrics`.
+    pub registry: Registry,
+    /// Requests read off the wire.
+    pub http_requests: Arc<Counter>,
+    /// End-to-end request handling latency.
+    pub http_request_seconds: Arc<Histogram>,
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: Arc<Counter>,
+    /// Jobs that finished with a result.
+    pub jobs_completed: Arc<Counter>,
+    /// Jobs that finished with an error.
+    pub jobs_failed: Arc<Counter>,
+    /// Jobs cancelled before or during execution.
+    pub jobs_cancelled: Arc<Counter>,
+    /// Submissions refused with backpressure.
+    pub jobs_rejected: Arc<Counter>,
+    /// Jobs currently waiting in the queue.
+    pub jobs_queued: Arc<Gauge>,
+    /// Jobs currently executing.
+    pub jobs_running: Arc<Gauge>,
+    /// Training epochs completed across all plan jobs.
+    pub planner_epochs: Arc<Counter>,
+    /// Verified solutions found across all plan jobs.
+    pub planner_solutions: Arc<Counter>,
+    /// Failure scenarios checked by verify jobs.
+    pub analyzer_scenarios: Arc<Counter>,
+    /// Scenario-cache hits in verify jobs.
+    pub analyzer_cache_hits: Arc<Counter>,
+    /// Scenario-cache misses in verify jobs.
+    pub analyzer_cache_misses: Arc<Counter>,
+}
+
+impl ServeMetrics {
+    /// Registers the full metric set on a fresh registry.
+    pub fn new() -> ServeMetrics {
+        let registry = Registry::new();
+        let http_requests =
+            registry.counter("nptsn_http_requests_total", "HTTP requests received");
+        let http_request_seconds = registry.histogram(
+            "nptsn_http_request_seconds",
+            "HTTP request handling latency",
+            &Histogram::latency_bounds(),
+        );
+        let jobs_submitted =
+            registry.counter("nptsn_jobs_submitted_total", "Jobs accepted into the queue");
+        let jobs_completed =
+            registry.counter("nptsn_jobs_completed_total", "Jobs finished successfully");
+        let jobs_failed = registry.counter("nptsn_jobs_failed_total", "Jobs finished in error");
+        let jobs_cancelled = registry.counter("nptsn_jobs_cancelled_total", "Jobs cancelled");
+        let jobs_rejected = registry
+            .counter("nptsn_jobs_rejected_total", "Submissions refused with backpressure");
+        let jobs_queued = registry.gauge("nptsn_jobs_queued", "Jobs waiting in the queue");
+        let jobs_running = registry.gauge("nptsn_jobs_running", "Jobs currently executing");
+        let planner_epochs =
+            registry.counter("nptsn_planner_epochs_total", "Training epochs completed");
+        let planner_solutions =
+            registry.counter("nptsn_planner_solutions_total", "Verified solutions found");
+        let analyzer_scenarios = registry
+            .counter("nptsn_analyzer_scenarios_checked_total", "Failure scenarios checked");
+        let analyzer_cache_hits =
+            registry.counter("nptsn_analyzer_cache_hits_total", "Scenario cache hits");
+        let analyzer_cache_misses =
+            registry.counter("nptsn_analyzer_cache_misses_total", "Scenario cache misses");
+        ServeMetrics {
+            registry,
+            http_requests,
+            http_request_seconds,
+            jobs_submitted,
+            jobs_completed,
+            jobs_failed,
+            jobs_cancelled,
+            jobs_rejected,
+            jobs_queued,
+            jobs_running,
+            planner_epochs,
+            planner_solutions,
+            analyzer_scenarios,
+            analyzer_cache_hits,
+            analyzer_cache_misses,
+        }
+    }
+
+    /// The per-status-code response counter (`nptsn_http_responses_total`).
+    pub fn response_counter(&self, code: u16) -> Arc<Counter> {
+        self.registry.counter_labeled(
+            "nptsn_http_responses_total",
+            &format!("code=\"{code}\""),
+            "HTTP responses by status code",
+        )
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> ServeMetrics {
+        ServeMetrics::new()
+    }
+}
+
+/// State shared between the acceptor, connection handlers and workers.
+struct Shared {
+    config: ServeConfig,
+    local_addr: SocketAddr,
+    queue: Arc<JobQueue>,
+    metrics: Arc<ServeMetrics>,
+    shutdown: AtomicBool,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Shared {
+    /// Initiates shutdown exactly once: stop accepting jobs, wake the
+    /// acceptor, release `wait()`.
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        // Wake the acceptor so it observes the flag; errors are fine (the
+        // listener may already be gone).
+        let _ = TcpStream::connect(self.local_addr);
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = true;
+        self.done_cv.notify_all();
+    }
+}
+
+/// The running service: a TCP acceptor plus the worker pool.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and starts the worker pool and acceptor.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = Arc::new(ServeMetrics::new());
+        let queue = Arc::new(JobQueue::new(config.queue_depth));
+        let shared = Arc::new(Shared {
+            config,
+            local_addr,
+            queue,
+            metrics,
+            shutdown: AtomicBool::new(false),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("nptsn-serve-worker-{i}"))
+                    .spawn(move || shared.queue.worker_loop(&shared.metrics))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("nptsn-serve-acceptor".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(Server { shared, acceptor: Some(acceptor), workers })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The service metrics (for embedding / tests).
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// The job queue (for embedding / tests — e.g. inspecting results
+    /// after a drain, when the acceptor is already gone).
+    pub fn queue(&self) -> Arc<JobQueue> {
+        Arc::clone(&self.shared.queue)
+    }
+
+    /// Initiates shutdown from the embedding process, as `POST /shutdown`
+    /// would.
+    pub fn stop(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until shutdown is requested (via `POST /shutdown` or
+    /// [`Server::stop`]), then drains the queue and joins every thread.
+    /// Every job accepted before the shutdown has its result recorded
+    /// before this returns.
+    pub fn wait(mut self) {
+        {
+            let mut done = self.shared.done.lock().unwrap_or_else(|e| e.into_inner());
+            while !*done {
+                done = self.shared.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        // Connection handlers are detached: they end when the client
+        // closes or after the first response once shutdown begins.
+        let _ = std::thread::Builder::new()
+            .name("nptsn-serve-conn".to_string())
+            .spawn(move || handle_connection(&shared, stream));
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let started = Instant::now();
+        let mut is_shutdown = false;
+        let response = match read_request(&mut reader, shared.config.max_body_bytes) {
+            Ok(request) => {
+                shared.metrics.http_requests.inc();
+                is_shutdown = request.method == "POST" && request.path == "/shutdown";
+                let mut response = route(shared, &request);
+                response.close = response.close
+                    || request.wants_close()
+                    || shared.shutdown.load(Ordering::SeqCst);
+                response
+            }
+            Err(HttpError::Closed) => return,
+            Err(HttpError::BadRequest(message)) => {
+                shared.metrics.http_requests.inc();
+                let mut r = Response::error(400, &message);
+                r.close = true;
+                r
+            }
+            Err(HttpError::PayloadTooLarge { declared, limit }) => {
+                shared.metrics.http_requests.inc();
+                let mut r = Response::error(
+                    413,
+                    &format!("body of {declared} bytes exceeds the {limit}-byte limit"),
+                );
+                // The unread body is still on the wire; the connection
+                // cannot be reused.
+                r.close = true;
+                r
+            }
+            Err(HttpError::Io(_)) => return,
+        };
+        shared
+            .metrics
+            .http_request_seconds
+            .observe(started.elapsed().as_secs_f64());
+        shared.metrics.response_counter(response.status).inc();
+        let write_ok = response.write_to(&mut writer).is_ok();
+        // Shutdown is initiated only after the 200 is on the wire: wait()
+        // (and thus process exit) races this handler thread, so flushing
+        // first is what lets the requester actually see the confirmation.
+        if is_shutdown {
+            shared.begin_shutdown();
+        }
+        if !write_ok || response.close {
+            return;
+        }
+    }
+}
+
+/// Parses a query parameter as `T`, with a default when absent.
+fn query_number<T: std::str::FromStr>(
+    request: &Request,
+    name: &str,
+    default: T,
+) -> Result<T, Response> {
+    match request.query_param(name) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| {
+            Response::error(400, &format!("query parameter {name}={raw} is not a valid number"))
+        }),
+    }
+}
+
+/// Dispatches one request. Pure routing — all state lives in `shared`.
+fn route(shared: &Arc<Shared>, request: &Request) -> Response {
+    let path = request.path.as_str();
+    let method = request.method.as_str();
+    match (method, path) {
+        ("GET", "/healthz") => {
+            let mut obj = Object::new();
+            obj.str("status", "ok");
+            obj.int("queued", shared.queue.queued() as u64);
+            obj.int("queue_depth", shared.queue.depth() as u64);
+            obj.int("workers", shared.config.workers as u64);
+            Response::json(200, obj.finish())
+        }
+        ("GET", "/metrics") => Response::text(200, shared.metrics.registry.render()),
+        // The actual begin_shutdown() call happens in handle_connection
+        // *after* this response is flushed — see the ordering note there.
+        ("POST", "/shutdown") => {
+            let mut obj = Object::new();
+            obj.str("status", "shutting down");
+            let mut r = Response::json(200, obj.finish());
+            r.close = true;
+            r
+        }
+        ("POST", "/jobs/plan") => submit_plan(shared, request),
+        ("POST", "/jobs/verify") => submit_verify(shared, request),
+        ("POST", "/jobs/infer") => submit_infer(shared, request),
+        ("POST", "/jobs/burn") => {
+            let millis = match query_number(request, "millis", 0u64) {
+                Ok(v) => v,
+                Err(r) => return r,
+            };
+            submit(shared, JobKind::Burn { millis })
+        }
+        _ => route_job(shared, request),
+    }
+}
+
+/// Routes `/jobs/<id>[/<resource>]` paths; everything else is a 404/405.
+fn route_job(shared: &Arc<Shared>, request: &Request) -> Response {
+    let Some(rest) = request.path.strip_prefix("/jobs/") else {
+        return match request.path.as_str() {
+            "/healthz" | "/metrics" | "/shutdown" | "/jobs/plan" | "/jobs/verify"
+            | "/jobs/infer" | "/jobs/burn" => Response::error(405, "method not allowed"),
+            _ => Response::error(404, "no such endpoint"),
+        };
+    };
+    let (id_text, resource) = match rest.split_once('/') {
+        Some((id, resource)) => (id, Some(resource)),
+        None => (rest, None),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        // `/jobs/plan` with a non-POST method lands here too.
+        return match (request.method.as_str(), resource) {
+            ("POST", _) => Response::error(404, "no such endpoint"),
+            _ => Response::error(405, "method not allowed"),
+        };
+    };
+    let Some(snapshot) = shared.queue.snapshot(id) else {
+        return Response::error(404, &format!("no job {id}"));
+    };
+    match (request.method.as_str(), resource) {
+        ("GET", None) => Response::json(200, snapshot.to_json()),
+        ("DELETE", None) => match shared.queue.cancel(id) {
+            CancelOutcome::Cancelled => {
+                shared.metrics.jobs_cancelled.inc();
+                shared.metrics.jobs_queued.set(shared.queue.queued() as i64);
+                let mut obj = Object::new();
+                obj.int("id", id);
+                obj.str("state", "cancelled");
+                Response::json(200, obj.finish())
+            }
+            CancelOutcome::Signalled => {
+                let mut obj = Object::new();
+                obj.int("id", id);
+                obj.str("state", "cancelling");
+                Response::json(202, obj.finish())
+            }
+            CancelOutcome::AlreadyFinished => {
+                Response::error(409, &format!("job {id} already finished"))
+            }
+            CancelOutcome::NotFound => Response::error(404, &format!("no job {id}")),
+        },
+        ("GET", Some("plan")) => match require_done(&snapshot) {
+            Err(r) => r,
+            Ok(()) => match &snapshot.outcome {
+                Some(JobOutcome::Plan { planfile, .. }) => Response::text(200, planfile.clone()),
+                _ => Response::error(409, &format!("job {id} produced no plan")),
+            },
+        },
+        ("GET", Some("result")) => match require_done(&snapshot) {
+            Err(r) => r,
+            Ok(()) => match &snapshot.outcome {
+                Some(JobOutcome::Verify { json, .. }) => Response::json(200, json.clone()),
+                _ => Response::json(200, snapshot.to_json()),
+            },
+        },
+        ("GET", Some("checkpoint")) => match require_done(&snapshot) {
+            Err(r) => r,
+            Ok(()) => match &snapshot.outcome {
+                Some(JobOutcome::Plan { checkpoint: Some(bytes), .. }) => Response {
+                    status: 200,
+                    content_type: "application/octet-stream",
+                    body: bytes.clone(),
+                    extra_headers: Vec::new(),
+                    close: false,
+                },
+                _ => Response::error(409, &format!("job {id} has no policy checkpoint")),
+            },
+        },
+        ("GET", Some(_)) => Response::error(404, "no such job resource"),
+        _ => Response::error(405, "method not allowed"),
+    }
+}
+
+/// 409 unless the job reached `Done`.
+fn require_done(snapshot: &crate::jobs::JobSnapshot) -> Result<(), Response> {
+    match snapshot.state {
+        JobState::Done => Ok(()),
+        JobState::Failed => Err(Response::error(
+            409,
+            snapshot.error.as_deref().unwrap_or("job failed"),
+        )),
+        JobState::Cancelled => Err(Response::error(409, "job was cancelled")),
+        _ => Err(Response::error(
+            409,
+            &format!("job is still {}", snapshot.state.label()),
+        )),
+    }
+}
+
+/// Submits a validated job, mapping backpressure to `503` + `Retry-After`.
+fn submit(shared: &Arc<Shared>, kind: JobKind) -> Response {
+    match shared.queue.submit(kind) {
+        Ok(id) => {
+            shared.metrics.jobs_submitted.inc();
+            shared.metrics.jobs_queued.set(shared.queue.queued() as i64);
+            let mut obj = Object::new();
+            obj.int("id", id);
+            obj.str("state", "submitted");
+            Response::json(202, obj.finish())
+        }
+        Err(reason) => {
+            shared.metrics.jobs_rejected.inc();
+            let message = match reason {
+                SubmitError::Full => "queue full, retry later",
+                SubmitError::ShuttingDown => "service is shutting down",
+            };
+            Response::error(503, message)
+                .with_header("Retry-After", shared.config.retry_after_secs.to_string())
+        }
+    }
+}
+
+fn submit_plan(shared: &Arc<Shared>, request: &Request) -> Response {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "problem body is not UTF-8"),
+    };
+    let parsed = match parse_problem(text) {
+        Ok(p) => p,
+        Err(e) => return Response::error(422, &format!("invalid problem: {e}")),
+    };
+    let epochs = match query_number(request, "epochs", 3usize) {
+        Ok(v) => v.max(1),
+        Err(r) => return r,
+    };
+    let steps = match query_number(request, "steps", 64usize) {
+        Ok(v) => v.max(1),
+        Err(r) => return r,
+    };
+    let seed = match query_number(request, "seed", 0u64) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let analyzer_workers = match query_number(request, "analyzer-workers", 1usize) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let greedy = matches!(request.query_param("greedy"), Some("1" | "true"));
+    submit(
+        shared,
+        JobKind::Plan(PlanRequest { parsed, epochs, steps, seed, greedy, analyzer_workers }),
+    )
+}
+
+fn submit_verify(shared: &Arc<Shared>, request: &Request) -> Response {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "verify body is not UTF-8"),
+    };
+    // The body is the problem document followed by the plan file; the plan
+    // starts at the first `[switches]` line (a section name the problem
+    // format does not use).
+    let Some(split) = text
+        .lines()
+        .scan(0usize, |offset, line| {
+            let at = *offset;
+            *offset = at + line.len() + 1;
+            Some((at, line))
+        })
+        .find(|(_, line)| line.trim() == "[switches]")
+        .map(|(at, _)| at)
+    else {
+        return Response::error(400, "verify body has no [switches] section (problem + plan expected)");
+    };
+    let (problem_text, plan_text) = text.split_at(split);
+    let parsed = match parse_problem(problem_text) {
+        Ok(p) => p,
+        Err(e) => return Response::error(422, &format!("invalid problem: {e}")),
+    };
+    let topology = match parse_plan(&parsed, plan_text) {
+        Ok(t) => t,
+        Err(e) => return Response::error(422, &format!("invalid plan: {e}")),
+    };
+    let analyzer_workers = match query_number(request, "analyzer-workers", 1usize) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    submit(shared, JobKind::Verify(VerifyRequest { parsed, topology, analyzer_workers }))
+}
+
+fn submit_infer(shared: &Arc<Shared>, request: &Request) -> Response {
+    let Some(problem_len_text) = request.header("x-problem-length") else {
+        return Response::error(
+            400,
+            "X-Problem-Length header required (problem bytes preceding the checkpoint)",
+        );
+    };
+    let Ok(problem_len) = problem_len_text.parse::<usize>() else {
+        return Response::error(400, "X-Problem-Length is not a valid number");
+    };
+    if problem_len > request.body.len() {
+        return Response::error(400, "X-Problem-Length exceeds the body size");
+    }
+    let (problem_bytes, checkpoint) = request.body.split_at(problem_len);
+    let text = match std::str::from_utf8(problem_bytes) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "problem body is not UTF-8"),
+    };
+    let parsed = match parse_problem(text) {
+        Ok(p) => p,
+        Err(e) => return Response::error(422, &format!("invalid problem: {e}")),
+    };
+    // Structural validation up front: magic, version, framing, CRC-32.
+    // Malformed uploads never reach the queue.
+    if let Err(e) = checkpoint_shapes(checkpoint) {
+        return Response::error(422, &format!("invalid checkpoint: {e}"));
+    }
+    let attempts = match query_number(request, "attempts", 8usize) {
+        Ok(v) => v.max(1),
+        Err(r) => return r,
+    };
+    let seed = match query_number(request, "seed", 0u64) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    submit(
+        shared,
+        JobKind::Infer(InferRequest {
+            parsed,
+            checkpoint: checkpoint.to_vec(),
+            attempts,
+            seed,
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_shared() -> Arc<Shared> {
+        Arc::new(Shared {
+            config: ServeConfig::default(),
+            local_addr: "127.0.0.1:1".parse().unwrap(),
+            queue: Arc::new(JobQueue::new(2)),
+            metrics: Arc::new(ServeMetrics::new()),
+            shutdown: AtomicBool::new(false),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        })
+    }
+
+    fn request(method: &str, path: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn routing_rejects_unknown_paths_and_methods() {
+        let shared = test_shared();
+        assert_eq!(route(&shared, &request("GET", "/nope")).status, 404);
+        assert_eq!(route(&shared, &request("POST", "/healthz")).status, 405);
+        assert_eq!(route(&shared, &request("DELETE", "/metrics")).status, 405);
+        assert_eq!(route(&shared, &request("GET", "/jobs/plan")).status, 405);
+        assert_eq!(route(&shared, &request("GET", "/jobs/77")).status, 404);
+        assert_eq!(route(&shared, &request("PUT", "/jobs/abc")).status, 405);
+    }
+
+    #[test]
+    fn healthz_reports_queue_shape() {
+        let shared = test_shared();
+        let response = route(&shared, &request("GET", "/healthz"));
+        assert_eq!(response.status, 200);
+        let body = String::from_utf8(response.body).unwrap();
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"queue_depth\":2"), "{body}");
+    }
+
+    #[test]
+    fn burn_submissions_hit_backpressure() {
+        let shared = test_shared();
+        // Depth 2; no workers are draining in this test.
+        assert_eq!(route(&shared, &request("POST", "/jobs/burn")).status, 202);
+        assert_eq!(route(&shared, &request("POST", "/jobs/burn")).status, 202);
+        let rejected = route(&shared, &request("POST", "/jobs/burn"));
+        assert_eq!(rejected.status, 503);
+        assert!(rejected
+            .extra_headers
+            .iter()
+            .any(|(name, value)| name == "Retry-After" && value == "1"));
+        assert_eq!(shared.metrics.jobs_rejected.get(), 1);
+        assert_eq!(shared.metrics.jobs_submitted.get(), 2);
+    }
+
+    #[test]
+    fn plan_submission_validates_the_problem() {
+        let shared = test_shared();
+        let mut bad = request("POST", "/jobs/plan");
+        bad.body = b"[nonsense".to_vec();
+        assert_eq!(route(&shared, &bad).status, 422);
+        let mut binary = request("POST", "/jobs/plan");
+        binary.body = vec![0xff, 0xfe];
+        assert_eq!(route(&shared, &binary).status, 400);
+    }
+
+    #[test]
+    fn verify_submission_requires_both_documents() {
+        let shared = test_shared();
+        let mut lone = request("POST", "/jobs/verify");
+        lone.body = b"[nodes]\nes a\n".to_vec();
+        let response = route(&shared, &lone);
+        assert_eq!(response.status, 400);
+        let body = String::from_utf8(response.body).unwrap();
+        assert!(body.contains("[switches]"), "{body}");
+    }
+
+    #[test]
+    fn infer_submission_validates_the_checkpoint() {
+        let shared = test_shared();
+        let mut no_header = request("POST", "/jobs/infer");
+        no_header.body = b"x".to_vec();
+        assert_eq!(route(&shared, &no_header).status, 400);
+
+        let mut too_long = request("POST", "/jobs/infer");
+        too_long.headers.push(("x-problem-length".into(), "99".into()));
+        too_long.body = b"short".to_vec();
+        assert_eq!(route(&shared, &too_long).status, 400);
+    }
+
+    #[test]
+    fn shutdown_responds_then_closes_the_queue() {
+        let shared = test_shared();
+        // route() only builds the confirmation; handle_connection triggers
+        // begin_shutdown after the response is flushed.
+        let response = route(&shared, &request("POST", "/shutdown"));
+        assert_eq!(response.status, 200);
+        assert!(response.close);
+        assert_eq!(route(&shared, &request("POST", "/jobs/burn")).status, 202);
+
+        shared.begin_shutdown();
+        let refused = route(&shared, &request("POST", "/jobs/burn"));
+        assert_eq!(refused.status, 503);
+    }
+}

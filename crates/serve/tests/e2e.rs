@@ -1,0 +1,403 @@
+//! End-to-end tests over real TCP: a bound server, the in-tree client, and
+//! the full submit → poll → fetch → verify loop, plus backpressure,
+//! drain-on-shutdown and checkpoint-upload hardening.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nptsn::{FailureAnalyzer, Planner, PlannerConfig, Verdict};
+use nptsn_format::{parse_plan, parse_problem};
+use nptsn_nn::{params_to_bytes, Module};
+use nptsn_serve::{Client, ClientResponse, JobState, ServeConfig, Server};
+
+const DOC: &str = "\
+[nodes]
+es a
+es b
+sw s0
+sw s1
+[links]
+a s0
+a s1
+b s0
+b s1
+s0 s1
+[flows]
+a b 500 128
+";
+
+fn start(workers: usize, queue_depth: usize) -> (Server, Client) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_depth,
+        ..ServeConfig::default()
+    })
+    .expect("bind an ephemeral port");
+    let client = Client::new(server.local_addr());
+    (server, client)
+}
+
+/// Pulls the number following `"key":` out of a flat JSON document.
+fn json_u64(body: &str, key: &str) -> u64 {
+    let marker = format!("\"{key}\":");
+    let at = body.find(&marker).unwrap_or_else(|| panic!("no {key} in {body}"));
+    body[at + marker.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {key} in {body}"))
+}
+
+fn submit(client: &mut Client, path: &str, body: &[u8]) -> u64 {
+    let response = client.post(path, body).expect("submit");
+    assert_eq!(response.status, 202, "{}", response.text());
+    json_u64(&response.text(), "id")
+}
+
+/// Polls `GET /jobs/<id>` until the job reaches a terminal state,
+/// returning the final status body and the largest `epochs_completed`
+/// observed across the polls.
+fn poll_until_done(client: &mut Client, id: u64) -> (String, u64) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut max_epochs = 0;
+    loop {
+        let response = client.get(&format!("/jobs/{id}")).expect("poll");
+        assert_eq!(response.status, 200, "{}", response.text());
+        let body = response.text();
+        max_epochs = max_epochs.max(json_u64(&body, "epochs_completed"));
+        let terminal = [
+            JobState::Done.label(),
+            JobState::Failed.label(),
+            JobState::Cancelled.label(),
+        ]
+        .iter()
+        .any(|s| body.contains(&format!("\"state\":\"{s}\"")));
+        if terminal {
+            return (body, max_epochs);
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished: {body}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn state_of(body: &str) -> &str {
+    for state in ["submitted", "running", "done", "failed", "cancelled"] {
+        if body.contains(&format!("\"state\":\"{state}\"")) {
+            return state;
+        }
+    }
+    panic!("no state in {body}");
+}
+
+#[test]
+fn plan_poll_fetch_verify_roundtrip() {
+    let (server, mut client) = start(2, 8);
+
+    // Submit an RL plan job with a tiny training budget.
+    let id = submit(&mut client, "/jobs/plan?epochs=2&steps=48&seed=1", DOC.as_bytes());
+
+    // Poll until done; the status stream must surface live epoch stats.
+    let (body, max_epochs) = poll_until_done(&mut client, id);
+    assert_eq!(state_of(&body), "done", "{body}");
+    assert!(max_epochs >= 1, "no EpochStats update observed while polling: {body}");
+    assert!(body.contains("\"latest_epoch\":{"), "{body}");
+    assert!(body.contains("\"mean_episode_return\":"), "{body}");
+    assert!(body.contains("\"checkpoint_available\":true"), "{body}");
+
+    // Fetch the plan file.
+    let plan = client.get(&format!("/jobs/{id}/plan")).unwrap();
+    assert_eq!(plan.status, 200);
+    let plan_text = plan.text();
+    assert!(plan_text.contains("[switches]"), "{plan_text}");
+
+    // The service's verify endpoint and a direct in-process analysis (the
+    // CLI's `verify` code path) must agree on the verdict.
+    let parsed = parse_problem(DOC).unwrap();
+    let topology = parse_plan(&parsed, &plan_text).unwrap();
+    let direct = FailureAnalyzer::new().analyze(&parsed.problem, &topology);
+    assert_eq!(direct, Verdict::Reliable);
+
+    let verify_body = format!("{DOC}{plan_text}");
+    let verify_id = submit(&mut client, "/jobs/verify", verify_body.as_bytes());
+    let (status, _) = poll_until_done(&mut client, verify_id);
+    assert_eq!(state_of(&status), "done", "{status}");
+    assert!(status.contains("\"reliable\":true"), "{status}");
+    let result = client.get(&format!("/jobs/{verify_id}/result")).unwrap();
+    assert_eq!(result.status, 200);
+    let report = result.text();
+    assert!(report.contains("\"verdict\":\"reliable\""), "{report}");
+    assert!(report.contains("\"scenarios_checked\":"), "{report}");
+
+    // The trained policy checkpoint round-trips through the infer
+    // endpoint: download it, upload it, plan without learning.
+    let checkpoint = client.get(&format!("/jobs/{id}/checkpoint")).unwrap();
+    assert_eq!(checkpoint.status, 200);
+    assert!(checkpoint.body.starts_with(b"NPTSNCK"), "not a checkpoint");
+
+    let mut infer_body = DOC.as_bytes().to_vec();
+    infer_body.extend_from_slice(&checkpoint.body);
+    let infer = client
+        .post_with_headers(
+            "/jobs/infer?attempts=4&seed=1",
+            &[("X-Problem-Length", DOC.len().to_string())],
+            &infer_body,
+        )
+        .unwrap();
+    assert_eq!(infer.status, 202, "{}", infer.text());
+    let infer_id = json_u64(&infer.text(), "id");
+    let (infer_status, _) = poll_until_done(&mut client, infer_id);
+    assert_eq!(state_of(&infer_status), "done", "{infer_status}");
+    let inferred_plan = client.get(&format!("/jobs/{infer_id}/plan")).unwrap();
+    assert_eq!(inferred_plan.status, 200);
+    assert!(inferred_plan.text().contains("[switches]"));
+
+    // Metrics reflect the work done, over the same keep-alive connection.
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    assert!(text.contains("nptsn_jobs_completed_total 3"), "{text}");
+    assert!(text.contains("nptsn_planner_epochs_total 2"), "{text}");
+    assert!(text.contains("nptsn_analyzer_scenarios_checked_total"), "{text}");
+    assert!(text.contains("nptsn_http_request_seconds_bucket"), "{text}");
+
+    server.stop();
+    server.wait();
+}
+
+#[test]
+fn full_queue_answers_503_with_retry_after() {
+    let (server, mut client) = start(1, 2);
+
+    // Occupy the single worker, then wait until the job is running so the
+    // queue occupancy is deterministic.
+    let running = submit(&mut client, "/jobs/burn?millis=60000", &[]);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let body = client.get(&format!("/jobs/{running}")).unwrap().text();
+        if state_of(&body) == "running" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "burn job never started: {body}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Fill the queue to its depth...
+    let queued_a = submit(&mut client, "/jobs/burn?millis=1", &[]);
+    let queued_b = submit(&mut client, "/jobs/burn?millis=1", &[]);
+
+    // ...and the next submission is backpressure, not an error.
+    let rejected = client.post("/jobs/burn?millis=1", &[]).unwrap();
+    assert_eq!(rejected.status, 503, "{}", rejected.text());
+    assert_eq!(rejected.header("retry-after"), Some("1"));
+    assert!(rejected.text().contains("queue full"), "{}", rejected.text());
+
+    // Cancelling a queued job frees a slot immediately.
+    let cancelled = client.delete(&format!("/jobs/{queued_a}")).unwrap();
+    assert_eq!(cancelled.status, 200);
+    assert!(cancelled.text().contains("\"state\":\"cancelled\""));
+    let accepted = client.post("/jobs/burn?millis=1", &[]).unwrap();
+    assert_eq!(accepted.status, 202, "{}", accepted.text());
+
+    // Cancelling the running job signals it; it winds down at the next
+    // cancellation point.
+    let signalled = client.delete(&format!("/jobs/{running}")).unwrap();
+    assert_eq!(signalled.status, 202);
+    assert!(signalled.text().contains("cancelling"));
+    let (final_status, _) = poll_until_done(&mut client, running);
+    assert_eq!(state_of(&final_status), "cancelled", "{final_status}");
+
+    // Fetching the plan of a cancelled job is a 409, not a hang or crash.
+    let conflict = client.get(&format!("/jobs/{running}/plan")).unwrap();
+    assert_eq!(conflict.status, 409);
+    let _ = queued_b;
+
+    server.stop();
+    server.wait();
+}
+
+#[test]
+fn shutdown_drains_accepted_jobs_without_dropping_results() {
+    let (server, mut client) = start(1, 8);
+    let queue = server.queue();
+    let metrics = server.metrics();
+
+    let ids: Vec<u64> = (0..3)
+        .map(|_| submit(&mut client, "/jobs/burn?millis=100", &[]))
+        .collect();
+
+    // Shutdown over HTTP: the response arrives and the connection closes.
+    let response = client.post("/shutdown", &[]).unwrap();
+    assert_eq!(response.status, 200);
+    assert!(response.text().contains("shutting down"));
+
+    // wait() returns only after the queue is fully drained.
+    server.wait();
+
+    for id in &ids {
+        let snapshot = queue.snapshot(*id).expect("job still tracked after drain");
+        assert_eq!(snapshot.state, JobState::Done, "job {id} was dropped by shutdown");
+    }
+    assert_eq!(metrics.jobs_completed.get(), 3);
+    assert_eq!(metrics.jobs_queued.get(), 0);
+}
+
+#[test]
+fn checkpoint_uploads_are_hardened() {
+    let (server, mut client) = start(1, 4);
+
+    // A structurally valid checkpoint for this problem's architecture.
+    let parsed = parse_problem(DOC).unwrap();
+    let planner = Planner::new(parsed.problem.clone(), PlannerConfig::quick());
+    let policy = planner.build_policy();
+    let valid = params_to_bytes(&policy.parameters());
+
+    let post_infer = |client: &mut Client, checkpoint: &[u8]| -> ClientResponse {
+        let mut body = DOC.as_bytes().to_vec();
+        body.extend_from_slice(checkpoint);
+        client
+            .post_with_headers(
+                "/jobs/infer?attempts=2&seed=0",
+                &[("X-Problem-Length", DOC.len().to_string())],
+                &body,
+            )
+            .expect("request completes")
+    };
+
+    // Truncated body: checksum/framing fails, clean 422.
+    let truncated = post_infer(&mut client, &valid[..valid.len() - 5]);
+    assert_eq!(truncated.status, 422, "{}", truncated.text());
+    assert!(truncated.text().contains("checkpoint"), "{}", truncated.text());
+
+    // Flipped payload bit: the CRC-32 trailer catches it.
+    let mut corrupt = valid.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    let bad_crc = post_infer(&mut client, &corrupt);
+    assert_eq!(bad_crc.status, 422, "{}", bad_crc.text());
+
+    // Garbage magic.
+    let garbage = post_infer(&mut client, b"GARBAGE-not-a-checkpoint");
+    assert_eq!(garbage.status, 422, "{}", garbage.text());
+
+    // Missing framing header.
+    let mut body = DOC.as_bytes().to_vec();
+    body.extend_from_slice(&valid);
+    let unframed = client.post("/jobs/infer", &body).unwrap();
+    assert_eq!(unframed.status, 400, "{}", unframed.text());
+
+    // Oversized upload: rejected before the body is buffered.
+    let (small_server, mut small_client) = {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 4,
+            max_body_bytes: 16 * 1024,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let client = Client::new(server.local_addr());
+        (server, client)
+    };
+    let oversized = small_client.post("/jobs/infer", &vec![0u8; 64 * 1024]).unwrap();
+    assert_eq!(oversized.status, 413, "{}", oversized.text());
+    let health = small_client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    small_server.stop();
+    small_server.wait();
+
+    // No partial state: after every rejection, zero jobs were submitted
+    // and a valid upload still works end to end.
+    let metrics_text = client.get("/metrics").unwrap().text();
+    assert!(metrics_text.contains("nptsn_jobs_submitted_total 0"), "{metrics_text}");
+
+    let ok = post_infer(&mut client, &valid);
+    assert_eq!(ok.status, 202, "{}", ok.text());
+    let id = json_u64(&ok.text(), "id");
+    let (status, _) = poll_until_done(&mut client, id);
+    // An untrained policy may or may not find a plan; either way the job
+    // terminates cleanly rather than poisoning the worker.
+    assert!(
+        matches!(state_of(&status), "done" | "failed"),
+        "unexpected terminal state: {status}"
+    );
+
+    server.stop();
+    server.wait();
+}
+
+#[test]
+fn keep_alive_and_malformed_requests() {
+    let (server, mut client) = start(1, 4);
+
+    // Many requests over one connection.
+    for _ in 0..5 {
+        let health = client.get("/healthz").unwrap();
+        assert_eq!(health.status, 200);
+    }
+    let metrics = client.get("/metrics").unwrap().text();
+    let requests: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("nptsn_http_requests_total "))
+        .and_then(|v| v.parse().ok())
+        .expect("request counter present");
+    assert!(requests >= 6, "expected keep-alive requests to accumulate: {requests}");
+
+    // Unknown endpoints and wrong methods are clean errors...
+    assert_eq!(client.get("/nope").unwrap().status, 404);
+    assert_eq!(client.delete("/metrics").unwrap().status, 405);
+    assert_eq!(client.get("/jobs/12345").unwrap().status, 404);
+
+    // ...and raw garbage gets a 400 and a closed connection, while the
+    // server keeps serving everyone else.
+    {
+        use std::io::{Read, Write};
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        raw.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+        let mut response = String::new();
+        raw.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    }
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+
+    server.stop();
+    server.wait();
+}
+
+/// The shared JSON serializer is what both the CLI `--json` flag and the
+/// verify endpoint emit — spot-check the document against a direct
+/// analysis so the schema cannot drift silently.
+#[test]
+fn verify_endpoint_matches_direct_analysis() {
+    let (server, mut client) = start(1, 4);
+
+    // A deliberately fragile plan: one ASIL-A switch carries everything.
+    let plan = "[switches]\ns0 A\n[plan-links]\na s0\nb s0\n";
+    let body = format!("{DOC}{plan}");
+    let id = submit(&mut client, "/jobs/verify", body.as_bytes());
+    let (status, _) = poll_until_done(&mut client, id);
+    assert_eq!(state_of(&status), "done", "{status}");
+    assert!(status.contains("\"reliable\":false"), "{status}");
+
+    let report = client.get(&format!("/jobs/{id}/result")).unwrap().text();
+    assert!(report.contains("\"verdict\":\"unreliable\""), "{report}");
+    assert!(report.contains("\"failed_switches\":[\"s0\"]"), "{report}");
+
+    let parsed = parse_problem(DOC).unwrap();
+    let topology = parse_plan(&parsed, plan).unwrap();
+    let direct = FailureAnalyzer::new()
+        .with_shared_cache(Arc::new(nptsn::ScenarioCache::new()))
+        .try_analyze(&parsed.problem, &topology)
+        .unwrap();
+    assert!(!direct.verdict.is_reliable());
+    let expected = nptsn_format::json::analysis_report_json(
+        &parsed.problem,
+        &direct,
+        Some(topology.network_cost(parsed.problem.library())),
+    );
+    assert_eq!(report, expected, "endpoint and CLI serializers diverged");
+
+    server.stop();
+    server.wait();
+}

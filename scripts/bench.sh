@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# Analyzer benchmark: builds the bench binary offline in release mode and
-# writes BENCH_analyzer.json (median ns/scenario for 1/2/4/8 analyzer
-# workers plus the shared-cache hit rate) to the repository root.
+# Benchmarks: builds the bench binaries offline in release mode and writes
+# machine-readable results to the repository root:
+#
+#   BENCH_analyzer.json — median ns/scenario for 1/2/4/8 analyzer workers
+#                         plus the shared-cache hit rate
+#   BENCH_serve.json    — HTTP request throughput and p50/p99 status-poll
+#                         latency of the nptsn-serve service
 #
 # Usage: scripts/bench.sh [--smoke]
 #   --smoke   shrink iteration counts to a fast plumbing check (used by
@@ -9,12 +13,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+analyzer_out="BENCH_analyzer.json"
+serve_out="BENCH_serve.json"
 if [[ "${1:-}" == "--smoke" ]]; then
     export NPTSN_BENCH_SMOKE=1
     # Smoke numbers are not representative; keep them out of the committed
-    # BENCH_analyzer.json unless the caller explicitly asked for a path.
-    export NPTSN_BENCH_OUT="${NPTSN_BENCH_OUT:-target/BENCH_analyzer.smoke.json}"
+    # BENCH_*.json files.
+    analyzer_out="target/BENCH_analyzer.smoke.json"
+    serve_out="target/BENCH_serve.smoke.json"
 fi
 
-cargo build --release --offline -p nptsn-bench --bin micro
-exec ./target/release/micro analyzer_json
+cargo build --release --offline -p nptsn-bench --bin micro --bin serve_bench
+NPTSN_BENCH_OUT="${NPTSN_BENCH_OUT:-$analyzer_out}" ./target/release/micro analyzer_json
+NPTSN_BENCH_OUT="${NPTSN_SERVE_BENCH_OUT:-$serve_out}" ./target/release/serve_bench

@@ -5,10 +5,32 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline
-cargo test -q --offline
-cargo clippy --offline -- -D warnings
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace -- -D warnings
 
-# Smoke-run the analyzer benchmark: exercises the parallel + cached
-# analyzer end to end and checks the BENCH_analyzer.json plumbing.
+# Smoke-run the benchmarks: exercises the parallel + cached analyzer and
+# the HTTP service end to end and checks the BENCH_*.json plumbing.
 scripts/bench.sh --smoke
+
+# Serve smoke test: start the service on an ephemeral port, run a greedy
+# plan job through the in-tree client (all 200s, non-empty /metrics), and
+# check the drain-and-shutdown path completes cleanly.
+serve_log="$(mktemp)"
+./target/release/nptsn serve --addr 127.0.0.1:0 --serve-workers 1 --queue-depth 4 \
+    >"$serve_log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^nptsn-serve listening on \([0-9.:]*\) .*/\1/p' "$serve_log")"
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "serve smoke: server never printed its address" >&2; exit 1; }
+./target/release/serve_smoke "$addr"
+wait "$serve_pid"
+trap - EXIT
+grep -q "drained and stopped" "$serve_log" \
+    || { echo "serve smoke: no clean shutdown message" >&2; exit 1; }
+echo "serve smoke: clean shutdown confirmed"
