@@ -1,0 +1,162 @@
+//! Tracing-overhead benchmark: what does `nptsn-obs` instrumentation cost
+//! on the micro analyzer workload, with recording disabled and enabled?
+//!
+//! Writes `BENCH_obs.json` (override with `NPTSN_BENCH_OUT`;
+//! `NPTSN_BENCH_SMOKE=1` shrinks iteration counts to a plumbing check):
+//!
+//! * `span_ns` — the cost of one `span()` open/close, disabled (a relaxed
+//!   atomic load and a branch) and enabled (timestamping + a buffered
+//!   record).
+//! * `workload` — median wall-clock of a full `FailureAnalyzer::analyze`
+//!   over the saturated ORION network, disabled vs enabled, and the
+//!   enabled overhead percentage.
+//! * `overhead_disabled_pct` — the measured disabled-path cost charged to
+//!   the workload: spans recorded per run × disabled span cost, as a
+//!   percentage of the disabled workload median. This is the number the
+//!   "<5% overhead with tracing off" acceptance gate reads; it bounds the
+//!   instrumentation cost left in the hot path for untraced runs.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use nptsn::{FailureAnalyzer, PlanningProblem};
+use nptsn_bench::problem_for;
+use nptsn_scenarios::{orion, random_flows};
+use nptsn_topo::{Asil, Topology};
+
+/// The micro analyzer workload: saturated ORION (every switch, every
+/// candidate link) so Algorithm 3 runs its full enumeration — the same
+/// network `micro analyzer_json` benchmarks.
+fn saturated_orion(flows: usize) -> (PlanningProblem, Topology) {
+    let scenario = orion();
+    let flows = random_flows(&scenario.graph, flows, 0);
+    let problem = problem_for(&scenario, flows);
+    let mut topo = scenario.graph.empty_topology();
+    for &sw in scenario.graph.switches() {
+        let _ = topo.add_switch(sw, Asil::A);
+    }
+    let links: Vec<_> = scenario.graph.links().collect();
+    for link in links {
+        let (u, v) = scenario.graph.link_endpoints(link);
+        let _ = topo.add_link(u, v);
+    }
+    (problem, topo)
+}
+
+/// Median of timed runs of `f`, in nanoseconds.
+fn median_ns(warmup: usize, iters: usize, mut f: impl FnMut()) -> u128 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::var("NPTSN_BENCH_SMOKE").is_ok();
+    let (warmup, iters, span_loops) =
+        if smoke { (1usize, 3usize, 20_000u64) } else { (3, 15, 2_000_000) };
+    assert!(!nptsn_obs::enabled(), "tracing must start disabled");
+
+    // --- Span primitive cost -------------------------------------------
+    let span_disabled_ns = median_ns(1, 5, || {
+        for _ in 0..span_loops {
+            let _span = nptsn_obs::span("bench.span");
+            black_box(&_span);
+        }
+    }) as f64
+        / span_loops as f64;
+
+    nptsn_obs::set_enabled(true);
+    let span_enabled_ns = median_ns(1, 5, || {
+        for _ in 0..span_loops {
+            let _span = nptsn_obs::span("bench.span");
+            black_box(&_span);
+        }
+        // Keep the sink bounded; draining outside the timed window would
+        // be fairer but the append amortizes to ~nothing per span anyway.
+        let _ = nptsn_obs::drain();
+    }) as f64
+        / span_loops as f64;
+    nptsn_obs::set_enabled(false);
+    let _ = nptsn_obs::drain();
+
+    // --- Analyzer workload, disabled vs enabled ------------------------
+    let (problem, topo) = saturated_orion(if smoke { 8 } else { 20 });
+    let analyzer = FailureAnalyzer::new();
+    let reference = analyzer.try_analyze(&problem, &topo).expect("workload analyzes");
+    let scenarios = reference.scenarios_checked.max(1);
+
+    let disabled_ns = median_ns(warmup, iters, || {
+        black_box(analyzer.analyze(&problem, &topo));
+    });
+
+    nptsn_obs::set_enabled(true);
+    // Count the spans one traced run records, for the disabled-cost model.
+    black_box(analyzer.analyze(&problem, &topo));
+    let spans_per_run = nptsn_obs::drain()
+        .iter()
+        .filter(|r| matches!(r, nptsn_obs::Record::Span { .. }))
+        .count() as u64;
+    let enabled_ns = median_ns(warmup, iters, || {
+        black_box(analyzer.analyze(&problem, &topo));
+        let _ = nptsn_obs::drain();
+    });
+    nptsn_obs::set_enabled(false);
+    let _ = nptsn_obs::drain();
+
+    let overhead_enabled_pct =
+        (enabled_ns as f64 - disabled_ns as f64) / disabled_ns.max(1) as f64 * 100.0;
+    // With recording off, each instrumented call site costs one disabled
+    // `span()` (the counters behind `enabled()` are cheaper still).
+    let overhead_disabled_pct =
+        spans_per_run as f64 * span_disabled_ns / disabled_ns.max(1) as f64 * 100.0;
+
+    println!(
+        "obs_bench: span {span_disabled_ns:.2} ns disabled, {span_enabled_ns:.1} ns enabled"
+    );
+    println!(
+        "obs_bench: workload median {disabled_ns} ns disabled, {enabled_ns} ns enabled \
+         ({scenarios} scenarios, {spans_per_run} spans/run)"
+    );
+    println!(
+        "obs_bench: overhead {overhead_disabled_pct:.4}% disabled, \
+         {overhead_enabled_pct:.2}% enabled"
+    );
+
+    // Hand-written JSON: the workspace is hermetic, no serde.
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"tracing_overhead_orion_saturated\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"iters\": {iters},\n"));
+    json.push_str(&format!(
+        "  \"span_ns\": {{\"disabled\": {span_disabled_ns:.3}, \"enabled\": {span_enabled_ns:.3}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"workload\": {{\"scenarios_checked\": {scenarios}, \"spans_per_run\": {spans_per_run}, \
+         \"median_ns_disabled\": {disabled_ns}, \"median_ns_enabled\": {enabled_ns}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"overhead_disabled_pct\": {overhead_disabled_pct:.4},\n"
+    ));
+    json.push_str(&format!("  \"overhead_enabled_pct\": {overhead_enabled_pct:.2}\n"));
+    json.push_str("}\n");
+
+    let out_path =
+        std::env::var("NPTSN_BENCH_OUT").unwrap_or_else(|_| "BENCH_obs.json".to_string());
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("obs_bench: wrote {out_path}");
+
+    if overhead_disabled_pct >= 5.0 {
+        eprintln!(
+            "obs_bench: FAIL — disabled-tracing overhead {overhead_disabled_pct:.2}% >= 5%"
+        );
+        std::process::exit(1);
+    }
+}

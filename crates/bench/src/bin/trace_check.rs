@@ -1,0 +1,54 @@
+//! Validates a Chrome trace-event file produced by `--trace-out`, using
+//! the same in-tree JSON parser the tracing tests round-trip through —
+//! so `scripts/verify.sh` can gate traces without python or jq.
+//!
+//! ```text
+//! trace_check <trace.json> [required-span-name ...]
+//! ```
+//!
+//! Exits non-zero (with a message on stderr) when the file is not valid
+//! JSON, has no `traceEvents`, or is missing one of the required span
+//! names.
+
+use nptsn_obs::json::Value;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_check <trace.json> [required-span-name ...]");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("trace_check: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = nptsn_obs::json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("trace_check: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    let Some(events) = doc.get("traceEvents").and_then(Value::as_arr) else {
+        eprintln!("trace_check: {path} has no traceEvents array");
+        std::process::exit(1);
+    };
+    if events.is_empty() {
+        eprintln!("trace_check: {path} recorded no events");
+        std::process::exit(1);
+    }
+    let names: Vec<&str> =
+        events.iter().filter_map(|e| e.get("name").and_then(Value::as_str)).collect();
+    let mut missing = Vec::new();
+    for required in args {
+        if !names.iter().any(|n| *n == required) {
+            missing.push(required);
+        }
+    }
+    if !missing.is_empty() {
+        eprintln!(
+            "trace_check: {path} ({} events) is missing spans: {}",
+            events.len(),
+            missing.join(", ")
+        );
+        std::process::exit(1);
+    }
+    println!("trace_check: {path} ok ({} events)", events.len());
+}

@@ -1,13 +1,16 @@
 //! The `nptsn` subcommands.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 use nptsn::{
     FailureAnalyzer, GreedyPlanner, Planner, PlannerConfig, ScenarioCache, Verdict,
 };
-use nptsn_format::json::analysis_report_json;
+use nptsn_format::json::{analysis_report_json, epoch_stats_json, Object};
 use nptsn_format::{parse_plan, parse_problem, write_plan, ParsedProblem};
+use nptsn_obs::Level;
 use nptsn_sched::simulate;
 use nptsn_serve::{ServeConfig, Server};
 use nptsn_topo::FailureScenario;
@@ -35,8 +38,10 @@ nptsn — RL-based network planning for in-vehicle TSSDN (DSN 2023 reproduction)
 
 USAGE:
     nptsn plan <problem.tssdn> [--epochs N] [--steps N] [--seed N] [--greedy]
-               [--analyzer-workers N]
+               [--analyzer-workers N] [--checkpoint <path>]
         Plan the network; prints the plan file for the best solution.
+        --checkpoint writes the trained policy (NPTSNCK2, atomic rename)
+        to <path> and a per-epoch telemetry.jsonl next to it.
     nptsn verify <problem.tssdn> <plan file> [--analyzer-workers N] [--json]
         Check a plan's reliability guarantee with the failure analyzer.
         --json prints the full analysis report as machine-readable JSON
@@ -53,6 +58,15 @@ USAGE:
         DESIGN.md §9). Stops on POST /shutdown after draining the queue.
     nptsn help
         Show this message.
+
+OBSERVABILITY (plan, verify, serve; see DESIGN.md §10):
+    --trace-out <path>   Record hierarchical spans and write a Chrome
+                         trace-event file loadable in Perfetto or
+                         chrome://tracing. Env fallback: NPTSN_TRACE.
+    --log-level <level>  off|error|info|debug event severity ceiling
+                         (default info). Env fallback: NPTSN_LOG.
+    --profile            Print an end-of-run table of the top spans by
+                         self-time (enables recording on its own).
 ";
 
 /// Runs the CLI with the given arguments (excluding the program name);
@@ -95,8 +109,13 @@ fn cmd_plan(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErr
     let mut seed = 0u64;
     let mut greedy = false;
     let mut analyzer_workers = 1usize;
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut trace = TraceOpts::default();
     let mut iter = args.iter().map(String::as_str);
     while let Some(arg) = iter.next() {
+        if trace.try_flag(arg, &mut iter)? {
+            continue;
+        }
         match arg {
             "--epochs" => epochs = parse_flag(iter.next(), "--epochs")?,
             "--steps" => steps = parse_flag(iter.next(), "--steps")?,
@@ -105,11 +124,23 @@ fn cmd_plan(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErr
             "--analyzer-workers" => {
                 analyzer_workers = parse_workers(iter.next())?;
             }
+            "--checkpoint" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--checkpoint needs a value".into()))?;
+                checkpoint = Some(PathBuf::from(value));
+            }
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
             other => return Err(CliError(format!("unexpected argument '{other}'"))),
         }
     }
     let path = path.ok_or_else(|| CliError("plan: missing <problem.tssdn>".into()))?;
+    if greedy && checkpoint.is_some() {
+        return Err(CliError(
+            "--checkpoint needs RL planning (there is no policy to save under --greedy)".into(),
+        ));
+    }
+    trace.activate()?;
     let parsed = load(&path)?;
 
     let config = PlannerConfig {
@@ -119,11 +150,48 @@ fn cmd_plan(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErr
         analyzer_workers,
         ..PlannerConfig::quick()
     };
-    let best = if greedy {
-        GreedyPlanner::new(parsed.problem.clone(), config.k_paths).run(8, seed)
+    let (best, report) = if greedy {
+        (GreedyPlanner::new(parsed.problem.clone(), config.k_paths).run(8, seed), None)
     } else {
-        Planner::new(parsed.problem.clone(), config).run().best
+        // Per-epoch telemetry lines are collected as the run progresses:
+        // the counter deltas between epoch boundaries attribute cache and
+        // scenario activity to the epoch that caused it.
+        let telemetry = nptsn_obs::telemetry();
+        let mut epoch_lines = Vec::new();
+        let mut prev = telemetry.snapshot();
+        let mut epoch_started = Instant::now();
+        let report = Planner::new(parsed.problem.clone(), config).run_with_progress(|stats| {
+            let snap = telemetry.snapshot();
+            let hits = snap.analyzer_cache_hits - prev.analyzer_cache_hits;
+            let misses = snap.analyzer_cache_misses - prev.analyzer_cache_misses;
+            let mut obj = Object::new();
+            obj.str("type", "epoch");
+            obj.raw("stats", &epoch_stats_json(stats));
+            obj.num("cache_hit_rate", hits as f64 / (hits + misses).max(1) as f64);
+            obj.int("wall_ms", epoch_started.elapsed().as_millis() as u64);
+            epoch_lines.push(obj.finish());
+            prev = snap;
+            epoch_started = Instant::now();
+        });
+        (report.best.clone(), Some((report, epoch_lines)))
     };
+    let records = trace.finish(out)?;
+    if let (Some(ck_path), Some((report, epoch_lines))) = (&checkpoint, &report) {
+        write_atomic(ck_path, &report.policy_checkpoint)?;
+        let telemetry_path =
+            ck_path.parent().unwrap_or(Path::new(".")).join("telemetry.jsonl");
+        let text = telemetry_jsonl(epoch_lines, report, &records);
+        std::fs::write(&telemetry_path, text)
+            .map_err(|e| CliError(format!("cannot write {}: {e}", telemetry_path.display())))?;
+        writeln!(
+            out,
+            "# checkpoint: {} ({} bytes); telemetry: {}",
+            ck_path.display(),
+            report.policy_checkpoint.len(),
+            telemetry_path.display()
+        )
+        .map_err(io_err)?;
+    }
     match best {
         Some(solution) => {
             writeln!(out, "# {solution}").map_err(io_err)?;
@@ -134,6 +202,50 @@ fn cmd_plan(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErr
             "no valid plan found; raise --epochs/--steps or relax the problem".into(),
         )),
     }
+}
+
+/// Renders the per-run `telemetry.jsonl` document: one `"epoch"` line per
+/// training epoch (stats, cache hit rate, wall-clock) and one final
+/// `"summary"` line with run totals and the span-timing aggregate from
+/// the trace stream (empty when recording was off).
+fn telemetry_jsonl(
+    epoch_lines: &[String],
+    report: &nptsn::PlannerReport,
+    records: &[nptsn_obs::Record],
+) -> String {
+    let mut text = String::new();
+    for line in epoch_lines {
+        text.push_str(line);
+        text.push('\n');
+    }
+    let mut summary = Object::new();
+    summary.str("type", "summary");
+    summary.int("epochs", report.epochs.len() as u64);
+    match &report.best {
+        Some(sol) => summary.num("best_cost", sol.cost),
+        None => summary.null("best_cost"),
+    }
+    summary.int(
+        "scenarios_checked",
+        report.epochs.iter().map(|e| e.scenarios_checked).sum::<u64>(),
+    );
+    let stats = nptsn_obs::span_stats(records);
+    let spans: Vec<String> = stats
+        .iter()
+        .map(|s| {
+            let mut span = Object::new();
+            span.str("name", s.name);
+            span.int("count", s.count);
+            span.int("total_ns", s.total_ns);
+            span.int("self_ns", s.self_ns);
+            span.int("max_ns", s.max_ns);
+            span.finish()
+        })
+        .collect();
+    summary.raw("spans", &format!("[{}]", spans.join(",")));
+    text.push_str(&summary.finish());
+    text.push('\n');
+    text
 }
 
 fn parse_flag<T: std::str::FromStr>(value: Option<&str>, flag: &str) -> Result<T, CliError> {
@@ -153,12 +265,140 @@ fn parse_workers(value: Option<&str>) -> Result<usize, CliError> {
     Ok(n)
 }
 
+/// The shared observability surface of `plan`, `verify` and `serve`:
+/// `--trace-out`, `--log-level` and `--profile`, with `NPTSN_TRACE` /
+/// `NPTSN_LOG` environment fallbacks (the flag wins).
+#[derive(Default)]
+struct TraceOpts {
+    trace_out: Option<PathBuf>,
+    level: Option<Level>,
+    profile: bool,
+}
+
+impl TraceOpts {
+    /// Consumes `arg` (and its value from `iter`) when it is one of the
+    /// shared observability flags; returns whether it was consumed.
+    fn try_flag<'a>(
+        &mut self,
+        arg: &str,
+        iter: &mut impl Iterator<Item = &'a str>,
+    ) -> Result<bool, CliError> {
+        match arg {
+            "--trace-out" => {
+                let path = iter
+                    .next()
+                    .ok_or_else(|| CliError("--trace-out needs a value".into()))?;
+                self.trace_out = Some(PathBuf::from(path));
+                Ok(true)
+            }
+            "--log-level" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError("--log-level needs a value".into()))?;
+                self.level = Some(Level::parse(value).ok_or_else(|| {
+                    CliError(format!(
+                        "--log-level: unknown level '{value}' (off|error|info|debug)"
+                    ))
+                })?);
+                Ok(true)
+            }
+            "--profile" => {
+                self.profile = true;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Whether this command records spans at all.
+    fn recording(&self) -> bool {
+        self.trace_out.is_some() || self.profile
+    }
+
+    /// Applies the environment fallbacks and switches recording on.
+    /// Called once, after flag parsing and before the command's work.
+    fn activate(&mut self) -> Result<(), CliError> {
+        if self.trace_out.is_none() {
+            if let Ok(path) = std::env::var("NPTSN_TRACE") {
+                if !path.is_empty() {
+                    self.trace_out = Some(PathBuf::from(path));
+                }
+            }
+        }
+        if self.level.is_none() {
+            if let Ok(value) = std::env::var("NPTSN_LOG") {
+                if !value.is_empty() {
+                    self.level = Some(Level::parse(&value).ok_or_else(|| {
+                        CliError(format!(
+                            "NPTSN_LOG: unknown level '{value}' (off|error|info|debug)"
+                        ))
+                    })?);
+                }
+            }
+        }
+        if let Some(level) = self.level {
+            nptsn_obs::set_log_level(level);
+        }
+        if self.recording() {
+            nptsn_obs::set_enabled(true);
+        }
+        Ok(())
+    }
+
+    /// Stops recording, writes the Chrome trace file and prints the
+    /// profile table (every line `#`-prefixed so plan-file stdout stays
+    /// parseable). Returns the drained records for reuse — the span
+    /// summary in `telemetry.jsonl` is computed from the same stream.
+    fn finish(
+        &self,
+        out: &mut impl std::io::Write,
+    ) -> Result<Vec<nptsn_obs::Record>, CliError> {
+        if !self.recording() {
+            return Ok(Vec::new());
+        }
+        nptsn_obs::set_enabled(false);
+        let records = nptsn_obs::drain();
+        if let Some(path) = &self.trace_out {
+            nptsn_obs::write_chrome_trace(path, &records)
+                .map_err(|e| CliError(format!("cannot write {}: {e}", path.display())))?;
+            writeln!(out, "# trace: {} records -> {}", records.len(), path.display())
+                .map_err(io_err)?;
+        }
+        if self.profile {
+            for line in nptsn_obs::profile_table(&records).lines() {
+                writeln!(out, "# {line}").map_err(io_err)?;
+            }
+        }
+        Ok(records)
+    }
+}
+
+/// Writes `bytes` to `path` via a sibling temp file + rename, the same
+/// crash-safety discipline as `nptsn_nn::save_params_atomic` (the bytes
+/// here are already a framed NPTSNCK2 image from the planner).
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CliError> {
+    let err = |e: std::io::Error| CliError(format!("cannot write {}: {e}", path.display()));
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| CliError(format!("checkpoint path {} has no file name", path.display())))?;
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(file_name);
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, bytes).map_err(err)?;
+    std::fs::rename(&tmp, path).map_err(err)
+}
+
 fn cmd_verify(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
     let mut paths = Vec::new();
     let mut analyzer_workers = 1usize;
     let mut json = false;
+    let mut trace = TraceOpts::default();
     let mut iter = args.iter().map(String::as_str);
     while let Some(arg) = iter.next() {
+        if trace.try_flag(arg, &mut iter)? {
+            continue;
+        }
         match arg {
             "--analyzer-workers" => {
                 analyzer_workers = parse_workers(iter.next())?;
@@ -173,6 +413,7 @@ fn cmd_verify(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliE
             "verify: expected <problem.tssdn> <plan file> [--analyzer-workers N] [--json]".into(),
         ));
     };
+    trace.activate()?;
     let parsed = load(problem_path)?;
     let plan_text = std::fs::read_to_string(plan_path)
         .map_err(|e| CliError(format!("cannot read {plan_path}: {e}")))?;
@@ -186,6 +427,9 @@ fn cmd_verify(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliE
     let report = analyzer
         .try_analyze(&parsed.problem, &topology)
         .map_err(|e| CliError(format!("analysis failed: {e}")))?;
+    // The trace/profile output precedes the verdict (and, like every
+    // observability line, is written even when verification fails).
+    trace.finish(out)?;
 
     if json {
         // The same serializer the serve verify endpoint uses, so tooling
@@ -240,8 +484,12 @@ fn cmd_verify(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliE
 
 fn cmd_serve(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
     let mut config = ServeConfig { addr: "127.0.0.1:7878".to_string(), ..ServeConfig::default() };
+    let mut trace = TraceOpts::default();
     let mut iter = args.iter().map(String::as_str);
     while let Some(arg) = iter.next() {
+        if trace.try_flag(arg, &mut iter)? {
+            continue;
+        }
         match arg {
             "--addr" => {
                 config.addr = iter
@@ -264,6 +512,7 @@ fn cmd_serve(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliEr
             other => return Err(CliError(format!("unexpected argument '{other}'"))),
         }
     }
+    trace.activate()?;
     let workers = config.workers;
     let queue_depth = config.queue_depth;
     let server = Server::bind(config).map_err(|e| CliError(format!("cannot bind: {e}")))?;
@@ -275,6 +524,9 @@ fn cmd_serve(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliEr
     .map_err(io_err)?;
     out.flush().map_err(io_err)?;
     server.wait();
+    // `wait` joins the accept loop and the job workers, so the drain below
+    // sees everything those threads recorded.
+    trace.finish(out)?;
     writeln!(out, "nptsn-serve drained and stopped").map_err(io_err)?;
     Ok(())
 }
@@ -521,6 +773,109 @@ a b 500 128
             let mut out = Vec::new();
             let err = run(&args, &mut out).unwrap_err();
             assert!(err.to_string().contains("--analyzer-workers"), "{err}");
+        }
+    }
+
+    /// Tracing state is process-global; tests that record serialize here.
+    fn trace_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn plan_trace_out_and_profile_record_planner_spans() {
+        use nptsn_obs::json::Value;
+        let _guard = trace_lock();
+        let problem_path = write_temp("trace.tssdn", DOC);
+        let trace_path = std::env::temp_dir().join("nptsn-cli-test-trace.json");
+        let out = run_ok(&[
+            "plan", &problem_path, "--epochs", "1", "--steps", "32", "--seed", "1",
+            "--trace-out", trace_path.to_str().unwrap(), "--profile",
+        ]);
+        assert!(out.contains("# trace:"), "{out}");
+        assert!(out.contains("planner.epoch"), "profile table missing: {out}");
+        assert!(out.contains("[switches]"), "plan output still present: {out}");
+        // Every observability line is a plan-file comment: the combined
+        // stdout still parses as a plan.
+        let parsed = load(&problem_path).unwrap();
+        parse_plan(&parsed, &out).expect("stdout with profile table parses as a plan");
+
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let doc = nptsn_obs::json::parse(&text).expect("trace file is valid JSON");
+        let events = doc.get("traceEvents").and_then(Value::as_arr).expect("traceEvents");
+        let names: Vec<&str> =
+            events.iter().filter_map(|e| e.get("name").and_then(Value::as_str)).collect();
+        for want in [
+            "planner.run",
+            "planner.epoch",
+            "planner.rollout",
+            "planner.ppo_update",
+            "analyzer.analyze",
+            "soag.generate",
+            "gcn.forward",
+            "adam.step",
+        ] {
+            assert!(names.contains(&want), "missing span {want}: {names:?}");
+        }
+    }
+
+    #[test]
+    fn plan_checkpoint_writes_policy_and_telemetry_jsonl() {
+        let problem_path = write_temp("ck.tssdn", DOC);
+        let dir = std::env::temp_dir().join("nptsn-cli-test-ckdir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("policy.ck");
+        let out = run_ok(&[
+            "plan", &problem_path, "--epochs", "2", "--steps", "32", "--seed", "1",
+            "--checkpoint", ck.to_str().unwrap(),
+        ]);
+        assert!(out.contains("# checkpoint:"), "{out}");
+        let bytes = std::fs::read(&ck).unwrap();
+        assert!(bytes.starts_with(b"NPTSNCK"), "checkpoint magic missing");
+
+        let telemetry = std::fs::read_to_string(dir.join("telemetry.jsonl")).unwrap();
+        let lines: Vec<&str> = telemetry.lines().collect();
+        assert_eq!(lines.len(), 3, "2 epoch lines + summary: {telemetry}");
+        for line in &lines {
+            nptsn_obs::json::parse(line).expect("telemetry line parses");
+        }
+        assert!(lines[0].contains("\"type\":\"epoch\""), "{telemetry}");
+        assert!(lines[0].contains("\"cache_hit_rate\""), "{telemetry}");
+        assert!(lines[0].contains("\"scenarios_checked\""), "{telemetry}");
+        assert!(lines[2].contains("\"type\":\"summary\""), "{telemetry}");
+        assert!(lines[2].contains("\"spans\":["), "{telemetry}");
+    }
+
+    #[test]
+    fn verify_accepts_trace_flags() {
+        let _guard = trace_lock();
+        let problem_path = write_temp("vtrace.tssdn", DOC);
+        let plan_text = run_ok(&["plan", &problem_path, "--greedy"]);
+        let plan_path = write_temp("vtrace.plan", &plan_text);
+        let trace_path = std::env::temp_dir().join("nptsn-cli-test-vtrace.json");
+        let out = run_ok(&[
+            "verify", &problem_path, &plan_path,
+            "--trace-out", trace_path.to_str().unwrap(), "--log-level", "debug",
+        ]);
+        assert!(out.contains("RELIABLE"), "{out}");
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(text.contains("analyzer.analyze"), "{text}");
+        nptsn_obs::json::parse(&text).expect("verify trace is valid JSON");
+    }
+
+    #[test]
+    fn observability_flag_errors_are_reported() {
+        let cases: &[(&[&str], &str)] = &[
+            (&["plan", "x.tssdn", "--log-level", "verbose"], "--log-level"),
+            (&["plan", "x.tssdn", "--trace-out"], "--trace-out"),
+            (&["plan", "x.tssdn", "--greedy", "--checkpoint", "ck"], "--checkpoint"),
+            (&["verify", "a", "b", "--log-level"], "--log-level"),
+        ];
+        for (argv, needle) in cases {
+            let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+            let mut out = Vec::new();
+            let err = run(&args, &mut out).unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
         }
     }
 

@@ -274,6 +274,27 @@ impl FailureAnalyzer {
         problem: &PlanningProblem,
         topology: &Topology,
     ) -> Result<AnalysisReport, NptsnError> {
+        let _span = nptsn_obs::span("analyzer.analyze");
+        let report = self.try_analyze_inner(problem, topology)?;
+        let telemetry = nptsn_obs::telemetry();
+        telemetry.analyzer_scenarios_checked.add(report.scenarios_checked);
+        telemetry.analyzer_cache_hits.add(report.cache_hits);
+        telemetry.analyzer_cache_misses.add(report.cache_misses);
+        if !report.exhausted {
+            telemetry.analyzer_budget_exhausted.inc();
+        }
+        if nptsn_obs::enabled() {
+            nptsn_obs::counter("analyzer.cache_hits", report.cache_hits as f64);
+            nptsn_obs::counter("analyzer.cache_misses", report.cache_misses as f64);
+        }
+        Ok(report)
+    }
+
+    fn try_analyze_inner(
+        &self,
+        problem: &PlanningProblem,
+        topology: &Topology,
+    ) -> Result<AnalysisReport, NptsnError> {
         let r = problem.reliability_goal();
         // Candidate fault nodes with their failure probabilities, sorted by
         // decreasing probability (line 1).

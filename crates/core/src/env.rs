@@ -74,6 +74,7 @@ pub struct PlanningEnv {
     observation: Observation,
     last_cost: f64,
     episode_steps: usize,
+    scenarios_checked: u64,
 }
 
 impl PlanningEnv {
@@ -135,9 +136,29 @@ impl PlanningEnv {
             },
             last_cost: 0.0,
             episode_steps: 0,
+            scenarios_checked: 0,
         };
         env.reset(rng);
         env
+    }
+
+    /// Runs the failure analysis on the current topology, accumulating the
+    /// environment's scenario counter (the analyzer itself feeds the
+    /// process-wide telemetry).
+    fn analyze_counted(&mut self) -> Verdict {
+        let report = self
+            .analyzer
+            .try_analyze(&self.problem, &self.topology)
+            .expect("environment topologies are consistent by construction");
+        self.scenarios_checked += report.scenarios_checked;
+        report.verdict
+    }
+
+    /// Failure scenarios checked by this environment's analyzer since
+    /// construction (across steps and resets). Bit-identical for a given
+    /// seed regardless of analyzer worker/cache configuration.
+    pub fn scenarios_checked(&self) -> u64 {
+        self.scenarios_checked
     }
 
     /// Resets the TSSDN to end stations only and regenerates the action
@@ -146,7 +167,7 @@ impl PlanningEnv {
         self.topology = self.problem.connection_graph().empty_topology();
         self.last_cost = 0.0;
         self.episode_steps = 0;
-        let (failure, errors) = match self.analyzer.analyze(&self.problem, &self.topology) {
+        let (failure, errors) = match self.analyze_counted() {
             Verdict::Unreliable { failure, errors } => (failure, errors),
             // Degenerate: an empty network already meets the goal. Offer
             // switch actions only; the caller will record the zero-cost
@@ -216,7 +237,7 @@ impl PlanningEnv {
         let mut reward = ((self.last_cost - new_cost) as f32) / self.reward_scaling;
         self.last_cost = new_cost;
 
-        let (failure, errors) = match self.analyzer.analyze(&self.problem, &self.topology) {
+        let (failure, errors) = match self.analyze_counted() {
             Verdict::Reliable => {
                 let solution =
                     Solution { topology: self.topology.clone(), cost: new_cost };

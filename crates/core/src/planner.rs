@@ -56,6 +56,11 @@ pub struct EpochStats {
     /// contribute no experience; the epoch continues with the rest (see the
     /// error-handling policy in `DESIGN.md`).
     pub poisoned_workers: usize,
+    /// Failure scenarios the analyzer checked across this epoch's rollouts.
+    /// Bit-identical across analyzer worker/cache configurations (cache
+    /// hits count as checked), so it participates in the determinism
+    /// guarantees like every other field.
+    pub scenarios_checked: u64,
 }
 
 /// The outcome of a planning run.
@@ -191,6 +196,7 @@ impl Planner {
     /// winds down at the next epoch boundary instead of being killed
     /// mid-update.
     pub fn run_until(&self, mut progress: impl FnMut(&EpochStats) -> bool) -> PlannerReport {
+        let _run_span = nptsn_obs::span("planner.run");
         let (n, feature_count, action_count) = self.network_dims();
 
         let master =
@@ -210,6 +216,7 @@ impl Planner {
         let mut epochs = Vec::with_capacity(self.config.max_epochs);
 
         for epoch in 0..self.config.max_epochs {
+            let _epoch_span = nptsn_obs::span("planner.epoch");
             let snapshot = export_params(&master.parameters());
             let workers = self.config.workers.max(1);
             let steps_per_worker = (self.config.steps_per_epoch / workers).max(1);
@@ -224,7 +231,7 @@ impl Planner {
                     let problem = self.problem.clone();
                     let config = &self.config;
                     handles.push(scope.spawn(move || {
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             collect_rollout(
                                 problem,
                                 config,
@@ -239,7 +246,11 @@ impl Planner {
                                 ),
                             )
                         }))
-                        .ok()
+                        .ok();
+                        // The scope's implicit join does not wait for TLS
+                        // destructors; flush trace buffers explicitly.
+                        nptsn_obs::flush_thread();
+                        result
                     }));
                 }
                 // A join error means the panic escaped `catch_unwind`
@@ -252,12 +263,14 @@ impl Planner {
             let mut episode_returns = Vec::new();
             let mut solutions_found = 0;
             let mut poisoned_workers = 0;
+            let mut scenarios_checked = 0u64;
             for r in results {
                 match r {
                     Some(r) => {
                         batches.push(r.batch);
                         episode_returns.extend(r.episode_returns);
                         solutions_found += r.solutions_found;
+                        scenarios_checked += r.scenarios_checked;
                         if let Some(sol) = r.best {
                             keep_best(&mut best, sol);
                         }
@@ -271,6 +284,7 @@ impl Planner {
             let stats = if batch.is_empty() {
                 nptsn_rl::PpoStats::default()
             } else {
+                let _ppo_span = nptsn_obs::span("planner.ppo_update");
                 ppo_update(&master, &mut actor_opt, &mut critic_opt, &batch, &ppo)
             };
 
@@ -290,7 +304,23 @@ impl Planner {
                 approx_kl: stats.approx_kl,
                 entropy: stats.entropy,
                 poisoned_workers,
+                scenarios_checked,
             };
+            let telemetry = nptsn_obs::telemetry();
+            telemetry.planner_epochs.inc();
+            telemetry.planner_solutions.add(solutions_found as u64);
+            telemetry.planner_poisoned_workers.add(poisoned_workers as u64);
+            if nptsn_obs::enabled() {
+                nptsn_obs::event(
+                    nptsn_obs::Level::Info,
+                    "planner.epoch",
+                    &format!(
+                        "epoch {epoch}: return {mean_return:.3}, {} episodes, \
+                         {solutions_found} solutions, {scenarios_checked} scenarios",
+                        episode_returns.len()
+                    ),
+                );
+            }
             let keep_going = progress(&epoch_stats);
             epochs.push(epoch_stats);
             if !keep_going {
@@ -308,6 +338,7 @@ struct WorkerResult {
     episode_returns: Vec<f32>,
     solutions_found: usize,
     best: Option<Solution>,
+    scenarios_checked: u64,
 }
 
 /// Collects `steps` environment steps with a frozen policy replica
@@ -323,6 +354,7 @@ fn collect_rollout(
     steps: usize,
     seed: u64,
 ) -> WorkerResult {
+    let _rollout_span = nptsn_obs::span("planner.rollout");
     // Same seed as the master so shapes match; values overwritten.
     let net = PolicyNetwork::new(config, n, feature_count, action_count, config.seed);
     import_params(&net.parameters(), snapshot);
@@ -375,7 +407,13 @@ fn collect_rollout(
         }
     }
 
-    WorkerResult { batch: buffer.drain(), episode_returns, solutions_found, best }
+    WorkerResult {
+        batch: buffer.drain(),
+        episode_returns,
+        solutions_found,
+        best,
+        scenarios_checked: env.scenarios_checked(),
+    }
 }
 
 #[cfg(test)]

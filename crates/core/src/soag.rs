@@ -121,6 +121,7 @@ impl Soag {
         errors: &ErrorReport,
         rng: &mut impl Rng,
     ) -> ActionSet {
+        let _span = nptsn_obs::span("soag.generate");
         let gc = problem.connection_graph();
         let mut actions = Vec::with_capacity(gc.switches().len() + self.k);
         let mut mask = Vec::with_capacity(gc.switches().len() + self.k);

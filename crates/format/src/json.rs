@@ -192,6 +192,7 @@ pub fn epoch_stats_json(stats: &EpochStats) -> String {
     obj.num("approx_kl", f64::from(stats.approx_kl));
     obj.num("entropy", f64::from(stats.entropy));
     obj.int("poisoned_workers", stats.poisoned_workers as u64);
+    obj.int("scenarios_checked", stats.scenarios_checked);
     obj.finish()
 }
 
@@ -299,10 +300,12 @@ a b 500 128
             approx_kl: 0.0,
             entropy: 1.0,
             poisoned_workers: 0,
+            scenarios_checked: 17,
         };
         let json = epoch_stats_json(&stats);
         assert!(json.contains("\"epoch\":3"), "{json}");
         assert!(json.contains("\"best_cost\":null"));
         assert!(json.contains("\"mean_episode_return\":-0.5"));
+        assert!(json.contains("\"scenarios_checked\":17"));
     }
 }

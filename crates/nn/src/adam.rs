@@ -83,6 +83,7 @@ impl Adam {
     }
 
     fn step_with_grads(&mut self, grads: Option<&[Vec<f32>]>) {
+        let _span = nptsn_obs::span("adam.step");
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);

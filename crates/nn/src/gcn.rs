@@ -103,6 +103,7 @@ impl Gcn {
     /// Applies the propagation rule to node features `h` (`n x f`) using
     /// the precomputed normalized adjacency `ahat` (`n x n`).
     pub fn forward(&self, ahat: &Tensor, h: &Tensor) -> Tensor {
+        let _span = nptsn_obs::span("gcn.forward");
         let mut out = h.clone();
         for w in &self.weights {
             out = ahat.matmul(&out).matmul(w).relu();

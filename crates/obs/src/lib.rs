@@ -1,0 +1,345 @@
+//! nptsn-obs: workspace-wide structured tracing, profiling and the shared
+//! telemetry registry.
+//!
+//! Three layers, all on `std` alone:
+//!
+//! * **Spans and events** — hierarchical wall-clock spans with per-thread
+//!   span stacks ([`span`]), leveled log events ([`event`]) and numeric
+//!   counter samples ([`counter`]). Tracing is off by default; a disabled
+//!   [`span`] is a single relaxed atomic load and **allocates nothing**
+//!   (pinned by a counting-allocator test), so instrumentation can sit on
+//!   the planner/analyzer hot paths permanently.
+//! * **Exporters** ([`export`]) — the recorded stream renders either as a
+//!   Chrome trace-event file (loadable in Perfetto / `chrome://tracing`),
+//!   as a JSONL event log, or as an end-of-run profile table aggregated
+//!   by span self-time.
+//! * **Telemetry** ([`metrics`], [`telemetry`]) — the Prometheus-text
+//!   metrics registry (moved here from `nptsn-serve`) plus one
+//!   process-wide [`Telemetry`] instance holding the planner/analyzer
+//!   counters, so the CLI, the service and the library crates all report
+//!   through the same source of truth.
+//!
+//! # Recording model
+//!
+//! Every thread owns a span stack and a small record buffer; closing a
+//! span pops the stack, charges the duration to the parent's child-time
+//! (so self-time is exact) and appends a [`Record`] to the thread buffer.
+//! Buffers flush into a global sink when they reach a small threshold and
+//! when the thread exits, so short-lived rollout workers lose nothing.
+//! [`drain`] collects the sink; call it from the coordinating thread after
+//! worker threads have been joined.
+//!
+//! ```
+//! nptsn_obs::set_enabled(true);
+//! {
+//!     let _outer = nptsn_obs::span("example.outer");
+//!     let _inner = nptsn_obs::span("example.inner");
+//! }
+//! let records = nptsn_obs::drain();
+//! nptsn_obs::set_enabled(false);
+//! assert_eq!(records.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod telemetry;
+
+pub use export::{
+    chrome_trace_json, jsonl, profile_table, span_stats, write_chrome_trace, write_jsonl,
+    SpanStat,
+};
+pub use telemetry::{telemetry, Telemetry};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Event severity. Events at a level above the configured [`log_level`]
+/// are dropped at the call site.
+#[repr(u8)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// No events at all.
+    Off = 0,
+    /// Unexpected failures.
+    Error = 1,
+    /// Lifecycle milestones (default).
+    Info = 2,
+    /// Per-request / per-step detail.
+    Debug = 3,
+}
+
+impl Level {
+    /// Parses `off|error|info|debug` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    /// The lowercase name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Off,
+            1 => Level::Error,
+            3 => Level::Debug,
+            _ => Level::Info,
+        }
+    }
+}
+
+/// One recorded trace item. Timestamps are nanoseconds since the first
+/// use of the tracer in this process (a monotonic [`Instant`] epoch).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A completed span.
+    Span {
+        /// Static span name, e.g. `"planner.epoch"`.
+        name: &'static str,
+        /// Recording thread.
+        tid: u64,
+        /// Start offset from the process trace epoch.
+        start_ns: u64,
+        /// Total wall-clock duration.
+        dur_ns: u64,
+        /// Duration minus time spent in child spans on the same thread.
+        self_ns: u64,
+    },
+    /// A leveled log event.
+    Event {
+        /// Static event name.
+        name: &'static str,
+        /// Severity.
+        level: Level,
+        /// Recording thread.
+        tid: u64,
+        /// Timestamp.
+        ts_ns: u64,
+        /// Free-form message.
+        message: String,
+    },
+    /// A numeric counter sample (renders as a counter track in Perfetto).
+    Counter {
+        /// Static counter name.
+        name: &'static str,
+        /// Recording thread.
+        tid: u64,
+        /// Timestamp.
+        ts_ns: u64,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static LOG_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static SINK: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Thread buffers flush into the global sink at this size.
+const FLUSH_AT: usize = 64;
+
+/// Nanoseconds since the process trace epoch (first call wins the epoch).
+fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Turns span/event/counter recording on or off, process-wide.
+pub fn set_enabled(on: bool) {
+    if on {
+        // Pin the epoch before the first span so timestamps are small.
+        let _ = EPOCH.get_or_init(Instant::now);
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether tracing is currently recording.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Sets the maximum severity recorded by [`event`].
+pub fn set_log_level(level: Level) {
+    LOG_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current event severity ceiling.
+pub fn log_level() -> Level {
+    Level::from_u8(LOG_LEVEL.load(Ordering::Relaxed))
+}
+
+struct OpenSpan {
+    name: &'static str,
+    start_ns: u64,
+    child_ns: u64,
+}
+
+struct ThreadCtx {
+    tid: u64,
+    stack: Vec<OpenSpan>,
+    buf: Vec<Record>,
+}
+
+impl ThreadCtx {
+    fn flush_into_sink(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+        sink.append(&mut self.buf);
+    }
+
+    fn push(&mut self, record: Record) {
+        self.buf.push(record);
+        if self.buf.len() >= FLUSH_AT {
+            self.flush_into_sink();
+        }
+    }
+}
+
+impl Drop for ThreadCtx {
+    fn drop(&mut self) {
+        // Thread exit: whatever the worker recorded reaches the sink even
+        // if nobody called `flush_thread` on it.
+        self.flush_into_sink();
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<ThreadCtx> = RefCell::new(ThreadCtx {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        stack: Vec::new(),
+        buf: Vec::new(),
+    });
+}
+
+/// An open span; the span closes (and is recorded) when the guard drops.
+///
+/// Constructed through [`span`]. When tracing is disabled at construction
+/// the guard is inert: it holds no data and its drop is a branch.
+#[must_use = "a span closes when its guard drops; bind it with `let _span = ...`"]
+pub struct SpanGuard {
+    armed: bool,
+}
+
+/// Opens a span named `name` on the current thread.
+///
+/// Nesting is by construction order on each thread: the span closed last
+/// charges its duration to the enclosing span's child-time, so the
+/// profile's *self* column is exact. Disabled tracing makes this a single
+/// atomic load with no allocation.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { armed: false };
+    }
+    let start_ns = now_ns();
+    let armed = CTX
+        .try_with(|c| {
+            c.borrow_mut().stack.push(OpenSpan { name, start_ns, child_ns: 0 });
+        })
+        .is_ok();
+    SpanGuard { armed }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let end_ns = now_ns();
+        let _ = CTX.try_with(|c| {
+            let mut ctx = c.borrow_mut();
+            let Some(open) = ctx.stack.pop() else { return };
+            let dur_ns = end_ns.saturating_sub(open.start_ns);
+            let self_ns = dur_ns.saturating_sub(open.child_ns);
+            if let Some(parent) = ctx.stack.last_mut() {
+                parent.child_ns += dur_ns;
+            }
+            let tid = ctx.tid;
+            ctx.push(Record::Span { name: open.name, tid, start_ns: open.start_ns, dur_ns, self_ns });
+        });
+    }
+}
+
+/// Records a leveled log event if tracing is enabled and `level` is at or
+/// below the configured [`log_level`].
+///
+/// Callers formatting a message should guard the `format!` behind
+/// [`enabled`] to keep the disabled path allocation-free.
+pub fn event(level: Level, name: &'static str, message: &str) {
+    if !enabled() || level == Level::Off || (level as u8) > LOG_LEVEL.load(Ordering::Relaxed) {
+        return;
+    }
+    let ts_ns = now_ns();
+    let _ = CTX.try_with(|c| {
+        let mut ctx = c.borrow_mut();
+        let tid = ctx.tid;
+        ctx.push(Record::Event { name, level, tid, ts_ns, message: message.to_string() });
+    });
+}
+
+/// Records a counter sample (a point on a Perfetto counter track).
+pub fn counter(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let ts_ns = now_ns();
+    let _ = CTX.try_with(|c| {
+        let mut ctx = c.borrow_mut();
+        let tid = ctx.tid;
+        ctx.push(Record::Counter { name, tid, ts_ns, value });
+    });
+}
+
+/// Flushes the current thread's buffered records into the global sink.
+///
+/// Worker threads flush automatically when their thread-local storage is
+/// destroyed, but joins that only wait for the closure to return (e.g.
+/// `std::thread::scope`) can observe the join *before* that destructor
+/// runs — short-lived workers should call this as their last statement.
+pub fn flush_thread() {
+    let _ = CTX.try_with(|c| c.borrow_mut().flush_into_sink());
+}
+
+/// Takes every flushed record out of the global sink (flushing the calling
+/// thread first). Records from threads still running may be missing —
+/// drain from the coordinating thread after joining workers.
+pub fn drain() -> Vec<Record> {
+    flush_thread();
+    std::mem::take(&mut *SINK.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parses_and_labels() {
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::parse("Info"), Some(Level::Info));
+        assert_eq!(Level::parse("warn"), None);
+        assert_eq!(Level::Error.label(), "error");
+        assert_eq!(Level::from_u8(Level::Debug as u8), Level::Debug);
+    }
+}

@@ -1,6 +1,12 @@
 //! A small in-tree metrics registry (counters, gauges, histograms) with a
 //! Prometheus text-format exporter — the backing store of `/metrics`.
 //!
+//! This module started life in `nptsn-serve` and moved here so every crate
+//! (planner, analyzer, CLI) can report through the same registry type;
+//! `nptsn-serve` re-exports it, and the process-wide instance lives in
+//! [`crate::telemetry`]. Series names and render output are unchanged by
+//! the move.
+//!
 //! Handles are cheap `Arc`s over atomics: recording a sample is a couple
 //! of relaxed atomic operations, so metrics can sit on the planner's epoch
 //! path and the analyzer accounting without measurable cost. Registration
@@ -195,7 +201,12 @@ impl Registry {
 
     /// Registers (or fetches) an unlabeled gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
-        match self.register(name, "", help, || Metric::Gauge(Arc::new(Gauge::default()))) {
+        self.gauge_labeled(name, "", help)
+    }
+
+    /// Registers (or fetches) a gauge with a rendered label set.
+    pub fn gauge_labeled(&self, name: &str, labels: &str, help: &str) -> Arc<Gauge> {
+        match self.register(name, labels, help, || Metric::Gauge(Arc::new(Gauge::default()))) {
             Metric::Gauge(g) => g,
             _ => panic!("metric {name} already registered with a different type"),
         }
@@ -211,7 +222,9 @@ impl Registry {
         }
     }
 
-    /// Renders every family in the Prometheus text exposition format.
+    /// Renders every family in the Prometheus text exposition format
+    /// (`# HELP` and `# TYPE` lines on every series, cumulative histogram
+    /// buckets with a `+Inf` bound).
     pub fn render(&self) -> String {
         let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
         let mut out = String::new();
@@ -221,32 +234,43 @@ impl Registry {
             let _ = writeln!(out, "# HELP {name} {}", family.help);
             let _ = writeln!(out, "# TYPE {name} {type_name}");
             for (labels, metric) in &family.entries {
+                let label_set = if labels.is_empty() {
+                    String::new()
+                } else {
+                    format!("{{{labels}}}")
+                };
                 match metric {
                     Metric::Counter(c) => {
-                        if labels.is_empty() {
-                            let _ = writeln!(out, "{name} {}", c.get());
-                        } else {
-                            let _ = writeln!(out, "{name}{{{labels}}} {}", c.get());
-                        }
+                        let _ = writeln!(out, "{name}{label_set} {}", c.get());
                     }
                     Metric::Gauge(g) => {
-                        let _ = writeln!(out, "{name} {}", g.get());
+                        let _ = writeln!(out, "{name}{label_set} {}", g.get());
                     }
                     Metric::Histogram(h) => {
+                        // The `le` label composes with any other labels on
+                        // the series.
+                        let le_prefix = if labels.is_empty() {
+                            String::new()
+                        } else {
+                            format!("{labels},")
+                        };
                         let mut cumulative_rendered = 0u64;
                         for (bound, count) in h.bounds.iter().zip(&h.counts) {
                             cumulative_rendered = count.load(Ordering::Relaxed);
                             let _ = writeln!(
                                 out,
-                                "{name}_bucket{{le=\"{bound}\"}} {cumulative_rendered}"
+                                "{name}_bucket{{{le_prefix}le=\"{bound}\"}} {cumulative_rendered}"
                             );
                         }
                         let total = h.count();
                         debug_assert!(cumulative_rendered <= total);
-                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {total}");
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{{{le_prefix}le=\"+Inf\"}} {total}"
+                        );
                         let sum = h.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9;
-                        let _ = writeln!(out, "{name}_sum {sum}");
-                        let _ = writeln!(out, "{name}_count {total}");
+                        let _ = writeln!(out, "{name}_sum{label_set} {sum}");
+                        let _ = writeln!(out, "{name}_count{label_set} {total}");
                     }
                 }
             }
@@ -287,6 +311,16 @@ mod tests {
         assert!(text.contains("nptsn_http_responses_total{code=\"503\"} 1"), "{text}");
         // One HELP/TYPE block for the family.
         assert_eq!(text.matches("# TYPE nptsn_http_responses_total").count(), 1);
+    }
+
+    #[test]
+    fn labeled_gauges_render_their_label_set() {
+        let registry = Registry::new();
+        registry.gauge_labeled("nptsn_pool_size", "pool=\"a\"", "by pool").set(3);
+        registry.gauge_labeled("nptsn_pool_size", "pool=\"b\"", "by pool").set(9);
+        let text = registry.render();
+        assert!(text.contains("nptsn_pool_size{pool=\"a\"} 3"), "{text}");
+        assert!(text.contains("nptsn_pool_size{pool=\"b\"} 9"), "{text}");
     }
 
     #[test]

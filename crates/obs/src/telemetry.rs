@@ -1,0 +1,143 @@
+//! The process-wide telemetry registry.
+//!
+//! Planner and analyzer counters used to be incremented ad hoc inside the
+//! serving layer's job executor; now the code that *does* the work reports
+//! it — [`nptsn::Planner`] bumps the epoch/solution counters, the failure
+//! analyzer bumps the scenario/cache counters — and every front end (CLI,
+//! `/metrics`, benchmarks) reads the same [`Telemetry`] instance. Series
+//! names are unchanged from the original `nptsn-serve` registry.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::metrics::{Counter, Registry};
+
+/// The shared process-wide counters, with pre-registered handles for the
+/// hot-path series so recording is a relaxed atomic add.
+#[derive(Debug)]
+pub struct Telemetry {
+    /// The backing registry; render it for `/metrics`-style exposition.
+    pub registry: Registry,
+    /// Training epochs completed (`nptsn_planner_epochs_total`).
+    pub planner_epochs: Arc<Counter>,
+    /// Verified solutions found (`nptsn_planner_solutions_total`).
+    pub planner_solutions: Arc<Counter>,
+    /// Rollout workers lost to panics (`nptsn_planner_poisoned_workers_total`).
+    pub planner_poisoned_workers: Arc<Counter>,
+    /// Failure scenarios checked (`nptsn_analyzer_scenarios_checked_total`).
+    pub analyzer_scenarios_checked: Arc<Counter>,
+    /// Scenario cache hits (`nptsn_analyzer_cache_hits_total`).
+    pub analyzer_cache_hits: Arc<Counter>,
+    /// Scenario cache misses (`nptsn_analyzer_cache_misses_total`).
+    pub analyzer_cache_misses: Arc<Counter>,
+    /// Analyses cut short by the budget (`nptsn_analyzer_budget_exhausted_total`).
+    pub analyzer_budget_exhausted: Arc<Counter>,
+}
+
+impl Telemetry {
+    fn new() -> Telemetry {
+        let registry = Registry::new();
+        let planner_epochs =
+            registry.counter("nptsn_planner_epochs_total", "Training epochs completed");
+        let planner_solutions =
+            registry.counter("nptsn_planner_solutions_total", "Verified solutions found");
+        let planner_poisoned_workers = registry.counter(
+            "nptsn_planner_poisoned_workers_total",
+            "Rollout workers lost to panics",
+        );
+        let analyzer_scenarios_checked =
+            registry.counter("nptsn_analyzer_scenarios_checked_total", "Failure scenarios checked");
+        let analyzer_cache_hits =
+            registry.counter("nptsn_analyzer_cache_hits_total", "Scenario cache hits");
+        let analyzer_cache_misses =
+            registry.counter("nptsn_analyzer_cache_misses_total", "Scenario cache misses");
+        let analyzer_budget_exhausted = registry.counter(
+            "nptsn_analyzer_budget_exhausted_total",
+            "Analyses stopped early by the scenario budget",
+        );
+        Telemetry {
+            registry,
+            planner_epochs,
+            planner_solutions,
+            planner_poisoned_workers,
+            analyzer_scenarios_checked,
+            analyzer_cache_hits,
+            analyzer_cache_misses,
+            analyzer_budget_exhausted,
+        }
+    }
+
+    /// A point-in-time copy of every counter, for delta reporting.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            planner_epochs: self.planner_epochs.get(),
+            planner_solutions: self.planner_solutions.get(),
+            planner_poisoned_workers: self.planner_poisoned_workers.get(),
+            analyzer_scenarios_checked: self.analyzer_scenarios_checked.get(),
+            analyzer_cache_hits: self.analyzer_cache_hits.get(),
+            analyzer_cache_misses: self.analyzer_cache_misses.get(),
+            analyzer_budget_exhausted: self.analyzer_budget_exhausted.get(),
+        }
+    }
+}
+
+/// Counter values captured by [`Telemetry::snapshot`]. Subtract two
+/// snapshots to attribute activity to one command or epoch even when other
+/// threads in the process are also reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TelemetrySnapshot {
+    /// `nptsn_planner_epochs_total` at snapshot time.
+    pub planner_epochs: u64,
+    /// `nptsn_planner_solutions_total` at snapshot time.
+    pub planner_solutions: u64,
+    /// `nptsn_planner_poisoned_workers_total` at snapshot time.
+    pub planner_poisoned_workers: u64,
+    /// `nptsn_analyzer_scenarios_checked_total` at snapshot time.
+    pub analyzer_scenarios_checked: u64,
+    /// `nptsn_analyzer_cache_hits_total` at snapshot time.
+    pub analyzer_cache_hits: u64,
+    /// `nptsn_analyzer_cache_misses_total` at snapshot time.
+    pub analyzer_cache_misses: u64,
+    /// `nptsn_analyzer_budget_exhausted_total` at snapshot time.
+    pub analyzer_budget_exhausted: u64,
+}
+
+/// The process-wide [`Telemetry`] instance (created on first use).
+pub fn telemetry() -> &'static Telemetry {
+    static INSTANCE: OnceLock<Telemetry> = OnceLock::new();
+    INSTANCE.get_or_init(Telemetry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_telemetry_registers_every_series() {
+        let t = telemetry();
+        let text = t.registry.render();
+        for name in [
+            "nptsn_planner_epochs_total",
+            "nptsn_planner_solutions_total",
+            "nptsn_planner_poisoned_workers_total",
+            "nptsn_analyzer_scenarios_checked_total",
+            "nptsn_analyzer_cache_hits_total",
+            "nptsn_analyzer_cache_misses_total",
+            "nptsn_analyzer_budget_exhausted_total",
+        ] {
+            assert!(text.contains(&format!("# HELP {name} ")), "{name} missing HELP: {text}");
+            assert!(text.contains(&format!("# TYPE {name} counter")), "{name} missing TYPE");
+            assert!(text.contains(&format!("\n{name} ")), "{name} missing sample");
+        }
+    }
+
+    #[test]
+    fn snapshots_support_delta_accounting() {
+        let t = telemetry();
+        let before = t.snapshot();
+        t.analyzer_scenarios_checked.add(5);
+        t.planner_epochs.inc();
+        let after = t.snapshot();
+        assert!(after.analyzer_scenarios_checked >= before.analyzer_scenarios_checked + 5);
+        assert!(after.planner_epochs >= before.planner_epochs + 1);
+    }
+}

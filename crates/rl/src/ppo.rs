@@ -85,6 +85,7 @@ pub fn ppo_update<O>(
     cfg: &PpoConfig,
 ) -> PpoStats {
     assert!(!batch.is_empty(), "cannot update from an empty batch");
+    let _span = nptsn_obs::span("ppo.update");
     let n = batch.len();
     let adv = Tensor::from_vec(1, n, batch.advantages.clone());
     let old_logp = Tensor::from_vec(1, n, batch.old_log_probs.clone());
@@ -118,7 +119,10 @@ pub fn ppo_update<O>(
             break;
         }
         actor_opt.zero_grad();
-        loss.backward();
+        {
+            let _bw = nptsn_obs::span("ppo.backward");
+            loss.backward();
+        }
         actor_opt.step();
         policy_iters += 1;
     }
@@ -130,7 +134,10 @@ pub fn ppo_update<O>(
         let loss = values.sub(&ret).square().mean();
         value_loss = loss.item();
         critic_opt.zero_grad();
-        loss.backward();
+        {
+            let _bw = nptsn_obs::span("ppo.backward");
+            loss.backward();
+        }
         critic_opt.step();
     }
 

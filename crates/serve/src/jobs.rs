@@ -414,10 +414,13 @@ impl JobQueue {
             // A panicking job poisons only itself, never the worker: the
             // pool keeps serving (same policy as the planner's rollout
             // workers).
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                execute(&kind, &cancel, &progress, metrics)
-            }))
-            .unwrap_or_else(|_| Err("job panicked".to_string()));
+            let result = {
+                let _span = nptsn_obs::span("job.run");
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    execute(&kind, &cancel, &progress)
+                }))
+                .unwrap_or_else(|_| Err("job panicked".to_string()))
+            };
             metrics.jobs_running.sub(1);
 
             let mut state = self.lock();
@@ -478,7 +481,6 @@ fn execute(
     kind: &JobKind,
     cancel: &AtomicBool,
     progress: &Progress,
-    metrics: &ServeMetrics,
 ) -> Result<JobOutcome, String> {
     match kind {
         JobKind::Plan(req) => {
@@ -492,9 +494,9 @@ fn execute(
                 };
             }
             let planner = Planner::new(req.parsed.problem.clone(), config);
+            // Epoch/solution telemetry is recorded by the planner itself
+            // (nptsn-obs global registry); the job only tracks progress.
             let report = planner.run_until(|stats| {
-                metrics.planner_epochs.inc();
-                metrics.planner_solutions.add(stats.solutions_found as u64);
                 progress.push(stats.clone());
                 !cancel.load(Ordering::Relaxed)
             });
@@ -510,12 +512,10 @@ fn execute(
             let analyzer = FailureAnalyzer::new()
                 .with_workers(req.analyzer_workers)
                 .with_shared_cache(Arc::new(ScenarioCache::new()));
+            // Scenario/cache telemetry is recorded inside `try_analyze`.
             let report = analyzer
                 .try_analyze(&req.parsed.problem, &req.topology)
                 .map_err(|e| format!("analysis failed: {e}"))?;
-            metrics.analyzer_scenarios.add(report.scenarios_checked);
-            metrics.analyzer_cache_hits.add(report.cache_hits);
-            metrics.analyzer_cache_misses.add(report.cache_misses);
             let reliable = report.verdict.is_reliable();
             let cost = req.topology.network_cost(req.parsed.problem.library());
             let json = analysis_report_json(&req.parsed.problem, &report, Some(cost));

@@ -10,8 +10,9 @@
 //! * **live progress**: plan jobs stream per-epoch [`nptsn::EpochStats`]
 //!   through `GET /jobs/<id>`, and `DELETE` cancels a run cleanly at the
 //!   next epoch boundary;
-//! * an in-tree **metrics registry** ([`metrics::Registry`]) exported in
-//!   the Prometheus text format at `/metrics`.
+//! * the workspace **metrics registry** ([`metrics::Registry`], from
+//!   `nptsn-obs`) exported in the Prometheus text format at `/metrics`,
+//!   merged with the process-wide planner/analyzer telemetry.
 //!
 //! Everything is built on `std` alone — `std::net::TcpListener`, threads,
 //! atomics — in keeping with the workspace's zero-dependency policy. The
@@ -33,8 +34,12 @@
 pub mod client;
 pub mod http;
 pub mod jobs;
-pub mod metrics;
 pub mod server;
+
+/// The Prometheus-text metrics registry. The implementation moved to
+/// `nptsn-obs` so every crate shares one registry type; this re-export
+/// keeps `nptsn_serve::metrics::...` paths and series names working.
+pub use nptsn_obs::metrics;
 
 pub use client::{Client, ClientResponse};
 pub use jobs::{JobId, JobQueue, JobSnapshot, JobState};

@@ -91,16 +91,6 @@ pub struct ServeMetrics {
     pub jobs_queued: Arc<Gauge>,
     /// Jobs currently executing.
     pub jobs_running: Arc<Gauge>,
-    /// Training epochs completed across all plan jobs.
-    pub planner_epochs: Arc<Counter>,
-    /// Verified solutions found across all plan jobs.
-    pub planner_solutions: Arc<Counter>,
-    /// Failure scenarios checked by verify jobs.
-    pub analyzer_scenarios: Arc<Counter>,
-    /// Scenario-cache hits in verify jobs.
-    pub analyzer_cache_hits: Arc<Counter>,
-    /// Scenario-cache misses in verify jobs.
-    pub analyzer_cache_misses: Arc<Counter>,
 }
 
 impl ServeMetrics {
@@ -124,16 +114,6 @@ impl ServeMetrics {
             .counter("nptsn_jobs_rejected_total", "Submissions refused with backpressure");
         let jobs_queued = registry.gauge("nptsn_jobs_queued", "Jobs waiting in the queue");
         let jobs_running = registry.gauge("nptsn_jobs_running", "Jobs currently executing");
-        let planner_epochs =
-            registry.counter("nptsn_planner_epochs_total", "Training epochs completed");
-        let planner_solutions =
-            registry.counter("nptsn_planner_solutions_total", "Verified solutions found");
-        let analyzer_scenarios = registry
-            .counter("nptsn_analyzer_scenarios_checked_total", "Failure scenarios checked");
-        let analyzer_cache_hits =
-            registry.counter("nptsn_analyzer_cache_hits_total", "Scenario cache hits");
-        let analyzer_cache_misses =
-            registry.counter("nptsn_analyzer_cache_misses_total", "Scenario cache misses");
         ServeMetrics {
             registry,
             http_requests,
@@ -145,12 +125,17 @@ impl ServeMetrics {
             jobs_rejected,
             jobs_queued,
             jobs_running,
-            planner_epochs,
-            planner_solutions,
-            analyzer_scenarios,
-            analyzer_cache_hits,
-            analyzer_cache_misses,
         }
+    }
+
+    /// The full `/metrics` exposition: the server's own registry followed
+    /// by the process-wide planner/analyzer telemetry from `nptsn-obs`.
+    /// The planner and analyzer report there directly, so plan/verify work
+    /// shows up whether it ran through a job, the CLI, or an embedding.
+    pub fn render(&self) -> String {
+        let mut text = self.registry.render();
+        text.push_str(&nptsn_obs::telemetry().registry.render());
+        text
     }
 
     /// The per-status-code response counter (`nptsn_http_responses_total`).
@@ -308,9 +293,17 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
         let mut is_shutdown = false;
         let response = match read_request(&mut reader, shared.config.max_body_bytes) {
             Ok(request) => {
+                let _span = nptsn_obs::span("http.request");
                 shared.metrics.http_requests.inc();
                 is_shutdown = request.method == "POST" && request.path == "/shutdown";
                 let mut response = route(shared, &request);
+                if nptsn_obs::enabled() {
+                    nptsn_obs::event(
+                        nptsn_obs::Level::Debug,
+                        "http.request",
+                        &format!("{} {} -> {}", request.method, request.path, response.status),
+                    );
+                }
                 response.close = response.close
                     || request.wants_close()
                     || shared.shutdown.load(Ordering::SeqCst);
@@ -381,7 +374,12 @@ fn route(shared: &Arc<Shared>, request: &Request) -> Response {
             obj.int("workers", shared.config.workers as u64);
             Response::json(200, obj.finish())
         }
-        ("GET", "/metrics") => Response::text(200, shared.metrics.registry.render()),
+        ("GET", "/metrics") => {
+            // Prometheus text exposition format version 0.0.4.
+            let mut r = Response::text(200, shared.metrics.render());
+            r.content_type = "text/plain; version=0.0.4";
+            r
+        }
         // The actual begin_shutdown() call happens in handle_connection
         // *after* this response is flushed — see the ordering note there.
         ("POST", "/shutdown") => {

@@ -401,3 +401,78 @@ fn verify_endpoint_matches_direct_analysis() {
     server.stop();
     server.wait();
 }
+
+/// Pins `/metrics` compatibility across the serve→obs registry move: every
+/// pre-existing series name still renders, each with its `# HELP`/`# TYPE`
+/// block, and the response declares the Prometheus text exposition
+/// content type. A scrape config written against the pre-move service
+/// must keep working unchanged.
+#[test]
+fn metrics_exposition_survives_the_registry_move() {
+    let (server, mut client) = start(1, 4);
+
+    // Drive one verify job through the queue so the planner/analyzer
+    // telemetry series carry real samples, not just registrations.
+    let plan = "[switches]\ns0 A\ns1 A\n[plan-links]\na s0\na s1\nb s0\nb s1\ns0 s1\n";
+    let body = format!("{DOC}{plan}");
+    let id = submit(&mut client, "/jobs/verify", body.as_bytes());
+    poll_until_done(&mut client, id);
+
+    let response = client.get("/metrics").unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(
+        response.header("content-type"),
+        Some("text/plain; version=0.0.4"),
+        "{:?}",
+        response.headers
+    );
+    let text = response.text();
+
+    // Every series name the pre-move registry exported, by family kind.
+    let counters = [
+        "nptsn_http_requests_total",
+        "nptsn_jobs_submitted_total",
+        "nptsn_jobs_completed_total",
+        "nptsn_jobs_failed_total",
+        "nptsn_jobs_cancelled_total",
+        "nptsn_jobs_rejected_total",
+        "nptsn_planner_epochs_total",
+        "nptsn_planner_solutions_total",
+        "nptsn_analyzer_scenarios_checked_total",
+        "nptsn_analyzer_cache_hits_total",
+        "nptsn_analyzer_cache_misses_total",
+    ];
+    let gauges = ["nptsn_jobs_queued", "nptsn_jobs_running"];
+    for name in counters {
+        assert!(text.contains(&format!("# HELP {name} ")), "{name} lost its HELP:\n{text}");
+        assert!(text.contains(&format!("# TYPE {name} counter")), "{name} lost its TYPE");
+        assert!(text.contains(&format!("\n{name} ")), "{name} lost its sample line");
+    }
+    for name in gauges {
+        assert!(text.contains(&format!("# HELP {name} ")), "{name} lost its HELP");
+        assert!(text.contains(&format!("# TYPE {name} gauge")), "{name} lost its TYPE");
+        assert!(text.contains(&format!("\n{name} ")), "{name} lost its sample line");
+    }
+    // Labeled counter family: per-status-code responses.
+    assert!(text.contains("# TYPE nptsn_http_responses_total counter"), "{text}");
+    assert!(text.contains("nptsn_http_responses_total{code=\"200\"}"), "{text}");
+    // Histogram family: bucket/sum/count triplet with a +Inf bound.
+    assert!(text.contains("# TYPE nptsn_http_request_seconds histogram"), "{text}");
+    assert!(text.contains("nptsn_http_request_seconds_bucket{le=\"+Inf\"}"), "{text}");
+    assert!(text.contains("nptsn_http_request_seconds_sum "), "{text}");
+    assert!(text.contains("nptsn_http_request_seconds_count "), "{text}");
+    // The analyzer work done by the verify job reached the shared
+    // registry (one source of truth for jobs, CLI and embedders).
+    let scenarios: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("nptsn_analyzer_scenarios_checked_total "))
+        .and_then(|v| v.parse().ok())
+        .expect("analyzer scenario counter present");
+    assert!(scenarios > 0, "verify job recorded no scenarios:\n{text}");
+    // New-in-this-PR series ride along in the same exposition.
+    assert!(text.contains("# TYPE nptsn_planner_poisoned_workers_total counter"), "{text}");
+    assert!(text.contains("# TYPE nptsn_analyzer_budget_exhausted_total counter"), "{text}");
+
+    server.stop();
+    server.wait();
+}

@@ -6,6 +6,9 @@
 #                         plus the shared-cache hit rate
 #   BENCH_serve.json    — HTTP request throughput and p50/p99 status-poll
 #                         latency of the nptsn-serve service
+#   BENCH_obs.json      — nptsn-obs tracing overhead on the analyzer
+#                         workload, recording disabled and enabled (the
+#                         binary itself fails if disabled overhead >= 5%)
 #
 # Usage: scripts/bench.sh [--smoke]
 #   --smoke   shrink iteration counts to a fast plumbing check (used by
@@ -15,14 +18,17 @@ cd "$(dirname "$0")/.."
 
 analyzer_out="BENCH_analyzer.json"
 serve_out="BENCH_serve.json"
+obs_out="BENCH_obs.json"
 if [[ "${1:-}" == "--smoke" ]]; then
     export NPTSN_BENCH_SMOKE=1
     # Smoke numbers are not representative; keep them out of the committed
     # BENCH_*.json files.
     analyzer_out="target/BENCH_analyzer.smoke.json"
     serve_out="target/BENCH_serve.smoke.json"
+    obs_out="target/BENCH_obs.smoke.json"
 fi
 
-cargo build --release --offline -p nptsn-bench --bin micro --bin serve_bench
+cargo build --release --offline -p nptsn-bench --bin micro --bin serve_bench --bin obs_bench
 NPTSN_BENCH_OUT="${NPTSN_BENCH_OUT:-$analyzer_out}" ./target/release/micro analyzer_json
 NPTSN_BENCH_OUT="${NPTSN_SERVE_BENCH_OUT:-$serve_out}" ./target/release/serve_bench
+NPTSN_BENCH_OUT="${NPTSN_OBS_BENCH_OUT:-$obs_out}" ./target/release/obs_bench

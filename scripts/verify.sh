@@ -13,6 +13,39 @@ cargo clippy --offline --workspace -- -D warnings
 # the HTTP service end to end and checks the BENCH_*.json plumbing.
 scripts/bench.sh --smoke
 
+# Trace smoke test: a tiny RL plan run with --trace-out must produce a
+# Perfetto-loadable trace containing the planner/analyzer span taxonomy
+# (trace_check validates the JSON with the in-tree parser) and a profile
+# table on stdout.
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+cat > "$trace_dir/smoke.tssdn" <<'EOF'
+[nodes]
+es a
+es b
+sw s0
+sw s1
+[links]
+a s0
+a s1
+b s0
+b s1
+s0 s1
+[flows]
+a b 500 128
+EOF
+cargo build --release --offline -p nptsn-bench --bin trace_check
+./target/release/nptsn plan "$trace_dir/smoke.tssdn" \
+    --epochs 1 --steps 32 --seed 1 \
+    --trace-out "$trace_dir/trace.json" --profile > "$trace_dir/plan.out"
+./target/release/trace_check "$trace_dir/trace.json" \
+    planner.run planner.epoch planner.rollout analyzer.analyze soag.generate
+grep -q "planner.epoch" "$trace_dir/plan.out" \
+    || { echo "trace smoke: no profile table on stdout" >&2; exit 1; }
+rm -rf "$trace_dir"
+trap - EXIT
+echo "trace smoke: trace + profile confirmed"
+
 # Serve smoke test: start the service on an ephemeral port, run a greedy
 # plan job through the in-tree client (all 200s, non-empty /metrics), and
 # check the drain-and-shutdown path completes cleanly.
