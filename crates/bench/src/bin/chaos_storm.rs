@@ -1,0 +1,358 @@
+//! Seeded chaos storm over the full stack: the acceptance harness for the
+//! fault-injection framework (`nptsn-chaos`, DESIGN.md §11).
+//!
+//! Three phases, each gated — any gate failure exits non-zero:
+//!
+//! 1. **Determinism**: two planner training runs under the same armed
+//!    fault plan (a poisoned PPO update) must produce byte-identical
+//!    rollback schedules and injection counts. Same seed, same storm.
+//! 2. **Serve storm**: a server is bombarded through dropped accepts,
+//!    dropped response writes, failing jobs and over-deadline jobs while
+//!    a backoff client keeps submitting. Gates: nothing hangs (a
+//!    watchdog aborts the whole process), every accepted job reaches a
+//!    terminal state (`submitted == completed + failed + cancelled`),
+//!    and the recovery counters actually moved.
+//! 3. **Overhead**: a disarmed `chaos::point` must stay a no-op — its
+//!    measured per-call cost, charged per request, must be under 10% of
+//!    the clean request time.
+//!
+//! Writes `BENCH_chaos.json` (override with `NPTSN_BENCH_OUT`;
+//! `NPTSN_BENCH_SMOKE=1` shrinks the workload to a plumbing check).
+//! Usage: `chaos_storm [--seed N]` — the seed drives the fault plan and
+//! the client jitter, so a storm replays exactly from its seed.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nptsn::{Planner, PlannerConfig, PlanningProblem};
+use nptsn_chaos::{FaultKind, FaultPlan, SiteRule};
+use nptsn_sched::{FlowSet, FlowSpec, ShortestPathRecovery, TasConfig};
+use nptsn_serve::{BackoffConfig, Client, ServeConfig, Server};
+use nptsn_topo::{ComponentLibrary, ConnectionGraph};
+
+/// The theta network: two end stations, two optional switches, five
+/// candidate links — the smallest problem with a non-trivial plan space.
+fn theta_problem() -> PlanningProblem {
+    let mut gc = ConnectionGraph::new();
+    let a = gc.add_end_station("a");
+    let b = gc.add_end_station("b");
+    let s0 = gc.add_switch("s0");
+    let s1 = gc.add_switch("s1");
+    for (u, v) in [(a, s0), (s0, b), (a, s1), (s1, b), (s0, s1)] {
+        gc.add_candidate_link(u, v, 1.0).expect("candidate link");
+    }
+    let flows = FlowSet::new(vec![FlowSpec::new(a, b, 500, 128)]).expect("flows");
+    PlanningProblem::new(
+        Arc::new(gc),
+        ComponentLibrary::automotive(),
+        TasConfig::default(),
+        flows,
+        1e-6,
+        Arc::new(ShortestPathRecovery::new()),
+    )
+    .expect("problem")
+}
+
+fn rate_rule(site: &str, kind: FaultKind, rate: f64) -> SiteRule {
+    SiteRule { site: site.to_string(), kind, every: 0, rate, max_count: 0 }
+}
+
+/// One determinism run: trains under a poisoned PPO update and digests
+/// everything the storm decided — the rollback schedule and the per-site
+/// injection counts. Two runs of this function must return equal strings.
+fn determinism_run(seed: u64) -> String {
+    nptsn_chaos::arm(FaultPlan::new(seed).with_rule(SiteRule {
+        site: "planner.ppo_update".to_string(),
+        kind: FaultKind::Error,
+        every: 2,
+        rate: 1.0,
+        max_count: 1,
+    }));
+    let report = Planner::new(theta_problem(), PlannerConfig::smoke_test()).run();
+    let mut digest = String::new();
+    for epoch in &report.epochs {
+        digest.push_str(&format!(
+            "epoch rollbacks={} scenarios={}\n",
+            epoch.ppo_rollbacks, epoch.scenarios_checked
+        ));
+    }
+    for (site, n) in nptsn_chaos::injection_counts() {
+        digest.push_str(&format!("injected {site}={n}\n"));
+    }
+    nptsn_chaos::disarm();
+    digest
+}
+
+fn json_u64(body: &str, key: &str) -> u64 {
+    let marker = format!("\"{key}\":");
+    let at = body.find(&marker).unwrap_or_else(|| panic!("no {key} in {body}"));
+    body[at + marker.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {key} in {body}"))
+}
+
+/// Submits `jobs` burn jobs and polls each to a terminal state; returns
+/// (jobs per second, per-submission accept latencies). Panics on a job
+/// that never terminates — backed up by the process watchdog.
+fn drive_jobs(client: &mut Client, jobs: usize) -> (f64, Vec<Duration>) {
+    let started = Instant::now();
+    let mut ids = Vec::new();
+    let mut accept_latencies = Vec::new();
+    for _ in 0..jobs {
+        let submit_started = Instant::now();
+        let response = client.post("/jobs/burn?millis=1", &[]).expect("submit");
+        accept_latencies.push(submit_started.elapsed());
+        if response.status == 202 {
+            ids.push(json_u64(&response.text(), "id"));
+        } else {
+            assert_eq!(response.status, 503, "unexpected status: {}", response.text());
+        }
+    }
+    assert!(!ids.is_empty(), "no job was accepted");
+    for &id in &ids {
+        loop {
+            let body = client.get(&format!("/jobs/{id}")).expect("poll").text();
+            let terminal = ["done", "failed", "cancelled"]
+                .iter()
+                .any(|s| body.contains(&format!("\"state\":\"{s}\"")));
+            if terminal {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    (ids.len() as f64 / elapsed, accept_latencies)
+}
+
+fn percentile_ms(mut samples: Vec<Duration>, pct: usize) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_unstable();
+    let index = (samples.len() - 1) * pct / 100;
+    samples[index].as_secs_f64() * 1_000.0
+}
+
+fn main() {
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an unsigned integer");
+            }
+            other => panic!("unknown argument {other:?} (usage: chaos_storm [--seed N])"),
+        }
+    }
+    let smoke = std::env::var("NPTSN_BENCH_SMOKE").is_ok();
+    let (jobs, point_loops) = if smoke { (24usize, 200_000u64) } else { (120, 2_000_000) };
+
+    // Zero-hang gate: the whole storm must finish well inside the budget
+    // or the watchdog takes the process down with a distinct exit code.
+    let watchdog_secs = if smoke { 120 } else { 300 };
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(watchdog_secs));
+        eprintln!("chaos_storm: WATCHDOG — still running after {watchdog_secs}s, aborting");
+        std::process::exit(3);
+    });
+
+    let before = nptsn_obs::telemetry().snapshot();
+
+    // --- Phase 1: determinism ------------------------------------------
+    let first = determinism_run(seed);
+    let second = determinism_run(seed);
+    let determinism = first == second;
+    println!(
+        "chaos_storm: determinism {} ({} digest lines)",
+        if determinism { "ok" } else { "MISMATCH" },
+        first.lines().count()
+    );
+    if !determinism {
+        eprintln!("chaos_storm: FAIL — same seed, different storm:\n{first}---\n{second}");
+        std::process::exit(1);
+    }
+    assert!(
+        first.contains("rollbacks=1"),
+        "the poisoned update should have rolled back exactly once:\n{first}"
+    );
+
+    // --- Phase 2a: clean baseline --------------------------------------
+    let serve_config = ServeConfig {
+        workers: 2,
+        queue_depth: 8,
+        io_timeout_ms: 5_000,
+        header_deadline_ms: 5_000,
+        job_deadline_ms: 150,
+        ..ServeConfig::default()
+    };
+    let clean_server = Server::bind(serve_config.clone()).expect("bind clean server");
+    let mut clean_client = Client::new(clean_server.local_addr()).with_backoff(BackoffConfig {
+        max_retries: 30,
+        base_ms: 2,
+        cap_ms: 40,
+        seed,
+    });
+    let (clean_jobs_per_s, clean_latencies) = drive_jobs(&mut clean_client, jobs);
+    clean_server.stop();
+    clean_server.wait();
+    let clean_p50_ms = percentile_ms(clean_latencies, 50);
+
+    // --- Phase 2b: the storm -------------------------------------------
+    let storm_server = Server::bind(serve_config).expect("bind storm server");
+    let metrics = storm_server.metrics();
+    let queue = storm_server.queue();
+    nptsn_chaos::arm(
+        FaultPlan::new(seed)
+            .with_rule(rate_rule("serve.accept", FaultKind::Error, 0.25))
+            .with_rule(rate_rule("serve.conn.write", FaultKind::Error, 0.15))
+            .with_rule(rate_rule("serve.job", FaultKind::Error, 0.35)),
+    );
+    let mut storm_client = Client::new(storm_server.local_addr()).with_backoff(BackoffConfig {
+        max_retries: 30,
+        base_ms: 2,
+        cap_ms: 40,
+        seed: seed ^ 1,
+    });
+    let (storm_jobs_per_s, storm_latencies) = drive_jobs(&mut storm_client, jobs);
+    let p99_recovery_ms = percentile_ms(storm_latencies, 99);
+
+    let faults_injected: u64 = nptsn_chaos::injection_counts().iter().map(|(_, n)| n).sum();
+    nptsn_chaos::disarm();
+
+    // Over-deadline jobs: each must come back `failed` with the worker
+    // alive, not wedge its worker thread. Probed with chaos disarmed so
+    // the kill is guaranteed to come from the deadline, not from a
+    // coincidental injected job error.
+    let mut deadline_ids = Vec::new();
+    for _ in 0..2 {
+        let response = storm_client.post("/jobs/burn?millis=1200", &[]).expect("submit long");
+        if response.status == 202 {
+            deadline_ids.push(json_u64(&response.text(), "id"));
+        }
+    }
+    for &id in &deadline_ids {
+        loop {
+            let body = storm_client.get(&format!("/jobs/{id}")).expect("poll long").text();
+            if body.contains("\"state\":\"failed\"") {
+                break;
+            }
+            assert!(
+                !body.contains("\"state\":\"done\""),
+                "an over-deadline job completed instead of being killed: {body}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    storm_server.stop();
+    storm_server.wait();
+
+    // Lost-job gate: exact accounting after a full drain.
+    let submitted = metrics.jobs_submitted.get();
+    let terminal =
+        metrics.jobs_completed.get() + metrics.jobs_failed.get() + metrics.jobs_cancelled.get();
+    assert_eq!(submitted, terminal, "a job was lost in the storm");
+    for &id in &deadline_ids {
+        let snapshot = queue.snapshot(id).expect("deadline job tracked");
+        assert!(snapshot.error.is_some(), "deadline-killed job has no error message");
+    }
+
+    // --- Phase 3: disarmed overhead ------------------------------------
+    assert!(!nptsn_chaos::is_armed());
+    let point_started = Instant::now();
+    for _ in 0..point_loops {
+        black_box(nptsn_chaos::point("bench.disarmed.site")).expect("disarmed point is Ok");
+    }
+    let disarmed_point_ns = point_started.elapsed().as_nanos() as f64 / point_loops as f64;
+    // Cost model mirroring `obs_bench`: each request crosses a handful of
+    // sites (accept, response write, job dispatch); charge generously and
+    // compare against the measured clean p50 request time.
+    let sites_per_request = 8.0;
+    let disarmed_overhead_pct =
+        disarmed_point_ns * sites_per_request / (clean_p50_ms * 1e6).max(1.0) * 100.0;
+
+    let after = nptsn_obs::telemetry().snapshot();
+    let recovered = Recovered {
+        faults: after.chaos_faults - before.chaos_faults,
+        rollbacks: after.recovery_ppo_rollbacks - before.recovery_ppo_rollbacks,
+        deadline_kills: after.recovery_deadline_kills - before.recovery_deadline_kills,
+        client_retries: after.recovery_client_retries - before.recovery_client_retries,
+    };
+
+    println!(
+        "chaos_storm: clean {clean_jobs_per_s:.0} jobs/s, storm {storm_jobs_per_s:.0} jobs/s, \
+         p99 accept-through-storm {p99_recovery_ms:.2} ms"
+    );
+    println!(
+        "chaos_storm: {} faults injected (bench-local), {} rollbacks, {} deadline kills, \
+         {} client retries",
+        faults_injected, recovered.rollbacks, recovered.deadline_kills, recovered.client_retries
+    );
+    println!(
+        "chaos_storm: disarmed point {disarmed_point_ns:.2} ns \
+         ({disarmed_overhead_pct:.5}% of a clean request)"
+    );
+
+    // Hand-written JSON: the workspace is hermetic, no serde.
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"chaos_storm\",\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"determinism\": {determinism},\n"));
+    json.push_str(&format!("  \"jobs_per_phase\": {jobs},\n"));
+    json.push_str(&format!("  \"clean_jobs_per_s\": {clean_jobs_per_s:.1},\n"));
+    json.push_str(&format!("  \"storm_jobs_per_s\": {storm_jobs_per_s:.1},\n"));
+    json.push_str(&format!("  \"p99_recovery_ms\": {p99_recovery_ms:.3},\n"));
+    json.push_str(&format!("  \"faults_injected\": {},\n", recovered.faults));
+    json.push_str(&format!("  \"ppo_rollbacks\": {},\n", recovered.rollbacks));
+    json.push_str(&format!("  \"deadline_kills\": {},\n", recovered.deadline_kills));
+    json.push_str(&format!("  \"client_retries\": {},\n", recovered.client_retries));
+    json.push_str(&format!("  \"disarmed_point_ns\": {disarmed_point_ns:.3},\n"));
+    json.push_str(&format!("  \"disarmed_overhead_pct\": {disarmed_overhead_pct:.5}\n"));
+    json.push_str("}\n");
+    let out_path =
+        std::env::var("NPTSN_BENCH_OUT").unwrap_or_else(|_| "BENCH_chaos.json".to_string());
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("chaos_storm: wrote {out_path}");
+
+    // Recovery gates: the storm must actually have stormed, and every
+    // self-healing path must have fired at least once.
+    let mut failed = false;
+    if recovered.faults == 0 {
+        eprintln!("chaos_storm: FAIL — no faults were injected");
+        failed = true;
+    }
+    for (name, count) in [
+        ("ppo_rollbacks", recovered.rollbacks),
+        ("deadline_kills", recovered.deadline_kills),
+        ("client_retries", recovered.client_retries),
+    ] {
+        if count == 0 {
+            eprintln!("chaos_storm: FAIL — recovery counter {name} never moved");
+            failed = true;
+        }
+    }
+    if disarmed_overhead_pct >= 10.0 {
+        eprintln!(
+            "chaos_storm: FAIL — disarmed overhead {disarmed_overhead_pct:.2}% >= 10%"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("chaos_storm: all gates passed");
+}
+
+struct Recovered {
+    faults: u64,
+    rollbacks: u64,
+    deadline_kills: u64,
+    client_retries: u64,
+}

@@ -6,7 +6,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use nptsn::{
-    FailureAnalyzer, GreedyPlanner, Planner, PlannerConfig, ScenarioCache, Verdict,
+    AnalysisBudget, FailureAnalyzer, GreedyPlanner, Planner, PlannerConfig, ScenarioCache,
+    Verdict,
 };
 use nptsn_format::json::{analysis_report_json, epoch_stats_json, Object};
 use nptsn_format::{parse_plan, parse_problem, write_plan, ParsedProblem};
@@ -15,21 +16,48 @@ use nptsn_sched::simulate;
 use nptsn_serve::{ServeConfig, Server};
 use nptsn_topo::FailureScenario;
 
-/// Errors surfaced to the command line (message plus exit code 1).
+/// Errors surfaced to the command line: a message plus the process exit
+/// code. Plain failures exit 1; codes above 1 distinguish outcomes that
+/// scripts branch on (see [`EXIT_INCONCLUSIVE`]).
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError {
+    message: String,
+    code: i32,
+}
+
+/// Exit code for `verify` when the analysis budget ran out before the
+/// reliability guarantee could be decided: not a pass (exit 0) and not a
+/// disproof (exit 1) — callers must treat the plan as unproven.
+pub const EXIT_INCONCLUSIVE: i32 = 2;
+
+impl CliError {
+    /// A plain failure (exit code 1).
+    pub fn msg(message: String) -> CliError {
+        CliError { message, code: 1 }
+    }
+
+    /// A failure with a distinct exit code.
+    pub fn with_code(message: String, code: i32) -> CliError {
+        CliError { message, code }
+    }
+
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> i32 {
+        self.code
+    }
+}
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
 impl std::error::Error for CliError {}
 
 impl From<String> for CliError {
-    fn from(msg: String) -> CliError {
-        CliError(msg)
+    fn from(message: String) -> CliError {
+        CliError::msg(message)
     }
 }
 
@@ -38,14 +66,22 @@ nptsn — RL-based network planning for in-vehicle TSSDN (DSN 2023 reproduction)
 
 USAGE:
     nptsn plan <problem.tssdn> [--epochs N] [--steps N] [--seed N] [--greedy]
-               [--analyzer-workers N] [--checkpoint <path>]
+               [--analyzer-workers N] [--checkpoint <path>] [--resume]
         Plan the network; prints the plan file for the best solution.
         --checkpoint writes the trained policy (NPTSNCK2, atomic rename)
-        to <path> and a per-epoch telemetry.jsonl next to it.
-    nptsn verify <problem.tssdn> <plan file> [--analyzer-workers N] [--json]
+        to <path> after every epoch and a per-epoch telemetry.jsonl next
+        to it. --resume (requires --checkpoint) restores the policy from
+        <path> before training — the crash-resume path: a run killed
+        mid-training continues from its last completed epoch.
+    nptsn verify <problem.tssdn> <plan file> [--analyzer-workers N]
+                 [--analysis-budget N] [--json]
         Check a plan's reliability guarantee with the failure analyzer.
         --json prints the full analysis report as machine-readable JSON
         (the same document the serve verify endpoint returns).
+        --analysis-budget caps the analysis at N failure scenarios; when
+        the budget runs out before the guarantee is decided the verdict
+        is INCONCLUSIVE and the exit code is 2 (not 0: the plan is
+        unproven, and not 1: it is not disproven either).
     nptsn simulate <problem.tssdn> <plan file>
         Execute the recovered schedule frame by frame and report latencies.
     nptsn report <problem.tssdn> <plan file>
@@ -54,8 +90,12 @@ USAGE:
     nptsn inspect <problem.tssdn>
         Print a summary of the parsed problem.
     nptsn serve [--addr HOST:PORT] [--serve-workers N] [--queue-depth N]
+                [--io-timeout-ms N] [--job-deadline-ms N]
         Run the HTTP planning service (job queue + worker pool; see
         DESIGN.md §9). Stops on POST /shutdown after draining the queue.
+        --io-timeout-ms bounds every socket read/write (default 30000;
+        0 disables); --job-deadline-ms fails any job that exceeds the
+        wall-clock deadline while the worker survives (default 0 = off).
     nptsn help
         Show this message.
 
@@ -67,6 +107,15 @@ OBSERVABILITY (plan, verify, serve; see DESIGN.md §10):
                          (default info). Env fallback: NPTSN_LOG.
     --profile            Print an end-of-run table of the top spans by
                          self-time (enables recording on its own).
+
+FAULT INJECTION (plan, verify, serve; see DESIGN.md §11):
+    NPTSN_CHAOS=<spec>   Arm a deterministic fault plan for this run:
+                         @<path> to a plan file, or the plan inline with
+                         ';' as the line separator, e.g.
+                         'seed 7;site checkpoint.save corrupt rate=0.5'.
+                         Injections count in nptsn_chaos_* telemetry;
+                         unset means disarmed (one relaxed atomic load
+                         per site).
 ";
 
 /// Runs the CLI with the given arguments (excluding the program name);
@@ -86,20 +135,20 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
         Some("report") => cmd_report(&args[1..], out),
         Some("inspect") => cmd_inspect(&args[1..], out),
         Some("serve") => cmd_serve(&args[1..], out),
-        Some(other) => Err(CliError(format!(
+        Some(other) => Err(CliError::msg(format!(
             "unknown command '{other}'; run 'nptsn help' for usage"
         ))),
     }
 }
 
 fn io_err(e: std::io::Error) -> CliError {
-    CliError(format!("i/o error: {e}"))
+    CliError::msg(format!("i/o error: {e}"))
 }
 
 fn load(path: &str) -> Result<ParsedProblem, CliError> {
     let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
-    parse_problem(&text).map_err(|e| CliError(format!("{path}: {e}")))
+        .map_err(|e| CliError::msg(format!("cannot read {path}: {e}")))?;
+    parse_problem(&text).map_err(|e| CliError::msg(format!("{path}: {e}")))
 }
 
 fn cmd_plan(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
@@ -110,6 +159,7 @@ fn cmd_plan(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErr
     let mut greedy = false;
     let mut analyzer_workers = 1usize;
     let mut checkpoint: Option<PathBuf> = None;
+    let mut resume = false;
     let mut trace = TraceOpts::default();
     let mut iter = args.iter().map(String::as_str);
     while let Some(arg) = iter.next() {
@@ -127,19 +177,34 @@ fn cmd_plan(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErr
             "--checkpoint" => {
                 let value = iter
                     .next()
-                    .ok_or_else(|| CliError("--checkpoint needs a value".into()))?;
+                    .ok_or_else(|| CliError::msg("--checkpoint needs a value".into()))?;
                 checkpoint = Some(PathBuf::from(value));
             }
+            "--resume" => resume = true,
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
-            other => return Err(CliError(format!("unexpected argument '{other}'"))),
+            other => return Err(CliError::msg(format!("unexpected argument '{other}'"))),
         }
     }
-    let path = path.ok_or_else(|| CliError("plan: missing <problem.tssdn>".into()))?;
+    let path = path.ok_or_else(|| CliError::msg("plan: missing <problem.tssdn>".into()))?;
     if greedy && checkpoint.is_some() {
-        return Err(CliError(
+        return Err(CliError::msg(
             "--checkpoint needs RL planning (there is no policy to save under --greedy)".into(),
         ));
     }
+    if resume && checkpoint.is_none() {
+        return Err(CliError::msg(
+            "--resume needs --checkpoint <path> (the checkpoint to restore from)".into(),
+        ));
+    }
+    // The bytes to resume from are read before training starts, so a
+    // `--resume` against a missing or unreadable checkpoint fails fast
+    // instead of after a fresh (and wasted) training run.
+    let resume_bytes = match (&checkpoint, resume) {
+        (Some(ck_path), true) => Some(std::fs::read(ck_path).map_err(|e| {
+            CliError::msg(format!("--resume: cannot read {}: {e}", ck_path.display()))
+        })?),
+        _ => None,
+    };
     trace.activate()?;
     let parsed = load(&path)?;
 
@@ -148,6 +213,10 @@ fn cmd_plan(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErr
         steps_per_epoch: steps,
         seed,
         analyzer_workers,
+        // With `--checkpoint` the planner itself persists the policy at
+        // every epoch boundary (atomic rename), so a killed run leaves a
+        // valid checkpoint behind for `--resume`.
+        checkpoint_path: checkpoint.clone(),
         ..PlannerConfig::quick()
     };
     let (best, report) = if greedy {
@@ -160,7 +229,7 @@ fn cmd_plan(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErr
         let mut epoch_lines = Vec::new();
         let mut prev = telemetry.snapshot();
         let mut epoch_started = Instant::now();
-        let report = Planner::new(parsed.problem.clone(), config).run_with_progress(|stats| {
+        let mut on_epoch = |stats: &nptsn::EpochStats| {
             let snap = telemetry.snapshot();
             let hits = snap.analyzer_cache_hits - prev.analyzer_cache_hits;
             let misses = snap.analyzer_cache_misses - prev.analyzer_cache_misses;
@@ -172,7 +241,17 @@ fn cmd_plan(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErr
             epoch_lines.push(obj.finish());
             prev = snap;
             epoch_started = Instant::now();
-        });
+        };
+        let planner = Planner::new(parsed.problem.clone(), config);
+        let report = match &resume_bytes {
+            Some(bytes) => planner
+                .run_until_resumed(bytes, |stats| {
+                    on_epoch(stats);
+                    true
+                })
+                .map_err(|e| CliError::msg(format!("--resume: {e}")))?,
+            None => planner.run_with_progress(&mut on_epoch),
+        };
         (report.best.clone(), Some((report, epoch_lines)))
     };
     let records = trace.finish(out)?;
@@ -182,7 +261,7 @@ fn cmd_plan(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErr
             ck_path.parent().unwrap_or(Path::new(".")).join("telemetry.jsonl");
         let text = telemetry_jsonl(epoch_lines, report, &records);
         std::fs::write(&telemetry_path, text)
-            .map_err(|e| CliError(format!("cannot write {}: {e}", telemetry_path.display())))?;
+            .map_err(|e| CliError::msg(format!("cannot write {}: {e}", telemetry_path.display())))?;
         writeln!(
             out,
             "# checkpoint: {} ({} bytes); telemetry: {}",
@@ -198,7 +277,7 @@ fn cmd_plan(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErr
             write!(out, "{}", write_plan(&solution.topology)).map_err(io_err)?;
             Ok(())
         }
-        None => Err(CliError(
+        None => Err(CliError::msg(
             "no valid plan found; raise --epochs/--steps or relax the problem".into(),
         )),
     }
@@ -250,9 +329,9 @@ fn telemetry_jsonl(
 
 fn parse_flag<T: std::str::FromStr>(value: Option<&str>, flag: &str) -> Result<T, CliError> {
     value
-        .ok_or_else(|| CliError(format!("{flag} needs a value")))?
+        .ok_or_else(|| CliError::msg(format!("{flag} needs a value")))?
         .parse()
-        .map_err(|_| CliError(format!("invalid value for {flag}")))
+        .map_err(|_| CliError::msg(format!("invalid value for {flag}")))
 }
 
 /// Parses `--analyzer-workers`, rejecting 0 (the analyzer would clamp it
@@ -260,7 +339,7 @@ fn parse_flag<T: std::str::FromStr>(value: Option<&str>, flag: &str) -> Result<T
 fn parse_workers(value: Option<&str>) -> Result<usize, CliError> {
     let n: usize = parse_flag(value, "--analyzer-workers")?;
     if n == 0 {
-        return Err(CliError("--analyzer-workers must be at least 1".into()));
+        return Err(CliError::msg("--analyzer-workers must be at least 1".into()));
     }
     Ok(n)
 }
@@ -287,16 +366,16 @@ impl TraceOpts {
             "--trace-out" => {
                 let path = iter
                     .next()
-                    .ok_or_else(|| CliError("--trace-out needs a value".into()))?;
+                    .ok_or_else(|| CliError::msg("--trace-out needs a value".into()))?;
                 self.trace_out = Some(PathBuf::from(path));
                 Ok(true)
             }
             "--log-level" => {
                 let value = iter
                     .next()
-                    .ok_or_else(|| CliError("--log-level needs a value".into()))?;
+                    .ok_or_else(|| CliError::msg("--log-level needs a value".into()))?;
                 self.level = Some(Level::parse(value).ok_or_else(|| {
-                    CliError(format!(
+                    CliError::msg(format!(
                         "--log-level: unknown level '{value}' (off|error|info|debug)"
                     ))
                 })?);
@@ -329,7 +408,7 @@ impl TraceOpts {
             if let Ok(value) = std::env::var("NPTSN_LOG") {
                 if !value.is_empty() {
                     self.level = Some(Level::parse(&value).ok_or_else(|| {
-                        CliError(format!(
+                        CliError::msg(format!(
                             "NPTSN_LOG: unknown level '{value}' (off|error|info|debug)"
                         ))
                     })?);
@@ -341,6 +420,19 @@ impl TraceOpts {
         }
         if self.recording() {
             nptsn_obs::set_enabled(true);
+        }
+        // Fault injection rides the same activation point: a plan named
+        // by NPTSN_CHAOS is armed for the whole run. Inline specs use ';'
+        // as the line separator (environment values are one line).
+        if let Ok(spec) = std::env::var("NPTSN_CHAOS") {
+            if !spec.is_empty() {
+                let plan = match spec.strip_prefix('@') {
+                    Some(_) => nptsn_chaos::plan_from_spec(&spec),
+                    None => nptsn_chaos::plan_from_spec(&spec.replace(';', "\n")),
+                }
+                .map_err(|e| CliError::msg(format!("NPTSN_CHAOS: {e}")))?;
+                nptsn_chaos::arm(plan);
+            }
         }
         Ok(())
     }
@@ -360,7 +452,7 @@ impl TraceOpts {
         let records = nptsn_obs::drain();
         if let Some(path) = &self.trace_out {
             nptsn_obs::write_chrome_trace(path, &records)
-                .map_err(|e| CliError(format!("cannot write {}: {e}", path.display())))?;
+                .map_err(|e| CliError::msg(format!("cannot write {}: {e}", path.display())))?;
             writeln!(out, "# trace: {} records -> {}", records.len(), path.display())
                 .map_err(io_err)?;
         }
@@ -377,10 +469,10 @@ impl TraceOpts {
 /// crash-safety discipline as `nptsn_nn::save_params_atomic` (the bytes
 /// here are already a framed NPTSNCK2 image from the planner).
 fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CliError> {
-    let err = |e: std::io::Error| CliError(format!("cannot write {}: {e}", path.display()));
+    let err = |e: std::io::Error| CliError::msg(format!("cannot write {}: {e}", path.display()));
     let file_name = path
         .file_name()
-        .ok_or_else(|| CliError(format!("checkpoint path {} has no file name", path.display())))?;
+        .ok_or_else(|| CliError::msg(format!("checkpoint path {} has no file name", path.display())))?;
     let mut tmp_name = std::ffi::OsString::from(".");
     tmp_name.push(file_name);
     tmp_name.push(".tmp");
@@ -393,6 +485,7 @@ fn cmd_verify(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliE
     let mut paths = Vec::new();
     let mut analyzer_workers = 1usize;
     let mut json = false;
+    let mut budget: Option<u64> = None;
     let mut trace = TraceOpts::default();
     let mut iter = args.iter().map(String::as_str);
     while let Some(arg) = iter.next() {
@@ -404,29 +497,41 @@ fn cmd_verify(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliE
                 analyzer_workers = parse_workers(iter.next())?;
             }
             "--json" => json = true,
+            "--analysis-budget" => {
+                let n: u64 = parse_flag(iter.next(), "--analysis-budget")?;
+                if n == 0 {
+                    return Err(CliError::msg(
+                        "--analysis-budget must be at least 1 scenario".into(),
+                    ));
+                }
+                budget = Some(n);
+            }
             other if !other.starts_with('-') => paths.push(other.to_string()),
-            other => return Err(CliError(format!("unexpected argument '{other}'"))),
+            other => return Err(CliError::msg(format!("unexpected argument '{other}'"))),
         }
     }
     let [problem_path, plan_path] = paths.as_slice() else {
-        return Err(CliError(
-            "verify: expected <problem.tssdn> <plan file> [--analyzer-workers N] [--json]".into(),
+        return Err(CliError::msg(
+            "verify: expected <problem.tssdn> <plan file> [--analyzer-workers N] \
+             [--analysis-budget N] [--json]"
+                .into(),
         ));
     };
     trace.activate()?;
     let parsed = load(problem_path)?;
     let plan_text = std::fs::read_to_string(plan_path)
-        .map_err(|e| CliError(format!("cannot read {plan_path}: {e}")))?;
-    let topology = parse_plan(&parsed, &plan_text).map_err(CliError)?;
+        .map_err(|e| CliError::msg(format!("cannot read {plan_path}: {e}")))?;
+    let topology = parse_plan(&parsed, &plan_text).map_err(CliError::msg)?;
     let cost = topology.network_cost(parsed.problem.library());
     // A fresh cache per run: its hit/miss counters tell how much scenario
     // work within this analysis was redundant.
     let analyzer = FailureAnalyzer::new()
         .with_workers(analyzer_workers)
+        .with_budget(budget.map_or(AnalysisBudget::UNBOUNDED, AnalysisBudget::scenarios))
         .with_shared_cache(Arc::new(ScenarioCache::new()));
     let report = analyzer
         .try_analyze(&parsed.problem, &topology)
-        .map_err(|e| CliError(format!("analysis failed: {e}")))?;
+        .map_err(|e| CliError::msg(format!("analysis failed: {e}")))?;
     // The trace/profile output precedes the verdict (and, like every
     // observability line, is written even when verification fails).
     trace.finish(out)?;
@@ -438,9 +543,18 @@ fn cmd_verify(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliE
             .map_err(io_err)?;
         return match report.verdict {
             Verdict::Unreliable { .. } => {
-                Err(CliError("the plan does not meet the reliability goal".into()))
+                Err(CliError::msg("the plan does not meet the reliability goal".into()))
             }
-            _ => Ok(()),
+            // The JSON document already says `"conclusive":false`; the
+            // exit code says it too, so scripts that only check `$?`
+            // cannot mistake an unproven plan for a verified one.
+            Verdict::Inconclusive { .. } => Err(CliError::with_code(
+                "the analysis was inconclusive (budget exhausted before the guarantee \
+                 was decided)"
+                    .into(),
+                EXIT_INCONCLUSIVE,
+            )),
+            Verdict::Reliable => Ok(()),
         };
     }
 
@@ -464,7 +578,15 @@ fn cmd_verify(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliE
             )
             .map_err(io_err)?;
             writeln!(out, "{coverage}").map_err(io_err)?;
-            Ok(())
+            // Not exit 0: the guarantee is unproven, and a script gating a
+            // deployment on `nptsn verify` must not read "budget ran out"
+            // as "reliable". Not exit 1 either: nothing was disproven.
+            Err(CliError::with_code(
+                "the analysis was inconclusive (budget exhausted before the guarantee \
+                 was decided)"
+                    .into(),
+                EXIT_INCONCLUSIVE,
+            ))
         }
         Verdict::Unreliable { failure, errors } => {
             let gc = parsed.problem.connection_graph();
@@ -477,7 +599,7 @@ fn cmd_verify(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliE
             )
             .map_err(io_err)?;
             writeln!(out, "{coverage}").map_err(io_err)?;
-            Err(CliError("the plan does not meet the reliability goal".into()))
+            Err(CliError::msg("the plan does not meet the reliability goal".into()))
         }
     }
 }
@@ -494,28 +616,34 @@ fn cmd_serve(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliEr
             "--addr" => {
                 config.addr = iter
                     .next()
-                    .ok_or_else(|| CliError("--addr needs a value".into()))?
+                    .ok_or_else(|| CliError::msg("--addr needs a value".into()))?
                     .to_string();
             }
             "--serve-workers" => {
                 config.workers = parse_flag(iter.next(), "--serve-workers")?;
                 if config.workers == 0 {
-                    return Err(CliError("--serve-workers must be at least 1".into()));
+                    return Err(CliError::msg("--serve-workers must be at least 1".into()));
                 }
             }
             "--queue-depth" => {
                 config.queue_depth = parse_flag(iter.next(), "--queue-depth")?;
                 if config.queue_depth == 0 {
-                    return Err(CliError("--queue-depth must be at least 1".into()));
+                    return Err(CliError::msg("--queue-depth must be at least 1".into()));
                 }
             }
-            other => return Err(CliError(format!("unexpected argument '{other}'"))),
+            "--io-timeout-ms" => {
+                config.io_timeout_ms = parse_flag(iter.next(), "--io-timeout-ms")?;
+            }
+            "--job-deadline-ms" => {
+                config.job_deadline_ms = parse_flag(iter.next(), "--job-deadline-ms")?;
+            }
+            other => return Err(CliError::msg(format!("unexpected argument '{other}'"))),
         }
     }
     trace.activate()?;
     let workers = config.workers;
     let queue_depth = config.queue_depth;
-    let server = Server::bind(config).map_err(|e| CliError(format!("cannot bind: {e}")))?;
+    let server = Server::bind(config).map_err(|e| CliError::msg(format!("cannot bind: {e}")))?;
     writeln!(
         out,
         "nptsn-serve listening on {} ({workers} workers, queue depth {queue_depth})",
@@ -533,17 +661,17 @@ fn cmd_serve(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliEr
 
 fn cmd_simulate(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
     let [problem_path, plan_path] = args else {
-        return Err(CliError("simulate: expected <problem.tssdn> <plan file>".into()));
+        return Err(CliError::msg("simulate: expected <problem.tssdn> <plan file>".into()));
     };
     let parsed = load(problem_path)?;
     let plan_text = std::fs::read_to_string(plan_path)
-        .map_err(|e| CliError(format!("cannot read {plan_path}: {e}")))?;
-    let topology = parse_plan(&parsed, &plan_text).map_err(CliError)?;
+        .map_err(|e| CliError::msg(format!("cannot read {plan_path}: {e}")))?;
+    let topology = parse_plan(&parsed, &plan_text).map_err(CliError::msg)?;
     let problem = &parsed.problem;
     let outcome =
         problem.nbf().recover(&topology, &FailureScenario::none(), problem.tas(), problem.flows());
     if !outcome.errors.is_empty() {
-        return Err(CliError(format!("nominal recovery failed: {}", outcome.errors)));
+        return Err(CliError::msg(format!("nominal recovery failed: {}", outcome.errors)));
     }
     let report = simulate(
         &topology,
@@ -552,7 +680,7 @@ fn cmd_simulate(args: &[String], out: &mut impl std::io::Write) -> Result<(), Cl
         problem.flows(),
         &outcome.state,
     )
-    .map_err(|e| CliError(e.to_string()))?;
+    .map_err(|e| CliError::msg(e.to_string()))?;
     writeln!(
         out,
         "{} frames delivered; worst latency {} slots, mean {:.2} slots",
@@ -580,12 +708,12 @@ fn cmd_simulate(args: &[String], out: &mut impl std::io::Write) -> Result<(), Cl
 
 fn cmd_report(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
     let [problem_path, plan_path] = args else {
-        return Err(CliError("report: expected <problem.tssdn> <plan file>".into()));
+        return Err(CliError::msg("report: expected <problem.tssdn> <plan file>".into()));
     };
     let parsed = load(problem_path)?;
     let plan_text = std::fs::read_to_string(plan_path)
-        .map_err(|e| CliError(format!("cannot read {plan_path}: {e}")))?;
-    let topology = parse_plan(&parsed, &plan_text).map_err(CliError)?;
+        .map_err(|e| CliError::msg(format!("cannot read {plan_path}: {e}")))?;
+    let topology = parse_plan(&parsed, &plan_text).map_err(CliError::msg)?;
     let report = crate::report::coverage_report(&parsed.problem, &topology);
     write!(out, "{}", crate::report::render_report(&parsed.problem, &report))
         .map_err(io_err)?;
@@ -594,7 +722,7 @@ fn cmd_report(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliE
 
 fn cmd_inspect(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
     let [path] = args else {
-        return Err(CliError("inspect: expected <problem.tssdn>".into()));
+        return Err(CliError::msg("inspect: expected <problem.tssdn>".into()));
     };
     let parsed = load(path)?;
     let p = &parsed.problem;
@@ -763,6 +891,136 @@ a b 500 128
         let json = String::from_utf8(out).unwrap();
         assert!(json.contains("\"verdict\":\"unreliable\""), "{json}");
         assert!(json.contains("\"failed_switches\":[\"s0\"]"), "{json}");
+    }
+
+    #[test]
+    fn verify_inconclusive_exits_with_its_own_code() {
+        let problem_path = write_temp("vinc.tssdn", DOC);
+        let plan_text = run_ok(&["plan", &problem_path, "--greedy"]);
+        let plan_path = write_temp("vinc.plan", &plan_text);
+        // A one-scenario budget cannot decide the guarantee for this
+        // problem (the full analysis checks more than one scenario).
+        let args: Vec<String> =
+            ["verify", &problem_path, &plan_path, "--analysis-budget", "1"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let mut out = Vec::new();
+        let err = run(&args, &mut out).unwrap_err();
+        assert_eq!(err.exit_code(), EXIT_INCONCLUSIVE);
+        assert!(err.to_string().contains("inconclusive"), "{err}");
+        let printed = String::from_utf8(out).unwrap();
+        assert!(printed.contains("INCONCLUSIVE"), "{printed}");
+
+        // Same outcome through --json: the document says so and the exit
+        // code still distinguishes unproven from disproven.
+        let args: Vec<String> =
+            ["verify", &problem_path, &plan_path, "--analysis-budget", "1", "--json"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let mut out = Vec::new();
+        let err = run(&args, &mut out).unwrap_err();
+        assert_eq!(err.exit_code(), EXIT_INCONCLUSIVE);
+        let json = String::from_utf8(out).unwrap();
+        assert!(json.contains("\"verdict\":\"inconclusive\""), "{json}");
+        assert!(json.contains("\"conclusive\":false"), "{json}");
+
+        // An unbounded run of the same plan stays conclusive and exits 0.
+        let text = run_ok(&["verify", &problem_path, &plan_path]);
+        assert!(text.contains("RELIABLE"), "{text}");
+    }
+
+    #[test]
+    fn plain_errors_still_exit_one() {
+        let mut out = Vec::new();
+        let err = run(&["frobnicate".to_string()], &mut out).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn plan_resume_restores_the_checkpoint() {
+        let problem_path = write_temp("resume.tssdn", DOC);
+        let dir = std::env::temp_dir().join("nptsn-cli-test-resumedir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("policy.ck");
+        let _ = std::fs::remove_file(&ck);
+
+        // --resume before any checkpoint exists fails fast, before any
+        // training work is done.
+        let args: Vec<String> = [
+            "plan", &problem_path, "--epochs", "1", "--steps", "32",
+            "--checkpoint", ck.to_str().unwrap(), "--resume",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut out = Vec::new();
+        let err = run(&args, &mut out).unwrap_err();
+        assert!(err.to_string().contains("--resume"), "{err}");
+
+        // First run writes the checkpoint; the resumed run restores it
+        // and still produces a plan.
+        run_ok(&[
+            "plan", &problem_path, "--epochs", "1", "--steps", "32", "--seed", "1",
+            "--checkpoint", ck.to_str().unwrap(),
+        ]);
+        let first = std::fs::read(&ck).unwrap();
+        assert!(first.starts_with(b"NPTSNCK"));
+        let before = nptsn_obs::telemetry().snapshot();
+        let resumed = run_ok(&[
+            "plan", &problem_path, "--epochs", "1", "--steps", "32", "--seed", "2",
+            "--checkpoint", ck.to_str().unwrap(), "--resume",
+        ]);
+        assert!(resumed.contains("[switches]"), "{resumed}");
+        let after = nptsn_obs::telemetry().snapshot();
+        assert!(
+            after.recovery_checkpoint_resumes > before.recovery_checkpoint_resumes,
+            "the resumed run should have restored the saved policy"
+        );
+    }
+
+    #[test]
+    fn resume_without_checkpoint_is_rejected() {
+        let mut out = Vec::new();
+        let args: Vec<String> =
+            ["plan", "x.tssdn", "--resume"].iter().map(|s| s.to_string()).collect();
+        let err = run(&args, &mut out).unwrap_err();
+        assert!(err.to_string().contains("--checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn serve_timeout_flags_are_validated() {
+        for bad in [&["serve", "--io-timeout-ms", "soon"][..],
+                    &["serve", "--job-deadline-ms"][..]] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            let mut out = Vec::new();
+            let err = run(&args, &mut out).unwrap_err();
+            assert!(err.to_string().contains("-ms"), "{err}");
+        }
+    }
+
+    #[test]
+    fn chaos_env_spec_errors_are_reported() {
+        let _guard = trace_lock();
+        // Environment state is process-global; restore it before leaving.
+        std::env::set_var("NPTSN_CHAOS", "site only-a-site-name");
+        let problem_path = write_temp("chaosenv.tssdn", DOC);
+        let args: Vec<String> =
+            ["plan", &problem_path, "--greedy"].iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        let result = run(&args, &mut out);
+        std::env::remove_var("NPTSN_CHAOS");
+        let err = result.unwrap_err();
+        assert!(err.to_string().contains("NPTSN_CHAOS"), "{err}");
+
+        // A well-formed inline spec (';' as the line separator) arms.
+        std::env::set_var("NPTSN_CHAOS", "seed 7;site nosuch.site error rate=0.5");
+        let mut out = Vec::new();
+        let result = run(&args, &mut out);
+        std::env::remove_var("NPTSN_CHAOS");
+        nptsn_chaos::disarm();
+        result.expect("a plan naming no live site must not break the run");
     }
 
     #[test]

@@ -56,7 +56,7 @@
 mod commands;
 mod report;
 
-pub use commands::{run, CliError};
+pub use commands::{run, CliError, EXIT_INCONCLUSIVE};
 // The format parsers live in `nptsn-format` (shared with `nptsn-serve`);
 // re-exported here so existing `nptsn_cli::parse_problem` callers keep
 // working.

@@ -5,6 +5,6 @@ fn main() {
     let mut stdout = std::io::stdout().lock();
     if let Err(err) = nptsn_cli::run(&args, &mut stdout) {
         eprintln!("error: {err}");
-        std::process::exit(1);
+        std::process::exit(err.exit_code());
     }
 }

@@ -61,6 +61,11 @@ pub struct EpochStats {
     /// hits count as checked), so it participates in the determinism
     /// guarantees like every other field.
     pub scenarios_checked: u64,
+    /// 1 when this epoch's PPO update produced a non-finite loss or
+    /// parameter and was rolled back to the pre-update snapshot (both Adam
+    /// optimizers reset); 0 for a clean update. The epoch's experience is
+    /// discarded, the run continues.
+    pub ppo_rollbacks: usize,
 }
 
 /// The outcome of a planning run.
@@ -195,12 +200,46 @@ impl Planner {
     /// running plan job flips a flag the callback observes, and the run
     /// winds down at the next epoch boundary instead of being killed
     /// mid-update.
-    pub fn run_until(&self, mut progress: impl FnMut(&EpochStats) -> bool) -> PlannerReport {
+    pub fn run_until(&self, progress: impl FnMut(&EpochStats) -> bool) -> PlannerReport {
+        self.train(None, progress).expect("training without a resume checkpoint cannot fail")
+    }
+
+    /// Resumes training from a previously saved policy checkpoint (the
+    /// bytes of a [`PlannerReport::policy_checkpoint`] or of the file a
+    /// [`PlannerConfig::checkpoint_path`] run wrote): the master policy
+    /// starts from the saved parameters instead of a fresh initialization,
+    /// then trains exactly like [`Planner::run_until`]. This is the
+    /// crash-resume path — a run killed mid-training continues from its
+    /// last completed epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the failure when the checkpoint does not
+    /// validate against this problem's policy shape (corrupted, truncated,
+    /// or from a different problem/configuration).
+    pub fn run_until_resumed(
+        &self,
+        checkpoint: &[u8],
+        progress: impl FnMut(&EpochStats) -> bool,
+    ) -> Result<PlannerReport, String> {
+        self.train(Some(checkpoint), progress)
+    }
+
+    fn train(
+        &self,
+        resume: Option<&[u8]>,
+        mut progress: impl FnMut(&EpochStats) -> bool,
+    ) -> Result<PlannerReport, String> {
         let _run_span = nptsn_obs::span("planner.run");
         let (n, feature_count, action_count) = self.network_dims();
 
         let master =
             PolicyNetwork::new(&self.config, n, feature_count, action_count, self.config.seed);
+        if let Some(bytes) = resume {
+            nptsn_nn::params_from_bytes(&master.parameters(), bytes)
+                .map_err(|e| format!("resume checkpoint: {e}"))?;
+            nptsn_obs::telemetry().recovery_checkpoint_resumes.inc();
+        }
         let mut actor_opt = Adam::new(master.actor_parameters(), self.config.actor_lr);
         let mut critic_opt = Adam::new(master.critic_parameters(), self.config.critic_lr);
         let ppo = PpoConfig {
@@ -281,11 +320,50 @@ impl Planner {
             let batch = Batch::merge(batches);
             // With every worker poisoned there is no experience to learn
             // from; record the epoch and move on.
-            let stats = if batch.is_empty() {
+            let mut stats = if batch.is_empty() {
                 nptsn_rl::PpoStats::default()
             } else {
                 let _ppo_span = nptsn_obs::span("planner.ppo_update");
                 ppo_update(&master, &mut actor_opt, &mut critic_opt, &batch, &ppo)
+            };
+            // Chaos site `planner.ppo_update`: a firing rule poisons this
+            // epoch's update exactly like a NaN gradient would, so storms
+            // exercise the rollback guard below.
+            if nptsn_chaos::point("planner.ppo_update").is_err() {
+                stats.policy_loss = f32::NAN;
+                if let Some(p) = master.parameters().first() {
+                    p.set_data(&vec![f32::NAN; p.len()]);
+                }
+            }
+
+            // Divergence guard: a non-finite loss/KL or a non-finite master
+            // parameter means this update cannot be trusted. Roll back to
+            // the pre-update snapshot, reset both Adam optimizers (their
+            // moments may share the contamination) and carry on — the next
+            // epoch draws fresh rollout streams, so training re-seeds
+            // instead of dying.
+            let update_is_finite = stats.policy_loss.is_finite()
+                && stats.value_loss.is_finite()
+                && stats.approx_kl.is_finite()
+                && master
+                    .parameters()
+                    .iter()
+                    .all(|p| p.data().iter().all(|v| v.is_finite()));
+            let ppo_rollbacks = if update_is_finite {
+                0
+            } else {
+                import_params(&master.parameters(), &snapshot);
+                actor_opt = Adam::new(master.actor_parameters(), self.config.actor_lr);
+                critic_opt = Adam::new(master.critic_parameters(), self.config.critic_lr);
+                stats = nptsn_rl::PpoStats::default();
+                if nptsn_obs::enabled() {
+                    nptsn_obs::event(
+                        nptsn_obs::Level::Error,
+                        "planner.rollback",
+                        &format!("epoch {epoch}: non-finite PPO update rolled back"),
+                    );
+                }
+                1
             };
 
             let mean_return = if episode_returns.is_empty() {
@@ -305,11 +383,28 @@ impl Planner {
                 entropy: stats.entropy,
                 poisoned_workers,
                 scenarios_checked,
+                ppo_rollbacks,
             };
             let telemetry = nptsn_obs::telemetry();
             telemetry.planner_epochs.inc();
             telemetry.planner_solutions.add(solutions_found as u64);
             telemetry.planner_poisoned_workers.add(poisoned_workers as u64);
+            telemetry.recovery_ppo_rollbacks.add(ppo_rollbacks as u64);
+            // Periodic crash checkpoint: after this epoch's (possibly
+            // rolled-back) update the master parameters are exactly what
+            // the final report would carry if the run stopped now, so the
+            // file always restores to a state the run actually reached.
+            if let Some(path) = &self.config.checkpoint_path {
+                if let Err(e) = nptsn_nn::save_params_atomic(&master.parameters(), path) {
+                    if nptsn_obs::enabled() {
+                        nptsn_obs::event(
+                            nptsn_obs::Level::Error,
+                            "planner.checkpoint",
+                            &format!("epoch {epoch}: periodic checkpoint failed: {e}"),
+                        );
+                    }
+                }
+            }
             if nptsn_obs::enabled() {
                 nptsn_obs::event(
                     nptsn_obs::Level::Info,
@@ -329,7 +424,7 @@ impl Planner {
         }
 
         let policy_checkpoint = nptsn_nn::params_to_bytes(&master.parameters());
-        PlannerReport { best, epochs, policy_checkpoint }
+        Ok(PlannerReport { best, epochs, policy_checkpoint })
     }
 }
 
@@ -355,6 +450,12 @@ fn collect_rollout(
     seed: u64,
 ) -> WorkerResult {
     let _rollout_span = nptsn_obs::span("planner.rollout");
+    // Chaos site `planner.rollout`: the worker runs under `catch_unwind`,
+    // so both `panic` and `error` rules surface the same way a buggy NBF
+    // would — this worker poisoned, the epoch continuing without it.
+    if let Err(e) = nptsn_chaos::point("planner.rollout") {
+        panic!("{e}");
+    }
     // Same seed as the master so shapes match; values overwritten.
     let net = PolicyNetwork::new(config, n, feature_count, action_count, config.seed);
     import_params(&net.parameters(), snapshot);

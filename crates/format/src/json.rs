@@ -135,9 +135,13 @@ impl Object {
 ///
 /// ```json
 /// {"verdict":"unreliable","reliable":false,"failed_switches":["s0"],
-///  "errors":"...","scenarios_checked":1,"exhausted":true,
-///  "cache_hits":0,"cache_misses":1,"cost":11.0}
+///  "errors":"...","conclusive":true,"scenarios_checked":1,
+///  "exhausted":true,"cache_hits":0,"cache_misses":1,"cost":11.0}
 /// ```
+///
+/// `conclusive` is false exactly for `Verdict::Inconclusive` (the budget
+/// ran out before reliability could be decided); consumers gate on it
+/// because an inconclusive "not reliable" is *not* a disproof.
 pub fn analysis_report_json(
     problem: &PlanningProblem,
     report: &AnalysisReport,
@@ -164,6 +168,7 @@ pub fn analysis_report_json(
             obj.str("errors", &errors.to_string());
         }
     }
+    obj.bool("conclusive", !matches!(report.verdict, Verdict::Inconclusive { .. }));
     obj.int("scenarios_checked", report.scenarios_checked);
     obj.bool("exhausted", report.exhausted);
     obj.int("cache_hits", report.cache_hits);
@@ -193,6 +198,7 @@ pub fn epoch_stats_json(stats: &EpochStats) -> String {
     obj.num("entropy", f64::from(stats.entropy));
     obj.int("poisoned_workers", stats.poisoned_workers as u64);
     obj.int("scenarios_checked", stats.scenarios_checked);
+    obj.int("ppo_rollbacks", stats.ppo_rollbacks as u64);
     obj.finish()
 }
 
@@ -301,11 +307,13 @@ a b 500 128
             entropy: 1.0,
             poisoned_workers: 0,
             scenarios_checked: 17,
+            ppo_rollbacks: 1,
         };
         let json = epoch_stats_json(&stats);
         assert!(json.contains("\"epoch\":3"), "{json}");
         assert!(json.contains("\"best_cost\":null"));
         assert!(json.contains("\"mean_episode_return\":-0.5"));
         assert!(json.contains("\"scenarios_checked\":17"));
+        assert!(json.contains("\"ppo_rollbacks\":1"));
     }
 }

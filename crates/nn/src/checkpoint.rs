@@ -339,7 +339,12 @@ pub fn checkpoint_shapes(bytes: &[u8]) -> Result<Vec<(usize, usize)>, Checkpoint
 /// Returns [`CheckpointFileError::Io`] if any filesystem step fails; the
 /// temporary file is cleaned up on a best-effort basis.
 pub fn save_params_atomic(params: &[Tensor], path: &Path) -> Result<(), CheckpointFileError> {
-    let bytes = params_to_bytes(params);
+    let mut bytes = params_to_bytes(params);
+    // Chaos site `checkpoint.save`: a firing `corrupt` rule flips one bit
+    // after the CRC trailer was computed (rot between serialization and
+    // stable storage — the next load must detect it); a firing `error`
+    // rule becomes a torn temp file below.
+    let injected = nptsn_chaos::point_bytes("checkpoint.save", &mut bytes);
     let file_name = path.file_name().ok_or_else(|| {
         std::io::Error::new(
             std::io::ErrorKind::InvalidInput,
@@ -355,6 +360,13 @@ pub fn save_params_atomic(params: &[Tensor], path: &Path) -> Result<(), Checkpoi
     let tmp = dir.join(format!(".{}.tmp.{}", file_name.to_string_lossy(), std::process::id()));
     let write = (|| -> std::io::Result<()> {
         let mut f = File::create(&tmp)?;
+        if let Err(fault) = injected {
+            // Injected write failure: half the payload reaches the temp
+            // file before the "crash", exercising cleanup and destination
+            // atomicity.
+            let _ = f.write_all(&bytes[..bytes.len() / 2]);
+            return Err(fault.into());
+        }
         f.write_all(&bytes)?;
         f.sync_all()?;
         fs::rename(&tmp, path)
@@ -374,7 +386,12 @@ pub fn save_params_atomic(params: &[Tensor], path: &Path) -> Result<(), Checkpoi
 /// [`CheckpointFileError::Format`] if its contents fail validation; in
 /// both cases the target parameters are left untouched.
 pub fn load_params(params: &[Tensor], path: &Path) -> Result<(), CheckpointFileError> {
-    let bytes = fs::read(path)?;
+    let mut bytes = fs::read(path)?;
+    // Chaos site `checkpoint.load`: `corrupt` models bit rot between write
+    // and read (the CRC trailer must catch it); `error` models a failing
+    // read.
+    nptsn_chaos::point_bytes("checkpoint.load", &mut bytes)
+        .map_err(|e| CheckpointFileError::Io(e.into()))?;
     params_from_bytes(params, &bytes)?;
     Ok(())
 }

@@ -31,6 +31,21 @@ pub struct Telemetry {
     pub analyzer_cache_misses: Arc<Counter>,
     /// Analyses cut short by the budget (`nptsn_analyzer_budget_exhausted_total`).
     pub analyzer_budget_exhausted: Arc<Counter>,
+    /// Faults injected by an armed chaos plan (`nptsn_chaos_faults_total`);
+    /// per-site breakdown lives in `nptsn_chaos_faults_injected_total{site=...}`.
+    pub chaos_faults: Arc<Counter>,
+    /// PPO epochs rolled back to the last good parameter snapshot after a
+    /// non-finite loss or gradient (`nptsn_recovery_ppo_rollbacks_total`).
+    pub recovery_ppo_rollbacks: Arc<Counter>,
+    /// Jobs killed at their wall-clock deadline
+    /// (`nptsn_recovery_deadline_kills_total`).
+    pub recovery_deadline_kills: Arc<Counter>,
+    /// Training runs resumed from a crash checkpoint
+    /// (`nptsn_recovery_checkpoint_resumes_total`).
+    pub recovery_checkpoint_resumes: Arc<Counter>,
+    /// Client requests retried with backoff
+    /// (`nptsn_recovery_client_retries_total`).
+    pub recovery_client_retries: Arc<Counter>,
 }
 
 impl Telemetry {
@@ -54,6 +69,24 @@ impl Telemetry {
             "nptsn_analyzer_budget_exhausted_total",
             "Analyses stopped early by the scenario budget",
         );
+        let chaos_faults =
+            registry.counter("nptsn_chaos_faults_total", "Faults injected by an armed chaos plan");
+        let recovery_ppo_rollbacks = registry.counter(
+            "nptsn_recovery_ppo_rollbacks_total",
+            "PPO epochs rolled back after a non-finite loss or gradient",
+        );
+        let recovery_deadline_kills = registry.counter(
+            "nptsn_recovery_deadline_kills_total",
+            "Jobs killed at their wall-clock deadline",
+        );
+        let recovery_checkpoint_resumes = registry.counter(
+            "nptsn_recovery_checkpoint_resumes_total",
+            "Training runs resumed from a crash checkpoint",
+        );
+        let recovery_client_retries = registry.counter(
+            "nptsn_recovery_client_retries_total",
+            "Client requests retried with backoff",
+        );
         Telemetry {
             registry,
             planner_epochs,
@@ -63,6 +96,11 @@ impl Telemetry {
             analyzer_cache_hits,
             analyzer_cache_misses,
             analyzer_budget_exhausted,
+            chaos_faults,
+            recovery_ppo_rollbacks,
+            recovery_deadline_kills,
+            recovery_checkpoint_resumes,
+            recovery_client_retries,
         }
     }
 
@@ -76,6 +114,11 @@ impl Telemetry {
             analyzer_cache_hits: self.analyzer_cache_hits.get(),
             analyzer_cache_misses: self.analyzer_cache_misses.get(),
             analyzer_budget_exhausted: self.analyzer_budget_exhausted.get(),
+            chaos_faults: self.chaos_faults.get(),
+            recovery_ppo_rollbacks: self.recovery_ppo_rollbacks.get(),
+            recovery_deadline_kills: self.recovery_deadline_kills.get(),
+            recovery_checkpoint_resumes: self.recovery_checkpoint_resumes.get(),
+            recovery_client_retries: self.recovery_client_retries.get(),
         }
     }
 }
@@ -99,6 +142,16 @@ pub struct TelemetrySnapshot {
     pub analyzer_cache_misses: u64,
     /// `nptsn_analyzer_budget_exhausted_total` at snapshot time.
     pub analyzer_budget_exhausted: u64,
+    /// `nptsn_chaos_faults_total` at snapshot time.
+    pub chaos_faults: u64,
+    /// `nptsn_recovery_ppo_rollbacks_total` at snapshot time.
+    pub recovery_ppo_rollbacks: u64,
+    /// `nptsn_recovery_deadline_kills_total` at snapshot time.
+    pub recovery_deadline_kills: u64,
+    /// `nptsn_recovery_checkpoint_resumes_total` at snapshot time.
+    pub recovery_checkpoint_resumes: u64,
+    /// `nptsn_recovery_client_retries_total` at snapshot time.
+    pub recovery_client_retries: u64,
 }
 
 /// The process-wide [`Telemetry`] instance (created on first use).
@@ -123,6 +176,11 @@ mod tests {
             "nptsn_analyzer_cache_hits_total",
             "nptsn_analyzer_cache_misses_total",
             "nptsn_analyzer_budget_exhausted_total",
+            "nptsn_chaos_faults_total",
+            "nptsn_recovery_ppo_rollbacks_total",
+            "nptsn_recovery_deadline_kills_total",
+            "nptsn_recovery_checkpoint_resumes_total",
+            "nptsn_recovery_client_retries_total",
         ] {
             assert!(text.contains(&format!("# HELP {name} ")), "{name} missing HELP: {text}");
             assert!(text.contains(&format!("# TYPE {name} counter")), "{name} missing TYPE");

@@ -1,10 +1,53 @@
 //! A minimal blocking HTTP client for exercising the service — used by the
 //! end-to-end tests, the smoke test in `scripts/verify.sh` and the serving
 //! benchmark. One [`Client`] holds one keep-alive connection.
+//!
+//! With [`Client::with_backoff`] the client also self-heals: transport
+//! errors and `503` backpressure answers are retried with capped, jittered
+//! exponential backoff, honoring the server's `Retry-After` hint. The
+//! jitter stream is seeded, so a retry schedule replays exactly.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+use nptsn_rand::rngs::StdRng;
+use nptsn_rand::{Rng, SeedableRng};
+
+/// Retry policy for [`Client::with_backoff`].
+#[derive(Debug, Clone)]
+pub struct BackoffConfig {
+    /// Retries after the first attempt (`0` disables retrying).
+    pub max_retries: u32,
+    /// Base delay for the exponential schedule, in milliseconds.
+    pub base_ms: u64,
+    /// Hard cap on any single delay (including `Retry-After` hints).
+    pub cap_ms: u64,
+    /// Seed for the jitter stream — same seed, same schedule.
+    pub seed: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> BackoffConfig {
+        BackoffConfig { max_retries: 5, base_ms: 50, cap_ms: 2_000, seed: 0 }
+    }
+}
+
+impl BackoffConfig {
+    /// The delay before retry number `attempt` (0-based): the server's
+    /// `Retry-After` hint when present, otherwise `base * 2^attempt`,
+    /// both capped at `cap_ms` — then halved and jittered so synchronized
+    /// clients spread out instead of stampeding together.
+    fn delay(&self, attempt: u32, retry_after_secs: Option<u64>, rng: &mut StdRng) -> Duration {
+        let nominal = match retry_after_secs {
+            Some(secs) => secs.saturating_mul(1_000),
+            None => self.base_ms.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX)),
+        }
+        .min(self.cap_ms);
+        let jittered = nominal / 2 + rng.gen_range(0..nominal / 2 + 1);
+        Duration::from_millis(jittered)
+    }
+}
 
 /// A response as the client sees it.
 #[derive(Debug, Clone)]
@@ -35,12 +78,22 @@ impl ClientResponse {
 pub struct Client {
     addr: SocketAddr,
     connection: Option<BufReader<TcpStream>>,
+    backoff: Option<(BackoffConfig, StdRng)>,
 }
 
 impl Client {
     /// A client for the given address; connects lazily.
     pub fn new(addr: SocketAddr) -> Client {
-        Client { addr, connection: None }
+        Client { addr, connection: None, backoff: None }
+    }
+
+    /// Returns this client with retrying enabled: transport errors and
+    /// `503` answers are retried up to `config.max_retries` times with
+    /// capped jittered exponential backoff, honoring `Retry-After`.
+    pub fn with_backoff(mut self, config: BackoffConfig) -> Client {
+        let rng = StdRng::seed_from_u64(config.seed);
+        self.backoff = Some((config, rng));
+        self
     }
 
     /// A `GET` request.
@@ -79,8 +132,44 @@ impl Client {
     }
 
     /// Sends one request, reconnecting once if the kept-alive connection
-    /// went away since the last exchange.
+    /// went away since the last exchange. With a backoff policy, also
+    /// retries transport errors and `503` backpressure answers.
     fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, String)],
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.request_once(method, path, headers, body);
+            let Some((config, _)) = &self.backoff else { return outcome };
+            if attempt >= config.max_retries {
+                return outcome;
+            }
+            let retry_after = match &outcome {
+                // Backpressure: retry on the server's schedule.
+                Ok(r) if r.status == 503 => {
+                    Some(r.header("retry-after").and_then(|v| v.parse::<u64>().ok()))
+                }
+                Ok(_) => return outcome,
+                // Transport failure: the connection died or timed out.
+                Err(_) => Some(None),
+            };
+            let Some(retry_after) = retry_after else { return outcome };
+            self.connection = None;
+            let (config, rng) = self.backoff.as_mut().expect("backoff checked above");
+            let delay = config.delay(attempt, retry_after, rng);
+            nptsn_obs::telemetry().recovery_client_retries.inc();
+            std::thread::sleep(delay);
+            attempt += 1;
+        }
+    }
+
+    /// One attempt: sends the request, reconnecting once if the
+    /// kept-alive connection went away since the last exchange.
+    fn request_once(
         &mut self,
         method: &str,
         path: &str,
@@ -158,6 +247,46 @@ impl Client {
             self.connection = None;
         }
         Ok(ClientResponse { status, headers: headers_out, body: body_out })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_delays_grow_exponentially_and_cap() {
+        let config = BackoffConfig { max_retries: 8, base_ms: 100, cap_ms: 1_000, seed: 1 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut previous_nominal = 0;
+        for attempt in 0..8 {
+            let delay = config.delay(attempt, None, &mut rng).as_millis() as u64;
+            let nominal = (100u64 << attempt).min(1_000);
+            // Jitter keeps the delay in [nominal/2, nominal].
+            assert!(delay >= nominal / 2 && delay <= nominal, "attempt {attempt}: {delay}");
+            assert!(nominal >= previous_nominal);
+            previous_nominal = nominal;
+        }
+    }
+
+    #[test]
+    fn retry_after_hint_overrides_the_schedule_but_not_the_cap() {
+        let config = BackoffConfig { max_retries: 3, base_ms: 10, cap_ms: 500, seed: 7 };
+        let mut rng = StdRng::seed_from_u64(7);
+        // 2s hint capped to 500ms, then jittered into [250, 500].
+        let delay = config.delay(0, Some(2), &mut rng).as_millis() as u64;
+        assert!((250..=500).contains(&delay), "{delay}");
+    }
+
+    #[test]
+    fn a_seed_pins_the_whole_retry_schedule() {
+        let config = BackoffConfig::default();
+        let run = |seed: u64| -> Vec<Duration> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..6).map(|i| config.delay(i, None, &mut rng)).collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should jitter differently");
     }
 }
 

@@ -11,6 +11,7 @@
 //! [`HttpError::PayloadTooLarge`].
 
 use std::io::{self, BufRead, Write};
+use std::time::Instant;
 
 /// Hard cap on one request/header line (bytes, including CRLF).
 const MAX_LINE_BYTES: usize = 8 * 1024;
@@ -68,6 +69,14 @@ pub enum HttpError {
         /// The configured maximum body size.
         limit: usize,
     },
+    /// The socket read timed out (per-read `set_read_timeout`) or the
+    /// request head overran its total deadline (slowloris protection).
+    Timeout {
+        /// Whether part of a request had already arrived. A timeout on an
+        /// idle keep-alive connection (`false`) is a quiet close; a
+        /// timeout mid-request (`true`) maps to `408 Request Timeout`.
+        mid_request: bool,
+    },
     /// The underlying socket failed mid-request.
     Io(io::Error),
 }
@@ -80,17 +89,41 @@ impl std::fmt::Display for HttpError {
             HttpError::PayloadTooLarge { declared, limit } => {
                 write!(f, "body of {declared} bytes exceeds the {limit}-byte limit")
             }
+            HttpError::Timeout { mid_request: true } => f.write_str("request timed out"),
+            HttpError::Timeout { mid_request: false } => f.write_str("idle connection timed out"),
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
 }
 
-/// Reads one line terminated by `\n`, enforcing the line-length cap.
-/// Returns `None` on clean EOF at a line boundary.
-fn read_line(stream: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+/// Whether an i/o error is a socket read/write timeout. `set_read_timeout`
+/// surfaces as `WouldBlock` on Unix and `TimedOut` on Windows.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Reads one line terminated by `\n`, enforcing the line-length cap and —
+/// when a deadline is given — the total header deadline. Returns `None`
+/// on clean EOF at a line boundary.
+fn read_line(
+    stream: &mut impl BufRead,
+    deadline: Option<Instant>,
+) -> Result<Option<String>, HttpError> {
     let mut line = Vec::new();
     loop {
-        let buf = stream.fill_buf().map_err(HttpError::Io)?;
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            // The deadline caps the *total* time spent on a request head,
+            // so a peer dripping one byte per read (slowloris) cannot
+            // dodge the per-read socket timeout indefinitely.
+            return Err(HttpError::Timeout { mid_request: !line.is_empty() });
+        }
+        let buf = stream.fill_buf().map_err(|e| {
+            if is_timeout(&e) {
+                HttpError::Timeout { mid_request: !line.is_empty() }
+            } else {
+                HttpError::Io(e)
+            }
+        })?;
         if buf.is_empty() {
             return if line.is_empty() {
                 Ok(None)
@@ -148,11 +181,29 @@ fn url_decode(s: &str) -> String {
 /// [`HttpError::Closed`] on clean EOF before any bytes (keep-alive end),
 /// [`HttpError::BadRequest`] for malformed or truncated requests,
 /// [`HttpError::PayloadTooLarge`] when the declared body exceeds
-/// `max_body`, and [`HttpError::Io`] for socket failures.
+/// `max_body`, [`HttpError::Timeout`] when a socket read times out, and
+/// [`HttpError::Io`] for socket failures.
 pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> Result<Request, HttpError> {
-    let request_line = match read_line(stream)? {
+    read_request_deadline(stream, max_body, None)
+}
+
+/// [`read_request`] with a total deadline on the request head (request
+/// line + headers). The deadline defends against slowloris peers that
+/// drip bytes slowly enough to reset the per-read socket timeout; body
+/// reads are bounded by the socket timeout alone.
+pub fn read_request_deadline(
+    stream: &mut impl BufRead,
+    max_body: usize,
+    deadline: Option<Instant>,
+) -> Result<Request, HttpError> {
+    let request_line = match read_line(stream, deadline)? {
         None => return Err(HttpError::Closed),
         Some(l) => l,
+    };
+    // Any timeout past this point happens with a request on the wire.
+    let mid = |e| match e {
+        HttpError::Timeout { .. } => HttpError::Timeout { mid_request: true },
+        other => other,
     };
     let mut parts = request_line.split_whitespace();
     let method = parts
@@ -184,7 +235,8 @@ pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> Result<Reques
 
     let mut headers = Vec::new();
     loop {
-        let line = read_line(stream)?
+        let line = read_line(stream, deadline)
+            .map_err(mid)?
             .ok_or_else(|| HttpError::BadRequest("connection closed in headers".into()))?;
         if line.is_empty() {
             break;
@@ -214,6 +266,8 @@ pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> Result<Reques
         io::Read::read_exact(stream, &mut body).map_err(|e| {
             if e.kind() == io::ErrorKind::UnexpectedEof {
                 HttpError::BadRequest("request body shorter than Content-Length".into())
+            } else if is_timeout(&e) {
+                HttpError::Timeout { mid_request: true }
             } else {
                 HttpError::Io(e)
             }
@@ -231,6 +285,7 @@ pub fn status_reason(code: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         411 => "Length Required",
         413 => "Payload Too Large",
@@ -387,6 +442,69 @@ mod tests {
             (0..70).map(|i| format!("H{i}: v\r\n")).collect::<String>()
         );
         assert!(matches!(parse(&many), Err(HttpError::BadRequest(m)) if m.contains("too many")));
+    }
+
+    /// Serves a fixed prefix, then every further read times out — the
+    /// shape of a slowloris peer behind `set_read_timeout`.
+    struct StallAfter<'a> {
+        data: &'a [u8],
+    }
+
+    impl io::Read for StallAfter<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let take = self.data.len().min(buf.len());
+            if take == 0 {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"));
+            }
+            buf[..take].copy_from_slice(&self.data[..take]);
+            self.data = &self.data[take..];
+            Ok(take)
+        }
+    }
+
+    impl BufRead for StallAfter<'_> {
+        fn fill_buf(&mut self) -> io::Result<&[u8]> {
+            if self.data.is_empty() {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"));
+            }
+            Ok(self.data)
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.data = &self.data[amt..];
+        }
+    }
+
+    #[test]
+    fn expired_deadline_times_out_an_idle_connection_quietly() {
+        let past = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let err = read_request_deadline(&mut BufReader::new(&b""[..]), 1024, Some(past))
+            .unwrap_err();
+        assert!(matches!(err, HttpError::Timeout { mid_request: false }), "{err}");
+    }
+
+    #[test]
+    fn stall_after_the_request_line_is_a_mid_request_timeout() {
+        // Idle stall before any byte: quiet close, no 408.
+        let err = read_request(&mut StallAfter { data: b"" }, 1024).unwrap_err();
+        assert!(matches!(err, HttpError::Timeout { mid_request: false }), "{err}");
+        // Stall once the request line is in: maps to 408.
+        let err = read_request(&mut StallAfter { data: b"GET / HTTP/1.1\r\n" }, 1024)
+            .unwrap_err();
+        assert!(matches!(err, HttpError::Timeout { mid_request: true }), "{err}");
+        // Stall inside the declared body: still mid-request.
+        let err = read_request(
+            &mut StallAfter { data: b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\nhi" },
+            1024,
+        )
+        .unwrap_err();
+        assert!(matches!(err, HttpError::Timeout { mid_request: true }), "{err}");
+    }
+
+    #[test]
+    fn timeout_reason_phrase_exists() {
+        assert_eq!(status_reason(408), "Request Timeout");
     }
 
     #[test]

@@ -383,7 +383,13 @@ impl JobQueue {
     /// One worker's run loop: take jobs until the queue is closed *and*
     /// drained. Results are recorded on the job entry — nothing accepted
     /// is ever dropped.
-    pub fn worker_loop(&self, metrics: &ServeMetrics) {
+    ///
+    /// With a `job_deadline`, each job runs on a helper thread and is
+    /// abandoned when the wall clock expires: the job is recorded as
+    /// `failed`, the worker moves straight on to the next job, and the
+    /// orphaned computation gets its cancel flag set so it winds down at
+    /// its next cancellation point. Its late result is discarded.
+    pub fn worker_loop(&self, metrics: &ServeMetrics, job_deadline: Option<std::time::Duration>) {
         loop {
             let (id, kind, cancel, progress) = {
                 let mut state = self.lock();
@@ -414,17 +420,36 @@ impl JobQueue {
             // A panicking job poisons only itself, never the worker: the
             // pool keeps serving (same policy as the planner's rollout
             // workers).
-            let result = {
-                let _span = nptsn_obs::span("job.run");
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    execute(&kind, &cancel, &progress)
-                }))
-                .unwrap_or_else(|_| Err("job panicked".to_string()))
+            let (result, timed_out) = match job_deadline {
+                None => {
+                    let _span = nptsn_obs::span("job.run");
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            execute(&kind, &cancel, &progress)
+                        }))
+                        .unwrap_or_else(|_| Err("job panicked".to_string()));
+                    (result, false)
+                }
+                Some(limit) => run_with_deadline(&kind, &cancel, &progress, limit),
             };
             metrics.jobs_running.sub(1);
 
             let mut state = self.lock();
             let entry = state.jobs.get_mut(&id).expect("running job exists");
+            if timed_out {
+                // A deadline kill is always `failed` — even if a cancel
+                // arrived concurrently, the deadline is what ended it,
+                // and the distinction matters for the recovery counters.
+                entry.state = JobState::Failed;
+                entry.error = result.err();
+                metrics.jobs_failed.inc();
+                nptsn_obs::telemetry().recovery_deadline_kills.inc();
+                drop(state);
+                // Signal *after* recording: the orphaned computation can
+                // only observe the flag once `failed` is already visible.
+                cancel.store(true, Ordering::Relaxed);
+                continue;
+            }
             match result {
                 Ok(outcome) => {
                     entry.outcome = Some(outcome);
@@ -447,6 +472,60 @@ impl JobQueue {
                     entry.error = Some(message);
                 }
             }
+        }
+    }
+}
+
+/// Executes one job on a helper thread with a wall-clock deadline.
+/// Returns the job's own result and `false` when it finished in time, or
+/// a deadline error and `true` when the clock expired first (the helper
+/// thread is detached and its eventual result discarded).
+fn run_with_deadline(
+    kind: &JobKind,
+    cancel: &Arc<AtomicBool>,
+    progress: &Arc<Progress>,
+    limit: std::time::Duration,
+) -> (Result<JobOutcome, String>, bool) {
+    type Slot = Arc<(Mutex<Option<Result<JobOutcome, String>>>, Condvar)>;
+    let slot: Slot = Arc::new((Mutex::new(None), Condvar::new()));
+    let spawned = {
+        let slot = Arc::clone(&slot);
+        let kind = kind.clone();
+        let cancel = Arc::clone(cancel);
+        let progress = Arc::clone(progress);
+        std::thread::Builder::new()
+            .name("nptsn-serve-job".to_string())
+            .spawn(move || {
+                let _span = nptsn_obs::span("job.run");
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    execute(&kind, &cancel, &progress)
+                }))
+                .unwrap_or_else(|_| Err("job panicked".to_string()));
+                let (lock, cv) = &*slot;
+                *lock.lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                cv.notify_all();
+            })
+    };
+    if spawned.is_err() {
+        // Thread exhaustion: degrade to an inline run rather than losing
+        // the job.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(kind, cancel, progress)
+        }))
+        .unwrap_or_else(|_| Err("job panicked".to_string()));
+        return (result, false);
+    }
+    let (lock, cv) = &*slot;
+    let guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+    let (mut guard, wait) = cv
+        .wait_timeout_while(guard, limit, |r| r.is_none())
+        .unwrap_or_else(|e| e.into_inner());
+    match guard.take() {
+        Some(result) => (result, false),
+        None => {
+            debug_assert!(wait.timed_out());
+            let message = format!("job exceeded the {}ms deadline", limit.as_millis());
+            (Err(message), true)
         }
     }
 }
@@ -482,6 +561,9 @@ fn execute(
     cancel: &AtomicBool,
     progress: &Progress,
 ) -> Result<JobOutcome, String> {
+    // Chaos: an error here is a failed job, a panic exercises the
+    // catch_unwind in the worker loop, a delay triggers job deadlines.
+    nptsn_chaos::point("serve.job").map_err(|e| e.to_string())?;
     match kind {
         JobKind::Plan(req) => {
             let config = service_config(req.epochs, req.steps, req.seed, req.analyzer_workers);
@@ -575,7 +657,7 @@ mod tests {
         queue.close();
         assert_eq!(queue.submit(burn(0)), Err(SubmitError::ShuttingDown));
         // A worker started after close still drains both jobs, then exits.
-        queue.worker_loop(&metrics);
+        queue.worker_loop(&metrics, None);
         for id in [a, b] {
             let snap = queue.snapshot(id).unwrap();
             assert_eq!(snap.state, JobState::Done, "job {id}");
@@ -604,6 +686,43 @@ mod tests {
         assert!(json.contains("\"kind\":\"burn\""));
         assert!(json.contains("\"latest_epoch\":null"));
         assert!(queue.snapshot(99).is_none());
+    }
+
+    #[test]
+    fn expired_deadline_fails_the_job_and_the_worker_survives() {
+        let before = nptsn_obs::telemetry().snapshot();
+        let metrics = ServeMetrics::new();
+        let queue = Arc::new(JobQueue::new(8));
+        // The first job overruns a 30ms deadline; the second is instant.
+        // Both results must be recorded by the *same* worker pass.
+        let slow = queue.submit(burn(60_000)).unwrap();
+        let fast = queue.submit(burn(0)).unwrap();
+        queue.close();
+        queue.worker_loop(&metrics, Some(std::time::Duration::from_millis(30)));
+
+        let snap = queue.snapshot(slow).unwrap();
+        assert_eq!(snap.state, JobState::Failed);
+        assert!(
+            snap.error.as_deref().unwrap_or("").contains("deadline"),
+            "{:?}",
+            snap.error
+        );
+        assert_eq!(queue.snapshot(fast).unwrap().state, JobState::Done);
+        assert_eq!(metrics.jobs_failed.get(), 1);
+        assert_eq!(metrics.jobs_completed.get(), 1);
+        let after = nptsn_obs::telemetry().snapshot();
+        assert!(after.recovery_deadline_kills >= before.recovery_deadline_kills + 1);
+    }
+
+    #[test]
+    fn jobs_inside_the_deadline_complete_normally() {
+        let metrics = ServeMetrics::new();
+        let queue = Arc::new(JobQueue::new(4));
+        let id = queue.submit(burn(1)).unwrap();
+        queue.close();
+        queue.worker_loop(&metrics, Some(std::time::Duration::from_secs(30)));
+        assert_eq!(queue.snapshot(id).unwrap().state, JobState::Done);
+        assert_eq!(metrics.jobs_completed.get(), 1);
     }
 
     #[test]

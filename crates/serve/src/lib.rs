@@ -41,6 +41,6 @@ pub mod server;
 /// keeps `nptsn_serve::metrics::...` paths and series names working.
 pub use nptsn_obs::metrics;
 
-pub use client::{Client, ClientResponse};
+pub use client::{BackoffConfig, Client, ClientResponse};
 pub use jobs::{JobId, JobQueue, JobSnapshot, JobState};
 pub use server::{ServeConfig, ServeMetrics, Server};

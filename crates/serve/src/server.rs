@@ -27,13 +27,13 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use nptsn_format::json::Object;
 use nptsn_format::{parse_plan, parse_problem};
 use nptsn_nn::checkpoint_shapes;
 
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::http::{read_request_deadline, HttpError, Request, Response};
 use crate::jobs::{
     CancelOutcome, InferRequest, JobKind, JobOutcome, JobQueue, JobState, PlanRequest,
     SubmitError, VerifyRequest,
@@ -53,6 +53,18 @@ pub struct ServeConfig {
     pub max_body_bytes: usize,
     /// The `Retry-After` hint (seconds) sent with backpressure responses.
     pub retry_after_secs: u32,
+    /// Per-connection socket read/write timeout in milliseconds (`0`
+    /// disables). Bounds every individual socket operation so a stalled
+    /// or vanished peer can never pin a connection thread forever.
+    pub io_timeout_ms: u64,
+    /// Total deadline for reading one request head (request line +
+    /// headers) in milliseconds (`0` disables). Slowloris protection: a
+    /// peer dripping bytes resets the per-read timeout but not this.
+    pub header_deadline_ms: u64,
+    /// Wall-clock deadline for one job's execution in milliseconds (`0`
+    /// disables). An expired job is recorded as `failed` and its worker
+    /// moves on; the orphaned computation is signalled to wind down.
+    pub job_deadline_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +75,9 @@ impl Default for ServeConfig {
             queue_depth: 16,
             max_body_bytes: 4 * 1024 * 1024,
             retry_after_secs: 1,
+            io_timeout_ms: 30_000,
+            header_deadline_ms: 10_000,
+            job_deadline_ms: 0,
         }
     }
 }
@@ -206,12 +221,14 @@ impl Server {
             done_cv: Condvar::new(),
         });
 
+        let job_deadline = (shared.config.job_deadline_ms > 0)
+            .then(|| Duration::from_millis(shared.config.job_deadline_ms));
         let workers = (0..shared.config.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("nptsn-serve-worker-{i}"))
-                    .spawn(move || shared.queue.worker_loop(&shared.metrics))
+                    .spawn(move || shared.queue.worker_loop(&shared.metrics, job_deadline))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -275,6 +292,12 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             return;
         }
         let Ok(stream) = stream else { continue };
+        // Chaos: a faulted accept drops the connection before a handler
+        // exists — the client sees a reset and must retry.
+        if nptsn_chaos::point("serve.accept").is_err() {
+            drop(stream);
+            continue;
+        }
         let shared = Arc::clone(shared);
         // Connection handlers are detached: they end when the client
         // closes or after the first response once shutdown begins.
@@ -285,13 +308,29 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 }
 
 fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    // Socket timeouts first: every read and write on this connection is
+    // individually bounded, so a stalled peer can never pin this thread.
+    // (Both halves share the underlying socket, so setting them once on
+    // the original stream covers the clone too.)
+    let io_timeout =
+        (shared.config.io_timeout_ms > 0).then(|| Duration::from_millis(shared.config.io_timeout_ms));
+    if stream.set_read_timeout(io_timeout).is_err() || stream.set_write_timeout(io_timeout).is_err()
+    {
+        return;
+    }
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     loop {
         let started = Instant::now();
+        let header_deadline = (shared.config.header_deadline_ms > 0)
+            .then(|| started + Duration::from_millis(shared.config.header_deadline_ms));
         let mut is_shutdown = false;
-        let response = match read_request(&mut reader, shared.config.max_body_bytes) {
+        let response = match read_request_deadline(
+            &mut reader,
+            shared.config.max_body_bytes,
+            header_deadline,
+        ) {
             Ok(request) => {
                 let _span = nptsn_obs::span("http.request");
                 shared.metrics.http_requests.inc();
@@ -327,6 +366,17 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 r.close = true;
                 r
             }
+            // An idle keep-alive connection timing out is the normal end
+            // of a session — close quietly, exactly like a client EOF.
+            Err(HttpError::Timeout { mid_request: false }) => return,
+            Err(HttpError::Timeout { mid_request: true }) => {
+                shared.metrics.http_requests.inc();
+                let mut r = Response::error(408, "request timed out");
+                // Part of a request is still on the wire; the connection
+                // cannot be reused.
+                r.close = true;
+                r
+            }
             Err(HttpError::Io(_)) => return,
         };
         shared
@@ -334,6 +384,11 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
             .http_request_seconds
             .observe(started.elapsed().as_secs_f64());
         shared.metrics.response_counter(response.status).inc();
+        // Chaos: a faulted write drops the connection with the response
+        // unsent — the client sees the connection die mid-exchange.
+        if nptsn_chaos::point("serve.conn.write").is_err() {
+            return;
+        }
         let write_ok = response.write_to(&mut writer).is_ok();
         // Shutdown is initiated only after the 200 is on the wire: wait()
         // (and thus process exit) races this handler thread, so flushing

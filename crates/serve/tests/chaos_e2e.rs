@@ -1,0 +1,253 @@
+//! Chaos and timeout end-to-end tests over real TCP.
+//!
+//! Separate test binary: an armed [`nptsn_chaos::FaultPlan`] is
+//! process-global, and cargo runs test binaries sequentially, so plans
+//! armed here cannot leak into the clean `e2e` tests. Within this binary
+//! every test takes `arm_scoped` (with an empty plan when it needs no
+//! faults) so the armed state never crosses test threads.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use nptsn_chaos::{arm_scoped, FaultKind, FaultPlan, SiteRule};
+use nptsn_serve::{BackoffConfig, Client, JobState, ServeConfig, Server};
+
+fn start(config: ServeConfig) -> Server {
+    Server::bind(config).expect("bind an ephemeral port")
+}
+
+fn json_u64(body: &str, key: &str) -> u64 {
+    let marker = format!("\"{key}\":");
+    let at = body.find(&marker).unwrap_or_else(|| panic!("no {key} in {body}"));
+    body[at + marker.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {key} in {body}"))
+}
+
+/// Satellite fix: server connections are bounded by socket timeouts and a
+/// header deadline — a stalled, idle, or byte-dripping (slowloris) peer
+/// cannot pin a connection thread, and the server keeps serving others.
+#[test]
+fn stalled_and_slowloris_connections_are_timed_out() {
+    let _guard = arm_scoped(FaultPlan::new(0)); // serialize only; no faults
+    let server = start(ServeConfig {
+        workers: 1,
+        queue_depth: 4,
+        io_timeout_ms: 200,
+        header_deadline_ms: 400,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // A peer that sends part of a request line and stalls gets a 408 and
+    // a closed connection once the read times out.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(b"GET /healthz HT").unwrap();
+        let started = Instant::now();
+        let mut response = String::new();
+        raw.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 408"), "{response}");
+        assert!(started.elapsed() < Duration::from_secs(5), "timeout took too long");
+    }
+
+    // An idle connection that never sends a byte is closed quietly — no
+    // 408 goes out for a keep-alive session that simply ended.
+    {
+        let raw = TcpStream::connect(addr).unwrap();
+        let mut response = String::new();
+        (&raw).read_to_string(&mut response).unwrap();
+        assert!(response.is_empty(), "idle close should send nothing: {response}");
+    }
+
+    // A slowloris peer drips header bytes fast enough to reset the
+    // per-read socket timeout; the total header deadline still kills it.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let started = Instant::now();
+        let mut response = Vec::new();
+        loop {
+            // One header byte every 50ms: each read succeeds well inside
+            // the 200ms socket timeout.
+            raw.write_all(b"X").ok();
+            std::thread::sleep(Duration::from_millis(50));
+            let mut buf = [0u8; 512];
+            raw.set_nonblocking(true).unwrap();
+            match raw.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => response.extend_from_slice(&buf[..n]),
+                Err(_) => {}
+            }
+            raw.set_nonblocking(false).unwrap();
+            assert!(
+                started.elapsed() < Duration::from_secs(10),
+                "slowloris connection was never terminated"
+            );
+        }
+        let text = String::from_utf8_lossy(&response);
+        assert!(text.starts_with("HTTP/1.1 408"), "expected 408, got: {text}");
+    }
+
+    // Throughout all of that, a well-behaved client is still served.
+    let mut client = Client::new(addr);
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+
+    server.stop();
+    server.wait();
+}
+
+/// The in-tree client's capped jittered backoff turns `503` backpressure
+/// into an eventual `202`, honoring `Retry-After` (capped) between tries.
+#[test]
+fn client_backoff_rides_out_backpressure() {
+    let _guard = arm_scoped(FaultPlan::new(0));
+    let server = start(ServeConfig { workers: 1, queue_depth: 1, ..ServeConfig::default() });
+    let addr = server.local_addr();
+
+    // Occupy the single worker and fill the one queue slot.
+    let mut plain = Client::new(addr);
+    let running = plain.post("/jobs/burn?millis=400", &[]).unwrap();
+    assert_eq!(running.status, 202);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let queued = loop {
+        let r = plain.post("/jobs/burn?millis=1", &[]).unwrap();
+        if r.status == 202 {
+            break r;
+        }
+        // The first job may not be running yet; the slot frees when it is.
+        assert!(Instant::now() < deadline, "never got a job queued");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    let _ = queued;
+    // Now the queue is full (one running, one queued) — without backoff
+    // this submission is a plain 503.
+    let refused = plain.post("/jobs/burn?millis=1", &[]).unwrap();
+    assert_eq!(refused.status, 503);
+    assert!(refused.header("retry-after").is_some());
+
+    // With backoff, the same submission retries through the 503s and
+    // lands once the burn jobs drain.
+    let before = nptsn_obs::telemetry().snapshot();
+    let mut retrying = Client::new(addr).with_backoff(BackoffConfig {
+        max_retries: 40,
+        base_ms: 40,
+        cap_ms: 200, // also caps the server's 1s Retry-After hint
+        seed: 11,
+    });
+    let accepted = retrying.post("/jobs/burn?millis=1", &[]).unwrap();
+    assert_eq!(accepted.status, 202, "{}", accepted.text());
+    let after = nptsn_obs::telemetry().snapshot();
+    assert!(
+        after.recovery_client_retries > before.recovery_client_retries,
+        "the accepted submission should have gone through at least one retry"
+    );
+
+    server.stop();
+    server.wait();
+}
+
+/// A seeded fault storm over the full serve stack: dropped accepts,
+/// dropped response writes, and failing jobs. The retrying client makes
+/// progress through all of it, nothing hangs, and at drain time every
+/// accepted job has a terminal state — zero lost jobs.
+#[test]
+fn seeded_storm_loses_no_jobs_and_drains_clean() {
+    let _guard = arm_scoped(
+        FaultPlan::new(1337)
+            .with_rule(SiteRule {
+                site: "serve.accept".to_string(),
+                kind: FaultKind::Error,
+                every: 0,
+                rate: 0.25,
+                max_count: 0,
+            })
+            .with_rule(SiteRule {
+                site: "serve.conn.write".to_string(),
+                kind: FaultKind::Error,
+                every: 0,
+                rate: 0.15,
+                max_count: 0,
+            })
+            .with_rule(SiteRule {
+                site: "serve.job".to_string(),
+                kind: FaultKind::Error,
+                every: 0,
+                rate: 0.4,
+                max_count: 0,
+            }),
+    );
+    let before = nptsn_obs::telemetry().snapshot();
+    let server = start(ServeConfig { workers: 2, queue_depth: 8, ..ServeConfig::default() });
+    let queue = server.queue();
+    let metrics = server.metrics();
+
+    let mut client = Client::new(server.local_addr()).with_backoff(BackoffConfig {
+        max_retries: 12,
+        base_ms: 5,
+        cap_ms: 50,
+        seed: 99,
+    });
+
+    // Drive a stream of jobs through the storm. Connection-level faults
+    // are invisible here thanks to the retries; job-level faults surface
+    // as `failed` — a recorded outcome, not a loss.
+    let mut ids = Vec::new();
+    for _ in 0..12 {
+        let response = client.post("/jobs/burn?millis=1", &[]).expect("submit through storm");
+        if response.status == 202 {
+            ids.push(json_u64(&response.text(), "id"));
+        } else {
+            assert_eq!(response.status, 503, "{}", response.text());
+        }
+    }
+    assert!(!ids.is_empty(), "no job made it through the storm");
+
+    // Every accepted job reaches a terminal state — polling through the
+    // same faulty stack.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    for &id in &ids {
+        loop {
+            let body = client.get(&format!("/jobs/{id}")).expect("poll through storm").text();
+            let done = ["done", "failed", "cancelled"]
+                .iter()
+                .any(|s| body.contains(&format!("\"state\":\"{s}\"")));
+            if done {
+                break;
+            }
+            assert!(Instant::now() < deadline, "job {id} hung in the storm: {body}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    server.stop();
+    server.wait();
+
+    // Accounting: submitted == completed + failed + cancelled, exactly.
+    let submitted = metrics.jobs_submitted.get();
+    let terminal =
+        metrics.jobs_completed.get() + metrics.jobs_failed.get() + metrics.jobs_cancelled.get();
+    assert_eq!(submitted, terminal, "a job was lost in the storm");
+    for &id in &ids {
+        let snap = queue.snapshot(id).expect("job tracked after drain");
+        assert!(snap.state.is_terminal(), "job {id} not terminal after drain");
+        if snap.state == JobState::Failed {
+            assert!(snap.error.is_some(), "failed job {id} has no error message");
+        }
+    }
+
+    // The storm actually stormed, and the injections reached telemetry.
+    let after = nptsn_obs::telemetry().snapshot();
+    assert!(after.chaos_faults > before.chaos_faults, "no faults were injected");
+    let counts = nptsn_chaos::injection_counts();
+    assert!(
+        counts.iter().any(|(site, n)| site == "serve.job" && *n > 0),
+        "no job faults recorded: {counts:?}"
+    );
+}

@@ -9,6 +9,11 @@
 #   BENCH_obs.json      — nptsn-obs tracing overhead on the analyzer
 #                         workload, recording disabled and enabled (the
 #                         binary itself fails if disabled overhead >= 5%)
+#   BENCH_chaos.json    — seeded chaos-storm results: determinism check,
+#                         clean vs storm job throughput, p99 recovery
+#                         latency and recovery counters (the binary fails
+#                         if disarmed chaos overhead >= 10%, a recovery
+#                         path never fired, or any job was lost)
 #
 # Usage: scripts/bench.sh [--smoke]
 #   --smoke   shrink iteration counts to a fast plumbing check (used by
@@ -19,6 +24,7 @@ cd "$(dirname "$0")/.."
 analyzer_out="BENCH_analyzer.json"
 serve_out="BENCH_serve.json"
 obs_out="BENCH_obs.json"
+chaos_out="BENCH_chaos.json"
 if [[ "${1:-}" == "--smoke" ]]; then
     export NPTSN_BENCH_SMOKE=1
     # Smoke numbers are not representative; keep them out of the committed
@@ -26,9 +32,14 @@ if [[ "${1:-}" == "--smoke" ]]; then
     analyzer_out="target/BENCH_analyzer.smoke.json"
     serve_out="target/BENCH_serve.smoke.json"
     obs_out="target/BENCH_obs.smoke.json"
+    chaos_out="target/BENCH_chaos.smoke.json"
 fi
 
-cargo build --release --offline -p nptsn-bench --bin micro --bin serve_bench --bin obs_bench
+cargo build --release --offline -p nptsn-bench \
+    --bin micro --bin serve_bench --bin obs_bench --bin chaos_storm
 NPTSN_BENCH_OUT="${NPTSN_BENCH_OUT:-$analyzer_out}" ./target/release/micro analyzer_json
 NPTSN_BENCH_OUT="${NPTSN_SERVE_BENCH_OUT:-$serve_out}" ./target/release/serve_bench
 NPTSN_BENCH_OUT="${NPTSN_OBS_BENCH_OUT:-$obs_out}" ./target/release/obs_bench
+# The chaos storm is seeded: the same seed replays the same storm, so a
+# reported failure reproduces exactly from the BENCH_chaos.json "seed".
+NPTSN_BENCH_OUT="${NPTSN_CHAOS_BENCH_OUT:-$chaos_out}" ./target/release/chaos_storm --seed 42

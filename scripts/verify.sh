@@ -10,8 +10,25 @@ cargo test -q --offline --workspace
 cargo clippy --offline --workspace -- -D warnings
 
 # Smoke-run the benchmarks: exercises the parallel + cached analyzer and
-# the HTTP service end to end and checks the BENCH_*.json plumbing.
+# the HTTP service end to end and checks the BENCH_*.json plumbing. This
+# includes the seeded chaos storm (chaos_storm --seed 42), which fails on
+# its own if a job is lost, anything hangs, a recovery path never fires,
+# or disarmed fault-injection overhead reaches 10%.
 scripts/bench.sh --smoke
+
+# Chaos smoke gates, re-checked from the storm's JSON so a regression in
+# the binary's own gating cannot pass silently: the storm replayed
+# deterministically, and every recovery counter moved.
+chaos_json="target/BENCH_chaos.smoke.json"
+grep -q '"determinism": true' "$chaos_json" \
+    || { echo "chaos smoke: storm was not deterministic" >&2; exit 1; }
+for counter in ppo_rollbacks deadline_kills client_retries; do
+    if grep -q "\"$counter\": 0," "$chaos_json"; then
+        echo "chaos smoke: recovery counter $counter never moved" >&2
+        exit 1
+    fi
+done
+echo "chaos smoke: deterministic storm + live recovery counters confirmed"
 
 # Trace smoke test: a tiny RL plan run with --trace-out must produce a
 # Perfetto-loadable trace containing the planner/analyzer span taxonomy
