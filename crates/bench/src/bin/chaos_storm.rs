@@ -1,7 +1,7 @@
 //! Seeded chaos storm over the full stack: the acceptance harness for the
 //! fault-injection framework (`nptsn-chaos`, DESIGN.md §11).
 //!
-//! Three phases, each gated — any gate failure exits non-zero:
+//! Four phases, each gated — any gate failure exits non-zero:
 //!
 //! 1. **Determinism**: two planner training runs under the same armed
 //!    fault plan (a poisoned PPO update) must produce byte-identical
@@ -12,7 +12,17 @@
 //!    watchdog aborts the whole process), every accepted job reaches a
 //!    terminal state (`submitted == completed + failed + cancelled`),
 //!    and the recovery counters actually moved.
-//! 3. **Overhead**: a disarmed `chaos::point` must stay a no-op — its
+//! 3. **Kill-and-restart**: a durable job queue (`nptsn-store` segment
+//!    log) is killed mid-traffic — dropped without a drain, exactly what
+//!    the memory sees after `kill -9` — and reopened, several times, with
+//!    store-level write faults armed throughout. Gates: at every restart
+//!    `terminal_loaded + requeued == submitted`, after the final drain
+//!    `completed + failed + cancelled == submitted + replays` (a replay is
+//!    a job whose terminal persist was lost to an injected store fault —
+//!    at-least-once execution, exactly-once result), at least one job was
+//!    actually recovered, and two same-seed storms produce byte-identical
+//!    per-job outcome digests.
+//! 4. **Overhead**: a disarmed `chaos::point` must stay a no-op — its
 //!    measured per-call cost, charged per request, must be under 10% of
 //!    the clean request time.
 //!
@@ -21,14 +31,21 @@
 //! Usage: `chaos_storm [--seed N]` — the seed drives the fault plan and
 //! the client jitter, so a storm replays exactly from its seed.
 
+use std::collections::HashSet;
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nptsn::{Planner, PlannerConfig, PlanningProblem};
 use nptsn_chaos::{FaultKind, FaultPlan, SiteRule};
+use nptsn_rand::rngs::StdRng;
+use nptsn_rand::{Rng, SeedableRng};
 use nptsn_sched::{FlowSet, FlowSpec, ShortestPathRecovery, TasConfig};
-use nptsn_serve::{BackoffConfig, Client, ServeConfig, Server};
+use nptsn_serve::jobs::JobKind;
+use nptsn_serve::{
+    BackoffConfig, Client, JobQueue, RetentionConfig, ServeConfig, ServeMetrics, Server,
+};
+use nptsn_store::{LogStore, Storage};
 use nptsn_topo::{ComponentLibrary, ConnectionGraph};
 
 /// The theta network: two end stations, two optional switches, five
@@ -134,6 +151,118 @@ fn percentile_ms(mut samples: Vec<Duration>, pct: usize) -> f64 {
     samples.sort_unstable();
     let index = (samples.len() - 1) * pct / 100;
     samples[index].as_secs_f64() * 1_000.0
+}
+
+/// What one kill-and-restart storm produced: a per-job outcome digest
+/// (two same-seed storms must agree byte for byte) and its accounting.
+struct KillRestart {
+    digest: String,
+    submitted: u64,
+    recovered: u64,
+    replays: u64,
+}
+
+/// One kill-and-restart storm over a durable queue in `dir`.
+///
+/// Runs `segments` process lifetimes in sequence: each opens the store,
+/// recovers, submits and executes seeded burn traffic (`run_one` keeps
+/// execution single-threaded, so the fault sequence is deterministic),
+/// then "dies" — the queue is dropped WITHOUT a drain, exactly the memory
+/// state `kill -9` leaves behind. Store write faults are armed the whole
+/// time, so some submissions are refused (no ack, no obligation) and some
+/// transition persists degrade to best-effort. The final lifetime drains
+/// everything and checks exact accounting.
+fn kill_restart_storm(seed: u64, dir: &std::path::Path, jobs_total: usize) -> KillRestart {
+    let _ = std::fs::remove_dir_all(dir);
+    let segments = 4;
+    let metrics = ServeMetrics::new();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6b69_6c6c);
+    let mut submitted_ids: Vec<u64> = Vec::new();
+    let mut recovered = 0u64;
+    // Ids we watched finish whose terminal persist may still have been
+    // lost to an injected store fault. Any of them found back in the
+    // queue after a restart is a replay: it will run — and be counted —
+    // again. That's the at-least-once contract, and the accounting gate
+    // below demands the count match exactly.
+    let mut finished: HashSet<u64> = HashSet::new();
+    let mut replays = 0u64;
+    nptsn_chaos::arm(
+        FaultPlan::new(seed)
+            .with_rule(rate_rule("serve.job", FaultKind::Error, 0.2))
+            .with_rule(rate_rule("store.append", FaultKind::Error, 0.05)),
+    );
+    let open = |recovered: &mut u64, acked: usize| -> JobQueue {
+        let store: Arc<dyn Storage> = Arc::new(LogStore::open(dir).expect("reopen store"));
+        let (queue, report) =
+            JobQueue::open(8192, store, RetentionConfig::default()).expect("recover queue");
+        // Restart gate: everything ever acknowledged is accounted for —
+        // finished with its result, or back in the queue. Nothing leaks,
+        // nothing is invented.
+        assert_eq!(
+            report.terminal_loaded + report.requeued,
+            acked as u64,
+            "recovery accounting broke: {report:?} vs {acked} acked submissions"
+        );
+        assert_eq!(report.failed_to_recover, 0, "a live record failed to re-validate");
+        *recovered += report.requeued;
+        queue
+    };
+    // After a restart, a job we saw finish that is no longer terminal had
+    // its terminal persist eaten by a store fault — it is queued again and
+    // will be executed (and counted) a second time.
+    let reap_replays = |queue: &JobQueue, finished: &mut HashSet<u64>| -> u64 {
+        let replayed: Vec<u64> = finished
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let snapshot = queue.snapshot(id).expect("acked job is tracked");
+                !["done", "failed", "cancelled"].contains(&snapshot.state.label())
+            })
+            .collect();
+        for id in &replayed {
+            finished.remove(id);
+        }
+        replayed.len() as u64
+    };
+    for _ in 0..segments {
+        let queue = open(&mut recovered, submitted_ids.len());
+        replays += reap_replays(&queue, &mut finished);
+        for _ in 0..jobs_total / segments {
+            // A refused submission (store fault) was never acknowledged:
+            // the client got an error, so it owes no accounting entry.
+            if let Ok(id) = queue.submit(JobKind::Burn { millis: rng.gen_range(0..2) }) {
+                submitted_ids.push(id);
+            }
+            if rng.gen_range(0..3) == 0 {
+                if let Some(id) = queue.run_one(&metrics) {
+                    finished.insert(id);
+                }
+            }
+        }
+        drop(queue); // kill -9: no drain, no flush, no goodbyes
+    }
+    let queue = open(&mut recovered, submitted_ids.len());
+    replays += reap_replays(&queue, &mut finished);
+    while queue.run_one(&metrics).is_some() {}
+    let terminal =
+        metrics.jobs_completed.get() + metrics.jobs_failed.get() + metrics.jobs_cancelled.get();
+    assert_eq!(
+        terminal,
+        submitted_ids.len() as u64 + replays,
+        "kill-restart storm lost or duplicated a job ({replays} known replays)"
+    );
+    let mut digest = String::new();
+    for &id in &submitted_ids {
+        let snapshot = queue.snapshot(id).expect("every submitted job is tracked");
+        digest.push_str(&format!(
+            "job {id} {} error={:?}\n",
+            snapshot.state.label(),
+            snapshot.error
+        ));
+    }
+    nptsn_chaos::disarm();
+    let _ = std::fs::remove_dir_all(dir);
+    KillRestart { digest, submitted: submitted_ids.len() as u64, recovered, replays }
 }
 
 fn main() {
@@ -263,7 +392,31 @@ fn main() {
         assert!(snapshot.error.is_some(), "deadline-killed job has no error message");
     }
 
-    // --- Phase 3: disarmed overhead ------------------------------------
+    // --- Phase 3: kill-and-restart over the durable store --------------
+    let kill_jobs = if smoke { 80 } else { 400 };
+    let base = std::env::temp_dir();
+    let first_storm = kill_restart_storm(
+        seed,
+        &base.join(format!("nptsn-chaos-kill-a-{}", std::process::id())),
+        kill_jobs,
+    );
+    let second_storm = kill_restart_storm(
+        seed,
+        &base.join(format!("nptsn-chaos-kill-b-{}", std::process::id())),
+        kill_jobs,
+    );
+    let kill_restart_identical = first_storm.digest == second_storm.digest
+        && first_storm.recovered == second_storm.recovered
+        && first_storm.replays == second_storm.replays;
+    println!(
+        "chaos_storm: kill-restart {} jobs, {} recovered across restarts, {} replayed, replay {}",
+        first_storm.submitted,
+        first_storm.recovered,
+        first_storm.replays,
+        if kill_restart_identical { "identical" } else { "DIVERGED" }
+    );
+
+    // --- Phase 4: disarmed overhead ------------------------------------
     assert!(!nptsn_chaos::is_armed());
     let point_started = Instant::now();
     for _ in 0..point_loops {
@@ -313,6 +466,10 @@ fn main() {
     json.push_str(&format!("  \"ppo_rollbacks\": {},\n", recovered.rollbacks));
     json.push_str(&format!("  \"deadline_kills\": {},\n", recovered.deadline_kills));
     json.push_str(&format!("  \"client_retries\": {},\n", recovered.client_retries));
+    json.push_str(&format!("  \"kill_restart_jobs\": {},\n", first_storm.submitted));
+    json.push_str(&format!("  \"kill_restart_recovered\": {},\n", first_storm.recovered));
+    json.push_str(&format!("  \"kill_restart_replays\": {},\n", first_storm.replays));
+    json.push_str(&format!("  \"kill_restart_identical\": {kill_restart_identical},\n"));
     json.push_str(&format!("  \"disarmed_point_ns\": {disarmed_point_ns:.3},\n"));
     json.push_str(&format!("  \"disarmed_overhead_pct\": {disarmed_overhead_pct:.5}\n"));
     json.push_str("}\n");
@@ -337,6 +494,17 @@ fn main() {
             eprintln!("chaos_storm: FAIL — recovery counter {name} never moved");
             failed = true;
         }
+    }
+    if first_storm.recovered == 0 {
+        eprintln!("chaos_storm: FAIL — the kill-restart storm never recovered a job");
+        failed = true;
+    }
+    if !kill_restart_identical {
+        eprintln!(
+            "chaos_storm: FAIL — same seed, different kill-restart storm:\n{}---\n{}",
+            first_storm.digest, second_storm.digest
+        );
+        failed = true;
     }
     if disarmed_overhead_pct >= 10.0 {
         eprintln!(

@@ -123,7 +123,8 @@ fn saturated_orion() -> (PlanningProblem, Topology) {
 }
 
 /// Machine-readable analyzer benchmark: median wall-clock and ns/scenario
-/// for 1/2/4/8 analyzer workers on the saturated ORION workload, plus the
+/// for a core-count-aware analyzer-worker sweep (powers of two up to the
+/// host's cores) on the saturated ORION workload, plus the
 /// shared-cache hit rate on a warm re-run. Writes `BENCH_analyzer.json`
 /// to the working directory (override the path with `NPTSN_BENCH_OUT`);
 /// `NPTSN_BENCH_SMOKE=1` shrinks the iteration counts to a plumbing check.
@@ -138,9 +139,22 @@ fn bench_analyzer_json(filter: &str) {
     let reference = FailureAnalyzer::new().try_analyze(&strict, &topo).unwrap();
     let scenarios = reference.scenarios_checked.max(1);
 
+    // Sweep powers of two up to the host's core count, plus the exact
+    // core count when it isn't a power of two. Fan-out past the physical
+    // cores only measures scheduler noise, and a flat 1/2/4/8 sweep stops
+    // short of the interesting region on bigger hosts.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut sweep = vec![1usize];
+    while sweep.last().copied().unwrap_or(1) * 2 <= cores {
+        sweep.push(sweep.last().unwrap() * 2);
+    }
+    if sweep.last() != Some(&cores) {
+        sweep.push(cores);
+    }
+
     let mut rows = Vec::new();
     let mut base_median_ns = 0u128;
-    for workers in [1usize, 2, 4, 8] {
+    for workers in sweep {
         let analyzer = FailureAnalyzer::new().with_workers(workers);
         for _ in 0..warmup {
             black_box(analyzer.analyze(&strict, &topo));
@@ -196,7 +210,6 @@ fn bench_analyzer_json(filter: &str) {
     // judge `speedup_vs_sequential` against the core count and fall back
     // to the cache speedup — which is core-count-independent — for the
     // wall-clock win.
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let cached_speedup = base_median_ns as f64 / warm_median_ns.max(1) as f64;
     let mut json = String::from("{\n");
     json.push_str("  \"benchmark\": \"failure_analysis_orion_saturated_40flows\",\n");

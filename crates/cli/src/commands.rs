@@ -91,11 +91,17 @@ USAGE:
         Print a summary of the parsed problem.
     nptsn serve [--addr HOST:PORT] [--serve-workers N] [--queue-depth N]
                 [--io-timeout-ms N] [--job-deadline-ms N]
+                [--data-dir PATH] [--job-retention N] [--job-ttl-secs N]
         Run the HTTP planning service (job queue + worker pool; see
         DESIGN.md §9). Stops on POST /shutdown after draining the queue.
         --io-timeout-ms bounds every socket read/write (default 30000;
         0 disables); --job-deadline-ms fails any job that exceeds the
         wall-clock deadline while the worker survives (default 0 = off).
+        --data-dir makes jobs and checkpoints durable (DESIGN.md §12): a
+        restarted server recovers finished results and re-enqueues the
+        jobs a crash interrupted. --job-retention caps retained terminal
+        jobs (default 1024; 0 = unbounded) and --job-ttl-secs expires
+        them after N seconds (default 0 = never).
     nptsn help
         Show this message.
 
@@ -637,12 +643,26 @@ fn cmd_serve(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliEr
             "--job-deadline-ms" => {
                 config.job_deadline_ms = parse_flag(iter.next(), "--job-deadline-ms")?;
             }
+            "--data-dir" => {
+                config.data_dir = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError::msg("--data-dir needs a path".into()))?
+                        .to_string(),
+                );
+            }
+            "--job-retention" => {
+                config.job_retention = parse_flag(iter.next(), "--job-retention")?;
+            }
+            "--job-ttl-secs" => {
+                config.job_ttl_secs = parse_flag(iter.next(), "--job-ttl-secs")?;
+            }
             other => return Err(CliError::msg(format!("unexpected argument '{other}'"))),
         }
     }
     trace.activate()?;
     let workers = config.workers;
     let queue_depth = config.queue_depth;
+    let data_dir = config.data_dir.clone();
     let server = Server::bind(config).map_err(|e| CliError::msg(format!("cannot bind: {e}")))?;
     writeln!(
         out,
@@ -650,6 +670,11 @@ fn cmd_serve(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliEr
         server.local_addr()
     )
     .map_err(io_err)?;
+    if let Some(dir) = data_dir {
+        let recovered = server.metrics().jobs_recovered.get();
+        writeln!(out, "durable job store at {dir} ({recovered} jobs re-enqueued)")
+            .map_err(io_err)?;
+    }
     out.flush().map_err(io_err)?;
     server.wait();
     // `wait` joins the accept loop and the job workers, so the drain below
@@ -997,6 +1022,23 @@ a b 500 128
             let mut out = Vec::new();
             let err = run(&args, &mut out).unwrap_err();
             assert!(err.to_string().contains("-ms"), "{err}");
+        }
+    }
+
+    #[test]
+    fn serve_durability_flags_are_validated() {
+        for bad in [&["serve", "--data-dir"][..],
+                    &["serve", "--job-retention", "many"][..],
+                    &["serve", "--job-ttl-secs", "-1"][..]] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            let mut out = Vec::new();
+            let err = run(&args, &mut out).unwrap_err();
+            assert!(
+                err.to_string().contains("--data-dir")
+                    || err.to_string().contains("--job-retention")
+                    || err.to_string().contains("--job-ttl-secs"),
+                "{err}"
+            );
         }
     }
 

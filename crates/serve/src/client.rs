@@ -116,6 +116,11 @@ impl Client {
         self.request("POST", path, headers, body)
     }
 
+    /// A `PUT` request with a body (checkpoint registration).
+    pub fn put(&mut self, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+        self.request("PUT", path, &[], body)
+    }
+
     /// A `DELETE` request.
     pub fn delete(&mut self, path: &str) -> io::Result<ClientResponse> {
         self.request("DELETE", path, &[], &[])

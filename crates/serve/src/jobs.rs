@@ -11,18 +11,42 @@
 //! Request payloads are parsed and validated at submission time (problem
 //! text, plan text, checkpoint structure), so every malformed upload is a
 //! synchronous `4xx` and a worker never picks up a job that cannot start.
+//!
+//! # Durability
+//!
+//! Every lifecycle transition is written through a [`Storage`] before it
+//! is acknowledged: a submission is not `202` until its record (and the
+//! id watermark) is durable, and a result is recorded on disk before the
+//! worker moves on. [`JobQueue::open`] replays those records after a
+//! restart — terminal jobs come back with byte-identical results,
+//! submitted and running-at-crash jobs are re-validated from their raw
+//! request text and re-enqueued (idempotently: re-running an interrupted
+//! job is always safe because nothing was acknowledged for it), and
+//! records that no longer validate are recorded `failed` instead of being
+//! silently dropped.
+//!
+//! Terminal jobs are bounded by a [`RetentionConfig`]: beyond the count
+//! cap (and optionally a TTL) the oldest are evicted from memory *and*
+//! the store, so sustained traffic cannot leak either.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
 use nptsn::{
     EpochStats, FailureAnalyzer, GreedyPlanner, Planner, PlannerConfig, ScenarioCache, Solution,
 };
 use nptsn_format::json::{analysis_report_json, epoch_stats_json, Object};
 use nptsn_format::{write_plan, ParsedProblem};
+use nptsn_store::{MemStore, Storage, StoreError};
 use nptsn_topo::Topology;
 
+use crate::persist::{
+    decode_next_id, decode_record, encode_next_id, encode_record, job_id_from_key, job_key,
+    JobSpec, JOB_PREFIX, NEXT_ID_KEY,
+};
+use crate::registry::CheckpointRegistry;
 use crate::server::ServeMetrics;
 
 /// Identifies one submitted job.
@@ -58,14 +82,24 @@ pub struct VerifyRequest {
     pub analyzer_workers: usize,
 }
 
-/// A validated inference request: restore an uploaded `NPTSNCK2` policy
-/// checkpoint and plan without learning.
+/// Where an infer job's `NPTSNCK2` policy bytes come from.
+#[derive(Debug, Clone)]
+pub enum CheckpointSource {
+    /// Uploaded inline with the submission (structurally validated there).
+    Inline(Vec<u8>),
+    /// A checkpoint registry name, resolved when the job runs — so an
+    /// infer job always uses the *current* registered version.
+    Named(String),
+}
+
+/// A validated inference request: restore an `NPTSNCK2` policy checkpoint
+/// and plan without learning.
 #[derive(Debug, Clone)]
 pub struct InferRequest {
     /// The parsed problem.
     pub parsed: ParsedProblem,
-    /// The checkpoint bytes (structurally validated at submission).
-    pub checkpoint: Vec<u8>,
+    /// The checkpoint to restore.
+    pub checkpoint: CheckpointSource,
     /// Deployment episodes to attempt.
     pub attempts: usize,
     /// Base RNG seed.
@@ -136,7 +170,7 @@ impl JobState {
 }
 
 /// The output of a finished job.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum JobOutcome {
     /// A plan (from `plan` or `infer`): the plan file, its cost, and — for
     /// RL runs — the trained policy checkpoint.
@@ -186,11 +220,21 @@ struct JobEntry {
     kind_name: &'static str,
     /// Present while the job waits in the queue; taken by the worker.
     pending: Option<JobKind>,
+    /// The replayable submission, persisted with every transition.
+    spec: Option<JobSpec>,
     state: JobState,
     cancel: Arc<AtomicBool>,
     progress: Arc<Progress>,
     outcome: Option<JobOutcome>,
     error: Option<String>,
+    /// When the job reached a terminal state (drives TTL retention).
+    finished_at: Option<Instant>,
+}
+
+impl JobEntry {
+    fn persisted_record(&self) -> Vec<u8> {
+        encode_record(self.state, self.spec.as_ref(), self.outcome.as_ref(), self.error.as_deref())
+    }
 }
 
 /// A point-in-time view of one job, safe to serialize outside the lock.
@@ -250,6 +294,9 @@ pub enum SubmitError {
     Full,
     /// The service is draining for shutdown.
     ShuttingDown,
+    /// The durable store refused the submission record — nothing was
+    /// accepted (no ack without durability). Retryable.
+    Storage,
 }
 
 /// The result of a cancellation request.
@@ -266,6 +313,30 @@ pub enum CancelOutcome {
     NotFound,
 }
 
+/// Bounds on how long terminal jobs (and their persisted records) are
+/// retained. `max_terminal == 0` and `ttl == None` disable each bound.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetentionConfig {
+    /// Keep at most this many terminal jobs; the oldest (lowest id) are
+    /// evicted first. `0` = unbounded.
+    pub max_terminal: usize,
+    /// Evict terminal jobs this long after they finish (checked on every
+    /// submission and completion, not by a timer).
+    pub ttl: Option<std::time::Duration>,
+}
+
+/// What [`JobQueue::open`] found in the store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Terminal jobs loaded with their persisted results.
+    pub terminal_loaded: u64,
+    /// Submitted/running-at-crash jobs re-validated and re-enqueued.
+    pub requeued: u64,
+    /// Records that could not be decoded or re-validated — recorded as
+    /// `failed`, never silently dropped.
+    pub failed_to_recover: u64,
+}
+
 #[derive(Debug, Default)]
 struct QueueState {
     next_id: JobId,
@@ -280,17 +351,134 @@ pub struct JobQueue {
     depth: usize,
     state: Mutex<QueueState>,
     work_ready: Condvar,
+    store: Arc<dyn Storage>,
+    registry: CheckpointRegistry,
+    retention: RetentionConfig,
+    evicted: AtomicU64,
 }
 
 impl JobQueue {
     /// A queue admitting at most `depth` waiting jobs (running jobs do not
-    /// count against the depth).
+    /// count against the depth), backed by an ephemeral in-memory store.
     pub fn new(depth: usize) -> JobQueue {
-        JobQueue {
+        let (queue, _report) =
+            JobQueue::open(depth, Arc::new(MemStore::new()), RetentionConfig::default())
+                .expect("an empty in-memory store always opens");
+        queue
+    }
+
+    /// A queue backed by `store`, recovering every persisted job: terminal
+    /// jobs come back with their results, interrupted jobs are
+    /// re-validated and re-enqueued in id order, unrecoverable records are
+    /// marked `failed`. See the module docs for the durability contract.
+    pub fn open(
+        depth: usize,
+        store: Arc<dyn Storage>,
+        retention: RetentionConfig,
+    ) -> Result<(JobQueue, RecoveryReport), StoreError> {
+        let registry = CheckpointRegistry::new(Arc::clone(&store));
+        let queue = JobQueue {
             depth: depth.max(1),
             state: Mutex::new(QueueState { open: true, ..QueueState::default() }),
             work_ready: Condvar::new(),
+            store,
+            registry,
+            retention,
+            evicted: AtomicU64::new(0),
+        };
+        let mut report = RecoveryReport::default();
+        {
+            let mut state = queue.lock();
+            // Sorted prefix scan = submission order: requeued jobs rerun
+            // in the order they were originally accepted.
+            for key in queue.store.keys_with_prefix(JOB_PREFIX)? {
+                let Some(id) = job_id_from_key(&key) else { continue };
+                let Some(bytes) = queue.store.get(&key)? else { continue };
+                let entry = match decode_record(&bytes) {
+                    Err(e) => {
+                        report.failed_to_recover += 1;
+                        recovered_failure(None, format!("unrecoverable job record: {e}"))
+                    }
+                    Ok(record) if record.state.is_terminal() => {
+                        report.terminal_loaded += 1;
+                        JobEntry {
+                            kind_name: record
+                                .spec
+                                .as_ref()
+                                .map_or("unknown", JobSpec::kind_name),
+                            pending: None,
+                            spec: record.spec,
+                            state: record.state,
+                            cancel: Arc::new(AtomicBool::new(false)),
+                            progress: Arc::new(Progress::default()),
+                            outcome: record.outcome,
+                            error: record.error,
+                            // TTL restarts at recovery: `Instant` does not
+                            // survive the process, and a fresh window errs
+                            // toward keeping results readable.
+                            finished_at: Some(Instant::now()),
+                        }
+                    }
+                    Ok(record) => match record.spec {
+                        None => {
+                            report.failed_to_recover += 1;
+                            recovered_failure(
+                                None,
+                                "interrupted by a restart with no replayable spec".to_string(),
+                            )
+                        }
+                        Some(spec) => match spec.validate() {
+                            Ok(kind) => {
+                                report.requeued += 1;
+                                state.queue.push_back(id);
+                                JobEntry {
+                                    kind_name: kind.name(),
+                                    pending: Some(kind),
+                                    spec: Some(spec),
+                                    state: JobState::Submitted,
+                                    cancel: Arc::new(AtomicBool::new(false)),
+                                    progress: Arc::new(Progress::default()),
+                                    outcome: None,
+                                    error: None,
+                                    finished_at: None,
+                                }
+                            }
+                            Err(e) => {
+                                report.failed_to_recover += 1;
+                                recovered_failure(
+                                    Some(spec),
+                                    format!("spec no longer validates after restart: {e}"),
+                                )
+                            }
+                        },
+                    },
+                };
+                // Re-persist the post-recovery state (running → submitted,
+                // unrecoverable → failed) so a second crash replays to the
+                // same place — recovery is idempotent.
+                let payload = entry.persisted_record();
+                queue.persist(id, &payload);
+                state.next_id = state.next_id.max(id);
+                state.jobs.insert(id, entry);
+            }
+            if let Some(bytes) = queue.store.get(NEXT_ID_KEY)? {
+                if let Some(watermark) = decode_next_id(&bytes) {
+                    // The watermark outlives deleted records, so a restart
+                    // never reissues the id of a job deleted pre-crash.
+                    state.next_id = state.next_id.max(watermark);
+                }
+            }
         }
+        if report.failed_to_recover > 0 {
+            nptsn_obs::telemetry()
+                .registry
+                .counter(
+                    "nptsn_jobs_unrecoverable_total",
+                    "Persisted jobs that could not be re-validated after restart",
+                )
+                .add(report.failed_to_recover);
+        }
+        Ok((queue, report))
     }
 
     fn lock(&self) -> MutexGuard<'_, QueueState> {
@@ -307,8 +495,64 @@ impl JobQueue {
         self.lock().queue.len()
     }
 
-    /// Accepts a job, or rejects it with backpressure.
+    /// The checkpoint registry sharing this queue's store.
+    pub fn registry(&self) -> &CheckpointRegistry {
+        &self.registry
+    }
+
+    /// The backing store (for stats endpoints and tests).
+    pub fn store(&self) -> &Arc<dyn Storage> {
+        &self.store
+    }
+
+    /// Terminal jobs evicted by retention since this queue was opened.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Best-effort persistence for transitions after acceptance: the job
+    /// already exists durably, so a failed update here loses freshness,
+    /// not the job — recovery replays from the previous state, which is
+    /// always safe. Failures are counted, never silently swallowed.
+    fn persist(&self, id: JobId, payload: &[u8]) {
+        if let Err(e) = self.store.put(&job_key(id), payload) {
+            nptsn_obs::telemetry()
+                .registry
+                .counter(
+                    "nptsn_store_persist_errors_total",
+                    "Job state transitions that failed to persist",
+                )
+                .inc();
+            if nptsn_obs::enabled() {
+                nptsn_obs::event(
+                    nptsn_obs::Level::Error,
+                    "store.persist",
+                    &format!("job {id}: transition not persisted: {e}"),
+                );
+            }
+        }
+    }
+
+    /// Accepts a job, or rejects it with backpressure. Derives a
+    /// replayable spec where the kind alone carries one (burn jobs);
+    /// HTTP submissions use [`JobQueue::submit_validated`] so every job
+    /// kind recovers.
     pub fn submit(&self, kind: JobKind) -> Result<JobId, SubmitError> {
+        let spec = match &kind {
+            JobKind::Burn { millis } => Some(JobSpec::Burn { millis: *millis }),
+            _ => None,
+        };
+        self.submit_validated(kind, spec)
+    }
+
+    /// Accepts a pre-validated job with its replayable spec. The record
+    /// and the id watermark are durable before the id is returned — a
+    /// `kill -9` after this call never loses the job.
+    pub fn submit_validated(
+        &self,
+        kind: JobKind,
+        spec: Option<JobSpec>,
+    ) -> Result<JobId, SubmitError> {
         let mut state = self.lock();
         if !state.open {
             return Err(SubmitError::ShuttingDown);
@@ -316,21 +560,34 @@ impl JobQueue {
         if state.queue.len() >= self.depth {
             return Err(SubmitError::Full);
         }
-        state.next_id += 1;
-        let id = state.next_id;
+        let id = state.next_id + 1;
+        let payload = encode_record(JobState::Submitted, spec.as_ref(), None, None);
+        if self.store.put(NEXT_ID_KEY, &encode_next_id(id)).is_err()
+            || self.store.put(&job_key(id), &payload).is_err()
+        {
+            // Not accepted: no in-memory entry, no id consumed. Watermark
+            // first: a half-failure can only burn an id (watermark without
+            // a record), never leave an orphan record that recovery would
+            // resurrect as a job nobody was ever promised.
+            return Err(SubmitError::Storage);
+        }
+        state.next_id = id;
         state.jobs.insert(
             id,
             JobEntry {
                 kind_name: kind.name(),
                 pending: Some(kind),
+                spec,
                 state: JobState::Submitted,
                 cancel: Arc::new(AtomicBool::new(false)),
                 progress: Arc::new(Progress::default()),
                 outcome: None,
                 error: None,
+                finished_at: None,
             },
         );
         state.queue.push_back(id);
+        self.enforce_retention(&mut state);
         drop(state);
         self.work_ready.notify_one();
         Ok(id)
@@ -362,7 +619,11 @@ impl JobQueue {
             JobState::Submitted => {
                 entry.state = JobState::Cancelled;
                 entry.pending = None;
+                entry.finished_at = Some(Instant::now());
+                let payload = entry.persisted_record();
                 state.queue.retain(|&q| q != id);
+                self.persist(id, &payload);
+                self.enforce_retention(&mut state);
                 CancelOutcome::Cancelled
             }
             JobState::Running => {
@@ -373,11 +634,153 @@ impl JobQueue {
         }
     }
 
+    /// Removes a *terminal* job entirely — from memory and from the store
+    /// (a tombstone in the log, reclaimed at the next compaction). Returns
+    /// `false` if the job is unknown or not yet terminal.
+    pub fn forget_terminal(&self, id: JobId) -> bool {
+        let mut state = self.lock();
+        match state.jobs.get(&id) {
+            Some(entry) if entry.state.is_terminal() => {
+                state.jobs.remove(&id);
+                drop(state);
+                if let Err(e) = self.store.delete(&job_key(id)) {
+                    // The entry is gone from memory either way; a surviving
+                    // record resurfaces as a terminal job after restart.
+                    if nptsn_obs::enabled() {
+                        nptsn_obs::event(
+                            nptsn_obs::Level::Error,
+                            "store.persist",
+                            &format!("job {id}: record not deleted: {e}"),
+                        );
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Evicts terminal jobs beyond the retention bounds (memory + store).
+    fn enforce_retention(&self, state: &mut QueueState) {
+        let mut evict: Vec<JobId> = Vec::new();
+        if let Some(ttl) = self.retention.ttl {
+            evict.extend(state.jobs.iter().filter_map(|(&id, entry)| {
+                (entry.state.is_terminal()
+                    && entry.finished_at.is_some_and(|at| at.elapsed() >= ttl))
+                .then_some(id)
+            }));
+        }
+        if self.retention.max_terminal > 0 {
+            let mut terminal: Vec<JobId> = state
+                .jobs
+                .iter()
+                .filter(|(id, entry)| entry.state.is_terminal() && !evict.contains(id))
+                .map(|(&id, _)| id)
+                .collect();
+            let over = terminal.len().saturating_sub(self.retention.max_terminal);
+            if over > 0 {
+                terminal.sort_unstable();
+                evict.extend(&terminal[..over]);
+            }
+        }
+        if evict.is_empty() {
+            return;
+        }
+        for &id in &evict {
+            state.jobs.remove(&id);
+            let _ = self.store.delete(&job_key(id));
+        }
+        self.evicted.fetch_add(evict.len() as u64, Ordering::Relaxed);
+        nptsn_obs::telemetry()
+            .registry
+            .counter("nptsn_jobs_evicted_total", "Terminal jobs evicted by retention")
+            .add(evict.len() as u64);
+    }
+
     /// Stops accepting new jobs and wakes every worker so the queue
     /// drains; already-accepted jobs still run to completion.
     pub fn close(&self) {
         self.lock().open = false;
         self.work_ready.notify_all();
+    }
+
+    /// Claims the next queued job, marking it running (persisted). With
+    /// `block`, waits on the condvar until work arrives or the queue
+    /// closes; without, returns `None` immediately when the queue is idle.
+    fn next_job(&self, block: bool) -> Option<(JobId, JobKind, Arc<AtomicBool>, Arc<Progress>)> {
+        let mut state = self.lock();
+        loop {
+            if let Some(id) = state.queue.pop_front() {
+                let entry = state.jobs.get_mut(&id).expect("queued job exists");
+                let kind = entry.pending.take().expect("queued job has a kind");
+                entry.state = JobState::Running;
+                let payload = entry.persisted_record();
+                self.persist(id, &payload);
+                return Some((id, kind, Arc::clone(&entry.cancel), Arc::clone(&entry.progress)));
+            }
+            if !state.open || !block {
+                return None;
+            }
+            state = self.work_ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Records one finished job — memory first, then the store, then the
+    /// retention sweep — mirroring the tail of the old worker loop.
+    fn finish_job(
+        &self,
+        id: JobId,
+        result: Result<JobOutcome, String>,
+        timed_out: bool,
+        cancel: &AtomicBool,
+        metrics: &ServeMetrics,
+    ) {
+        let mut state = self.lock();
+        let entry = state.jobs.get_mut(&id).expect("running job exists");
+        if timed_out {
+            // A deadline kill is always `failed` — even if a cancel
+            // arrived concurrently, the deadline is what ended it, and
+            // the distinction matters for the recovery counters.
+            entry.state = JobState::Failed;
+            entry.error = result.err();
+            entry.finished_at = Some(Instant::now());
+            let payload = entry.persisted_record();
+            self.persist(id, &payload);
+            self.enforce_retention(&mut state);
+            metrics.jobs_failed.inc();
+            nptsn_obs::telemetry().recovery_deadline_kills.inc();
+            drop(state);
+            // Signal *after* recording: the orphaned computation can only
+            // observe the flag once `failed` is already visible.
+            cancel.store(true, Ordering::Relaxed);
+            return;
+        }
+        match result {
+            Ok(outcome) => {
+                entry.outcome = Some(outcome);
+                if cancel.load(Ordering::Relaxed) {
+                    entry.state = JobState::Cancelled;
+                    metrics.jobs_cancelled.inc();
+                } else {
+                    entry.state = JobState::Done;
+                    metrics.jobs_completed.inc();
+                }
+            }
+            Err(message) => {
+                if cancel.load(Ordering::Relaxed) {
+                    entry.state = JobState::Cancelled;
+                    metrics.jobs_cancelled.inc();
+                } else {
+                    entry.state = JobState::Failed;
+                    metrics.jobs_failed.inc();
+                }
+                entry.error = Some(message);
+            }
+        }
+        entry.finished_at = Some(Instant::now());
+        let payload = entry.persisted_record();
+        self.persist(id, &payload);
+        self.enforce_retention(&mut state);
     }
 
     /// One worker's run loop: take jobs until the queue is closed *and*
@@ -390,90 +793,65 @@ impl JobQueue {
     /// orphaned computation gets its cancel flag set so it winds down at
     /// its next cancellation point. Its late result is discarded.
     pub fn worker_loop(&self, metrics: &ServeMetrics, job_deadline: Option<std::time::Duration>) {
-        loop {
-            let (id, kind, cancel, progress) = {
-                let mut state = self.lock();
-                loop {
-                    if let Some(id) = state.queue.pop_front() {
-                        let entry = state.jobs.get_mut(&id).expect("queued job exists");
-                        let kind = entry.pending.take().expect("queued job has a kind");
-                        entry.state = JobState::Running;
-                        break (
-                            id,
-                            kind,
-                            Arc::clone(&entry.cancel),
-                            Arc::clone(&entry.progress),
-                        );
-                    }
-                    if !state.open {
-                        return;
-                    }
-                    state = self
-                        .work_ready
-                        .wait(state)
-                        .unwrap_or_else(|e| e.into_inner());
-                }
-            };
-
+        while let Some((id, kind, cancel, progress)) = self.next_job(true) {
             metrics.jobs_running.add(1);
             metrics.jobs_queued.set(self.queued() as i64);
-            // A panicking job poisons only itself, never the worker: the
-            // pool keeps serving (same policy as the planner's rollout
-            // workers).
             let (result, timed_out) = match job_deadline {
-                None => {
-                    let _span = nptsn_obs::span("job.run");
-                    let result =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            execute(&kind, &cancel, &progress)
-                        }))
-                        .unwrap_or_else(|_| Err("job panicked".to_string()));
-                    (result, false)
+                None => (run_caught(&kind, &cancel, &progress, &self.registry), false),
+                Some(limit) => {
+                    run_with_deadline(&kind, &cancel, &progress, &self.registry, limit)
                 }
-                Some(limit) => run_with_deadline(&kind, &cancel, &progress, limit),
             };
             metrics.jobs_running.sub(1);
-
-            let mut state = self.lock();
-            let entry = state.jobs.get_mut(&id).expect("running job exists");
-            if timed_out {
-                // A deadline kill is always `failed` — even if a cancel
-                // arrived concurrently, the deadline is what ended it,
-                // and the distinction matters for the recovery counters.
-                entry.state = JobState::Failed;
-                entry.error = result.err();
-                metrics.jobs_failed.inc();
-                nptsn_obs::telemetry().recovery_deadline_kills.inc();
-                drop(state);
-                // Signal *after* recording: the orphaned computation can
-                // only observe the flag once `failed` is already visible.
-                cancel.store(true, Ordering::Relaxed);
-                continue;
-            }
-            match result {
-                Ok(outcome) => {
-                    entry.outcome = Some(outcome);
-                    if cancel.load(Ordering::Relaxed) {
-                        entry.state = JobState::Cancelled;
-                        metrics.jobs_cancelled.inc();
-                    } else {
-                        entry.state = JobState::Done;
-                        metrics.jobs_completed.inc();
-                    }
-                }
-                Err(message) => {
-                    if cancel.load(Ordering::Relaxed) {
-                        entry.state = JobState::Cancelled;
-                        metrics.jobs_cancelled.inc();
-                    } else {
-                        entry.state = JobState::Failed;
-                        metrics.jobs_failed.inc();
-                    }
-                    entry.error = Some(message);
-                }
-            }
+            self.finish_job(id, result, timed_out, &cancel, metrics);
         }
     }
+
+    /// Runs exactly one queued job to completion on the calling thread,
+    /// with no deadline. Returns the job id, or `None` if the queue is
+    /// idle. This is the deterministic-execution primitive the chaos
+    /// kill-and-restart storm uses: run K jobs, drop the queue without a
+    /// drain (every transition is already durable), reopen, and the replay
+    /// is exact.
+    pub fn run_one(&self, metrics: &ServeMetrics) -> Option<JobId> {
+        let (id, kind, cancel, progress) = self.next_job(false)?;
+        metrics.jobs_running.add(1);
+        let result = run_caught(&kind, &cancel, &progress, &self.registry);
+        metrics.jobs_running.sub(1);
+        self.finish_job(id, result, false, &cancel, metrics);
+        Some(id)
+    }
+}
+
+/// A `failed` entry for a record that could not be recovered.
+fn recovered_failure(spec: Option<JobSpec>, message: String) -> JobEntry {
+    JobEntry {
+        kind_name: spec.as_ref().map_or("unknown", JobSpec::kind_name),
+        pending: None,
+        spec,
+        state: JobState::Failed,
+        cancel: Arc::new(AtomicBool::new(false)),
+        progress: Arc::new(Progress::default()),
+        outcome: None,
+        error: Some(message),
+        finished_at: Some(Instant::now()),
+    }
+}
+
+/// Executes a job under `catch_unwind`: a panicking job poisons only
+/// itself, never the worker (same policy as the planner's rollout
+/// workers).
+fn run_caught(
+    kind: &JobKind,
+    cancel: &AtomicBool,
+    progress: &Progress,
+    registry: &CheckpointRegistry,
+) -> Result<JobOutcome, String> {
+    let _span = nptsn_obs::span("job.run");
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute(kind, cancel, progress, registry)
+    }))
+    .unwrap_or_else(|_| Err("job panicked".to_string()))
 }
 
 /// Executes one job on a helper thread with a wall-clock deadline.
@@ -484,6 +862,7 @@ fn run_with_deadline(
     kind: &JobKind,
     cancel: &Arc<AtomicBool>,
     progress: &Arc<Progress>,
+    registry: &CheckpointRegistry,
     limit: std::time::Duration,
 ) -> (Result<JobOutcome, String>, bool) {
     type Slot = Arc<(Mutex<Option<Result<JobOutcome, String>>>, Condvar)>;
@@ -493,14 +872,11 @@ fn run_with_deadline(
         let kind = kind.clone();
         let cancel = Arc::clone(cancel);
         let progress = Arc::clone(progress);
+        let registry = registry.clone();
         std::thread::Builder::new()
             .name("nptsn-serve-job".to_string())
             .spawn(move || {
-                let _span = nptsn_obs::span("job.run");
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    execute(&kind, &cancel, &progress)
-                }))
-                .unwrap_or_else(|_| Err("job panicked".to_string()));
+                let result = run_caught(&kind, &cancel, &progress, &registry);
                 let (lock, cv) = &*slot;
                 *lock.lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
                 cv.notify_all();
@@ -509,11 +885,7 @@ fn run_with_deadline(
     if spawned.is_err() {
         // Thread exhaustion: degrade to an inline run rather than losing
         // the job.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute(kind, cancel, progress)
-        }))
-        .unwrap_or_else(|_| Err("job panicked".to_string()));
-        return (result, false);
+        return (run_caught(kind, cancel, progress, registry), false);
     }
     let (lock, cv) = &*slot;
     let guard = lock.lock().unwrap_or_else(|e| e.into_inner());
@@ -560,6 +932,7 @@ fn execute(
     kind: &JobKind,
     cancel: &AtomicBool,
     progress: &Progress,
+    registry: &CheckpointRegistry,
 ) -> Result<JobOutcome, String> {
     // Chaos: an error here is a failed job, a panic exercises the
     // catch_unwind in the worker loop, a delay triggers job deadlines.
@@ -604,14 +977,21 @@ fn execute(
             Ok(JobOutcome::Verify { json, reliable })
         }
         JobKind::Infer(req) => {
+            // Named checkpoints resolve at execution time, so a recovered
+            // or delayed infer job uses the registry's current version.
+            let bytes = match &req.checkpoint {
+                CheckpointSource::Inline(bytes) => bytes.clone(),
+                CheckpointSource::Named(name) => match registry.get(name) {
+                    Ok(Some((_version, bytes))) => bytes,
+                    Ok(None) => return Err(format!("checkpoint '{name}' is not registered")),
+                    Err(e) => return Err(format!("checkpoint '{name}' unavailable: {e}")),
+                },
+            };
             let config = service_config(1, 1, req.seed, 1);
             let planner = Planner::new(req.parsed.problem.clone(), config);
             let policy = planner.build_policy();
-            nptsn_nn::params_from_bytes(
-                &nptsn_nn::Module::parameters(&policy),
-                &req.checkpoint,
-            )
-            .map_err(|e| format!("checkpoint rejected: {e}"))?;
+            nptsn_nn::params_from_bytes(&nptsn_nn::Module::parameters(&policy), &bytes)
+                .map_err(|e| format!("checkpoint rejected: {e}"))?;
             match planner.plan_with_policy(&policy, req.attempts, req.seed) {
                 Some(solution) => Ok(plan_outcome(solution, None)),
                 None => Err("the restored policy found no valid plan".to_string()),
@@ -733,5 +1113,166 @@ mod tests {
         assert!(JobState::Failed.is_terminal());
         assert!(JobState::Cancelled.is_terminal());
         assert_eq!(JobState::Running.label(), "running");
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: the MemStore outlives the queue, so dropping one queue
+    // and opening another on the same store is a faithful in-process
+    // stand-in for `kill -9` + restart (nothing in the queue's memory
+    // survives; only what was persisted does).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn restart_recovers_terminal_results_and_requeues_interrupted_jobs() {
+        let store: Arc<dyn Storage> = Arc::new(MemStore::new());
+        let metrics = ServeMetrics::new();
+        let (done, interrupted) = {
+            let (queue, report) =
+                JobQueue::open(8, Arc::clone(&store), RetentionConfig::default()).unwrap();
+            assert_eq!(report, RecoveryReport::default());
+            let done = queue.submit(burn(0)).unwrap();
+            let interrupted = queue.submit(burn(0)).unwrap();
+            assert_eq!(queue.run_one(&metrics), Some(done));
+            // `interrupted` is still queued when the process "dies".
+            (done, interrupted)
+        };
+
+        let (queue, report) =
+            JobQueue::open(8, Arc::clone(&store), RetentionConfig::default()).unwrap();
+        assert_eq!(report.terminal_loaded, 1);
+        assert_eq!(report.requeued, 1);
+        assert_eq!(report.failed_to_recover, 0);
+        let snap = queue.snapshot(done).unwrap();
+        assert_eq!(snap.state, JobState::Done);
+        assert!(matches!(snap.outcome, Some(JobOutcome::Burn)));
+        assert_eq!(queue.snapshot(interrupted).unwrap().state, JobState::Submitted);
+        // The requeued job drains normally.
+        assert_eq!(queue.run_one(&metrics), Some(interrupted));
+        assert_eq!(queue.snapshot(interrupted).unwrap().state, JobState::Done);
+        // Ids continue past the watermark, never reusing.
+        let next = queue.submit(burn(0)).unwrap();
+        assert!(next > interrupted);
+    }
+
+    #[test]
+    fn running_at_crash_jobs_are_reenqueued() {
+        let store: Arc<dyn Storage> = Arc::new(MemStore::new());
+        let id = {
+            let (queue, _) =
+                JobQueue::open(4, Arc::clone(&store), RetentionConfig::default()).unwrap();
+            let id = queue.submit(burn(0)).unwrap();
+            // Claim the job (persists `running`) and "die" before it ends.
+            let claimed = queue.next_job(false).unwrap();
+            assert_eq!(claimed.0, id);
+            id
+        };
+        let (queue, report) =
+            JobQueue::open(4, Arc::clone(&store), RetentionConfig::default()).unwrap();
+        assert_eq!(report.requeued, 1);
+        assert_eq!(queue.snapshot(id).unwrap().state, JobState::Submitted);
+        assert_eq!(queue.run_one(&ServeMetrics::new()), Some(id));
+        assert_eq!(queue.snapshot(id).unwrap().state, JobState::Done);
+    }
+
+    #[test]
+    fn retention_cap_evicts_oldest_terminal_jobs_everywhere() {
+        let store: Arc<dyn Storage> = Arc::new(MemStore::new());
+        let retention = RetentionConfig { max_terminal: 2, ttl: None };
+        let metrics = ServeMetrics::new();
+        let (queue, _) = JobQueue::open(16, Arc::clone(&store), retention).unwrap();
+        let ids: Vec<JobId> = (0..4).map(|_| queue.submit(burn(0)).unwrap()).collect();
+        while queue.run_one(&metrics).is_some() {}
+        // 4 terminal, cap 2: the two oldest are gone from memory…
+        assert_eq!(queue.evicted(), 2);
+        assert!(queue.snapshot(ids[0]).is_none());
+        assert!(queue.snapshot(ids[1]).is_none());
+        assert_eq!(queue.snapshot(ids[3]).unwrap().state, JobState::Done);
+        // …and from the store: a restart sees only the retained two.
+        drop(queue);
+        let (reopened, report) = JobQueue::open(16, store, retention).unwrap();
+        assert_eq!(report.terminal_loaded, 2);
+        assert!(reopened.snapshot(ids[0]).is_none());
+        assert!(reopened.snapshot(ids[3]).is_some());
+    }
+
+    #[test]
+    fn ttl_retention_expires_terminal_jobs() {
+        let store: Arc<dyn Storage> = Arc::new(MemStore::new());
+        let retention =
+            RetentionConfig { max_terminal: 0, ttl: Some(std::time::Duration::ZERO) };
+        let metrics = ServeMetrics::new();
+        let (queue, _) = JobQueue::open(4, store, retention).unwrap();
+        let id = queue.submit(burn(0)).unwrap();
+        queue.run_one(&metrics);
+        // A zero TTL evicts at the next sweep — triggered by a submission.
+        queue.submit(burn(0)).unwrap();
+        assert!(queue.snapshot(id).is_none());
+        assert_eq!(queue.evicted(), 1);
+    }
+
+    #[test]
+    fn forget_terminal_deletes_the_persisted_record() {
+        let store: Arc<dyn Storage> = Arc::new(MemStore::new());
+        let metrics = ServeMetrics::new();
+        let id = {
+            let (queue, _) =
+                JobQueue::open(4, Arc::clone(&store), RetentionConfig::default()).unwrap();
+            let id = queue.submit(burn(0)).unwrap();
+            assert!(!queue.forget_terminal(id), "non-terminal jobs cannot be deleted");
+            queue.run_one(&metrics);
+            assert!(queue.forget_terminal(id));
+            assert!(queue.snapshot(id).is_none());
+            assert!(!queue.forget_terminal(id), "already deleted");
+            id
+        };
+        // The deletion is durable, and the id is never reissued.
+        let (reopened, report) =
+            JobQueue::open(4, store, RetentionConfig::default()).unwrap();
+        assert_eq!(report.terminal_loaded, 0);
+        assert!(reopened.snapshot(id).is_none());
+        assert!(reopened.submit(burn(0)).unwrap() > id);
+    }
+
+    #[test]
+    fn recovery_accounting_is_exact() {
+        // submitted == terminal_loaded + requeued, with no store faults.
+        let store: Arc<dyn Storage> = Arc::new(MemStore::new());
+        let metrics = ServeMetrics::new();
+        let submitted = 6u64;
+        {
+            let (queue, _) =
+                JobQueue::open(16, Arc::clone(&store), RetentionConfig::default()).unwrap();
+            for _ in 0..submitted {
+                queue.submit(burn(0)).unwrap();
+            }
+            for _ in 0..3 {
+                queue.run_one(&metrics);
+            }
+            // Kill with 3 done, 3 queued.
+        }
+        let (_queue, report) =
+            JobQueue::open(16, store, RetentionConfig::default()).unwrap();
+        assert_eq!(report.terminal_loaded + report.requeued, submitted);
+        assert_eq!(report.failed_to_recover, 0);
+    }
+
+    #[test]
+    fn named_infer_jobs_fail_cleanly_without_a_registration() {
+        let queue = JobQueue::new(4);
+        let registry = queue.registry().clone();
+        let cancel = AtomicBool::new(false);
+        let progress = Progress::default();
+        let parsed = nptsn_format::parse_problem(
+            "[nodes]\nes a\nes b\nsw s0\n[links]\na s0\nb s0\n[flows]\na b 500 128\n",
+        )
+        .expect("valid problem");
+        let kind = JobKind::Infer(InferRequest {
+            parsed,
+            checkpoint: CheckpointSource::Named("missing".to_string()),
+            attempts: 1,
+            seed: 0,
+        });
+        let result = execute(&kind, &cancel, &progress, &registry);
+        assert!(result.unwrap_err().contains("not registered"));
     }
 }

@@ -34,6 +34,8 @@
 pub mod client;
 pub mod http;
 pub mod jobs;
+pub mod persist;
+pub mod registry;
 pub mod server;
 
 /// The Prometheus-text metrics registry. The implementation moved to
@@ -42,5 +44,6 @@ pub mod server;
 pub use nptsn_obs::metrics;
 
 pub use client::{BackoffConfig, Client, ClientResponse};
-pub use jobs::{JobId, JobQueue, JobSnapshot, JobState};
+pub use jobs::{JobId, JobQueue, JobSnapshot, JobState, RecoveryReport, RetentionConfig};
+pub use registry::CheckpointRegistry;
 pub use server::{ServeConfig, ServeMetrics, Server};

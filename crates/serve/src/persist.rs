@@ -1,0 +1,574 @@
+//! Durable job records: what the queue writes through the store so a
+//! restarted server can rebuild itself.
+//!
+//! A [`JobSpec`] is the *submission* in replayable form — the raw request
+//! text plus its parameters, not the parsed structures (a parsed problem
+//! does not retain its source, and only the source is stable across
+//! versions). Recovery re-validates a spec through the exact same path as
+//! an HTTP submission ([`JobSpec::validate`]), so a record that parsed
+//! yesterday parses identically today or fails loudly into a `failed` job.
+//!
+//! A [`JobRecord`] is one job's full persisted state: lifecycle state,
+//! its spec, and — once terminal — the outcome payload or error, so
+//! recovered results are byte-identical to what the pre-crash server
+//! would have served.
+//!
+//! The encoding is a versioned, length-prefixed binary format (the store
+//! already CRCs every record, so no checksum here).
+
+use crate::jobs::{
+    CheckpointSource, InferRequest, JobId, JobKind, JobOutcome, JobState, PlanRequest,
+    VerifyRequest,
+};
+use nptsn_format::{parse_plan, parse_problem};
+
+/// Store key prefix for job records (ids zero-padded so the store's
+/// sorted prefix scan yields submission order).
+pub const JOB_PREFIX: &str = "job/";
+/// Store key holding the highest id ever issued, so a restart after
+/// `DELETE /jobs/<id>` never reuses an id.
+pub const NEXT_ID_KEY: &str = "meta/next_id";
+
+/// The store key for one job's record.
+pub fn job_key(id: JobId) -> String {
+    format!("{JOB_PREFIX}{id:020}")
+}
+
+/// The job id encoded in a store key, if it is a job key.
+pub fn job_id_from_key(key: &str) -> Option<JobId> {
+    key.strip_prefix(JOB_PREFIX)?.parse().ok()
+}
+
+const RECORD_VERSION: u8 = 1;
+
+/// A submission in replayable form. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// A `POST /jobs/plan` submission.
+    Plan {
+        /// The raw problem document.
+        problem: String,
+        /// Training epochs.
+        epochs: u64,
+        /// Environment steps per epoch.
+        steps: u64,
+        /// Base RNG seed.
+        seed: u64,
+        /// Greedy ablation instead of RL.
+        greedy: bool,
+        /// Analyzer fan-out per rollout worker.
+        analyzer_workers: u64,
+    },
+    /// A `POST /jobs/verify` submission (problem + plan in one body).
+    Verify {
+        /// The raw combined body.
+        body: String,
+        /// Analyzer worker threads.
+        analyzer_workers: u64,
+    },
+    /// A `POST /jobs/infer` submission.
+    Infer {
+        /// The raw problem document.
+        problem: String,
+        /// Where the policy checkpoint comes from.
+        checkpoint: CheckpointRef,
+        /// Deployment episodes to attempt.
+        attempts: u64,
+        /// Base RNG seed.
+        seed: u64,
+    },
+    /// A diagnostic burn job.
+    Burn {
+        /// Worker occupancy in milliseconds.
+        millis: u64,
+    },
+}
+
+/// Where an infer job's checkpoint bytes come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointRef {
+    /// Uploaded inline with the submission.
+    Inline(Vec<u8>),
+    /// A name in the checkpoint registry, resolved when the job runs.
+    Named(String),
+}
+
+/// Why a spec cannot become a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The submission is structurally malformed (HTTP 400).
+    Malformed(String),
+    /// The submission parsed but its content is invalid (HTTP 422).
+    Invalid(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Malformed(m) | SpecError::Invalid(m) => f.write_str(m),
+        }
+    }
+}
+
+/// Splits a verify body into (problem, plan) at the first `[switches]`
+/// line — a section name the problem format does not use.
+pub fn split_verify_body(text: &str) -> Option<(&str, &str)> {
+    let split = text
+        .lines()
+        .scan(0usize, |offset, line| {
+            let at = *offset;
+            *offset = at + line.len() + 1;
+            Some((at, line))
+        })
+        .find(|(_, line)| line.trim() == "[switches]")
+        .map(|(at, _)| at)?;
+    Some(text.split_at(split))
+}
+
+impl JobSpec {
+    /// Re-validates the spec into an executable [`JobKind`] — the single
+    /// validation path shared by HTTP submission and crash recovery.
+    pub fn validate(&self) -> Result<JobKind, SpecError> {
+        match self {
+            JobSpec::Plan { problem, epochs, steps, seed, greedy, analyzer_workers } => {
+                let parsed = parse_problem(problem)
+                    .map_err(|e| SpecError::Invalid(format!("invalid problem: {e}")))?;
+                Ok(JobKind::Plan(PlanRequest {
+                    parsed,
+                    epochs: (*epochs).max(1) as usize,
+                    steps: (*steps).max(1) as usize,
+                    seed: *seed,
+                    greedy: *greedy,
+                    analyzer_workers: *analyzer_workers as usize,
+                }))
+            }
+            JobSpec::Verify { body, analyzer_workers } => {
+                let Some((problem_text, plan_text)) = split_verify_body(body) else {
+                    return Err(SpecError::Malformed(
+                        "verify body has no [switches] section (problem + plan expected)"
+                            .to_string(),
+                    ));
+                };
+                let parsed = parse_problem(problem_text)
+                    .map_err(|e| SpecError::Invalid(format!("invalid problem: {e}")))?;
+                let topology = parse_plan(&parsed, plan_text)
+                    .map_err(|e| SpecError::Invalid(format!("invalid plan: {e}")))?;
+                Ok(JobKind::Verify(VerifyRequest {
+                    parsed,
+                    topology,
+                    analyzer_workers: *analyzer_workers as usize,
+                }))
+            }
+            JobSpec::Infer { problem, checkpoint, attempts, seed } => {
+                let parsed = parse_problem(problem)
+                    .map_err(|e| SpecError::Invalid(format!("invalid problem: {e}")))?;
+                let checkpoint = match checkpoint {
+                    CheckpointRef::Inline(bytes) => {
+                        // Structural validation up front: magic, version,
+                        // framing, CRC-32 — malformed uploads never queue.
+                        nptsn_nn::checkpoint_shapes(bytes).map_err(|e| {
+                            SpecError::Invalid(format!("invalid checkpoint: {e}"))
+                        })?;
+                        CheckpointSource::Inline(bytes.clone())
+                    }
+                    CheckpointRef::Named(name) => CheckpointSource::Named(name.clone()),
+                };
+                Ok(JobKind::Infer(InferRequest {
+                    parsed,
+                    checkpoint,
+                    attempts: (*attempts).max(1) as usize,
+                    seed: *seed,
+                }))
+            }
+            JobSpec::Burn { millis } => Ok(JobKind::Burn { millis: *millis }),
+        }
+    }
+
+    /// The kind label this spec produces (`plan`, `verify`, …).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            JobSpec::Plan { .. } => "plan",
+            JobSpec::Verify { .. } => "verify",
+            JobSpec::Infer { .. } => "infer",
+            JobSpec::Burn { .. } => "burn",
+        }
+    }
+}
+
+/// One job's full persisted state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Lifecycle state at the last persisted transition.
+    pub state: JobState,
+    /// The replayable submission (absent only for legacy direct-`JobKind`
+    /// submissions, which cannot be re-executed after a crash).
+    pub spec: Option<JobSpec>,
+    /// The result payload, once `done` (and for cancelled-with-result).
+    pub outcome: Option<JobOutcome>,
+    /// The failure message, once `failed`.
+    pub error: Option<String>,
+}
+
+// ---------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+    fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+    fn opt(&mut self, present: bool) {
+        self.u8(present as u8);
+    }
+}
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.bytes.len() - self.at < n {
+            return Err(format!("record truncated at byte {}", self.at));
+        }
+        let slice = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>, String> {
+        let len = self.u64()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+    fn str(&mut self) -> Result<String, String> {
+        String::from_utf8(self.bytes()?).map_err(|_| "record string is not UTF-8".to_string())
+    }
+    fn bool(&mut self) -> Result<bool, String> {
+        Ok(self.u8()? != 0)
+    }
+    fn done(&self) -> Result<(), String> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("{} trailing bytes after record", self.bytes.len() - self.at))
+        }
+    }
+}
+
+fn state_tag(state: JobState) -> u8 {
+    match state {
+        JobState::Submitted => 0,
+        JobState::Running => 1,
+        JobState::Done => 2,
+        JobState::Failed => 3,
+        JobState::Cancelled => 4,
+    }
+}
+
+fn state_from_tag(tag: u8) -> Result<JobState, String> {
+    Ok(match tag {
+        0 => JobState::Submitted,
+        1 => JobState::Running,
+        2 => JobState::Done,
+        3 => JobState::Failed,
+        4 => JobState::Cancelled,
+        other => return Err(format!("unknown job state tag {other}")),
+    })
+}
+
+fn encode_spec(enc: &mut Enc, spec: &JobSpec) {
+    match spec {
+        JobSpec::Plan { problem, epochs, steps, seed, greedy, analyzer_workers } => {
+            enc.u8(1);
+            enc.str(problem);
+            enc.u64(*epochs);
+            enc.u64(*steps);
+            enc.u64(*seed);
+            enc.u8(*greedy as u8);
+            enc.u64(*analyzer_workers);
+        }
+        JobSpec::Verify { body, analyzer_workers } => {
+            enc.u8(2);
+            enc.str(body);
+            enc.u64(*analyzer_workers);
+        }
+        JobSpec::Infer { problem, checkpoint, attempts, seed } => {
+            enc.u8(3);
+            enc.str(problem);
+            match checkpoint {
+                CheckpointRef::Inline(bytes) => {
+                    enc.u8(0);
+                    enc.bytes(bytes);
+                }
+                CheckpointRef::Named(name) => {
+                    enc.u8(1);
+                    enc.str(name);
+                }
+            }
+            enc.u64(*attempts);
+            enc.u64(*seed);
+        }
+        JobSpec::Burn { millis } => {
+            enc.u8(4);
+            enc.u64(*millis);
+        }
+    }
+}
+
+fn decode_spec(dec: &mut Dec<'_>) -> Result<JobSpec, String> {
+    Ok(match dec.u8()? {
+        1 => JobSpec::Plan {
+            problem: dec.str()?,
+            epochs: dec.u64()?,
+            steps: dec.u64()?,
+            seed: dec.u64()?,
+            greedy: dec.bool()?,
+            analyzer_workers: dec.u64()?,
+        },
+        2 => JobSpec::Verify { body: dec.str()?, analyzer_workers: dec.u64()? },
+        3 => JobSpec::Infer {
+            problem: dec.str()?,
+            checkpoint: match dec.u8()? {
+                0 => CheckpointRef::Inline(dec.bytes()?),
+                1 => CheckpointRef::Named(dec.str()?),
+                other => return Err(format!("unknown checkpoint ref tag {other}")),
+            },
+            attempts: dec.u64()?,
+            seed: dec.u64()?,
+        },
+        4 => JobSpec::Burn { millis: dec.u64()? },
+        other => return Err(format!("unknown job spec tag {other}")),
+    })
+}
+
+fn encode_outcome(enc: &mut Enc, outcome: &JobOutcome) {
+    match outcome {
+        JobOutcome::Plan { planfile, cost, summary, checkpoint } => {
+            enc.u8(1);
+            enc.str(planfile);
+            enc.f64(*cost);
+            enc.str(summary);
+            enc.opt(checkpoint.is_some());
+            if let Some(bytes) = checkpoint {
+                enc.bytes(bytes);
+            }
+        }
+        JobOutcome::Verify { json, reliable } => {
+            enc.u8(2);
+            enc.str(json);
+            enc.u8(*reliable as u8);
+        }
+        JobOutcome::Burn => enc.u8(3),
+    }
+}
+
+fn decode_outcome(dec: &mut Dec<'_>) -> Result<JobOutcome, String> {
+    Ok(match dec.u8()? {
+        1 => JobOutcome::Plan {
+            planfile: dec.str()?,
+            cost: dec.f64()?,
+            summary: dec.str()?,
+            checkpoint: if dec.bool()? { Some(dec.bytes()?) } else { None },
+        },
+        2 => JobOutcome::Verify { json: dec.str()?, reliable: dec.bool()? },
+        3 => JobOutcome::Burn,
+        other => return Err(format!("unknown outcome tag {other}")),
+    })
+}
+
+/// Encodes one job record (by parts, so callers holding a live entry do
+/// not clone payloads just to persist them).
+pub fn encode_record(
+    state: JobState,
+    spec: Option<&JobSpec>,
+    outcome: Option<&JobOutcome>,
+    error: Option<&str>,
+) -> Vec<u8> {
+    let mut enc = Enc { buf: Vec::with_capacity(64) };
+    enc.u8(RECORD_VERSION);
+    enc.u8(state_tag(state));
+    enc.opt(spec.is_some());
+    if let Some(spec) = spec {
+        encode_spec(&mut enc, spec);
+    }
+    enc.opt(outcome.is_some());
+    if let Some(outcome) = outcome {
+        encode_outcome(&mut enc, outcome);
+    }
+    enc.opt(error.is_some());
+    if let Some(error) = error {
+        enc.str(error);
+    }
+    enc.buf
+}
+
+/// Decodes one job record.
+pub fn decode_record(bytes: &[u8]) -> Result<JobRecord, String> {
+    let mut dec = Dec { bytes, at: 0 };
+    let version = dec.u8()?;
+    if version != RECORD_VERSION {
+        return Err(format!("unsupported job record version {version}"));
+    }
+    let state = state_from_tag(dec.u8()?)?;
+    let spec = if dec.bool()? { Some(decode_spec(&mut dec)?) } else { None };
+    let outcome = if dec.bool()? { Some(decode_outcome(&mut dec)?) } else { None };
+    let error = if dec.bool()? { Some(dec.str()?) } else { None };
+    dec.done()?;
+    Ok(JobRecord { state, spec, outcome, error })
+}
+
+/// Encodes the next-id meta record.
+pub fn encode_next_id(id: JobId) -> Vec<u8> {
+    id.to_le_bytes().to_vec()
+}
+
+/// Decodes the next-id meta record.
+pub fn decode_next_id(bytes: &[u8]) -> Option<JobId> {
+    Some(JobId::from_le_bytes(bytes.try_into().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(record: &JobRecord) -> JobRecord {
+        let bytes = encode_record(
+            record.state,
+            record.spec.as_ref(),
+            record.outcome.as_ref(),
+            record.error.as_deref(),
+        );
+        decode_record(&bytes).unwrap()
+    }
+
+    #[test]
+    fn records_roundtrip_every_shape() {
+        let records = [
+            JobRecord {
+                state: JobState::Submitted,
+                spec: Some(JobSpec::Plan {
+                    problem: "[nodes]\nes a\n".to_string(),
+                    epochs: 3,
+                    steps: 64,
+                    seed: 7,
+                    greedy: true,
+                    analyzer_workers: 2,
+                }),
+                outcome: None,
+                error: None,
+            },
+            JobRecord {
+                state: JobState::Running,
+                spec: Some(JobSpec::Verify { body: "p\n[switches]\ns".to_string(), analyzer_workers: 1 }),
+                outcome: None,
+                error: None,
+            },
+            JobRecord {
+                state: JobState::Done,
+                spec: Some(JobSpec::Infer {
+                    problem: "[nodes]".to_string(),
+                    checkpoint: CheckpointRef::Inline(vec![1, 2, 3]),
+                    attempts: 8,
+                    seed: 0,
+                }),
+                outcome: Some(JobOutcome::Plan {
+                    planfile: "[switches]\n".to_string(),
+                    cost: 12.5,
+                    summary: "ok".to_string(),
+                    checkpoint: Some(vec![9, 9]),
+                }),
+                error: None,
+            },
+            JobRecord {
+                state: JobState::Failed,
+                spec: Some(JobSpec::Infer {
+                    problem: "[nodes]".to_string(),
+                    checkpoint: CheckpointRef::Named("prod".to_string()),
+                    attempts: 1,
+                    seed: 3,
+                }),
+                outcome: None,
+                error: Some("no plan".to_string()),
+            },
+            JobRecord {
+                state: JobState::Cancelled,
+                spec: Some(JobSpec::Burn { millis: 5 }),
+                outcome: Some(JobOutcome::Burn),
+                error: None,
+            },
+            JobRecord {
+                state: JobState::Done,
+                spec: None,
+                outcome: Some(JobOutcome::Verify { json: "{}".to_string(), reliable: false }),
+                error: None,
+            },
+        ];
+        for record in &records {
+            assert_eq!(&roundtrip(record), record, "{record:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_record(&[]).is_err());
+        assert!(decode_record(&[99]).is_err());
+        assert!(decode_record(&[1, 0, 1, 77]).is_err()); // bad spec tag
+        // Trailing bytes after a valid record are an error, not ignored.
+        let mut bytes = encode_record(JobState::Submitted, None, None, None);
+        bytes.push(0);
+        assert!(decode_record(&bytes).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn job_keys_sort_in_id_order() {
+        assert_eq!(job_key(7), "job/00000000000000000007");
+        assert!(job_key(9) < job_key(10));
+        assert_eq!(job_id_from_key(&job_key(42)), Some(42));
+        assert_eq!(job_id_from_key("ckpt/x"), None);
+        assert_eq!(decode_next_id(&encode_next_id(900)), Some(900));
+    }
+
+    #[test]
+    fn validate_is_the_shared_gate() {
+        let bad = JobSpec::Plan {
+            problem: "[nonsense".to_string(),
+            epochs: 1,
+            steps: 1,
+            seed: 0,
+            greedy: true,
+            analyzer_workers: 1,
+        };
+        assert!(matches!(bad.validate(), Err(SpecError::Invalid(_))));
+        let lone = JobSpec::Verify { body: "no plan here".to_string(), analyzer_workers: 1 };
+        assert!(matches!(lone.validate(), Err(SpecError::Malformed(_))));
+        let burn = JobSpec::Burn { millis: 3 };
+        assert!(matches!(burn.validate(), Ok(JobKind::Burn { millis: 3 })));
+        assert_eq!(burn.kind_name(), "burn");
+    }
+}

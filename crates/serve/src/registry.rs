@@ -1,0 +1,156 @@
+//! The named checkpoint registry behind `PUT/GET /checkpoints/<name>`.
+//!
+//! Trained `NPTSNCK2` policies are registered once under a stable name and
+//! referenced by infer jobs (`POST /jobs/infer?checkpoint=<name>`) instead
+//! of re-uploaded with every submission. Each overwrite bumps a version
+//! counter so operators can tell a stale replica from a fresh one. Backed
+//! by the same [`Storage`] as the job queue, so registered checkpoints
+//! survive restarts alongside the jobs that reference them.
+
+use std::sync::Arc;
+
+use nptsn_store::{Storage, StoreError};
+
+/// Store key prefix for registry entries.
+const CKPT_PREFIX: &str = "ckpt/";
+
+/// One registered checkpoint, without its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    /// The registered name.
+    pub name: String,
+    /// Version counter: 1 on first registration, +1 per overwrite.
+    pub version: u64,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+/// A named, versioned checkpoint store shared by the HTTP handlers and
+/// the worker pool. Cloning shares the underlying storage.
+#[derive(Debug, Clone)]
+pub struct CheckpointRegistry {
+    store: Arc<dyn Storage>,
+}
+
+/// Whether a checkpoint name is acceptable in a URL path and a store key:
+/// 1–128 characters of `[A-Za-z0-9._-]`, not starting with a dot.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && !name.starts_with('.')
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+impl CheckpointRegistry {
+    /// A registry on the given storage.
+    pub fn new(store: Arc<dyn Storage>) -> CheckpointRegistry {
+        CheckpointRegistry { store }
+    }
+
+    fn key(name: &str) -> String {
+        format!("{CKPT_PREFIX}{name}")
+    }
+
+    /// Registers (or overwrites) `name`, returning the new version.
+    pub fn put(&self, name: &str, bytes: &[u8]) -> Result<u64, StoreError> {
+        let key = CheckpointRegistry::key(name);
+        let version = match self.store.get(&key)? {
+            Some(existing) => decode_version(&existing) + 1,
+            None => 1,
+        };
+        let mut value = Vec::with_capacity(8 + bytes.len());
+        value.extend_from_slice(&version.to_le_bytes());
+        value.extend_from_slice(bytes);
+        self.store.put(&key, &value)?;
+        Ok(version)
+    }
+
+    /// The registered payload and its version, or `None`.
+    pub fn get(&self, name: &str) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
+        Ok(self.store.get(&CheckpointRegistry::key(name))?.map(|value| {
+            let version = decode_version(&value);
+            (version, value[value.len().min(8)..].to_vec())
+        }))
+    }
+
+    /// Unregisters `name`; `false` if it was not registered.
+    pub fn delete(&self, name: &str) -> Result<bool, StoreError> {
+        let key = CheckpointRegistry::key(name);
+        if self.store.get(&key)?.is_none() {
+            return Ok(false);
+        }
+        self.store.delete(&key)?;
+        Ok(true)
+    }
+
+    /// Every registered checkpoint, sorted by name.
+    pub fn list(&self) -> Result<Vec<CheckpointInfo>, StoreError> {
+        let mut out = Vec::new();
+        for key in self.store.keys_with_prefix(CKPT_PREFIX)? {
+            let Some(value) = self.store.get(&key)? else { continue };
+            out.push(CheckpointInfo {
+                name: key[CKPT_PREFIX.len()..].to_string(),
+                version: decode_version(&value),
+                bytes: value.len().saturating_sub(8) as u64,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// The version prefix of a registry value (0 for a malformed one — never
+/// written by [`CheckpointRegistry::put`], but the store is shared).
+fn decode_version(value: &[u8]) -> u64 {
+    value
+        .get(..8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nptsn_store::MemStore;
+
+    fn registry() -> CheckpointRegistry {
+        CheckpointRegistry::new(Arc::new(MemStore::new()))
+    }
+
+    #[test]
+    fn put_versions_and_get_roundtrip() {
+        let reg = registry();
+        assert_eq!(reg.put("prod", b"v1-bytes").unwrap(), 1);
+        assert_eq!(reg.put("prod", b"v2-bytes").unwrap(), 2);
+        let (version, bytes) = reg.get("prod").unwrap().unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(bytes, b"v2-bytes");
+        assert_eq!(reg.get("absent").unwrap(), None);
+    }
+
+    #[test]
+    fn delete_and_list() {
+        let reg = registry();
+        reg.put("b", b"bb").unwrap();
+        reg.put("a", b"a").unwrap();
+        let infos = reg.list().unwrap();
+        assert_eq!(
+            infos.iter().map(|i| (i.name.as_str(), i.version, i.bytes)).collect::<Vec<_>>(),
+            vec![("a", 1, 1), ("b", 1, 2)]
+        );
+        assert!(reg.delete("a").unwrap());
+        assert!(!reg.delete("a").unwrap());
+        assert_eq!(reg.list().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("prod-policy.v2_final"));
+        assert!(!valid_name(""));
+        assert!(!valid_name(".hidden"));
+        assert!(!valid_name("has/slash"));
+        assert!(!valid_name("has space"));
+        assert!(!valid_name(&"x".repeat(129)));
+    }
+}

@@ -15,12 +15,23 @@
 //! | `GET /jobs/<id>/plan`      | The resulting plan file                       |
 //! | `GET /jobs/<id>/result`    | The full result document                      |
 //! | `GET /jobs/<id>/checkpoint`| The trained policy checkpoint (`NPTSNCK2`)    |
-//! | `DELETE /jobs/<id>`        | Cancel a queued or running job                |
+//! | `DELETE /jobs/<id>`        | Cancel a live job / delete a terminal one     |
+//! | `GET /checkpoints`         | List registered checkpoints                   |
+//! | `PUT /checkpoints/<name>`  | Register (or overwrite) a named checkpoint    |
+//! | `GET /checkpoints/<name>`  | Download a registered checkpoint              |
+//! | `DELETE /checkpoints/<name>`| Unregister a checkpoint                      |
 //! | `POST /shutdown`           | Drain the queue and stop                      |
 //!
 //! A full queue answers `503` with a `Retry-After` header — backpressure,
 //! not an error. Shutdown closes the queue, lets the workers finish every
 //! accepted job, then stops the acceptor; nothing accepted is dropped.
+//!
+//! With a `data_dir` configured, the queue and the checkpoint registry are
+//! backed by the `nptsn-store` segment log: every lifecycle transition is
+//! durable before it is acknowledged, and a restarted server (even after
+//! `kill -9`) recovers terminal results byte-identically and re-enqueues
+//! the jobs the crash interrupted. `POST /jobs/infer?checkpoint=<name>`
+//! plans from a registered checkpoint without re-uploading it.
 
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -30,15 +41,16 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use nptsn_format::json::Object;
-use nptsn_format::{parse_plan, parse_problem};
 use nptsn_nn::checkpoint_shapes;
+use nptsn_store::{LogStore, MemStore, Storage, StoreError};
 
 use crate::http::{read_request_deadline, HttpError, Request, Response};
 use crate::jobs::{
-    CancelOutcome, InferRequest, JobKind, JobOutcome, JobQueue, JobState, PlanRequest,
-    SubmitError, VerifyRequest,
+    CancelOutcome, JobKind, JobOutcome, JobQueue, JobState, RetentionConfig, SubmitError,
 };
 use crate::metrics::{Counter, Gauge, Histogram, Registry};
+use crate::persist::{CheckpointRef, JobSpec, SpecError};
+use crate::registry::valid_name;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -65,6 +77,15 @@ pub struct ServeConfig {
     /// disables). An expired job is recorded as `failed` and its worker
     /// moves on; the orphaned computation is signalled to wind down.
     pub job_deadline_ms: u64,
+    /// Directory for the durable job & checkpoint store. `None` (the
+    /// default) keeps everything in memory — nothing survives a restart.
+    pub data_dir: Option<String>,
+    /// Keep at most this many terminal jobs (memory *and* store); the
+    /// oldest are evicted first. `0` disables the cap.
+    pub job_retention: usize,
+    /// Evict terminal jobs this many seconds after they finish (`0`
+    /// disables). The clock restarts at recovery.
+    pub job_ttl_secs: u64,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +99,9 @@ impl Default for ServeConfig {
             io_timeout_ms: 30_000,
             header_deadline_ms: 10_000,
             job_deadline_ms: 0,
+            data_dir: None,
+            job_retention: 1024,
+            job_ttl_secs: 0,
         }
     }
 }
@@ -102,6 +126,8 @@ pub struct ServeMetrics {
     pub jobs_cancelled: Arc<Counter>,
     /// Submissions refused with backpressure.
     pub jobs_rejected: Arc<Counter>,
+    /// Interrupted jobs re-enqueued by restart recovery.
+    pub jobs_recovered: Arc<Counter>,
     /// Jobs currently waiting in the queue.
     pub jobs_queued: Arc<Gauge>,
     /// Jobs currently executing.
@@ -127,6 +153,8 @@ impl ServeMetrics {
         let jobs_cancelled = registry.counter("nptsn_jobs_cancelled_total", "Jobs cancelled");
         let jobs_rejected = registry
             .counter("nptsn_jobs_rejected_total", "Submissions refused with backpressure");
+        let jobs_recovered = registry
+            .counter("nptsn_jobs_recovered_total", "Interrupted jobs re-enqueued after restart");
         let jobs_queued = registry.gauge("nptsn_jobs_queued", "Jobs waiting in the queue");
         let jobs_running = registry.gauge("nptsn_jobs_running", "Jobs currently executing");
         ServeMetrics {
@@ -138,6 +166,7 @@ impl ServeMetrics {
             jobs_failed,
             jobs_cancelled,
             jobs_rejected,
+            jobs_recovered,
             jobs_queued,
             jobs_running,
         }
@@ -206,11 +235,37 @@ pub struct Server {
 
 impl Server {
     /// Binds the listener and starts the worker pool and acceptor.
+    ///
+    /// With `config.data_dir` set, opens (or creates) the durable store
+    /// there and recovers every persisted job before accepting traffic:
+    /// terminal jobs reload with their results, interrupted jobs are
+    /// re-enqueued (counted in `nptsn_jobs_recovered_total`).
     pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let metrics = Arc::new(ServeMetrics::new());
-        let queue = Arc::new(JobQueue::new(config.queue_depth));
+        let store: Arc<dyn Storage> = match &config.data_dir {
+            Some(dir) => Arc::new(LogStore::open(dir).map_err(store_io_error)?),
+            None => Arc::new(MemStore::new()),
+        };
+        let retention = RetentionConfig {
+            max_terminal: config.job_retention,
+            ttl: (config.job_ttl_secs > 0).then(|| Duration::from_secs(config.job_ttl_secs)),
+        };
+        let (queue, recovered) =
+            JobQueue::open(config.queue_depth, store, retention).map_err(store_io_error)?;
+        let queue = Arc::new(queue);
+        metrics.jobs_recovered.add(recovered.requeued);
+        if nptsn_obs::enabled() && recovered != crate::jobs::RecoveryReport::default() {
+            nptsn_obs::event(
+                nptsn_obs::Level::Info,
+                "serve.recovery",
+                &format!(
+                    "recovered {} terminal, requeued {}, failed {}",
+                    recovered.terminal_loaded, recovered.requeued, recovered.failed_to_recover
+                ),
+            );
+        }
         let shared = Arc::new(Shared {
             config,
             local_addr,
@@ -282,6 +337,16 @@ impl Server {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+    }
+}
+
+/// Maps a store failure at startup into the `bind` error.
+fn store_io_error(e: StoreError) -> std::io::Error {
+    match e {
+        StoreError::Io(inner) => inner,
+        StoreError::Corrupt(message) => {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, message)
         }
     }
 }
@@ -454,7 +519,82 @@ fn route(shared: &Arc<Shared>, request: &Request) -> Response {
             };
             submit(shared, JobKind::Burn { millis })
         }
+        ("GET", "/checkpoints") => list_checkpoints(shared),
+        _ if path.starts_with("/checkpoints/") => route_checkpoint(shared, request),
         _ => route_job(shared, request),
+    }
+}
+
+/// Routes `/checkpoints/<name>` (PUT / GET / DELETE).
+fn route_checkpoint(shared: &Arc<Shared>, request: &Request) -> Response {
+    let name = &request.path["/checkpoints/".len()..];
+    if !valid_name(name) {
+        return Response::error(
+            400,
+            "checkpoint names are 1-128 characters of [A-Za-z0-9._-], not starting with '.'",
+        );
+    }
+    let registry = shared.queue.registry();
+    match request.method.as_str() {
+        "PUT" => {
+            // Same structural gate as an inline infer upload: magic,
+            // version, framing, CRC-32.
+            if let Err(e) = checkpoint_shapes(&request.body) {
+                return Response::error(422, &format!("invalid checkpoint: {e}"));
+            }
+            match registry.put(name, &request.body) {
+                Ok(version) => {
+                    let mut obj = Object::new();
+                    obj.str("name", name);
+                    obj.int("version", version);
+                    obj.int("bytes", request.body.len() as u64);
+                    Response::json(200, obj.finish())
+                }
+                Err(e) => Response::error(503, &format!("checkpoint store unavailable: {e}")),
+            }
+        }
+        "GET" => match registry.get(name) {
+            Ok(Some((version, bytes))) => Response {
+                status: 200,
+                content_type: "application/octet-stream",
+                body: bytes,
+                extra_headers: vec![("X-Checkpoint-Version".to_string(), version.to_string())],
+                close: false,
+            },
+            Ok(None) => Response::error(404, &format!("no checkpoint '{name}'")),
+            Err(e) => Response::error(503, &format!("checkpoint store unavailable: {e}")),
+        },
+        "DELETE" => match registry.delete(name) {
+            Ok(true) => {
+                let mut obj = Object::new();
+                obj.str("name", name);
+                obj.bool("deleted", true);
+                Response::json(200, obj.finish())
+            }
+            Ok(false) => Response::error(404, &format!("no checkpoint '{name}'")),
+            Err(e) => Response::error(503, &format!("checkpoint store unavailable: {e}")),
+        },
+        _ => Response::error(405, "method not allowed"),
+    }
+}
+
+/// `GET /checkpoints`: every registered name with version and size.
+fn list_checkpoints(shared: &Arc<Shared>) -> Response {
+    match shared.queue.registry().list() {
+        Ok(infos) => {
+            let entries: Vec<String> = infos
+                .iter()
+                .map(|info| {
+                    let mut obj = Object::new();
+                    obj.str("name", &info.name);
+                    obj.int("version", info.version);
+                    obj.int("bytes", info.bytes);
+                    obj.finish()
+                })
+                .collect();
+            Response::json(200, format!("{{\"checkpoints\":[{}]}}", entries.join(",")))
+        }
+        Err(e) => Response::error(503, &format!("checkpoint store unavailable: {e}")),
     }
 }
 
@@ -498,8 +638,18 @@ fn route_job(shared: &Arc<Shared>, request: &Request) -> Response {
                 obj.str("state", "cancelling");
                 Response::json(202, obj.finish())
             }
+            // A terminal job has nothing to cancel — DELETE removes it
+            // instead, from memory and the durable store (a tombstone,
+            // reclaimed at the next compaction).
             CancelOutcome::AlreadyFinished => {
-                Response::error(409, &format!("job {id} already finished"))
+                if shared.queue.forget_terminal(id) {
+                    let mut obj = Object::new();
+                    obj.int("id", id);
+                    obj.str("state", "deleted");
+                    Response::json(200, obj.finish())
+                } else {
+                    Response::error(404, &format!("no job {id}"))
+                }
             }
             CancelOutcome::NotFound => Response::error(404, &format!("no job {id}")),
         },
@@ -551,9 +701,10 @@ fn require_done(snapshot: &crate::jobs::JobSnapshot) -> Result<(), Response> {
     }
 }
 
-/// Submits a validated job, mapping backpressure to `503` + `Retry-After`.
-fn submit(shared: &Arc<Shared>, kind: JobKind) -> Response {
-    match shared.queue.submit(kind) {
+/// The accepted-job response and the backpressure mapping shared by every
+/// submission path.
+fn submit_result(shared: &Arc<Shared>, result: Result<u64, SubmitError>) -> Response {
+    match result {
         Ok(id) => {
             shared.metrics.jobs_submitted.inc();
             shared.metrics.jobs_queued.set(shared.queue.queued() as i64);
@@ -567,6 +718,7 @@ fn submit(shared: &Arc<Shared>, kind: JobKind) -> Response {
             let message = match reason {
                 SubmitError::Full => "queue full, retry later",
                 SubmitError::ShuttingDown => "service is shutting down",
+                SubmitError::Storage => "job store unavailable, retry later",
             };
             Response::error(503, message)
                 .with_header("Retry-After", shared.config.retry_after_secs.to_string())
@@ -574,20 +726,33 @@ fn submit(shared: &Arc<Shared>, kind: JobKind) -> Response {
     }
 }
 
+/// Submits a direct job kind (burn); backpressure becomes `503`.
+fn submit(shared: &Arc<Shared>, kind: JobKind) -> Response {
+    submit_result(shared, shared.queue.submit(kind))
+}
+
+/// Validates a replayable spec and submits it — the single gate shared
+/// with crash recovery, so a submission that queues today re-validates
+/// identically after a restart.
+fn submit_spec(shared: &Arc<Shared>, spec: JobSpec) -> Response {
+    let kind = match spec.validate() {
+        Ok(kind) => kind,
+        Err(SpecError::Malformed(message)) => return Response::error(400, &message),
+        Err(SpecError::Invalid(message)) => return Response::error(422, &message),
+    };
+    submit_result(shared, shared.queue.submit_validated(kind, Some(spec)))
+}
+
 fn submit_plan(shared: &Arc<Shared>, request: &Request) -> Response {
     let text = match std::str::from_utf8(&request.body) {
         Ok(t) => t,
         Err(_) => return Response::error(400, "problem body is not UTF-8"),
     };
-    let parsed = match parse_problem(text) {
-        Ok(p) => p,
-        Err(e) => return Response::error(422, &format!("invalid problem: {e}")),
-    };
-    let epochs = match query_number(request, "epochs", 3usize) {
+    let epochs = match query_number(request, "epochs", 3u64) {
         Ok(v) => v.max(1),
         Err(r) => return r,
     };
-    let steps = match query_number(request, "steps", 64usize) {
+    let steps = match query_number(request, "steps", 64u64) {
         Ok(v) => v.max(1),
         Err(r) => return r,
     };
@@ -595,14 +760,14 @@ fn submit_plan(shared: &Arc<Shared>, request: &Request) -> Response {
         Ok(v) => v,
         Err(r) => return r,
     };
-    let analyzer_workers = match query_number(request, "analyzer-workers", 1usize) {
+    let analyzer_workers = match query_number(request, "analyzer-workers", 1u64) {
         Ok(v) => v,
         Err(r) => return r,
     };
     let greedy = matches!(request.query_param("greedy"), Some("1" | "true"));
-    submit(
+    submit_spec(
         shared,
-        JobKind::Plan(PlanRequest { parsed, epochs, steps, seed, greedy, analyzer_workers }),
+        JobSpec::Plan { problem: text.to_string(), epochs, steps, seed, greedy, analyzer_workers },
     )
 }
 
@@ -611,42 +776,57 @@ fn submit_verify(shared: &Arc<Shared>, request: &Request) -> Response {
         Ok(t) => t,
         Err(_) => return Response::error(400, "verify body is not UTF-8"),
     };
-    // The body is the problem document followed by the plan file; the plan
-    // starts at the first `[switches]` line (a section name the problem
-    // format does not use).
-    let Some(split) = text
-        .lines()
-        .scan(0usize, |offset, line| {
-            let at = *offset;
-            *offset = at + line.len() + 1;
-            Some((at, line))
-        })
-        .find(|(_, line)| line.trim() == "[switches]")
-        .map(|(at, _)| at)
-    else {
-        return Response::error(400, "verify body has no [switches] section (problem + plan expected)");
-    };
-    let (problem_text, plan_text) = text.split_at(split);
-    let parsed = match parse_problem(problem_text) {
-        Ok(p) => p,
-        Err(e) => return Response::error(422, &format!("invalid problem: {e}")),
-    };
-    let topology = match parse_plan(&parsed, plan_text) {
-        Ok(t) => t,
-        Err(e) => return Response::error(422, &format!("invalid plan: {e}")),
-    };
-    let analyzer_workers = match query_number(request, "analyzer-workers", 1usize) {
+    // The body is the problem document followed by the plan file; the
+    // spec's validation splits them at the first `[switches]` line.
+    let analyzer_workers = match query_number(request, "analyzer-workers", 1u64) {
         Ok(v) => v,
         Err(r) => return r,
     };
-    submit(shared, JobKind::Verify(VerifyRequest { parsed, topology, analyzer_workers }))
+    submit_spec(shared, JobSpec::Verify { body: text.to_string(), analyzer_workers })
 }
 
 fn submit_infer(shared: &Arc<Shared>, request: &Request) -> Response {
+    let attempts = match query_number(request, "attempts", 8u64) {
+        Ok(v) => v.max(1),
+        Err(r) => return r,
+    };
+    let seed = match query_number(request, "seed", 0u64) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    // `?checkpoint=<name>`: the body is the problem alone and the policy
+    // comes from the registry (resolved again when the job runs).
+    if let Some(name) = request.query_param("checkpoint") {
+        if !valid_name(name) {
+            return Response::error(400, &format!("invalid checkpoint name '{name}'"));
+        }
+        let text = match std::str::from_utf8(&request.body) {
+            Ok(t) => t,
+            Err(_) => return Response::error(400, "problem body is not UTF-8"),
+        };
+        // Fail fast on an unknown name; the job re-resolves at run time.
+        match shared.queue.registry().get(name) {
+            Ok(Some(_)) => {}
+            Ok(None) => {
+                return Response::error(422, &format!("checkpoint '{name}' is not registered"))
+            }
+            Err(e) => return Response::error(503, &format!("checkpoint store unavailable: {e}")),
+        }
+        return submit_spec(
+            shared,
+            JobSpec::Infer {
+                problem: text.to_string(),
+                checkpoint: CheckpointRef::Named(name.to_string()),
+                attempts,
+                seed,
+            },
+        );
+    }
     let Some(problem_len_text) = request.header("x-problem-length") else {
         return Response::error(
             400,
-            "X-Problem-Length header required (problem bytes preceding the checkpoint)",
+            "X-Problem-Length header required (problem bytes preceding the checkpoint), \
+             or ?checkpoint=<name> to use a registered checkpoint",
         );
     };
     let Ok(problem_len) = problem_len_text.parse::<usize>() else {
@@ -660,31 +840,14 @@ fn submit_infer(shared: &Arc<Shared>, request: &Request) -> Response {
         Ok(t) => t,
         Err(_) => return Response::error(400, "problem body is not UTF-8"),
     };
-    let parsed = match parse_problem(text) {
-        Ok(p) => p,
-        Err(e) => return Response::error(422, &format!("invalid problem: {e}")),
-    };
-    // Structural validation up front: magic, version, framing, CRC-32.
-    // Malformed uploads never reach the queue.
-    if let Err(e) = checkpoint_shapes(checkpoint) {
-        return Response::error(422, &format!("invalid checkpoint: {e}"));
-    }
-    let attempts = match query_number(request, "attempts", 8usize) {
-        Ok(v) => v.max(1),
-        Err(r) => return r,
-    };
-    let seed = match query_number(request, "seed", 0u64) {
-        Ok(v) => v,
-        Err(r) => return r,
-    };
-    submit(
+    submit_spec(
         shared,
-        JobKind::Infer(InferRequest {
-            parsed,
-            checkpoint: checkpoint.to_vec(),
+        JobSpec::Infer {
+            problem: text.to_string(),
+            checkpoint: CheckpointRef::Inline(checkpoint.to_vec()),
             attempts,
             seed,
-        }),
+        },
     )
 }
 
@@ -784,6 +947,57 @@ mod tests {
         too_long.headers.push(("x-problem-length".into(), "99".into()));
         too_long.body = b"short".to_vec();
         assert_eq!(route(&shared, &too_long).status, 400);
+    }
+
+    #[test]
+    fn checkpoint_routes_validate_names_and_payloads() {
+        let shared = test_shared();
+        assert_eq!(route(&shared, &request("PUT", "/checkpoints/.hidden")).status, 400);
+        assert_eq!(route(&shared, &request("PUT", "/checkpoints/has space")).status, 400);
+
+        let mut garbage = request("PUT", "/checkpoints/prod");
+        garbage.body = b"not a checkpoint".to_vec();
+        assert_eq!(route(&shared, &garbage).status, 422);
+
+        assert_eq!(route(&shared, &request("GET", "/checkpoints/prod")).status, 404);
+        assert_eq!(route(&shared, &request("DELETE", "/checkpoints/prod")).status, 404);
+        assert_eq!(route(&shared, &request("POST", "/checkpoints/prod")).status, 405);
+
+        let list = route(&shared, &request("GET", "/checkpoints"));
+        assert_eq!(list.status, 200);
+        let body = String::from_utf8(list.body).unwrap();
+        assert!(body.contains("\"checkpoints\":[]"), "{body}");
+
+        // Infer against an unregistered name is a clean 422 at submission.
+        let mut infer = request("POST", "/jobs/infer");
+        infer.query.push(("checkpoint".to_string(), "prod".to_string()));
+        infer.body = b"[nodes]\nes a\nes b\nsw s0\n[links]\na s0\nb s0\n[flows]\na b 500 128\n"
+            .to_vec();
+        let response = route(&shared, &infer);
+        assert_eq!(response.status, 422);
+        let body = String::from_utf8(response.body).unwrap();
+        assert!(body.contains("not registered"), "{body}");
+    }
+
+    #[test]
+    fn delete_on_a_terminal_job_removes_it() {
+        let shared = test_shared();
+        let accepted = route(&shared, &request("POST", "/jobs/burn"));
+        assert_eq!(accepted.status, 202);
+        let body = String::from_utf8(accepted.body).unwrap();
+        let id: u64 = body
+            .split("\"id\":")
+            .nth(1)
+            .and_then(|s| s.chars().take_while(char::is_ascii_digit).collect::<String>().parse().ok())
+            .expect("id in response");
+        shared.queue.run_one(&shared.metrics).expect("one job runs");
+
+        let deleted = route(&shared, &request("DELETE", &format!("/jobs/{id}")));
+        assert_eq!(deleted.status, 200);
+        assert!(String::from_utf8(deleted.body).unwrap().contains("\"state\":\"deleted\""));
+        // Gone for good: status is a 404, a second DELETE too.
+        assert_eq!(route(&shared, &request("GET", &format!("/jobs/{id}"))).status, 404);
+        assert_eq!(route(&shared, &request("DELETE", &format!("/jobs/{id}"))).status, 404);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! The ephemeral [`Storage`] implementation: a mutexed `BTreeMap`.
+//!
+//! Used by tests and by `nptsn-serve` when no `--data-dir` is configured —
+//! same semantics as [`crate::LogStore`], no durability.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use crate::{CompactionStats, Storage, StoreError, StoreStats};
+
+/// In-memory last-write-wins store. Cheap to construct, nothing survives
+/// the process.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    map: Mutex<BTreeMap<String, Vec<u8>>>,
+    compactions: AtomicU64,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Vec<u8>>> {
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Storage for MemStore {
+    fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        // The same chaos site as the durable path, so storms can fail
+        // memory-backed writes too.
+        nptsn_chaos::point("store.append").map_err(std::io::Error::from)?;
+        self.lock().insert(key.to_string(), value.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(self.lock().get(key).cloned())
+    }
+
+    fn delete(&self, key: &str) -> Result<(), StoreError> {
+        nptsn_chaos::point("store.append").map_err(std::io::Error::from)?;
+        self.lock().remove(key);
+        Ok(())
+    }
+
+    fn keys_with_prefix(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
+        Ok(self
+            .lock()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
+    fn compact(&self) -> Result<CompactionStats, StoreError> {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(CompactionStats::default())
+    }
+
+    fn stats(&self) -> StoreStats {
+        let map = self.lock();
+        StoreStats {
+            live_keys: map.len() as u64,
+            live_bytes: map.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum(),
+            dead_bytes: 0,
+            segments: 0,
+            compactions: self.compactions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let store = MemStore::new();
+        assert_eq!(store.get("a").unwrap(), None);
+        store.put("a", b"one").unwrap();
+        store.put("a", b"two").unwrap();
+        assert_eq!(store.get("a").unwrap(), Some(b"two".to_vec()));
+        store.delete("a").unwrap();
+        store.delete("a").unwrap(); // idempotent
+        assert_eq!(store.get("a").unwrap(), None);
+    }
+
+    #[test]
+    fn prefix_scan_is_sorted_and_bounded() {
+        let store = MemStore::new();
+        for key in ["job/2", "job/1", "ckpt/x", "job/10"] {
+            store.put(key, b"v").unwrap();
+        }
+        assert_eq!(store.keys_with_prefix("job/").unwrap(), vec!["job/1", "job/10", "job/2"]);
+        assert_eq!(store.keys_with_prefix("none/").unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn stats_track_occupancy() {
+        let store = MemStore::new();
+        store.put("k", b"value").unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.live_keys, 1);
+        assert_eq!(stats.live_bytes, 6);
+        assert_eq!(stats.dead_bytes, 0);
+        store.compact().unwrap();
+        assert_eq!(store.stats().compactions, 1);
+    }
+}

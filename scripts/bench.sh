@@ -2,8 +2,9 @@
 # Benchmarks: builds the bench binaries offline in release mode and writes
 # machine-readable results to the repository root:
 #
-#   BENCH_analyzer.json — median ns/scenario for 1/2/4/8 analyzer workers
-#                         plus the shared-cache hit rate
+#   BENCH_analyzer.json — median ns/scenario for a core-count-aware
+#                         analyzer-worker sweep plus the shared-cache
+#                         hit rate
 #   BENCH_serve.json    — HTTP request throughput and p50/p99 status-poll
 #                         latency of the nptsn-serve service
 #   BENCH_obs.json      — nptsn-obs tracing overhead on the analyzer
@@ -11,9 +12,14 @@
 #                         binary itself fails if disabled overhead >= 5%)
 #   BENCH_chaos.json    — seeded chaos-storm results: determinism check,
 #                         clean vs storm job throughput, p99 recovery
-#                         latency and recovery counters (the binary fails
-#                         if disarmed chaos overhead >= 10%, a recovery
-#                         path never fired, or any job was lost)
+#                         latency, recovery counters, and the durable-queue
+#                         kill-and-restart storm (the binary fails if
+#                         disarmed chaos overhead >= 10%, a recovery path
+#                         never fired, any job was lost, or two same-seed
+#                         kill-restart storms diverge)
+#   BENCH_store.json    — durable store microbenchmarks: append throughput
+#                         (synced and unsynced), recovery time vs log
+#                         size, and the compaction pause
 #
 # Usage: scripts/bench.sh [--smoke]
 #   --smoke   shrink iteration counts to a fast plumbing check (used by
@@ -25,6 +31,7 @@ analyzer_out="BENCH_analyzer.json"
 serve_out="BENCH_serve.json"
 obs_out="BENCH_obs.json"
 chaos_out="BENCH_chaos.json"
+store_out="BENCH_store.json"
 if [[ "${1:-}" == "--smoke" ]]; then
     export NPTSN_BENCH_SMOKE=1
     # Smoke numbers are not representative; keep them out of the committed
@@ -33,13 +40,15 @@ if [[ "${1:-}" == "--smoke" ]]; then
     serve_out="target/BENCH_serve.smoke.json"
     obs_out="target/BENCH_obs.smoke.json"
     chaos_out="target/BENCH_chaos.smoke.json"
+    store_out="target/BENCH_store.smoke.json"
 fi
 
 cargo build --release --offline -p nptsn-bench \
-    --bin micro --bin serve_bench --bin obs_bench --bin chaos_storm
+    --bin micro --bin serve_bench --bin obs_bench --bin chaos_storm --bin store_bench
 NPTSN_BENCH_OUT="${NPTSN_BENCH_OUT:-$analyzer_out}" ./target/release/micro analyzer_json
 NPTSN_BENCH_OUT="${NPTSN_SERVE_BENCH_OUT:-$serve_out}" ./target/release/serve_bench
 NPTSN_BENCH_OUT="${NPTSN_OBS_BENCH_OUT:-$obs_out}" ./target/release/obs_bench
 # The chaos storm is seeded: the same seed replays the same storm, so a
 # reported failure reproduces exactly from the BENCH_chaos.json "seed".
 NPTSN_BENCH_OUT="${NPTSN_CHAOS_BENCH_OUT:-$chaos_out}" ./target/release/chaos_storm --seed 42
+NPTSN_BENCH_OUT="${NPTSN_STORE_BENCH_OUT:-$store_out}" ./target/release/store_bench
