@@ -155,7 +155,7 @@ impl NeuroPlanAgent {
             0.1,
             tas.slots() as f32 / 32.0,
         ];
-        Observation { node_count: n, feature_count: f, ahat, features, aux }
+        Observation { node_count: n, feature_count: f, ahat: ahat.into(), features, aux }
     }
 
     /// Trains the agent and returns the best solution found.

@@ -1,0 +1,386 @@
+//! Inference micro-batching benchmark: the gate for DESIGN.md §13.
+//!
+//! Two layers of measurement, mirroring what `/jobs/infer` actually runs:
+//!
+//! 1. **Job path** (the gated number) — the full per-job inference
+//!    pipeline exactly as the serve worker executes it: build the policy
+//!    network for the problem, import the checkpoint parameters, run the
+//!    seeded planning episodes. Solo runs pay all of that per job; a
+//!    coalesced batch pays policy construction and checkpoint import
+//!    **once** and fuses every episode step's forward across lanes
+//!    (`plan_with_policy_batch`). Measured at batch 1 / 8 / 64 on a
+//!    zonal-controller-scale problem, with every batched outcome checked
+//!    equal to its solo reference.
+//! 2. **Forward path** — `PolicyNetwork::evaluate_many` against K solo
+//!    `evaluate` calls on ORION-scale observations, proven **bit-identical**
+//!    before timing, plus the lane-vectorized `nptsn_tensor` matmul kernel
+//!    against a naive triple loop (also bit-for-bit checked).
+//!
+//! In full mode the binary itself fails unless batch-64 job throughput is
+//! at least 4x batch-1 — the acceptance bar for the batched inference
+//! path. `NPTSN_BENCH_SMOKE=1` shrinks counts to a plumbing check and
+//! skips the throughput gate (smoke numbers are noise).
+//!
+//! Writes `BENCH_infer.json` to the working directory (override with
+//! `NPTSN_BENCH_OUT`).
+//!
+//! ```text
+//! cargo run --release -p nptsn-bench --bin infer_bench
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nptsn::{
+    plan_with_policy_batch, InferLane, Observation, Planner, PlannerConfig, PlanningEnv,
+    PlanningProblem, Solution,
+};
+use nptsn_bench::problem_for;
+use nptsn_nn::{params_from_bytes, params_to_bytes, Module};
+use nptsn_rand::rngs::StdRng;
+use nptsn_rand::SeedableRng;
+use nptsn_rl::{sample_action, ActorCritic};
+use nptsn_scenarios::{orion, random_flows};
+use nptsn_sched::{FlowSet, FlowSpec, ShortestPathRecovery, TasConfig};
+use nptsn_topo::{ComponentLibrary, ConnectionGraph};
+
+/// The `q`-quantile of a sorted sample set, in nanoseconds.
+fn percentile_ns(sorted: &[Duration], q: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_nanos()
+}
+
+/// A zonal-controller-scale problem: two end stations, two candidate
+/// switches, the theta graph — the per-vehicle problem size the service's
+/// high-QPS path sees.
+fn zonal_problem() -> PlanningProblem {
+    let mut gc = ConnectionGraph::new();
+    let a = gc.add_end_station("a");
+    let b = gc.add_end_station("b");
+    let s0 = gc.add_switch("s0");
+    let s1 = gc.add_switch("s1");
+    for (u, v) in [(a, s0), (s0, b), (a, s1), (s1, b), (s0, s1)] {
+        gc.add_candidate_link(u, v, 1.0).expect("distinct endpoints");
+    }
+    let flows = FlowSet::new(vec![FlowSpec::new(a, b, 500, 128)]).expect("one valid flow");
+    PlanningProblem::new(
+        Arc::new(gc),
+        ComponentLibrary::automotive(),
+        TasConfig::default(),
+        flows,
+        1e-6,
+        Arc::new(ShortestPathRecovery::new()),
+    )
+    .expect("consistent zonal problem")
+}
+
+/// The service's per-job planner configuration (`service_config` in
+/// nptsn-serve): one epoch, one step, the job's seed.
+fn job_config(seed: u64) -> PlannerConfig {
+    PlannerConfig {
+        max_epochs: 1,
+        steps_per_epoch: 1,
+        seed,
+        analyzer_workers: 1,
+        ..PlannerConfig::quick()
+    }
+}
+
+/// One solo infer job exactly as the serve worker runs it without
+/// batchmates: build the policy, import the checkpoint, run the episodes.
+fn solo_job(problem: &PlanningProblem, bytes: &[u8], attempts: usize, seed: u64) -> Option<Solution> {
+    let planner = Planner::new(problem.clone(), job_config(seed));
+    let policy = planner.build_policy();
+    params_from_bytes(&policy.parameters(), bytes).expect("checkpoint matches the network");
+    planner.plan_with_policy(&policy, attempts, seed)
+}
+
+/// One coalesced batch exactly as the serve worker runs it: one policy
+/// build, one checkpoint import, lockstep lanes.
+fn batched_jobs(
+    planners: &[Planner],
+    bytes: &[u8],
+    attempts: usize,
+) -> Vec<Result<Option<Solution>, String>> {
+    let policy = planners[0].build_policy();
+    params_from_bytes(&policy.parameters(), bytes).expect("checkpoint matches the network");
+    let lanes: Vec<InferLane<'_>> = planners
+        .iter()
+        .enumerate()
+        .map(|(i, planner)| InferLane { planner, attempts, seed: i as u64 % 16 })
+        .collect();
+    plan_with_policy_batch(&policy, &lanes)
+}
+
+struct BatchRow {
+    batch: usize,
+    calls: usize,
+    p50: u128,
+    p99: u128,
+    qps: f64,
+}
+
+fn main() {
+    let smoke = std::env::var("NPTSN_BENCH_SMOKE").is_ok();
+    let (solo_jobs, batch_calls, fwd_warmup, forwards, kernel_reps, kernel_dim) =
+        if smoke { (4usize, 2usize, 2usize, 8usize, 3usize, 48usize) } else { (160, 20, 20, 300, 30, 192) };
+    const ATTEMPTS: usize = 2;
+
+    // ---- 1. Job path on the zonal problem (the gated number). ----
+    let zonal = zonal_problem();
+    let bytes = {
+        let planner = Planner::new(zonal.clone(), job_config(0));
+        params_to_bytes(&planner.build_policy().parameters())
+    };
+
+    // Batched outcomes must equal their solo references before any timing
+    // matters: batching that changes results is not an optimisation.
+    let reference: Vec<Option<Solution>> =
+        (0..64).map(|i| solo_job(&zonal, &bytes, ATTEMPTS, i as u64 % 16)).collect();
+    let planners64: Vec<Planner> =
+        (0..64).map(|i| Planner::new(zonal.clone(), job_config(i as u64 % 16))).collect();
+    for (i, lane) in batched_jobs(&planners64, &bytes, ATTEMPTS).iter().enumerate() {
+        let got = lane.as_ref().expect("no lane error on a well-formed batch");
+        let same = match (got, &reference[i]) {
+            (Some(g), Some(r)) => g.cost == r.cost && g.topology == r.topology,
+            (None, None) => true,
+            _ => false,
+        };
+        assert!(same, "lane {i}: batched job result differs from its solo reference");
+    }
+    println!("infer_bench: 64 batched job results equal their solo references");
+
+    let mut job_rows: Vec<BatchRow> = Vec::new();
+    for &batch in &[1usize, 8, 64] {
+        let calls = if batch == 1 { solo_jobs } else { batch_calls };
+        let planners = &planners64[..batch];
+        let run = |seed_base: usize| {
+            if batch == 1 {
+                std::hint::black_box(solo_job(&zonal, &bytes, ATTEMPTS, seed_base as u64 % 16));
+            } else {
+                std::hint::black_box(batched_jobs(planners, &bytes, ATTEMPTS));
+            }
+        };
+        for s in 0..(calls / 4).max(2) {
+            run(s);
+        }
+        let mut durations = Vec::with_capacity(calls);
+        let wall = Instant::now();
+        for s in 0..calls {
+            let start = Instant::now();
+            run(s);
+            durations.push(start.elapsed());
+        }
+        let elapsed = wall.elapsed();
+        durations.sort();
+        let p50 = percentile_ns(&durations, 0.50);
+        let p99 = percentile_ns(&durations, 0.99);
+        let qps = (batch * calls) as f64 / elapsed.as_secs_f64().max(1e-9);
+        println!(
+            "infer_bench: job path batch {batch:>2}  p50 {:?}  p99 {:?}  {qps:.0} jobs/s",
+            Duration::from_nanos(p50 as u64),
+            Duration::from_nanos(p99 as u64),
+        );
+        job_rows.push(BatchRow { batch, calls, p50, p99, qps });
+    }
+    let job_speedup = job_rows[2].qps / job_rows[0].qps.max(1e-9);
+    println!("infer_bench: batch-64 job throughput {job_speedup:.2}x batch-1");
+    if !smoke {
+        assert!(
+            job_speedup >= 4.0,
+            "batched inference gate failed: batch-64 job QPS only {job_speedup:.2}x batch-1 \
+             (need >= 4x)"
+        );
+    }
+
+    // ---- 2. Forward path on ORION-scale observations. ----
+    let scenario = orion();
+    let flows = random_flows(&scenario.graph, 8, 7);
+    let problem = problem_for(&scenario, flows);
+    let config = PlannerConfig::quick();
+    let planner = Planner::new(problem.clone(), config.clone());
+    let policy = planner.build_policy();
+    let (n, f, a) = planner.network_dims();
+    println!("infer_bench: ORION forward path, dims n={n} f={f} actions={a}");
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut env = PlanningEnv::new(
+        problem,
+        config.k_paths,
+        config.reward_scaling,
+        config.max_episode_steps,
+        &mut rng,
+    );
+    let mut samples: Vec<(Observation, Vec<bool>)> = Vec::with_capacity(64);
+    while samples.len() < 64 {
+        if env.mask().iter().all(|&m| !m) {
+            env.reset(&mut rng);
+            continue;
+        }
+        samples.push((env.observation().clone(), env.mask().to_vec()));
+        let (logps, _) = policy.evaluate(env.observation(), env.mask());
+        let (action, _) = sample_action(&logps.to_vec(), &mut rng);
+        if env.step(action, &mut rng).done {
+            env.reset(&mut rng);
+        }
+    }
+
+    // Bitwise equivalence: the fused block-diagonal forward must agree
+    // with 64 solo forwards to the last mantissa bit.
+    let refs: Vec<(&Observation, &[bool])> =
+        samples.iter().map(|(o, m)| (o, m.as_slice())).collect();
+    let fused = policy.evaluate_many(&refs);
+    assert_eq!(fused.len(), samples.len());
+    for (i, ((obs, mask), (flp, fval))) in samples.iter().zip(&fused).enumerate() {
+        let (slp, sval) = policy.evaluate(obs, mask);
+        let same = slp
+            .to_vec()
+            .iter()
+            .zip(flp.to_vec().iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+            && sval.to_vec()[0].to_bits() == fval.to_vec()[0].to_bits();
+        assert!(same, "sample {i}: fused forward is not bit-identical to solo");
+    }
+    println!("infer_bench: fused forward bit-identical to solo on all {} samples", samples.len());
+
+    let mut fwd_rows: Vec<BatchRow> = Vec::new();
+    for &batch in &[1usize, 8, 64] {
+        let mut durations = Vec::with_capacity(forwards);
+        let mut cursor = 0usize;
+        let run = |cursor: &mut usize| {
+            let start = *cursor;
+            *cursor = (*cursor + batch) % samples.len();
+            if batch == 1 {
+                let (obs, mask) = &samples[start % samples.len()];
+                std::hint::black_box(policy.evaluate(obs, mask));
+            } else {
+                let window: Vec<(&Observation, &[bool])> = (0..batch)
+                    .map(|j| {
+                        let (o, m) = &samples[(start + j) % samples.len()];
+                        (o, m.as_slice())
+                    })
+                    .collect();
+                std::hint::black_box(policy.evaluate_many(&window));
+            }
+        };
+        for _ in 0..fwd_warmup {
+            run(&mut cursor);
+        }
+        let calls = (forwards / batch).max(4);
+        let wall = Instant::now();
+        for _ in 0..calls {
+            let start = Instant::now();
+            run(&mut cursor);
+            durations.push(start.elapsed());
+        }
+        let elapsed = wall.elapsed();
+        durations.sort();
+        let p50 = percentile_ns(&durations, 0.50);
+        let p99 = percentile_ns(&durations, 0.99);
+        let qps = (batch * calls) as f64 / elapsed.as_secs_f64().max(1e-9);
+        println!(
+            "infer_bench: forward batch {batch:>2}  p50 {:?}  p99 {:?}  {qps:.0} forwards/s",
+            Duration::from_nanos(p50 as u64),
+            Duration::from_nanos(p99 as u64),
+        );
+        fwd_rows.push(BatchRow { batch, calls, p50, p99, qps });
+    }
+
+    // ---- 3. Lane-kernel speedup over the naive triple loop. ----
+    let (m, k, nn) = (kernel_dim, kernel_dim, kernel_dim);
+    let a_buf: Vec<f32> = (0..m * k).map(|i| ((i * 37 + 11) % 97) as f32 * 0.031 - 1.5).collect();
+    let b_buf: Vec<f32> = (0..k * nn).map(|i| ((i * 53 + 29) % 89) as f32 * 0.027 - 1.2).collect();
+    let mut fast = vec![0.0f32; m * nn];
+    let mut slow = vec![0.0f32; m * nn];
+    nptsn_tensor::kernels::matmul(&a_buf, &b_buf, &mut fast, m, k, nn);
+    naive_matmul(&a_buf, &b_buf, &mut slow, m, k, nn);
+    assert!(
+        fast.iter().zip(&slow).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "lane matmul kernel diverges from the naive reference"
+    );
+    let time_reps = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        for _ in 0..kernel_reps {
+            f();
+        }
+        start.elapsed().as_secs_f64() / kernel_reps as f64
+    };
+    let kernel_s = time_reps(&mut || {
+        nptsn_tensor::kernels::matmul(&a_buf, &b_buf, &mut fast, m, k, nn);
+        std::hint::black_box(&fast);
+    });
+    let naive_s = time_reps(&mut || {
+        naive_matmul(&a_buf, &b_buf, &mut slow, m, k, nn);
+        std::hint::black_box(&slow);
+    });
+    let kernel_speedup = naive_s / kernel_s.max(1e-12);
+    println!(
+        "infer_bench: {m}x{k}x{nn} matmul kernel {:.3}ms vs naive {:.3}ms ({kernel_speedup:.2}x)",
+        kernel_s * 1e3,
+        naive_s * 1e3,
+    );
+
+    // Hand-written JSON: the workspace is hermetic, no serde.
+    let rows_json = |rows: &[BatchRow], unit: &str| {
+        let mut s = String::new();
+        for (i, r) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            s.push_str(&format!(
+                "      {{\"batch\": {}, \"calls\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+                 \"{unit}\": {:.1}}}{comma}\n",
+                r.batch, r.calls, r.p50, r.p99, r.qps
+            ));
+        }
+        s
+    };
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"infer_batch\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str("  \"job_path\": {\n");
+    json.push_str("    \"problem\": \"zonal theta (2 es, 2 sw)\",\n");
+    json.push_str("    \"results_equal_solo\": true,\n");
+    json.push_str("    \"batches\": [\n");
+    json.push_str(&rows_json(&job_rows, "jobs_per_sec"));
+    json.push_str("    ],\n");
+    json.push_str(&format!("    \"batch64_vs_batch1_qps\": {job_speedup:.2}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"forward_path\": {\n");
+    json.push_str(&format!(
+        "    \"problem\": {{\"scenario\": \"orion\", \"nodes\": {n}, \"features\": {f}, \
+         \"actions\": {a}}},\n"
+    ));
+    json.push_str("    \"bitwise_identical\": true,\n");
+    json.push_str("    \"batches\": [\n");
+    json.push_str(&rows_json(&fwd_rows, "forwards_per_sec"));
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"matmul_kernel\": {{\"dim\": {kernel_dim}, \"kernel_ms\": {:.3}, \
+         \"naive_ms\": {:.3}, \"speedup\": {kernel_speedup:.2}}}\n",
+        kernel_s * 1e3,
+        naive_s * 1e3,
+    ));
+    json.push_str("}\n");
+
+    let out_path =
+        std::env::var("NPTSN_BENCH_OUT").unwrap_or_else(|_| "BENCH_infer.json".to_string());
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("infer_bench: wrote {out_path}");
+}
+
+/// Reference three-loop matmul; the ground truth the lane kernel must
+/// reproduce bit-for-bit.
+fn naive_matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    out.fill(0.0);
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            for j in 0..n {
+                out[i * n + j] += av * b[p * n + j];
+            }
+        }
+    }
+}

@@ -130,7 +130,7 @@ impl PlanningEnv {
             observation: Observation {
                 node_count: 0,
                 feature_count: 0,
-                ahat: Vec::new(),
+                ahat: Vec::new().into(),
                 features: Vec::new(),
                 aux: Vec::new(),
             },

@@ -47,6 +47,9 @@ pub enum NptsnError {
         /// Why the action could not be applied.
         reason: String,
     },
+    /// A neural-network input had the wrong shape (batched inference
+    /// validates shapes instead of panicking a serve worker).
+    Shape(nptsn_nn::ShapeError),
     /// An internal invariant did not hold; carries a description. Seeing
     /// this is a bug, but callers still get a `Result` instead of an abort.
     Internal(String),
@@ -67,6 +70,7 @@ impl fmt::Display for NptsnError {
             NptsnError::InvalidAction { index, reason } => {
                 write!(f, "invalid action {index}: {reason}")
             }
+            NptsnError::Shape(e) => write!(f, "shape error: {e}"),
             NptsnError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
@@ -77,6 +81,7 @@ impl Error for NptsnError {
         match self {
             NptsnError::Topo(e) => Some(e),
             NptsnError::Sched(e) => Some(e),
+            NptsnError::Shape(e) => Some(e),
             _ => None,
         }
     }
@@ -91,6 +96,12 @@ impl From<TopoError> for NptsnError {
 impl From<SchedError> for NptsnError {
     fn from(e: SchedError) -> NptsnError {
         NptsnError::Sched(e)
+    }
+}
+
+impl From<nptsn_nn::ShapeError> for NptsnError {
+    fn from(e: nptsn_nn::ShapeError) -> NptsnError {
+        NptsnError::Shape(e)
     }
 }
 

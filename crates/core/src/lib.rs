@@ -70,6 +70,7 @@ mod encode;
 mod env;
 mod error;
 mod greedy;
+mod infer;
 mod model;
 mod planner;
 mod problem;
@@ -83,6 +84,7 @@ pub use encode::{encode_observation, Observation};
 pub use env::{PlanningEnv, StepOutcome};
 pub use error::NptsnError;
 pub use greedy::{verify_topology, GreedyPlanner};
+pub use infer::{plan_with_policy_batch, InferLane};
 pub use model::PolicyNetwork;
 pub use planner::{EpochStats, Planner, PlannerReport};
 pub use problem::PlanningProblem;

@@ -1,13 +1,18 @@
 //! The GCN + actor/critic policy network (Fig. 3).
 
-use nptsn_nn::{Activation, Gcn, Mlp, Module};
+use nptsn_nn::{Activation, Gcn, GcnBatchItem, Mlp, Module, ShapeError};
 use nptsn_rl::{masked_log_probs, ActorCritic};
-use nptsn_tensor::Tensor;
+use nptsn_tensor::{kernels, Tensor};
 use nptsn_rand::rngs::StdRng;
 use nptsn_rand::SeedableRng;
 
 use crate::config::PlannerConfig;
 use crate::encode::{Observation, AUX_LEN};
+use crate::error::NptsnError;
+
+/// Logit offset for masked actions, identical to the one
+/// `nptsn_rl::masked_log_probs` applies (NeuroPlan's −1e9 technique).
+const MASK_OFFSET: f32 = -1e9;
 
 /// The RL decision maker's neural networks: a GCN extracting a graph
 /// embedding from the encoded TSSDN, mean-pooled and concatenated with the
@@ -60,7 +65,7 @@ impl PolicyNetwork {
     fn embed(&self, obs: &Observation) -> Tensor {
         debug_assert_eq!(obs.node_count, self.node_count);
         debug_assert_eq!(obs.feature_count, self.feature_count);
-        let ahat = Tensor::from_vec(obs.node_count, obs.node_count, obs.ahat.clone());
+        let ahat = Tensor::from_vec(obs.node_count, obs.node_count, obs.ahat.to_vec());
         let h = Tensor::from_vec(obs.node_count, obs.feature_count, obs.features.clone());
         let node_embeddings = self.gcn.forward(&ahat, &h);
         let graph_embedding = node_embeddings.mean_rows();
@@ -87,6 +92,134 @@ impl PolicyNetwork {
     /// Number of candidate nodes this network was built for.
     pub fn node_count(&self) -> usize {
         self.node_count
+    }
+
+    /// Batched deployment forward: evaluates K `(observation, mask)` pairs
+    /// in one pass and returns each pair's `(log-probs, value)` exactly as
+    /// [`ActorCritic::evaluate`] would.
+    ///
+    /// The K GCNs run as one fused block-diagonal forward
+    /// ([`Gcn::forward_many`]), the actor and critic MLPs each run once on
+    /// the K stacked pooled embeddings (their layers are row-independent)
+    /// and the mask/log-softmax applies row-wise — every step reuses the
+    /// solo path's kernels on the same per-row data, so the outputs are
+    /// **bitwise identical** to K solo `evaluate` calls (pinned by this
+    /// crate's equivalence tests). The returned tensors carry no autograd
+    /// graph; this is the inference path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches or an all-false mask;
+    /// [`PolicyNetwork::try_evaluate_many`] is the panic-free twin.
+    pub fn evaluate_many(&self, batch: &[(&Observation, &[bool])]) -> Vec<(Tensor, Tensor)> {
+        match self.try_evaluate_many(batch) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Panic-free twin of [`PolicyNetwork::evaluate_many`]: any shape
+    /// mismatch or all-false mask fails the whole call with an
+    /// [`NptsnError`] instead of panicking (the serve micro-batcher
+    /// pre-validates per job, so one bad job never reaches this point
+    /// alongside good ones).
+    pub fn try_evaluate_many(
+        &self,
+        batch: &[(&Observation, &[bool])],
+    ) -> Result<Vec<(Tensor, Tensor)>, NptsnError> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let action_count = match batch.first() {
+            Some((_, mask)) => mask.len(),
+            None => 0,
+        };
+        for (i, (obs, mask)) in batch.iter().enumerate() {
+            if obs.node_count != self.node_count || obs.feature_count != self.feature_count {
+                return Err(NptsnError::Shape(ShapeError {
+                    op: "evaluate_many",
+                    detail: format!(
+                        "item {i}: observation is {} x {}, network expects {} x {}",
+                        obs.node_count, obs.feature_count, self.node_count, self.feature_count
+                    ),
+                }));
+            }
+            if obs.aux.len() != AUX_LEN {
+                return Err(NptsnError::Shape(ShapeError {
+                    op: "evaluate_many",
+                    detail: format!("item {i}: aux has {} entries, expected {AUX_LEN}", obs.aux.len()),
+                }));
+            }
+            if mask.len() != action_count {
+                return Err(NptsnError::Shape(ShapeError {
+                    op: "evaluate_many",
+                    detail: format!(
+                        "item {i}: mask has {} bits, item 0 has {action_count}",
+                        mask.len()
+                    ),
+                }));
+            }
+            if !mask.iter().any(|&m| m) {
+                return Err(NptsnError::Shape(ShapeError {
+                    op: "evaluate_many",
+                    detail: format!("item {i}: all actions masked; the episode must reset"),
+                }));
+            }
+        }
+
+        // One fused block-diagonal GCN forward over all K topologies.
+        let items: Vec<GcnBatchItem<'_>> = batch
+            .iter()
+            .map(|(obs, _)| GcnBatchItem {
+                ahat: &obs.ahat,
+                n: obs.node_count,
+                h: &obs.features,
+            })
+            .collect();
+        let embedded = self.gcn.try_forward_many(&items)?;
+
+        // Mean-pool each block and append its aux vector: the stacked
+        // (K, pooled + AUX_LEN) input both MLP heads consume at once.
+        let pooled = embedded.out_dim;
+        let width = pooled + AUX_LEN;
+        let mut input = vec![0.0f32; batch.len() * width];
+        for (i, (obs, _)) in batch.iter().enumerate() {
+            let row = &mut input[i * width..(i + 1) * width];
+            kernels::mean_rows(embedded.block(i), embedded.block_rows(i), pooled, &mut row[..pooled]);
+            row[pooled..].copy_from_slice(&obs.aux);
+        }
+        let input = Tensor::from_vec(batch.len(), width, input);
+        let logits = self.actor.forward(&input);
+        let values = self.critic.forward(&input);
+
+        // Mask + row log-softmax, K rows at once; the add is elementwise
+        // and the softmax per-row, so each row matches its solo
+        // `masked_log_probs` bit for bit.
+        let offsets: Vec<f32> = batch
+            .iter()
+            .flat_map(|(_, mask)| {
+                mask.iter().map(|&m| if m { 0.0 } else { MASK_OFFSET })
+            })
+            .collect();
+        let mask_rows = Tensor::from_vec(batch.len(), action_count, offsets);
+        let log_probs = logits.add(&mask_rows).log_softmax_rows();
+
+        // Split back into per-item (1, actions) / (1, 1) leaf tensors.
+        let lp = log_probs.data();
+        let vals = values.data();
+        let out = (0..batch.len())
+            .map(|i| {
+                (
+                    Tensor::from_vec(
+                        1,
+                        action_count,
+                        lp[i * action_count..(i + 1) * action_count].to_vec(),
+                    ),
+                    Tensor::from_vec(1, 1, vec![vals[i]]),
+                )
+            })
+            .collect();
+        Ok(out)
     }
 }
 
@@ -121,7 +254,7 @@ mod tests {
         Observation {
             node_count: n,
             feature_count: f,
-            ahat,
+            ahat: ahat.into(),
             features: (0..n * f).map(|i| (i % 7) as f32 * 0.1).collect(),
             aux: vec![0.5; AUX_LEN],
         }
@@ -186,6 +319,54 @@ mod tests {
             actor_p[i].set_data(&vec![0.123; actor_p[i].len()]);
             assert_eq!(critic_p[i].to_vec(), vec![0.123; critic_p[i].len()]);
         }
+    }
+
+    #[test]
+    fn evaluate_many_bit_identical_to_solo_evaluates() {
+        let cfg = toy_config();
+        let net = PolicyNetwork::new(&cfg, 4, 10, 6, 3);
+        // Distinct observations and masks per lane.
+        let mut observations = Vec::new();
+        let mut masks = Vec::new();
+        for lane in 0..5usize {
+            let mut obs = toy_obs(4, 10);
+            obs.features.iter_mut().for_each(|v| *v += lane as f32 * 0.01);
+            observations.push(obs);
+            let mut mask = vec![true; 6];
+            mask[lane % 6] = false;
+            masks.push(mask);
+        }
+        let batch: Vec<(&Observation, &[bool])> = observations
+            .iter()
+            .zip(&masks)
+            .map(|(o, m)| (o, m.as_slice()))
+            .collect();
+        let many = net.evaluate_many(&batch);
+        assert_eq!(many.len(), 5);
+        for (i, (obs, mask)) in batch.iter().enumerate() {
+            let (solo_lp, solo_v) = net.evaluate(obs, mask);
+            // Bitwise equality with the solo path.
+            assert_eq!(many[i].0.to_vec(), solo_lp.to_vec(), "lane {i} log-probs");
+            assert_eq!(many[i].1.item().to_bits(), solo_v.item().to_bits(), "lane {i} value");
+        }
+    }
+
+    #[test]
+    fn try_evaluate_many_isolates_bad_items() {
+        let cfg = toy_config();
+        let net = PolicyNetwork::new(&cfg, 4, 10, 6, 3);
+        let obs = toy_obs(4, 10);
+        let good: &[bool] = &[true; 6];
+        assert!(net.try_evaluate_many(&[(&obs, good)]).is_ok());
+        // All-false mask rejected with the item index.
+        let all_false: &[bool] = &[false; 6];
+        let err = net.try_evaluate_many(&[(&obs, good), (&obs, all_false)]).unwrap_err();
+        assert!(err.to_string().contains("item 1"), "got: {err}");
+        // Wrong node count rejected.
+        let small = toy_obs(3, 10);
+        assert!(net.try_evaluate_many(&[(&small, good)]).is_err());
+        // Empty batch is a no-op.
+        assert!(net.evaluate_many(&[]).is_empty());
     }
 
     #[test]

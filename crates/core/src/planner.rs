@@ -20,7 +20,7 @@ use crate::solution::{keep_best, Solution};
 /// worker uses: `config.analyzer_workers` threads plus a fresh
 /// [`ScenarioCache`] so NBF outcomes are shared across the env's steps and
 /// episode resets (construction prefixes recur constantly during training).
-fn worker_analyzer(config: &PlannerConfig) -> FailureAnalyzer {
+pub(crate) fn worker_analyzer(config: &PlannerConfig) -> FailureAnalyzer {
     FailureAnalyzer::new()
         .with_workers(config.analyzer_workers)
         .with_shared_cache(Arc::new(ScenarioCache::new()))
@@ -97,8 +97,8 @@ impl PlannerReport {
 /// 8-way MPI parallelization. Gradients are computed once over the merged
 /// batch, which equals averaging the per-worker gradient estimators.
 pub struct Planner {
-    problem: PlanningProblem,
-    config: PlannerConfig,
+    pub(crate) problem: PlanningProblem,
+    pub(crate) config: PlannerConfig,
 }
 
 impl Planner {

@@ -1,10 +1,29 @@
 //! Graph convolutional networks (Kipf & Welling, Eq. 4 of the paper).
 
-use nptsn_tensor::Tensor;
+use nptsn_tensor::{kernels, Tensor};
 use nptsn_rand::Rng;
 
 use crate::init::xavier_uniform;
 use crate::Module;
+
+/// A shape mismatch rejected by one of this crate's fallible (`try_*`)
+/// entry points. Carries the operation name and a human-readable
+/// description so callers can surface it without panicking a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// The operation that rejected its input (e.g. `"normalized_adjacency"`).
+    pub op: &'static str,
+    /// What disagreed with what.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.op, self.detail)
+    }
+}
+
+impl std::error::Error for ShapeError {}
 
 /// Computes the constant GCN propagation matrix
 /// `D^-1/2 (A + I) D^-1/2` from a dense adjacency matrix (row-major,
@@ -31,6 +50,34 @@ use crate::Module;
 /// ```
 pub fn normalized_adjacency(adjacency: &[f32], n: usize) -> Tensor {
     assert_eq!(adjacency.len(), n * n, "adjacency must be n x n");
+    Tensor::from_vec(n, n, normalized_adjacency_data(adjacency, n))
+}
+
+/// Panic-free twin of [`normalized_adjacency`]: returns a [`ShapeError`]
+/// instead of panicking when `adjacency.len() != n * n`.
+///
+/// # Examples
+///
+/// ```
+/// use nptsn_nn::try_normalized_adjacency;
+///
+/// assert!(try_normalized_adjacency(&[0.0; 4], 2).is_ok());
+/// assert!(try_normalized_adjacency(&[0.0; 3], 2).is_err());
+/// ```
+pub fn try_normalized_adjacency(adjacency: &[f32], n: usize) -> Result<Tensor, ShapeError> {
+    if adjacency.len() != n * n {
+        return Err(ShapeError {
+            op: "normalized_adjacency",
+            detail: format!("adjacency has {} entries, expected {n} x {n}", adjacency.len()),
+        });
+    }
+    Ok(normalized_adjacency(adjacency, n))
+}
+
+/// The raw data of [`normalized_adjacency`] without the tensor wrapper —
+/// the form the fingerprint-keyed [`AdjacencyCache`](crate::AdjacencyCache)
+/// stores. Callers must guarantee `adjacency.len() == n * n`.
+pub(crate) fn normalized_adjacency_data(adjacency: &[f32], n: usize) -> Vec<f32> {
     // A + I.
     let mut a_hat: Vec<f32> = adjacency.to_vec();
     for i in 0..n {
@@ -52,7 +99,59 @@ pub fn normalized_adjacency(adjacency: &[f32], n: usize) -> Tensor {
             a_hat[i * n + j] *= inv_sqrt_deg[i] * inv_sqrt_deg[j];
         }
     }
-    Tensor::from_vec(n, n, a_hat)
+    a_hat
+}
+
+/// One topology's slice of a batched GCN forward: its normalized
+/// adjacency `Â` and node features, both row-major.
+#[derive(Debug, Clone, Copy)]
+pub struct GcnBatchItem<'a> {
+    /// Normalized adjacency data (`n x n`), as produced by
+    /// [`normalized_adjacency`].
+    pub ahat: &'a [f32],
+    /// Node count of this topology.
+    pub n: usize,
+    /// Node features (`n x f`); `f` must match the network's input width
+    /// and be the same for every item in the batch.
+    pub h: &'a [f32],
+}
+
+/// The stacked result of [`Gcn::forward_many`]: all K embeddings in one
+/// row-major buffer, addressed per item through row offsets.
+#[derive(Debug, Clone)]
+pub struct GcnBatchOut {
+    /// Stacked embeddings, `(sum of n_i) x out_dim` row-major.
+    pub data: Vec<f32>,
+    /// `offsets[i]..offsets[i + 1]` is the row range of item `i`
+    /// (`offsets.len() == items + 1`).
+    pub offsets: Vec<usize>,
+    /// Output feature width of every row.
+    pub out_dim: usize,
+}
+
+impl GcnBatchOut {
+    /// The embedding rows of item `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn block(&self, i: usize) -> &[f32] {
+        &self.data[self.offsets[i] * self.out_dim..self.offsets[i + 1] * self.out_dim]
+    }
+
+    /// Number of node rows of item `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn block_rows(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Number of items in the batch.
+    pub fn items(&self) -> usize {
+        self.offsets.len() - 1
+    }
 }
 
 /// A stack of graph convolutional layers implementing Eq. 4:
@@ -109,6 +208,162 @@ impl Gcn {
             out = ahat.matmul(&out).matmul(w).relu();
         }
         out
+    }
+
+    /// Panic-free twin of [`Gcn::forward`]: validates shapes up front and
+    /// returns a [`ShapeError`] instead of panicking inside a matmul.
+    pub fn try_forward(&self, ahat: &Tensor, h: &Tensor) -> Result<Tensor, ShapeError> {
+        let (ar, ac) = ahat.shape();
+        let (hr, hc) = h.shape();
+        if ar != ac {
+            return Err(ShapeError {
+                op: "gcn.forward",
+                detail: format!("adjacency is {ar} x {ac}, expected square"),
+            });
+        }
+        if hr != ar {
+            return Err(ShapeError {
+                op: "gcn.forward",
+                detail: format!("features have {hr} rows, adjacency expects {ar}"),
+            });
+        }
+        if let Some(w) = self.weights.first() {
+            if hc != w.rows() {
+                return Err(ShapeError {
+                    op: "gcn.forward",
+                    detail: format!("features have {hc} columns, layer 0 expects {}", w.rows()),
+                });
+            }
+        }
+        Ok(self.forward(ahat, h))
+    }
+
+    /// Fused batched forward: applies the propagation rule to K
+    /// topologies at once and returns their embeddings stacked row-wise.
+    ///
+    /// The batch is the block-diagonal system
+    /// `diag(Â_1 .. Â_K) · stack(H_1 .. H_K) · W` — but the zero blocks
+    /// are never materialized: each `Â_i H_i` product runs on its own
+    /// block (zero blocks contribute nothing), while the shared-weight
+    /// `(Â H) W` multiply runs as one kernel call per cache-sized tile of
+    /// stacked rows (whole blocks, never split) and the relu as one pass.
+    /// Because every output row sees exactly the
+    /// operations, operands and accumulation order of a solo
+    /// [`Gcn::forward`] on its item, the result is bitwise identical to K
+    /// independent forwards (pinned by this crate's equivalence sweep).
+    ///
+    /// The output carries no autograd graph — this is the inference path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch; [`Gcn::try_forward_many`] is the
+    /// panic-free twin.
+    pub fn forward_many(&self, items: &[GcnBatchItem<'_>]) -> GcnBatchOut {
+        match self.try_forward_many(items) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Panic-free twin of [`Gcn::forward_many`].
+    pub fn try_forward_many(&self, items: &[GcnBatchItem<'_>]) -> Result<GcnBatchOut, ShapeError> {
+        let _span = nptsn_obs::span("gcn.forward_many");
+        // The shared input width: fixed by layer 0 when there is one,
+        // inferred from the first item for the zero-layer identity GCN.
+        let feat = match self.weights.first() {
+            Some(w) => w.rows(),
+            None => match items.first() {
+                Some(it) if it.n > 0 => it.h.len() / it.n,
+                _ => 0,
+            },
+        };
+        let mut offsets = Vec::with_capacity(items.len() + 1);
+        offsets.push(0usize);
+        for (i, it) in items.iter().enumerate() {
+            if it.ahat.len() != it.n * it.n {
+                return Err(ShapeError {
+                    op: "gcn.forward_many",
+                    detail: format!(
+                        "item {i}: adjacency has {} entries, expected {} x {}",
+                        it.ahat.len(),
+                        it.n,
+                        it.n
+                    ),
+                });
+            }
+            if it.h.len() != it.n * feat {
+                return Err(ShapeError {
+                    op: "gcn.forward_many",
+                    detail: format!(
+                        "item {i}: features have {} entries, expected {} x {feat}",
+                        it.h.len(),
+                        it.n
+                    ),
+                });
+            }
+            offsets.push(offsets[i] + it.n);
+        }
+        let total = *offsets.last().unwrap();
+
+        let out_cols = self.output_dim(feat);
+        let weight_data: Vec<_> = self.weights.iter().map(Tensor::data).collect();
+
+        // Depth-first tiling: a cache-sized group of whole blocks runs
+        // through *all* layers before the next group starts, so every
+        // intermediate buffer is tile-sized — only the final stacked
+        // embedding is batch-sized, and it is written once, streaming.
+        // Blocks are independent (the adjacency is block-diagonal) and a
+        // tile never splits a block, so every output row still sees exactly
+        // the operands and accumulation order of a solo forward — the
+        // tiling cannot perturb the bitwise equivalence.
+        const TILE_ROWS: usize = 512;
+        let mut out_data = vec![0.0f32; total * out_cols];
+        let (mut cur, mut prop, mut next) = (Vec::new(), Vec::new(), Vec::new());
+        let mut tile_start = 0usize;
+        while tile_start < items.len() {
+            // Grow the tile by whole blocks up to the row budget (always at
+            // least one block, however large).
+            let mut tile_end = tile_start + 1;
+            while tile_end < items.len()
+                && offsets[tile_end + 1] - offsets[tile_start] <= TILE_ROWS
+            {
+                tile_end += 1;
+            }
+            let rows = offsets[tile_end] - offsets[tile_start];
+
+            // Stack the tile's feature blocks.
+            cur.clear();
+            for it in &items[tile_start..tile_end] {
+                cur.extend_from_slice(it.h);
+            }
+            let mut cur_cols = feat;
+            for (w, wd) in self.weights.iter().zip(&weight_data) {
+                let (wr, wc) = w.shape();
+                debug_assert_eq!(wr, cur_cols);
+                // Â H, block by block: the only non-zero blocks of the
+                // block-diagonal product.
+                prop.clear();
+                prop.resize(rows * cur_cols, 0.0);
+                for bi in tile_start..tile_end {
+                    let r0 = (offsets[bi] - offsets[tile_start]) * cur_cols;
+                    let r1 = (offsets[bi + 1] - offsets[tile_start]) * cur_cols;
+                    let n = items[bi].n;
+                    kernels::matmul(items[bi].ahat, &cur[r0..r1], &mut prop[r0..r1], n, n, cur_cols);
+                }
+                // (Â H) W + relu: one call each over the tile's stacked rows.
+                next.clear();
+                next.resize(rows * wc, 0.0);
+                kernels::matmul(&prop, wd, &mut next, rows, cur_cols, wc);
+                kernels::relu_in_place(&mut next);
+                std::mem::swap(&mut cur, &mut next);
+                cur_cols = wc;
+            }
+            debug_assert_eq!(cur_cols, out_cols);
+            out_data[offsets[tile_start] * out_cols..offsets[tile_end] * out_cols]
+                .copy_from_slice(&cur);
+            tile_start = tile_end;
+        }
+        Ok(GcnBatchOut { data: out_data, offsets, out_dim: out_cols })
     }
 
     /// Number of convolution layers.

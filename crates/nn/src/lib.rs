@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod adam;
+mod adjacency_cache;
 mod checkpoint;
 mod gcn;
 mod init;
@@ -49,11 +50,14 @@ mod linear;
 mod mlp;
 
 pub use adam::Adam;
+pub use adjacency_cache::{adjacency_cache, AdjacencyCache};
 pub use checkpoint::{
     checkpoint_shapes, load_params, params_from_bytes, params_to_bytes, save_params_atomic,
     CheckpointError, CheckpointFileError,
 };
-pub use gcn::{normalized_adjacency, Gcn};
+pub use gcn::{
+    normalized_adjacency, try_normalized_adjacency, Gcn, GcnBatchItem, GcnBatchOut, ShapeError,
+};
 pub use init::{kaiming_normal, xavier_uniform};
 pub use linear::Linear;
 pub use mlp::{Activation, Mlp};

@@ -30,24 +30,66 @@
 //! the store, so sustained traffic cannot leak either.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
 use nptsn::{
-    EpochStats, FailureAnalyzer, GreedyPlanner, Planner, PlannerConfig, ScenarioCache, Solution,
+    plan_with_policy_batch, EpochStats, FailureAnalyzer, GreedyPlanner, InferLane, Planner,
+    PlannerConfig, ScenarioCache, Solution,
 };
 use nptsn_format::json::{analysis_report_json, epoch_stats_json, Object};
 use nptsn_format::{write_plan, ParsedProblem};
 use nptsn_store::{MemStore, Storage, StoreError};
 use nptsn_topo::Topology;
 
+use crate::metrics::{Counter, Histogram};
 use crate::persist::{
     decode_next_id, decode_record, encode_next_id, encode_record, job_id_from_key, job_key,
     JobSpec, JOB_PREFIX, NEXT_ID_KEY,
 };
 use crate::registry::CheckpointRegistry;
 use crate::server::ServeMetrics;
+
+/// Telemetry for the infer micro-batching path, registered once on the
+/// process-wide registry so `/metrics` (which merges it) exposes the
+/// series whether infer runs through a batch or solo.
+struct InferMetrics {
+    /// Jobs coalesced per infer execution (solo executions observe 1).
+    batch_size: Arc<Histogram>,
+    /// Executions that fused two or more jobs into one batched forward.
+    batched_forwards: Arc<Counter>,
+    /// Infer jobs executed alone (batching off, deadline mode, no mates).
+    solo_forwards: Arc<Counter>,
+    /// Total infer jobs served through a batched forward.
+    batch_jobs: Arc<Counter>,
+}
+
+fn infer_metrics() -> &'static InferMetrics {
+    static METRICS: OnceLock<InferMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = &nptsn_obs::telemetry().registry;
+        InferMetrics {
+            batch_size: registry.histogram(
+                "nptsn_infer_batch_size",
+                "Infer jobs coalesced into one policy execution",
+                &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+            ),
+            batched_forwards: registry.counter(
+                "nptsn_infer_batched_forwards_total",
+                "Infer executions that fused multiple jobs into one batched forward",
+            ),
+            solo_forwards: registry.counter(
+                "nptsn_infer_solo_forwards_total",
+                "Infer jobs executed without batch-mates",
+            ),
+            batch_jobs: registry.counter(
+                "nptsn_infer_batch_jobs_total",
+                "Infer jobs served through a batched forward",
+            ),
+        }
+    })
+}
 
 /// Identifies one submitted job.
 pub type JobId = u64;
@@ -355,6 +397,12 @@ pub struct JobQueue {
     registry: CheckpointRegistry,
     retention: RetentionConfig,
     evicted: AtomicU64,
+    /// Most infer jobs one worker pass may fuse into a batched forward;
+    /// `<= 1` disables micro-batching entirely.
+    infer_batch_max: AtomicUsize,
+    /// How long a leader with no batch-mates waits (once) for stragglers
+    /// before running solo, in microseconds.
+    infer_batch_window_us: AtomicU64,
 }
 
 impl JobQueue {
@@ -385,6 +433,8 @@ impl JobQueue {
             registry,
             retention,
             evicted: AtomicU64::new(0),
+            infer_batch_max: AtomicUsize::new(1),
+            infer_batch_window_us: AtomicU64::new(0),
         };
         let mut report = RecoveryReport::default();
         {
@@ -508,6 +558,187 @@ impl JobQueue {
     /// Terminal jobs evicted by retention since this queue was opened.
     pub fn evicted(&self) -> u64 {
         self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Configures infer micro-batching: fuse up to `batch_max` compatible
+    /// queued infer jobs into one batched forward, waiting up to
+    /// `window_us` microseconds (once, only when a leader finds no mates)
+    /// for stragglers. `batch_max <= 1` disables batching.
+    pub fn set_infer_batching(&self, batch_max: usize, window_us: u64) {
+        self.infer_batch_max.store(batch_max.max(1), Ordering::Relaxed);
+        self.infer_batch_window_us.store(window_us, Ordering::Relaxed);
+    }
+
+    /// The configured `(batch_max, window_us)` pair.
+    pub fn infer_batching(&self) -> (usize, u64) {
+        (
+            self.infer_batch_max.load(Ordering::Relaxed),
+            self.infer_batch_window_us.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Claims up to `limit` queued infer jobs compatible with `leader` —
+    /// same checkpoint source and same policy-network dimensions, so one
+    /// restored policy serves the whole batch — marking each running
+    /// (persisted) exactly like [`JobQueue::next_job`] would.
+    fn claim_infer_batchmates(
+        &self,
+        leader: &InferRequest,
+        limit: usize,
+    ) -> Vec<(JobId, InferRequest, Arc<AtomicBool>)> {
+        if limit == 0 {
+            return Vec::new();
+        }
+        let leader_dims = infer_dims(leader);
+        let mut state = self.lock();
+        let mut claimed = Vec::new();
+        let ids: Vec<JobId> = state.queue.iter().copied().collect();
+        for id in ids {
+            if claimed.len() >= limit {
+                break;
+            }
+            let taken = {
+                let Some(entry) = state.jobs.get_mut(&id) else { continue };
+                let compatible = matches!(
+                    &entry.pending,
+                    Some(JobKind::Infer(req))
+                        if same_checkpoint(&req.checkpoint, &leader.checkpoint)
+                            && infer_dims(req) == leader_dims
+                );
+                if !compatible {
+                    None
+                } else {
+                    let Some(JobKind::Infer(req)) = entry.pending.take() else {
+                        unreachable!("compatibility check matched an infer kind")
+                    };
+                    entry.state = JobState::Running;
+                    Some((entry.persisted_record(), Arc::clone(&entry.cancel), req))
+                }
+            };
+            if let Some((payload, cancel, req)) = taken {
+                state.queue.retain(|&q| q != id);
+                self.persist(id, &payload);
+                claimed.push((id, req, cancel));
+            }
+        }
+        claimed
+    }
+
+    /// Runs a claimed batch of compatible infer jobs as one fused forward,
+    /// splitting per-job results back out. Error isolation mirrors the
+    /// solo path exactly: a chaos fault, an in-batch panic, or a lane
+    /// failure marks *that* job `failed` while its batch-mates complete,
+    /// and every message matches what the solo path would have produced.
+    fn run_infer_batch(
+        &self,
+        jobs: Vec<(JobId, InferRequest, Arc<AtomicBool>)>,
+        metrics: &ServeMetrics,
+    ) {
+        let _span = nptsn_obs::span("job.infer_batch");
+        let size = jobs.len();
+        let im = infer_metrics();
+        im.batch_size.observe(size as f64);
+        im.batched_forwards.inc();
+        im.batch_jobs.add(size as u64);
+        metrics.jobs_running.add(size as i64);
+        metrics.jobs_queued.set(self.queued() as i64);
+
+        let mut results: Vec<Option<Result<JobOutcome, String>>> = (0..size).map(|_| None).collect();
+
+        // Per-job chaos gate, same site as the solo execute path: an
+        // injected error (or panic) fails one job, not the batch.
+        for slot in results.iter_mut() {
+            match std::panic::catch_unwind(|| nptsn_chaos::point("serve.job")) {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => *slot = Some(Err(e.to_string())),
+                Err(_) => *slot = Some(Err("job panicked".to_string())),
+            }
+        }
+
+        // Resolve the shared checkpoint once — the compatibility key
+        // guarantees every job in the batch names the same source.
+        let bytes = match &jobs[0].1.checkpoint {
+            CheckpointSource::Inline(bytes) => Ok(bytes.clone()),
+            CheckpointSource::Named(name) => match self.registry.get(name) {
+                Ok(Some((_version, bytes))) => Ok(bytes),
+                Ok(None) => Err(format!("checkpoint '{name}' is not registered")),
+                Err(e) => Err(format!("checkpoint '{name}' unavailable: {e}")),
+            },
+        };
+        match bytes {
+            Err(message) => {
+                for slot in results.iter_mut().filter(|s| s.is_none()) {
+                    *slot = Some(Err(message.clone()));
+                }
+            }
+            Ok(bytes) => {
+                let live: Vec<usize> = (0..size).filter(|&i| results[i].is_none()).collect();
+                if !live.is_empty() {
+                    self.run_live_lanes(&jobs, &live, &bytes, &mut results);
+                }
+            }
+        }
+
+        metrics.jobs_running.sub(size as i64);
+        for ((id, _req, cancel), result) in jobs.into_iter().zip(results) {
+            let result = result.expect("every batched job resolved a result");
+            self.finish_job(id, result, false, &cancel, metrics);
+        }
+    }
+
+    /// Restores the shared policy and plans the not-yet-failed jobs of a
+    /// batch through [`plan_with_policy_batch`], writing per-job results.
+    fn run_live_lanes(
+        &self,
+        jobs: &[(JobId, InferRequest, Arc<AtomicBool>)],
+        live: &[usize],
+        bytes: &[u8],
+        results: &mut [Option<Result<JobOutcome, String>>],
+    ) {
+        let planners: Vec<Planner> = live
+            .iter()
+            .map(|&i| {
+                let req = &jobs[i].1;
+                Planner::new(req.parsed.problem.clone(), service_config(1, 1, req.seed, 1))
+            })
+            .collect();
+        let policy = planners[0].build_policy();
+        if let Err(e) = nptsn_nn::params_from_bytes(&nptsn_nn::Module::parameters(&policy), bytes)
+        {
+            let message = format!("checkpoint rejected: {e}");
+            for &i in live {
+                results[i] = Some(Err(message.clone()));
+            }
+            return;
+        }
+        let lanes: Vec<InferLane<'_>> = live
+            .iter()
+            .zip(&planners)
+            .map(|(&i, planner)| InferLane {
+                planner,
+                attempts: jobs[i].1.attempts,
+                seed: jobs[i].1.seed,
+            })
+            .collect();
+        let outcomes = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            plan_with_policy_batch(&policy, &lanes)
+        }));
+        match outcomes {
+            Err(_) => {
+                for &i in live {
+                    results[i] = Some(Err("job panicked".to_string()));
+                }
+            }
+            Ok(outcomes) => {
+                for (&i, outcome) in live.iter().zip(outcomes) {
+                    results[i] = Some(match outcome {
+                        Ok(Some(solution)) => Ok(plan_outcome(solution, None)),
+                        Ok(None) => Err("the restored policy found no valid plan".to_string()),
+                        Err(message) => Err(message),
+                    });
+                }
+            }
+        }
     }
 
     /// Best-effort persistence for transitions after acceptance: the job
@@ -794,6 +1025,28 @@ impl JobQueue {
     /// its next cancellation point. Its late result is discarded.
     pub fn worker_loop(&self, metrics: &ServeMetrics, job_deadline: Option<std::time::Duration>) {
         while let Some((id, kind, cancel, progress)) = self.next_job(true) {
+            // Micro-batching: an infer leader scoops compatible queued
+            // infer jobs into one fused forward. Deadline mode stays
+            // solo — each job needs its own helper thread and clock.
+            if job_deadline.is_none() {
+                if let JobKind::Infer(req) = &kind {
+                    let (batch_max, window_us) = self.infer_batching();
+                    if batch_max > 1 {
+                        let mut mates = self.claim_infer_batchmates(req, batch_max - 1);
+                        if mates.is_empty() && window_us > 0 {
+                            // One bounded wait for stragglers, then solo.
+                            std::thread::sleep(std::time::Duration::from_micros(window_us));
+                            mates = self.claim_infer_batchmates(req, batch_max - 1);
+                        }
+                        if !mates.is_empty() {
+                            let mut jobs = vec![(id, req.clone(), Arc::clone(&cancel))];
+                            jobs.append(&mut mates);
+                            self.run_infer_batch(jobs, metrics);
+                            continue;
+                        }
+                    }
+                }
+            }
             metrics.jobs_running.add(1);
             metrics.jobs_queued.set(self.queued() as i64);
             let (result, timed_out) = match job_deadline {
@@ -821,6 +1074,23 @@ impl JobQueue {
         self.finish_job(id, result, false, &cancel, metrics);
         Some(id)
     }
+}
+
+/// Whether two infer jobs restore the same checkpoint — half of the
+/// batching compatibility key (the other half is [`infer_dims`]).
+fn same_checkpoint(a: &CheckpointSource, b: &CheckpointSource) -> bool {
+    match (a, b) {
+        (CheckpointSource::Named(x), CheckpointSource::Named(y)) => x == y,
+        (CheckpointSource::Inline(x), CheckpointSource::Inline(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// The policy-network dimensions an infer job's restored checkpoint must
+/// fit. Two jobs with equal dims (and the same checkpoint) can share one
+/// restored policy in a batched forward.
+fn infer_dims(req: &InferRequest) -> (usize, usize, usize) {
+    Planner::new(req.parsed.problem.clone(), service_config(1, 1, req.seed, 1)).network_dims()
 }
 
 /// A `failed` entry for a record that could not be recovered.
@@ -987,6 +1257,9 @@ fn execute(
                     Err(e) => return Err(format!("checkpoint '{name}' unavailable: {e}")),
                 },
             };
+            let im = infer_metrics();
+            im.solo_forwards.inc();
+            im.batch_size.observe(1.0);
             let config = service_config(1, 1, req.seed, 1);
             let planner = Planner::new(req.parsed.problem.clone(), config);
             let policy = planner.build_policy();
@@ -1254,6 +1527,100 @@ mod tests {
             JobQueue::open(16, store, RetentionConfig::default()).unwrap();
         assert_eq!(report.terminal_loaded + report.requeued, submitted);
         assert_eq!(report.failed_to_recover, 0);
+    }
+
+    const INFER_DOC: &str =
+        "[nodes]\nes a\nes b\nsw s0\nsw s1\n[links]\na s0\na s1\nb s0\nb s1\ns0 s1\n[flows]\na b 500 128\n";
+
+    #[test]
+    fn worker_batches_compatible_infer_jobs_with_solo_identical_results() {
+        let metrics = ServeMetrics::new();
+        let queue = JobQueue::new(16);
+        queue.set_infer_batching(8, 0);
+        let parsed = nptsn_format::parse_problem(INFER_DOC).expect("valid problem");
+
+        // A structurally valid checkpoint for this problem's architecture.
+        let planner = Planner::new(parsed.problem.clone(), service_config(1, 1, 0, 1));
+        let policy = planner.build_policy();
+        let bytes = nptsn_nn::params_to_bytes(&nptsn_nn::Module::parameters(&policy));
+
+        // Solo references computed in-process: what each job must report.
+        let solo: Vec<Option<Solution>> = [(2usize, 7u64), (3, 11), (2, 42)]
+            .iter()
+            .map(|&(attempts, seed)| {
+                let planner =
+                    Planner::new(parsed.problem.clone(), service_config(1, 1, seed, 1));
+                let policy = planner.build_policy();
+                nptsn_nn::params_from_bytes(&nptsn_nn::Module::parameters(&policy), &bytes)
+                    .expect("checkpoint restores");
+                planner.plan_with_policy(&policy, attempts, seed)
+            })
+            .collect();
+
+        let before_batched = infer_metrics().batched_forwards.get();
+        let ids: Vec<JobId> = [(2usize, 7u64), (3, 11), (2, 42)]
+            .iter()
+            .map(|&(attempts, seed)| {
+                queue
+                    .submit(JobKind::Infer(InferRequest {
+                        parsed: parsed.clone(),
+                        checkpoint: CheckpointSource::Inline(bytes.clone()),
+                        attempts,
+                        seed,
+                    }))
+                    .expect("submit")
+            })
+            .collect();
+        // An incompatible straggler (different checkpoint source) must NOT
+        // join the batch; it runs solo afterwards.
+        let named = queue
+            .submit(JobKind::Infer(InferRequest {
+                parsed: parsed.clone(),
+                checkpoint: CheckpointSource::Named("missing".to_string()),
+                attempts: 1,
+                seed: 0,
+            }))
+            .expect("submit");
+        queue.close();
+        queue.worker_loop(&metrics, None);
+
+        assert!(
+            infer_metrics().batched_forwards.get() > before_batched,
+            "no batched forward was recorded"
+        );
+        for (id, reference) in ids.iter().zip(&solo) {
+            let snap = queue.snapshot(*id).expect("job tracked");
+            match reference {
+                Some(solution) => {
+                    assert_eq!(snap.state, JobState::Done, "job {id}: {:?}", snap.error);
+                    match &snap.outcome {
+                        Some(JobOutcome::Plan { cost, planfile, .. }) => {
+                            assert_eq!(*cost, solution.cost, "job {id} cost diverged");
+                            assert_eq!(
+                                planfile,
+                                &write_plan(&solution.topology),
+                                "job {id} plan diverged"
+                            );
+                        }
+                        other => panic!("job {id}: unexpected outcome {other:?}"),
+                    }
+                }
+                None => {
+                    assert_eq!(snap.state, JobState::Failed);
+                    assert_eq!(
+                        snap.error.as_deref(),
+                        Some("the restored policy found no valid plan")
+                    );
+                }
+            }
+        }
+        let named_snap = queue.snapshot(named).expect("straggler tracked");
+        assert_eq!(named_snap.state, JobState::Failed);
+        assert!(
+            named_snap.error.as_deref().unwrap_or("").contains("not registered"),
+            "{:?}",
+            named_snap.error
+        );
     }
 
     #[test]

@@ -86,6 +86,15 @@ pub struct ServeConfig {
     /// Evict terminal jobs this many seconds after they finish (`0`
     /// disables). The clock restarts at recovery.
     pub job_ttl_secs: u64,
+    /// Most infer jobs one worker coalesces into a single batched policy
+    /// forward (`<= 1` disables micro-batching). Batched results are
+    /// bitwise identical to solo runs, so this trades nothing but is
+    /// ignored when a `job_deadline_ms` is set (deadline jobs run solo on
+    /// helper threads).
+    pub infer_batch_max: usize,
+    /// How long an infer leader with no batch-mates waits (once) for
+    /// stragglers before running solo, in microseconds.
+    pub infer_batch_window_us: u64,
 }
 
 impl Default for ServeConfig {
@@ -102,6 +111,8 @@ impl Default for ServeConfig {
             data_dir: None,
             job_retention: 1024,
             job_ttl_secs: 0,
+            infer_batch_max: 8,
+            infer_batch_window_us: 200,
         }
     }
 }
@@ -254,6 +265,7 @@ impl Server {
         };
         let (queue, recovered) =
             JobQueue::open(config.queue_depth, store, retention).map_err(store_io_error)?;
+        queue.set_infer_batching(config.infer_batch_max, config.infer_batch_window_us);
         let queue = Arc::new(queue);
         metrics.jobs_recovered.add(recovered.requeued);
         if nptsn_obs::enabled() && recovered != crate::jobs::RecoveryReport::default() {

@@ -153,6 +153,120 @@ fn client_backoff_rides_out_backpressure() {
     server.wait();
 }
 
+/// A poisoned job inside a fused infer batch fails alone. Chaos site
+/// `infer.batch` fires once per lane before its episodes start; with
+/// `every=3 max=1` exactly the third lane of the batch is poisoned. That
+/// job fails with the injected error while its two batch-mates complete
+/// with identical outcomes — per-job error isolation inside one fused
+/// forward.
+#[test]
+fn poisoned_infer_job_in_a_batch_fails_alone() {
+    let _guard = arm_scoped(FaultPlan::new(7).with_rule(SiteRule {
+        site: "infer.batch".to_string(),
+        kind: FaultKind::Error,
+        every: 3,
+        rate: 1.0,
+        max_count: 1,
+    }));
+    let server = start(ServeConfig { workers: 1, queue_depth: 16, ..ServeConfig::default() });
+    let queue = server.queue();
+    let mut client = Client::new(server.local_addr());
+
+    const DOC: &str = "\
+[nodes]
+es a
+es b
+sw s0
+sw s1
+[links]
+a s0
+a s1
+b s0
+b s1
+s0 s1
+[flows]
+a b 500 128
+";
+    let parsed = nptsn_format::parse_problem(DOC).expect("fixture parses");
+    let planner = nptsn::Planner::new(parsed.problem.clone(), nptsn::PlannerConfig::quick());
+    let bytes = nptsn_nn::params_to_bytes(&nptsn_nn::Module::parameters(&planner.build_policy()));
+    let put = client.put("/checkpoints/smoke", &bytes).unwrap();
+    assert_eq!(put.status, 200, "{}", put.text());
+
+    // Pile three identical infer jobs behind a burn so the single worker
+    // fuses them into one batch.
+    let burn = client.post("/jobs/burn?millis=1000", &[]).unwrap();
+    assert_eq!(burn.status, 202, "{}", burn.text());
+    let burn_id = json_u64(&burn.text(), "id");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let body = client.get(&format!("/jobs/{burn_id}")).unwrap().text();
+        if body.contains("\"state\":\"running\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "burn job never started: {body}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let ids: Vec<u64> = (0..3)
+        .map(|_| {
+            let r = client
+                .post("/jobs/infer?checkpoint=smoke&attempts=2&seed=5", DOC.as_bytes())
+                .unwrap();
+            assert_eq!(r.status, 202, "{}", r.text());
+            json_u64(&r.text(), "id")
+        })
+        .collect();
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    for &id in &ids {
+        loop {
+            let body = client.get(&format!("/jobs/{id}")).unwrap().text();
+            let terminal = ["done", "failed", "cancelled"]
+                .iter()
+                .any(|s| body.contains(&format!("\"state\":\"{s}\"")));
+            if terminal {
+                break;
+            }
+            assert!(Instant::now() < deadline, "job {id} never finished: {body}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    server.stop();
+    server.wait();
+
+    let snaps: Vec<nptsn_serve::JobSnapshot> =
+        ids.iter().map(|&id| queue.snapshot(id).expect("job tracked")).collect();
+    let poisoned: Vec<&nptsn_serve::JobSnapshot> = snaps
+        .iter()
+        .filter(|s| {
+            s.error.as_deref().is_some_and(|e| e.contains("chaos: injected fault at infer.batch"))
+        })
+        .collect();
+    assert_eq!(
+        poisoned.len(),
+        1,
+        "exactly one lane must carry the injected fault: {:?}",
+        snaps.iter().map(|s| (s.state, s.error.clone())).collect::<Vec<_>>()
+    );
+    let survivors: Vec<&nptsn_serve::JobSnapshot> = snaps
+        .iter()
+        .filter(|s| !s.error.as_deref().is_some_and(|e| e.contains("chaos")))
+        .collect();
+    assert_eq!(survivors.len(), 2);
+    assert_eq!(
+        (survivors[0].state, &survivors[0].outcome, &survivors[0].error),
+        (survivors[1].state, &survivors[1].outcome, &survivors[1].error),
+        "the two healthy batch-mates diverged"
+    );
+    // The injection really landed at the batch site, exactly once.
+    let counts = nptsn_chaos::injection_counts();
+    assert!(
+        counts.iter().any(|(site, n)| site == "infer.batch" && *n == 1),
+        "no infer.batch injection recorded: {counts:?}"
+    );
+}
+
 /// A seeded fault storm over the full serve stack: dropped accepts,
 /// dropped response writes, and failing jobs. The retrying client makes
 /// progress through all of it, nothing hangs, and at drain time every

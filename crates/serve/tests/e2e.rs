@@ -5,9 +5,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use nptsn::{FailureAnalyzer, Planner, PlannerConfig, Verdict};
-use nptsn_format::{parse_plan, parse_problem};
-use nptsn_nn::{params_to_bytes, Module};
+use nptsn::{FailureAnalyzer, Planner, PlannerConfig, Solution, Verdict};
+use nptsn_format::{parse_plan, parse_problem, write_plan};
+use nptsn_nn::{params_from_bytes, params_to_bytes, Module};
 use nptsn_serve::{Client, ClientResponse, JobState, ServeConfig, Server};
 
 const DOC: &str = "\
@@ -360,6 +360,147 @@ fn keep_alive_and_malformed_requests() {
         assert!(response.starts_with("HTTP/1.1 400"), "{response}");
     }
     assert_eq!(client.get("/healthz").unwrap().status, 200);
+
+    server.stop();
+    server.wait();
+}
+
+/// Tentpole e2e: concurrent infer jobs against *mixed* checkpoints. The
+/// single worker coalesces compatible jobs per checkpoint into fused
+/// batched forwards, and every job's result is identical to a solo
+/// in-process run of the same (checkpoint, attempts, seed) — batching
+/// never cross-contaminates results between groups.
+#[test]
+fn concurrent_mixed_checkpoint_infer_jobs_batch_without_contamination() {
+    const DOC2: &str = "\
+[nodes]
+es a
+es b
+sw s0
+sw s1
+sw s2
+[links]
+a s0
+a s1
+a s2
+b s0
+b s1
+b s2
+s0 s1
+[flows]
+a b 500 128
+a b 1000 256
+";
+    // One worker, so everything submitted behind the burn job piles up
+    // and the leader finds its batch-mates already queued.
+    let (server, mut client) = start(1, 16);
+
+    // Register one checkpoint per problem architecture.
+    for (name, doc) in [("ck-a", DOC), ("ck-b", DOC2)] {
+        let parsed = parse_problem(doc).unwrap();
+        let planner = Planner::new(parsed.problem.clone(), PlannerConfig::quick());
+        let bytes = params_to_bytes(&planner.build_policy().parameters());
+        let put = client.put(&format!("/checkpoints/{name}"), &bytes).unwrap();
+        assert_eq!(put.status, 200, "{}", put.text());
+    }
+
+    // The exact solo deployment the service performs for one infer job,
+    // run in-process: restore the registered checkpoint, plan greedily.
+    let reference = |doc: &str, attempts: usize, seed: u64| -> Option<Solution> {
+        let parsed = parse_problem(doc).unwrap();
+        let config = PlannerConfig {
+            max_epochs: 1,
+            steps_per_epoch: 1,
+            seed,
+            analyzer_workers: 1,
+            ..PlannerConfig::quick()
+        };
+        let planner = Planner::new(parsed.problem.clone(), config);
+        let policy = planner.build_policy();
+        let bytes = params_to_bytes(
+            &Planner::new(parsed.problem.clone(), PlannerConfig::quick())
+                .build_policy()
+                .parameters(),
+        );
+        params_from_bytes(&policy.parameters(), &bytes).unwrap();
+        planner.plan_with_policy(&policy, attempts, seed)
+    };
+
+    // Occupy the worker so the infer submissions queue up behind it.
+    let burn = submit(&mut client, "/jobs/burn?millis=1500", &[]);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let body = client.get(&format!("/jobs/{burn}")).unwrap().text();
+        if state_of(&body) == "running" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "burn job never started: {body}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Interleaved submissions against both checkpoints, with a duplicate
+    // pair that must come back identical.
+    let specs: Vec<(&str, &str, usize, u64)> = vec![
+        ("ck-a", DOC, 2, 9),
+        ("ck-b", DOC2, 2, 9),
+        ("ck-a", DOC, 3, 21),
+        ("ck-b", DOC2, 3, 21),
+        ("ck-a", DOC, 2, 9), // duplicate of the first job
+        ("ck-b", DOC2, 2, 9),
+    ];
+    let ids: Vec<u64> = specs
+        .iter()
+        .map(|(name, doc, attempts, seed)| {
+            submit(
+                &mut client,
+                &format!("/jobs/infer?checkpoint={name}&attempts={attempts}&seed={seed}"),
+                doc.as_bytes(),
+            )
+        })
+        .collect();
+
+    // Every job terminates with exactly its solo reference result.
+    let mut bodies = Vec::new();
+    for (&id, (_, doc, attempts, seed)) in ids.iter().zip(&specs) {
+        let (body, _) = poll_until_done(&mut client, id);
+        match reference(doc, *attempts, *seed) {
+            Some(solution) => {
+                assert_eq!(state_of(&body), "done", "job {id}: {body}");
+                let plan = client.get(&format!("/jobs/{id}/plan")).unwrap();
+                assert_eq!(plan.status, 200);
+                assert_eq!(
+                    plan.text(),
+                    write_plan(&solution.topology),
+                    "job {id} diverged from its solo reference"
+                );
+            }
+            None => {
+                assert_eq!(state_of(&body), "failed", "job {id}: {body}");
+                assert!(body.contains("no valid plan"), "job {id}: {body}");
+            }
+        }
+        bodies.push(body);
+    }
+    // The duplicate pair (same checkpoint, attempts, seed) agrees even
+    // though the two jobs may have landed in different batches.
+    assert_eq!(
+        bodies[0].replace(&format!("\"id\":{}", ids[0]), ""),
+        bodies[4].replace(&format!("\"id\":{}", ids[4]), ""),
+        "identical submissions diverged"
+    );
+
+    // The worker actually fused batches: one per checkpoint group.
+    let metrics = client.get("/metrics").unwrap().text();
+    let batched: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("nptsn_infer_batched_forwards_total "))
+        .and_then(|v| v.parse().ok())
+        .expect("batched-forwards counter present");
+    assert!(batched >= 2, "expected at least two fused batches: {batched}\n{metrics}");
+    assert!(
+        metrics.contains("nptsn_infer_batch_size_bucket"),
+        "batch-size histogram missing:\n{metrics}"
+    );
 
     server.stop();
     server.wait();

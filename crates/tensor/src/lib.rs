@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod autograd;
+pub mod kernels;
 mod ops;
 mod tensor;
 

@@ -1,5 +1,6 @@
 //! Forward operations; each builds a new graph node.
 
+use crate::kernels;
 use crate::tensor::Tensor;
 
 /// How a right-hand operand is broadcast against the left-hand shape.
@@ -88,7 +89,28 @@ fn zip_broadcast(
     let b = rhs.data();
     let cols = lhs.cols();
     match broadcast {
-        Broadcast::None => a.iter().zip(b.iter()).map(|(&x, &y)| f(x, y)).collect(),
+        // Explicit lane loop (same-shape add/sub/mul are inference hot
+        // paths); the generic closure inlines, so each arm autovectorizes.
+        Broadcast::None => {
+            let mut out = vec![0.0f32; a.len()];
+            let mut oc = out.chunks_exact_mut(kernels::LANES);
+            let mut ac = a.chunks_exact(kernels::LANES);
+            let mut bc = b.chunks_exact(kernels::LANES);
+            for ((o, av), bv) in oc.by_ref().zip(ac.by_ref()).zip(bc.by_ref()) {
+                for l in 0..kernels::LANES {
+                    o[l] = f(av[l], bv[l]);
+                }
+            }
+            for ((o, &x), &y) in oc
+                .into_remainder()
+                .iter_mut()
+                .zip(ac.remainder())
+                .zip(bc.remainder())
+            {
+                *o = f(x, y);
+            }
+            out
+        }
         Broadcast::Scalar => a.iter().map(|&x| f(x, b[0])).collect(),
         Broadcast::Row => a
             .iter()
@@ -146,30 +168,7 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        // Panel-blocked i/p/j kernel: `b` is processed in horizontal
-        // panels of `KC` rows so a panel stays cache-resident while every
-        // row of `a` streams over it (the unblocked loop re-reads all of
-        // `b` for each row of `a`). Each output element still accumulates
-        // its partial products in ascending-p order and zero entries of
-        // `a` are still skipped (adjacency and mask matrices are mostly
-        // zeros), so the result is bitwise identical to the naive kernel.
-        const KC: usize = 64;
-        for pk in (0..k).step_by(KC) {
-            let pend = (pk + KC).min(k);
-            for i in 0..m {
-                let arow = &a[i * k + pk..i * k + pend];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (p, &av) in (pk..pend).zip(arow) {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[p * n..(p + 1) * n];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
-            }
-        }
+        kernels::matmul(&a, &b, &mut out, m, k, n);
         drop(a);
         drop(b);
         let rg = self.requires_grad() || other.requires_grad();
@@ -178,7 +177,8 @@ impl Tensor {
 
     /// Multiplies every element by `factor`.
     pub fn scale(&self, factor: f32) -> Tensor {
-        let data = self.data().iter().map(|&x| x * factor).collect();
+        let mut data = self.data().to_vec();
+        kernels::scale_in_place(&mut data, factor);
         self.unary(data, Op::Scale(self.clone(), factor))
     }
 
@@ -196,7 +196,8 @@ impl Tensor {
 
     /// Elementwise `max(x, 0)`.
     pub fn relu(&self) -> Tensor {
-        let data = self.data().iter().map(|&x| x.max(0.0)).collect();
+        let mut data = self.data().to_vec();
+        kernels::relu_in_place(&mut data);
         self.unary(data, Op::Relu(self.clone()))
     }
 
@@ -244,14 +245,7 @@ impl Tensor {
         let (m, n) = self.shape();
         let data = self.data();
         let mut out = vec![0.0f32; n];
-        for i in 0..m {
-            for (j, o) in out.iter_mut().enumerate() {
-                *o += data[i * n + j];
-            }
-        }
-        for o in &mut out {
-            *o /= m as f32;
-        }
+        kernels::mean_rows(&data, m, n, &mut out);
         drop(data);
         Tensor::new_internal(1, n, out, Op::MeanRows(self.clone()), self.requires_grad())
     }

@@ -20,6 +20,15 @@
 #   BENCH_store.json    — durable store microbenchmarks: append throughput
 #                         (synced and unsynced), recovery time vs log
 #                         size, and the compaction pause
+#   BENCH_infer.json    — inference micro-batching: per-job p50/p99 latency
+#                         and jobs/s of the full infer pipeline at batch
+#                         1/8/64, fused-forward latency on ORION-scale
+#                         observations, and the lane-vectorized matmul
+#                         kernel speedup (the binary itself fails if the
+#                         fused forward is not bit-identical to solo, a
+#                         batched job result differs from its solo
+#                         reference, or batch-64 throughput is below 4x
+#                         batch-1)
 #
 # Usage: scripts/bench.sh [--smoke]
 #   --smoke   shrink iteration counts to a fast plumbing check (used by
@@ -32,6 +41,7 @@ serve_out="BENCH_serve.json"
 obs_out="BENCH_obs.json"
 chaos_out="BENCH_chaos.json"
 store_out="BENCH_store.json"
+infer_out="BENCH_infer.json"
 if [[ "${1:-}" == "--smoke" ]]; then
     export NPTSN_BENCH_SMOKE=1
     # Smoke numbers are not representative; keep them out of the committed
@@ -41,10 +51,12 @@ if [[ "${1:-}" == "--smoke" ]]; then
     obs_out="target/BENCH_obs.smoke.json"
     chaos_out="target/BENCH_chaos.smoke.json"
     store_out="target/BENCH_store.smoke.json"
+    infer_out="target/BENCH_infer.smoke.json"
 fi
 
 cargo build --release --offline -p nptsn-bench \
-    --bin micro --bin serve_bench --bin obs_bench --bin chaos_storm --bin store_bench
+    --bin micro --bin serve_bench --bin obs_bench --bin chaos_storm --bin store_bench \
+    --bin infer_bench
 NPTSN_BENCH_OUT="${NPTSN_BENCH_OUT:-$analyzer_out}" ./target/release/micro analyzer_json
 NPTSN_BENCH_OUT="${NPTSN_SERVE_BENCH_OUT:-$serve_out}" ./target/release/serve_bench
 NPTSN_BENCH_OUT="${NPTSN_OBS_BENCH_OUT:-$obs_out}" ./target/release/obs_bench
@@ -52,3 +64,4 @@ NPTSN_BENCH_OUT="${NPTSN_OBS_BENCH_OUT:-$obs_out}" ./target/release/obs_bench
 # reported failure reproduces exactly from the BENCH_chaos.json "seed".
 NPTSN_BENCH_OUT="${NPTSN_CHAOS_BENCH_OUT:-$chaos_out}" ./target/release/chaos_storm --seed 42
 NPTSN_BENCH_OUT="${NPTSN_STORE_BENCH_OUT:-$store_out}" ./target/release/store_bench
+NPTSN_BENCH_OUT="${NPTSN_INFER_BENCH_OUT:-$infer_out}" ./target/release/infer_bench

@@ -122,3 +122,28 @@ wait "$serve_pid"
 trap - EXIT
 rm -rf "$store_state"
 echo "store smoke: kill -9 recovery confirmed"
+
+# Infer micro-batching smoke test (DESIGN.md §13): a one-worker server
+# with --infer-batch-max 8 must coalesce concurrent identical infer jobs
+# into fused batched forwards. infer_smoke registers a checkpoint, piles
+# four identical infer jobs behind a burn job, asserts every outcome is
+# identical and that /metrics counted at least one batched forward.
+infer_log="$(mktemp)"
+./target/release/nptsn serve --addr 127.0.0.1:0 --serve-workers 1 --queue-depth 16 \
+    --infer-batch-max 8 >"$infer_log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^nptsn-serve listening on \([0-9.:]*\) .*/\1/p' "$infer_log")"
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "infer smoke: server never printed its address" >&2; exit 1; }
+./target/release/infer_smoke "$addr"
+wait "$serve_pid"
+trap - EXIT
+grep -q "drained and stopped" "$infer_log" \
+    || { echo "infer smoke: no clean shutdown message" >&2; exit 1; }
+rm -f "$infer_log"
+echo "infer smoke: coalesced batched inference confirmed"
