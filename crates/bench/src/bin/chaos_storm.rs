@@ -1,7 +1,7 @@
 //! Seeded chaos storm over the full stack: the acceptance harness for the
 //! fault-injection framework (`nptsn-chaos`, DESIGN.md §11).
 //!
-//! Four phases, each gated — any gate failure exits non-zero:
+//! Five phases, each gated — any gate failure exits non-zero:
 //!
 //! 1. **Determinism**: two planner training runs under the same armed
 //!    fault plan (a poisoned PPO update) must produce byte-identical
@@ -22,7 +22,18 @@
 //!    at-least-once execution, exactly-once result), at least one job was
 //!    actually recovered, and two same-seed storms produce byte-identical
 //!    per-job outcome digests.
-//! 4. **Overhead**: a disarmed `chaos::point` must stay a no-op — its
+//! 4. **Router storm**: a two-shard fleet (real child processes) behind
+//!    the `nptsn-router` front tier, with forward, health-probe and
+//!    replay-ingest faults armed. Every job is submitted through the
+//!    router (retrying through injected forward failures), then one shard
+//!    is `kill -9`ed with queued work and every acked job must still
+//!    reach `done` through the router. Gates: exact accounting (every
+//!    acked job terminal — zero loss), the failover and replay counters
+//!    moved, and two same-seed storms produce byte-identical per-job
+//!    digests (submission is single-threaded and polling starts only
+//!    after the last ack, so the `router.forward` fault schedule — and
+//!    with it the id sequence — replays exactly).
+//! 5. **Overhead**: a disarmed `chaos::point` must stay a no-op — its
 //!    measured per-call cost, charged per request, must be under 10% of
 //!    the clean request time.
 //!
@@ -37,7 +48,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nptsn::{Planner, PlannerConfig, PlanningProblem};
+use nptsn_bench::fleet::{maybe_run_shard_child, spawn_shard};
 use nptsn_chaos::{FaultKind, FaultPlan, SiteRule};
+use nptsn_router::{Router, RouterConfig, ShardSpec};
 use nptsn_rand::rngs::StdRng;
 use nptsn_rand::{Rng, SeedableRng};
 use nptsn_sched::{FlowSet, FlowSpec, ShortestPathRecovery, TasConfig};
@@ -265,7 +278,128 @@ fn kill_restart_storm(seed: u64, dir: &std::path::Path, jobs_total: usize) -> Ki
     KillRestart { digest, submitted: submitted_ids.len() as u64, recovered, replays }
 }
 
+/// What one router storm produced: a per-job digest (two same-seed storms
+/// must agree byte for byte) plus the counters its gates check.
+struct RouterStorm {
+    digest: String,
+    acked: u64,
+    failovers: u64,
+    replayed: u64,
+}
+
+/// One router storm: two durable shard child processes behind an
+/// in-process router, with `router.forward` (dropped forwards),
+/// `router.health` (spurious failed probes, capped below the death
+/// threshold) and `router.replay` (transient ingest failures) armed.
+///
+/// All jobs are submitted — single-threaded, retrying through injected
+/// forward failures until acked — BEFORE the first poll, so the
+/// `router.forward` per-site call sequence during the submission window
+/// is a pure function of the plan seed, and with it the set of burned and
+/// acked job ids. Then shard `s0` is `kill -9`ed with queued work, and
+/// every acked job must reach `done` through the router (survivor
+/// executes its own jobs plus the dead shard's replayed ones). The digest
+/// is each acked job's full status body in submission order: ids are
+/// deterministic, bodies carry no timestamps, so same seed ⇒ same bytes.
+fn router_storm(seed: u64, tag: &str, jobs: usize) -> RouterStorm {
+    let base = std::env::temp_dir();
+    let dir_a = base.join(format!("nptsn-chaos-router-{tag}-a-{}", std::process::id()));
+    let dir_b = base.join(format!("nptsn-chaos-router-{tag}-b-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let mut shard_a = spawn_shard(Some(&dir_a), 1, 1024);
+    let mut shard_b = spawn_shard(Some(&dir_b), 1, 1024);
+    let router = Router::bind(RouterConfig {
+        shards: vec![
+            ShardSpec { name: "s0".into(), addr: shard_a.addr, data_dir: Some(dir_a.clone()) },
+            ShardSpec { name: "s1".into(), addr: shard_b.addr, data_dir: Some(dir_b.clone()) },
+        ],
+        health_interval_ms: 25,
+        // 3 consecutive failures: the capped health faults below fire at
+        // widely separated call indices, so only a real death trips it.
+        health_failures: 3,
+        forward_deadline_ms: 1_000,
+        ..RouterConfig::default()
+    })
+    .expect("bind storm router");
+    let before = nptsn_obs::telemetry().snapshot();
+    nptsn_chaos::arm(
+        FaultPlan::new(seed)
+            .with_rule(rate_rule("router.forward", FaultKind::Error, 0.15))
+            .with_rule(SiteRule {
+                site: "router.health".to_string(),
+                kind: FaultKind::Error,
+                every: 7,
+                rate: 1.0,
+                max_count: 2,
+            })
+            .with_rule(SiteRule {
+                site: "router.replay".to_string(),
+                kind: FaultKind::Error,
+                every: 3,
+                rate: 1.0,
+                max_count: 4,
+            }),
+    );
+    let mut client = Client::new(router.local_addr()).with_backoff(BackoffConfig {
+        max_retries: 40,
+        base_ms: 2,
+        cap_ms: 50,
+        seed: seed ^ 0x726f_7574,
+        ..BackoffConfig::default()
+    });
+    // Slow-ish burns so the victim dies with work still queued; every
+    // submission retries through injected forward faults until acked.
+    let acked: Vec<u64> = (0..jobs)
+        .map(|n| {
+            let response = client.post("/jobs/burn?millis=25", &[]).expect("submit via router");
+            assert_eq!(response.status, 202, "submission {n}: {}", response.text());
+            json_u64(&response.text(), "id")
+        })
+        .collect();
+    let ring = router.ring();
+    assert!(
+        acked.iter().any(|&id| ring.place(id) == Some("s0")),
+        "no acked job landed on the victim shard"
+    );
+    shard_a.kill9();
+    for &id in &acked {
+        loop {
+            let response = client.get(&format!("/jobs/{id}")).expect("poll via router");
+            if response.status == 200 && response.text().contains("\"state\":\"done\"") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    // Digest after everything is terminal: full bodies, submission order.
+    let mut digest = String::new();
+    for &id in &acked {
+        let body = client.get(&format!("/jobs/{id}")).expect("digest poll").text();
+        digest.push_str(&format!("job {id} {body}\n"));
+    }
+    nptsn_chaos::disarm();
+    let after = nptsn_obs::telemetry().snapshot();
+    let _ = client.post("/shutdown", &[]);
+    router.wait();
+    let mut direct = Client::new(shard_b.addr);
+    if direct.post("/shutdown", &[]).is_ok() {
+        shard_b.join();
+    } else {
+        shard_b.kill9();
+    }
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    RouterStorm {
+        digest,
+        acked: acked.len() as u64,
+        failovers: after.router_failovers - before.router_failovers,
+        replayed: after.router_replayed_jobs - before.router_replayed_jobs,
+    }
+}
+
 fn main() {
+    maybe_run_shard_child();
     let mut seed = 42u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -284,7 +418,7 @@ fn main() {
 
     // Zero-hang gate: the whole storm must finish well inside the budget
     // or the watchdog takes the process down with a distinct exit code.
-    let watchdog_secs = if smoke { 120 } else { 300 };
+    let watchdog_secs = if smoke { 180 } else { 420 };
     std::thread::spawn(move || {
         std::thread::sleep(Duration::from_secs(watchdog_secs));
         eprintln!("chaos_storm: WATCHDOG — still running after {watchdog_secs}s, aborting");
@@ -326,6 +460,7 @@ fn main() {
         base_ms: 2,
         cap_ms: 40,
         seed,
+        ..BackoffConfig::default()
     });
     let (clean_jobs_per_s, clean_latencies) = drive_jobs(&mut clean_client, jobs);
     clean_server.stop();
@@ -347,6 +482,7 @@ fn main() {
         base_ms: 2,
         cap_ms: 40,
         seed: seed ^ 1,
+        ..BackoffConfig::default()
     });
     let (storm_jobs_per_s, storm_latencies) = drive_jobs(&mut storm_client, jobs);
     let p99_recovery_ms = percentile_ms(storm_latencies, 99);
@@ -416,7 +552,21 @@ fn main() {
         if kill_restart_identical { "identical" } else { "DIVERGED" }
     );
 
-    // --- Phase 4: disarmed overhead ------------------------------------
+    // --- Phase 4: router storm over a two-shard child fleet ------------
+    let router_jobs = if smoke { 16 } else { 48 };
+    let first_router = router_storm(seed, "a", router_jobs);
+    let second_router = router_storm(seed, "b", router_jobs);
+    let router_identical = first_router.digest == second_router.digest
+        && first_router.acked == second_router.acked;
+    println!(
+        "chaos_storm: router storm {} jobs acked, {} failovers, {} replayed, replay {}",
+        first_router.acked,
+        first_router.failovers,
+        first_router.replayed,
+        if router_identical { "identical" } else { "DIVERGED" }
+    );
+
+    // --- Phase 5: disarmed overhead ------------------------------------
     assert!(!nptsn_chaos::is_armed());
     let point_started = Instant::now();
     for _ in 0..point_loops {
@@ -470,6 +620,10 @@ fn main() {
     json.push_str(&format!("  \"kill_restart_recovered\": {},\n", first_storm.recovered));
     json.push_str(&format!("  \"kill_restart_replays\": {},\n", first_storm.replays));
     json.push_str(&format!("  \"kill_restart_identical\": {kill_restart_identical},\n"));
+    json.push_str(&format!("  \"router_jobs_acked\": {},\n", first_router.acked));
+    json.push_str(&format!("  \"router_failovers\": {},\n", first_router.failovers));
+    json.push_str(&format!("  \"router_replayed\": {},\n", first_router.replayed));
+    json.push_str(&format!("  \"router_identical\": {router_identical},\n"));
     json.push_str(&format!("  \"disarmed_point_ns\": {disarmed_point_ns:.3},\n"));
     json.push_str(&format!("  \"disarmed_overhead_pct\": {disarmed_overhead_pct:.5}\n"));
     json.push_str("}\n");
@@ -503,6 +657,32 @@ fn main() {
         eprintln!(
             "chaos_storm: FAIL — same seed, different kill-restart storm:\n{}---\n{}",
             first_storm.digest, second_storm.digest
+        );
+        failed = true;
+    }
+    // Router gates: exact accounting held inside router_storm (every acked
+    // job polled to `done` — a loss hangs into the watchdog); here: the
+    // failover actually happened, the dead shard's log was replayed, and
+    // the same seed replayed the same storm byte for byte.
+    if first_router.acked != router_jobs as u64 {
+        eprintln!(
+            "chaos_storm: FAIL — router storm acked {} of {router_jobs} submissions",
+            first_router.acked
+        );
+        failed = true;
+    }
+    if first_router.failovers == 0 {
+        eprintln!("chaos_storm: FAIL — the router storm never failed over");
+        failed = true;
+    }
+    if first_router.replayed == 0 {
+        eprintln!("chaos_storm: FAIL — the router storm replayed nothing from the dead shard");
+        failed = true;
+    }
+    if !router_identical {
+        eprintln!(
+            "chaos_storm: FAIL — same seed, different router storm:\n{}---\n{}",
+            first_router.digest, second_router.digest
         );
         failed = true;
     }

@@ -1,0 +1,105 @@
+//! Multi-process shard fleets for benchmarks and chaos storms.
+//!
+//! Failover work needs a shard that can really die — `kill -9`, not a
+//! graceful `stop()` — which means shards in their own processes. Rather
+//! than locating an installed binary, a bench binary re-executes
+//! **itself** as each shard: [`spawn_shard`] launches `current_exe()`
+//! with [`FLEET_SHARD_ENV`] set, and the first line of the binary's
+//! `main` calls [`maybe_run_shard_child`], which — in a child — binds a
+//! serve instance on an ephemeral port, prints `FLEET_ADDR <addr>` for
+//! the parent to scrape, serves until shutdown and never returns.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::process::{Child, ChildStdout, Command, Stdio};
+
+use nptsn_serve::{ServeConfig, Server};
+
+/// The env var that turns a bench binary into a shard child. Value:
+/// `<data_dir>|<workers>|<queue_depth>` (empty data dir = in-memory).
+pub const FLEET_SHARD_ENV: &str = "NPTSN_FLEET_SHARD";
+
+/// In a shard child, runs the shard forever (exits the process when the
+/// shard drains). In the parent — no [`FLEET_SHARD_ENV`] set — a no-op.
+/// Call this before anything else in `main`.
+pub fn maybe_run_shard_child() {
+    let Ok(spec) = std::env::var(FLEET_SHARD_ENV) else { return };
+    let mut parts = spec.split('|');
+    let data_dir = parts.next().unwrap_or("").to_string();
+    let workers = parts.next().and_then(|w| w.parse().ok()).unwrap_or(1);
+    let queue_depth = parts.next().and_then(|q| q.parse().ok()).unwrap_or(256);
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_depth,
+        data_dir: (!data_dir.is_empty()).then_some(data_dir),
+        ..ServeConfig::default()
+    })
+    .expect("bind fleet shard");
+    println!("FLEET_ADDR {}", server.local_addr());
+    std::io::stdout().flush().expect("flush shard address");
+    server.wait();
+    std::process::exit(0);
+}
+
+/// One shard child process. Dropping it kills the child (SIGKILL) and
+/// reaps it, so a panicking benchmark leaves no strays.
+pub struct ShardProc {
+    /// The shard's listen address, scraped from the child's stdout.
+    pub addr: SocketAddr,
+    child: Child,
+    // Held so the child never blocks on a closed stdout pipe.
+    _stdout: BufReader<ChildStdout>,
+    killed: bool,
+}
+
+impl ShardProc {
+    /// The child's process id (e.g. for an external `kill -9`).
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Kills the shard abruptly — SIGKILL, no drain, exactly the failure
+    /// the router's replay path exists for — and reaps the child.
+    pub fn kill9(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        self.killed = true;
+    }
+
+    /// Reaps a child that was asked to shut down over HTTP.
+    pub fn join(&mut self) {
+        let _ = self.child.wait();
+        self.killed = true;
+    }
+}
+
+impl Drop for ShardProc {
+    fn drop(&mut self) {
+        if !self.killed {
+            self.kill9();
+        }
+    }
+}
+
+/// Spawns one shard child (see [`maybe_run_shard_child`]) and waits for
+/// its address line.
+pub fn spawn_shard(data_dir: Option<&Path>, workers: usize, queue_depth: usize) -> ShardProc {
+    let exe = std::env::current_exe().expect("locate current executable");
+    let dir = data_dir.map(|p| p.display().to_string()).unwrap_or_default();
+    let mut child = Command::new(exe)
+        .env(FLEET_SHARD_ENV, format!("{dir}|{workers}|{queue_depth}"))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn shard child");
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read shard address line");
+    let addr = line
+        .strip_prefix("FLEET_ADDR ")
+        .and_then(|rest| rest.trim().parse().ok())
+        .unwrap_or_else(|| panic!("unexpected shard banner: {line:?}"));
+    ShardProc { addr, child, _stdout: stdout, killed: false }
+}

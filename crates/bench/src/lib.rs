@@ -20,6 +20,8 @@
 
 #![warn(missing_docs)]
 
+pub mod fleet;
+
 use std::sync::Arc;
 
 use nptsn::{Planner, PlannerConfig, PlanningProblem, Solution};

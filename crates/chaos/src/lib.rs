@@ -16,6 +16,14 @@
 //! Injections are reported to the shared telemetry registry as
 //! `nptsn_chaos_faults_total` and the per-site labeled series
 //! `nptsn_chaos_faults_injected_total{site="..."}`.
+//!
+//! The site catalog lives in DESIGN.md §11; the planner declares
+//! `planner.*` sites, the HTTP tier `serve.*`, the durable store
+//! `store.*`, and the sharded front tier `router.forward` (a forward
+//! dropped before any bytes leave — a clean un-acked failure),
+//! `router.health` (a spuriously failed probe, absorbed by the
+//! consecutive-failure threshold) and `router.replay` (a transient
+//! replay-ingest failure, retried per record).
 
 use std::collections::BTreeMap;
 use std::fmt;

@@ -13,6 +13,7 @@ use nptsn_format::json::{analysis_report_json, epoch_stats_json, Object};
 use nptsn_format::{parse_plan, parse_problem, write_plan, ParsedProblem};
 use nptsn_obs::Level;
 use nptsn_sched::simulate;
+use nptsn_router::{Router, RouterConfig, ShardSpec};
 use nptsn_serve::{ServeConfig, Server};
 use nptsn_topo::FailureScenario;
 
@@ -93,6 +94,7 @@ USAGE:
                 [--io-timeout-ms N] [--job-deadline-ms N]
                 [--data-dir PATH] [--job-retention N] [--job-ttl-secs N]
                 [--infer-batch-max N] [--infer-batch-window-us N]
+                [--shard-name NAME]
         Run the HTTP planning service (job queue + worker pool; see
         DESIGN.md §9). Stops on POST /shutdown after draining the queue.
         --io-timeout-ms bounds every socket read/write (default 30000;
@@ -147,6 +149,7 @@ pub fn run(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliErro
         Some("report") => cmd_report(&args[1..], out),
         Some("inspect") => cmd_inspect(&args[1..], out),
         Some("serve") => cmd_serve(&args[1..], out),
+        Some("router") => cmd_router(&args[1..], out),
         Some(other) => Err(CliError::msg(format!(
             "unknown command '{other}'; run 'nptsn help' for usage"
         ))),
@@ -672,6 +675,13 @@ fn cmd_serve(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliEr
                 config.infer_batch_window_us =
                     parse_flag(iter.next(), "--infer-batch-window-us")?;
             }
+            "--shard-name" => {
+                config.shard_name = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError::msg("--shard-name needs a value".into()))?
+                        .to_string(),
+                );
+            }
             other => return Err(CliError::msg(format!("unexpected argument '{other}'"))),
         }
     }
@@ -697,6 +707,103 @@ fn cmd_serve(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliEr
     // sees everything those threads recorded.
     trace.finish(out)?;
     writeln!(out, "nptsn-serve drained and stopped").map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_router(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let mut config = RouterConfig { addr: "127.0.0.1:7979".to_string(), ..RouterConfig::default() };
+    let mut shard_addrs: Vec<String> = Vec::new();
+    let mut data_dirs: Vec<String> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut trace = TraceOpts::default();
+    let mut iter = args.iter().map(String::as_str);
+    let list = |value: Option<&str>, flag: &str| -> Result<Vec<String>, CliError> {
+        Ok(value
+            .ok_or_else(|| CliError::msg(format!("{flag} needs a comma-separated list")))?
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect())
+    };
+    while let Some(arg) = iter.next() {
+        if trace.try_flag(arg, &mut iter)? {
+            continue;
+        }
+        match arg {
+            "--addr" => {
+                config.addr = iter
+                    .next()
+                    .ok_or_else(|| CliError::msg("--addr needs a value".into()))?
+                    .to_string();
+            }
+            "--shards" => shard_addrs = list(iter.next(), "--shards")?,
+            "--data-dirs" => data_dirs = list(iter.next(), "--data-dirs")?,
+            "--names" => names = list(iter.next(), "--names")?,
+            "--vnodes" => {
+                config.vnodes = parse_flag(iter.next(), "--vnodes")?;
+                if config.vnodes == 0 {
+                    return Err(CliError::msg("--vnodes must be at least 1".into()));
+                }
+            }
+            "--health-interval-ms" => {
+                config.health_interval_ms = parse_flag(iter.next(), "--health-interval-ms")?;
+            }
+            "--health-failures" => {
+                config.health_failures = parse_flag(iter.next(), "--health-failures")?;
+                if config.health_failures == 0 {
+                    return Err(CliError::msg("--health-failures must be at least 1".into()));
+                }
+            }
+            "--forward-deadline-ms" => {
+                config.forward_deadline_ms = parse_flag(iter.next(), "--forward-deadline-ms")?;
+            }
+            other => return Err(CliError::msg(format!("unexpected argument \'{other}\'"))),
+        }
+    }
+    if shard_addrs.is_empty() {
+        return Err(CliError::msg("router: --shards needs at least one HOST:PORT".into()));
+    }
+    if !data_dirs.is_empty() && data_dirs.len() != shard_addrs.len() {
+        return Err(CliError::msg(format!(
+            "router: --data-dirs lists {} paths for {} shards",
+            data_dirs.len(),
+            shard_addrs.len()
+        )));
+    }
+    if !names.is_empty() && names.len() != shard_addrs.len() {
+        return Err(CliError::msg(format!(
+            "router: --names lists {} names for {} shards",
+            names.len(),
+            shard_addrs.len()
+        )));
+    }
+    config.shards = shard_addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            Ok(ShardSpec {
+                name: names.get(i).cloned().unwrap_or_else(|| format!("s{i}")),
+                addr: addr
+                    .parse()
+                    .map_err(|e| CliError::msg(format!("router: bad shard address \'{addr}\': {e}")))?,
+                data_dir: data_dirs.get(i).map(PathBuf::from),
+            })
+        })
+        .collect::<Result<Vec<_>, CliError>>()?;
+    trace.activate()?;
+    let shard_count = config.shards.len();
+    let vnodes = config.vnodes;
+    let router = Router::bind(config).map_err(|e| CliError::msg(format!("cannot bind: {e}")))?;
+    writeln!(
+        out,
+        "nptsn-router listening on {} ({shard_count} shards, {vnodes} vnodes)",
+        router.local_addr()
+    )
+    .map_err(io_err)?;
+    out.flush().map_err(io_err)?;
+    router.wait();
+    trace.finish(out)?;
+    writeln!(out, "nptsn-router stopped").map_err(io_err)?;
     Ok(())
 }
 
@@ -1055,6 +1162,25 @@ a b 500 128
                     || err.to_string().contains("--job-ttl-secs"),
                 "{err}"
             );
+        }
+    }
+
+    #[test]
+    fn router_flags_are_validated() {
+        for (bad, needle) in [
+            (&["router"][..], "--shards"),
+            (&["router", "--shards", ""][..], "--shards"),
+            (&["router", "--shards", "nonsense"][..], "bad shard address"),
+            (&["router", "--shards", "127.0.0.1:1", "--data-dirs", "a,b"][..], "--data-dirs"),
+            (&["router", "--shards", "127.0.0.1:1", "--names", "a,b"][..], "--names"),
+            (&["router", "--shards", "127.0.0.1:1", "--vnodes", "0"][..], "--vnodes"),
+            (&["router", "--shards", "127.0.0.1:1", "--health-failures", "0"][..],
+             "--health-failures"),
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            let mut out = Vec::new();
+            let err = run(&args, &mut out).unwrap_err();
+            assert!(err.to_string().contains(needle), "{bad:?}: {err}");
         }
     }
 

@@ -46,6 +46,18 @@ pub struct Telemetry {
     /// Client requests retried with backoff
     /// (`nptsn_recovery_client_retries_total`).
     pub recovery_client_retries: Arc<Counter>,
+    /// Jobs the router forwarded to a shard
+    /// (`nptsn_router_forwards_total`).
+    pub router_forwards: Arc<Counter>,
+    /// Shards the router declared dead and removed from its ring
+    /// (`nptsn_router_failovers_total`).
+    pub router_failovers: Arc<Counter>,
+    /// Job records replayed from a dead shard's log onto a survivor
+    /// (`nptsn_router_replayed_jobs_total`).
+    pub router_replayed_jobs: Arc<Counter>,
+    /// Replay ingest requests that needed a retry
+    /// (`nptsn_router_replay_retries_total`).
+    pub router_replay_retries: Arc<Counter>,
 }
 
 impl Telemetry {
@@ -87,6 +99,20 @@ impl Telemetry {
             "nptsn_recovery_client_retries_total",
             "Client requests retried with backoff",
         );
+        let router_forwards =
+            registry.counter("nptsn_router_forwards_total", "Jobs forwarded to a shard");
+        let router_failovers = registry.counter(
+            "nptsn_router_failovers_total",
+            "Shards declared dead and removed from the ring",
+        );
+        let router_replayed_jobs = registry.counter(
+            "nptsn_router_replayed_jobs_total",
+            "Job records replayed from a dead shard onto a survivor",
+        );
+        let router_replay_retries = registry.counter(
+            "nptsn_router_replay_retries_total",
+            "Replay ingest requests that needed a retry",
+        );
         Telemetry {
             registry,
             planner_epochs,
@@ -101,6 +127,10 @@ impl Telemetry {
             recovery_deadline_kills,
             recovery_checkpoint_resumes,
             recovery_client_retries,
+            router_forwards,
+            router_failovers,
+            router_replayed_jobs,
+            router_replay_retries,
         }
     }
 
@@ -119,6 +149,10 @@ impl Telemetry {
             recovery_deadline_kills: self.recovery_deadline_kills.get(),
             recovery_checkpoint_resumes: self.recovery_checkpoint_resumes.get(),
             recovery_client_retries: self.recovery_client_retries.get(),
+            router_forwards: self.router_forwards.get(),
+            router_failovers: self.router_failovers.get(),
+            router_replayed_jobs: self.router_replayed_jobs.get(),
+            router_replay_retries: self.router_replay_retries.get(),
         }
     }
 }
@@ -152,6 +186,14 @@ pub struct TelemetrySnapshot {
     pub recovery_checkpoint_resumes: u64,
     /// `nptsn_recovery_client_retries_total` at snapshot time.
     pub recovery_client_retries: u64,
+    /// `nptsn_router_forwards_total` at snapshot time.
+    pub router_forwards: u64,
+    /// `nptsn_router_failovers_total` at snapshot time.
+    pub router_failovers: u64,
+    /// `nptsn_router_replayed_jobs_total` at snapshot time.
+    pub router_replayed_jobs: u64,
+    /// `nptsn_router_replay_retries_total` at snapshot time.
+    pub router_replay_retries: u64,
 }
 
 /// The process-wide [`Telemetry`] instance (created on first use).
@@ -181,6 +223,10 @@ mod tests {
             "nptsn_recovery_deadline_kills_total",
             "nptsn_recovery_checkpoint_resumes_total",
             "nptsn_recovery_client_retries_total",
+            "nptsn_router_forwards_total",
+            "nptsn_router_failovers_total",
+            "nptsn_router_replayed_jobs_total",
+            "nptsn_router_replay_retries_total",
         ] {
             assert!(text.contains(&format!("# HELP {name} ")), "{name} missing HELP: {text}");
             assert!(text.contains(&format!("# TYPE {name} counter")), "{name} missing TYPE");

@@ -1,0 +1,50 @@
+//! nptsn-router: a consistent-hash sharded front tier for the NPTSN serve
+//! fleet, with dead-shard replay.
+//!
+//! One router process fronts N independent `nptsn-serve` shards. It owns
+//! job-id assignment, places every job on a shard via a consistent-hash
+//! [`ring::Ring`] with virtual nodes, and fans requests out over the
+//! retrying [`nptsn_serve::Client`]. A health thread probes each shard's
+//! `GET /readyz`; after K consecutive failures a shard is declared dead,
+//! its ring range is rebalanced to the survivors, and its durable segment
+//! log is replayed onto them through the same validation gate as HTTP
+//! submission — so a job acked with a durable `202` is never lost, even
+//! to `kill -9` of the shard that held it.
+//!
+//! Everything is `std`-only, like the rest of the workspace: no async
+//! runtime, no external crates — threads, atomics and blocking sockets.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use nptsn_router::{Router, RouterConfig, ShardSpec};
+//!
+//! let config = RouterConfig {
+//!     shards: vec![
+//!         ShardSpec {
+//!             name: "s0".to_string(),
+//!             addr: "127.0.0.1:7101".parse().unwrap(),
+//!             data_dir: Some("data/s0".into()),
+//!         },
+//!         ShardSpec {
+//!             name: "s1".to_string(),
+//!             addr: "127.0.0.1:7102".parse().unwrap(),
+//!             data_dir: Some("data/s1".into()),
+//!         },
+//!     ],
+//!     ..RouterConfig::default()
+//! };
+//! let router = Router::bind(config).expect("bind");
+//! println!("routing on {}", router.local_addr());
+//! router.wait(); // until POST /shutdown
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod replay;
+pub mod ring;
+pub mod server;
+
+pub use replay::ReplayReport;
+pub use ring::Ring;
+pub use server::{Router, RouterConfig, RouterMetrics, ShardSpec};

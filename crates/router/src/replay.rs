@@ -1,0 +1,125 @@
+//! Dead-shard replay: re-ingesting a dead shard's durable job records
+//! onto the survivors.
+//!
+//! The shard-side contract makes this safe to run at any time, any number
+//! of times:
+//!
+//! * the records come from [`nptsn_store::LogStore::export_live`], a
+//!   read-only fold over the dead shard's segment log — the directory is
+//!   never mutated, so a half-dead process (or a later forensic read)
+//!   sees exactly the bytes it wrote;
+//! * each record goes through `POST /internal/replay/<id>` on the ring
+//!   owner, which feeds the **same validation gate** as HTTP submission —
+//!   a corrupt or malformed record is recorded as failed, never executed;
+//! * ingest is idempotent by job id: a terminal record is stored verbatim
+//!   (byte-identical result bytes), a non-terminal record is re-validated
+//!   and re-enqueued, and an id the survivor already knows is a no-op —
+//!   so retrying a whole replay after a mid-replay crash cannot duplicate
+//!   work or flip a result.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use nptsn_serve::persist::job_id_from_key;
+use nptsn_store::LogStore;
+
+use crate::ring::key_hash;
+use crate::server::Shared;
+
+/// What one replay accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Records ingested onto a survivor (terminal, requeued or recorded
+    /// failed).
+    pub replayed: u64,
+    /// Records the survivor already knew — no-ops.
+    pub already_known: u64,
+    /// Records that could not be ingested (malformed, or the owner stayed
+    /// unreachable through every retry).
+    pub failed: u64,
+    /// Ingest attempts that needed a retry.
+    pub retries: u64,
+}
+
+/// Attempts to ingest one record on the shard at `index`, retrying
+/// transient failures. Returns `Some(replay_kind)` on a `200`.
+fn ingest_one(shared: &Arc<Shared>, index: usize, id: u64, bytes: &[u8], report: &mut ReplayReport) -> Option<String> {
+    let telemetry = nptsn_obs::telemetry();
+    for attempt in 0..5u32 {
+        if attempt > 0 {
+            report.retries += 1;
+            telemetry.router_replay_retries.inc();
+        }
+        // Chaos: a faulted replay attempt is a transient ingest failure —
+        // the loop retries, exactly as it would for a flaky survivor.
+        if nptsn_chaos::point("router.replay").is_err() {
+            continue;
+        }
+        let mut client = shared.forward_client(index, key_hash(id) ^ 0x5265_706c_6179);
+        let Ok(response) = client.post(&format!("/internal/replay/{id}"), bytes) else {
+            continue;
+        };
+        match response.status {
+            200 => {
+                let text = response.text();
+                let kind = text
+                    .split("\"replay\":\"")
+                    .nth(1)
+                    .and_then(|rest| rest.split('"').next())
+                    .unwrap_or("unknown")
+                    .to_string();
+                return Some(kind);
+            }
+            // A 400 is a verdict, not a transient: the record itself does
+            // not decode. Nothing a retry could change.
+            400 => return None,
+            _ => continue,
+        }
+    }
+    None
+}
+
+/// Replays the dead shard's segment log onto the survivors, placing each
+/// job on its current ring owner. Called from the health thread with the
+/// ring already rebuilt over the survivors.
+pub(crate) fn replay_dead_shard(shared: &Arc<Shared>, dead: usize) -> ReplayReport {
+    let _span = nptsn_obs::span("router.replay");
+    let telemetry = nptsn_obs::telemetry();
+    let mut report = ReplayReport::default();
+    let Some(dir) = shared.shards[dead].spec.data_dir.clone() else {
+        return report;
+    };
+    let records = match LogStore::export_live(&dir) {
+        Ok(records) => records,
+        Err(e) => {
+            if nptsn_obs::enabled() {
+                nptsn_obs::event(
+                    nptsn_obs::Level::Error,
+                    "router.replay",
+                    &format!("export of {} failed: {e:?}", dir.display()),
+                );
+            }
+            return report;
+        }
+    };
+    for (key, bytes) in records {
+        // Only job records replay; the watermark and checkpoint registry
+        // keys are shard-local bookkeeping.
+        let Some(id) = job_id_from_key(&key) else { continue };
+        let ring = shared.current_ring();
+        let Some(index) = ring.place(id).and_then(|name| shared.live_index(name)) else {
+            report.failed += 1;
+            continue;
+        };
+        match ingest_one(shared, index, id, &bytes, &mut report) {
+            Some(kind) if kind == "already_known" => report.already_known += 1,
+            Some(_) => {
+                report.replayed += 1;
+                telemetry.router_replayed_jobs.inc();
+            }
+            None => report.failed += 1,
+        }
+        shared.next_id.fetch_max(id, Ordering::SeqCst);
+    }
+    report
+}

@@ -1,0 +1,170 @@
+//! The consistent-hash ring that maps job ids onto shards.
+//!
+//! Each shard contributes `vnodes` points on a `u64` circle; a key is
+//! placed on the shard owning the first point at or clockwise after the
+//! key's hash. Virtual nodes keep the per-shard load even (the variance of
+//! an N-point partition shrinks with the point count), and consistent
+//! hashing keeps placement *stable*: removing one shard from an N-shard
+//! ring moves only the keys that shard owned — about `1/N` of them — while
+//! every other key keeps its shard. That stability is what makes failover
+//! cheap: the router only replays the dead shard's log, never reshuffles
+//! the fleet.
+//!
+//! Determinism is load-bearing here. The ring is rebuilt independently by
+//! every router process (and by the replay engine mid-failover), so two
+//! builds from the same shard list must be byte-identical. Points are
+//! derived with FNV-1a — no per-process state — and stored sorted with a
+//! total order, so placement never depends on construction order.
+
+/// FNV-1a 64-bit over `bytes` — a stable, dependency-free point hash.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Finalizes a job id into a ring position. Job ids are small sequential
+/// integers; splitmix64's avalanche spreads them over the whole circle so
+/// consecutive ids land on different shards.
+pub fn key_hash(job_id: u64) -> u64 {
+    let mut z = job_id.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring over named shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ring {
+    shards: Vec<String>,
+    /// `(position, shard index)`, sorted — the total order (position,
+    /// then index) makes hash collisions between vnode points harmless.
+    points: Vec<(u64, u16)>,
+    vnodes: u32,
+}
+
+impl Ring {
+    /// Builds a ring with `vnodes` points per shard. Shard names must be
+    /// distinct (duplicates would double a shard's share silently).
+    ///
+    /// # Panics
+    ///
+    /// If there are more than `u16::MAX` shards or duplicate names.
+    pub fn build(shard_names: &[String], vnodes: u32) -> Ring {
+        assert!(shard_names.len() <= u16::MAX as usize, "too many shards");
+        for (i, name) in shard_names.iter().enumerate() {
+            assert!(
+                !shard_names[..i].contains(name),
+                "duplicate shard name {name:?}"
+            );
+        }
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(shard_names.len() * vnodes as usize);
+        for (index, name) in shard_names.iter().enumerate() {
+            for vnode in 0..vnodes {
+                // FNV alone clusters on short, similar names ("s0#1",
+                // "s0#2", …); the splitmix64 finalizer spreads the points
+                // uniformly over the circle without giving up determinism.
+                let point = key_hash(fnv1a64(format!("{name}#{vnode}").as_bytes()));
+                points.push((point, index as u16));
+            }
+        }
+        points.sort_unstable();
+        Ring { shards: shard_names.to_vec(), points, vnodes }
+    }
+
+    /// Rebuilds the ring over a subset of its shards (the survivors of a
+    /// failover). Names not present in this ring are ignored.
+    pub fn retain(&self, survivors: &[String]) -> Ring {
+        let kept: Vec<String> =
+            self.shards.iter().filter(|s| survivors.contains(s)).cloned().collect();
+        Ring::build(&kept, self.vnodes)
+    }
+
+    /// The shard owning `job_id`, or `None` on an empty ring.
+    pub fn place(&self, job_id: u64) -> Option<&str> {
+        let position = key_hash(job_id);
+        let index = match self.points.binary_search(&(position, u16::MAX)) {
+            Ok(i) => i,
+            Err(i) => i,
+        };
+        // The successor point, wrapping past the top of the circle.
+        let (_, shard) = *self.points.get(index).or_else(|| self.points.first())?;
+        Some(&self.shards[shard as usize])
+    }
+
+    /// The shard names this ring was built over, in build order.
+    pub fn shard_names(&self) -> &[String] {
+        &self.shards
+    }
+
+    /// The number of shards on the ring.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the ring has no shards (placement always `None`).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("s{i}")).collect()
+    }
+
+    #[test]
+    fn placement_is_total_and_deterministic() {
+        let ring = Ring::build(&names(4), 64);
+        for id in 1..=1_000u64 {
+            let a = ring.place(id).unwrap().to_string();
+            let b = Ring::build(&names(4), 64).place(id).unwrap().to_string();
+            assert_eq!(a, b, "id {id} moved between identical builds");
+        }
+    }
+
+    #[test]
+    fn every_shard_owns_a_share() {
+        let ring = Ring::build(&names(4), 64);
+        let mut counts = [0usize; 4];
+        for id in 1..=10_000u64 {
+            let owner = ring.place(id).unwrap();
+            counts[owner[1..].parse::<usize>().unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            // With 64 vnodes the shares are uneven but never degenerate.
+            assert!(c > 1_000, "shard s{i} owns only {c} of 10k keys");
+        }
+    }
+
+    #[test]
+    fn an_empty_ring_places_nothing() {
+        let ring = Ring::build(&[], 64);
+        assert!(ring.is_empty());
+        assert_eq!(ring.place(7), None);
+    }
+
+    #[test]
+    fn retain_drops_only_the_named_shards() {
+        let ring = Ring::build(&names(3), 16);
+        let survivors = ring.retain(&["s0".to_string(), "s2".to_string()]);
+        assert_eq!(survivors.shard_names(), &["s0".to_string(), "s2".to_string()]);
+        assert_eq!(survivors.len(), 2);
+        for id in 1..=500u64 {
+            assert_ne!(survivors.place(id), Some("s1"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate shard name")]
+    fn duplicate_names_are_rejected() {
+        Ring::build(&["a".to_string(), "a".to_string()], 8);
+    }
+}

@@ -1,0 +1,863 @@
+//! The router process: an HTTP front tier that owns job-id assignment,
+//! places each job on a shard via the consistent-hash [`Ring`], and fans
+//! requests out to the serve fleet over the retrying
+//! [`nptsn_serve::Client`].
+//!
+//! | Route | Behavior |
+//! |---|---|
+//! | `GET /healthz` | router liveness + per-shard alive/dead table |
+//! | `GET /readyz` | `200` iff at least one shard is live |
+//! | `GET /metrics` | router registry + process-wide telemetry |
+//! | `POST /shutdown` | drain and stop the router (shards keep running) |
+//! | `POST /jobs/{plan,verify,infer,burn}` | assign an id, place it on the ring, forward with `X-Nptsn-Job-Id` |
+//! | `GET/DELETE /jobs/<id>` | forward to the ring owner of `<id>` |
+//! | `/checkpoints`, `/checkpoints/<name>` | reads from the first live shard; writes fan out to **every** live shard |
+//!
+//! The durability contract is inherited from the shards, not weakened by
+//! the extra hop: the router answers `202` only by relaying a shard's
+//! `202`, which the shard sends only after the job record is durable. A
+//! forward that dies mid-flight is answered `503` — the client retries and
+//! no acked job existed. When a shard is declared dead (K consecutive
+//! failed `/readyz` probes), its ring range is rebalanced to the survivors
+//! and its segment log is replayed onto them ([`crate::replay`]), so every
+//! acked job reaches a terminal state on some live shard.
+
+use std::collections::HashSet;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nptsn_format::json::Object;
+use nptsn_obs::metrics::{Counter, Gauge, Registry};
+use nptsn_serve::client::{BackoffConfig, Client, ClientResponse};
+use nptsn_serve::http::{read_request_deadline, HttpError, Request, Response};
+
+use crate::replay;
+use crate::ring::{key_hash, Ring};
+
+/// One shard of the serve fleet, as configured at router start.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// The shard's stable name — the identity hashed onto the ring.
+    pub name: String,
+    /// The shard's listen address.
+    pub addr: SocketAddr,
+    /// The shard's `--data-dir`, when the router can reach it for
+    /// dead-shard replay. `None` disables replay for this shard.
+    pub data_dir: Option<PathBuf>,
+}
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Listen address; port `0` picks a free port.
+    pub addr: String,
+    /// The shard fleet. Fixed for the router's lifetime; shards can die
+    /// but not join.
+    pub shards: Vec<ShardSpec>,
+    /// Virtual nodes per shard on the ring.
+    pub vnodes: u32,
+    /// Health-probe period per shard, in milliseconds.
+    pub health_interval_ms: u64,
+    /// Consecutive failed probes before a shard is declared dead.
+    pub health_failures: u32,
+    /// Total elapsed cap on one forwarded request's retry schedule
+    /// ([`BackoffConfig::deadline_ms`]) — one slow shard cannot pin a
+    /// routed request beyond this.
+    pub forward_deadline_ms: u64,
+    /// Largest accepted request body (mirrors the shard limit).
+    pub max_body_bytes: usize,
+    /// Per-read/write socket timeout on router connections.
+    pub io_timeout_ms: u64,
+    /// Total deadline on reading one request head.
+    pub header_deadline_ms: u64,
+    /// `Retry-After` hint on `503` answers, in seconds.
+    pub retry_after_secs: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: Vec::new(),
+            vnodes: 64,
+            health_interval_ms: 100,
+            health_failures: 3,
+            forward_deadline_ms: 2_000,
+            max_body_bytes: 4 * 1024 * 1024,
+            io_timeout_ms: 30_000,
+            header_deadline_ms: 10_000,
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// Router-local metrics (the cross-cutting `nptsn_router_*_total` series
+/// live in the process-wide telemetry so benchmarks and the CLI see them).
+#[derive(Debug)]
+pub struct RouterMetrics {
+    /// The router's own registry; render it for `/metrics`.
+    pub registry: Registry,
+    /// Requests received by the router (`nptsn_router_http_requests_total`).
+    pub http_requests: Arc<Counter>,
+    /// Forwards that failed after retries (`nptsn_router_forward_errors_total`).
+    pub forward_errors: Arc<Counter>,
+    /// Submissions re-tried under a fresh id after a `409` id collision
+    /// (`nptsn_router_submit_conflicts_total`).
+    pub submit_conflicts: Arc<Counter>,
+    /// Live shards on the ring (`nptsn_router_live_shards`).
+    pub live_shards: Arc<Gauge>,
+}
+
+impl RouterMetrics {
+    /// Registers the router metric set on a fresh registry.
+    pub fn new() -> RouterMetrics {
+        let registry = Registry::new();
+        let http_requests =
+            registry.counter("nptsn_router_http_requests_total", "Requests received by the router");
+        let forward_errors = registry
+            .counter("nptsn_router_forward_errors_total", "Forwards that failed after retries");
+        let submit_conflicts = registry.counter(
+            "nptsn_router_submit_conflicts_total",
+            "Submissions retried under a fresh id after a 409",
+        );
+        let live_shards =
+            registry.gauge("nptsn_router_live_shards", "Shards currently live on the ring");
+        RouterMetrics { registry, http_requests, forward_errors, submit_conflicts, live_shards }
+    }
+
+    /// The full `/metrics` exposition: the router registry followed by the
+    /// process-wide telemetry (which carries `nptsn_router_forwards_total`,
+    /// `nptsn_router_failovers_total`, `nptsn_router_replayed_jobs_total`
+    /// and `nptsn_router_replay_retries_total`).
+    pub fn render(&self) -> String {
+        let mut text = self.registry.render();
+        text.push_str(&nptsn_obs::telemetry().registry.render());
+        text
+    }
+
+    /// The per-status-code response counter
+    /// (`nptsn_router_http_responses_total`).
+    pub fn response_counter(&self, code: u16) -> Arc<Counter> {
+        self.registry.counter_labeled(
+            "nptsn_router_http_responses_total",
+            &format!("code=\"{code}\""),
+            "Router responses by status code",
+        )
+    }
+}
+
+impl Default for RouterMetrics {
+    fn default() -> RouterMetrics {
+        RouterMetrics::new()
+    }
+}
+
+/// One shard's runtime state. Death is one-way: a dead shard's range has
+/// been rebalanced and its log replayed, so letting it rejoin would split
+/// ownership of the replayed ids.
+pub(crate) struct Shard {
+    pub(crate) spec: ShardSpec,
+    pub(crate) alive: AtomicBool,
+}
+
+/// State shared between the acceptor, connection handlers and the health
+/// thread.
+pub(crate) struct Shared {
+    pub(crate) config: RouterConfig,
+    pub(crate) local_addr: SocketAddr,
+    pub(crate) shards: Vec<Shard>,
+    /// The current placement ring over live shards. Swapped atomically
+    /// (short lock, `Arc` clone out) when a shard dies.
+    pub(crate) ring: Mutex<Arc<Ring>>,
+    /// The highest job id assigned or observed anywhere in the fleet.
+    pub(crate) next_id: AtomicU64,
+    /// Set while a dead shard's log is being replayed — a `404` for a job
+    /// in flight between shards answers `503 Retry-After` instead.
+    pub(crate) replaying: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) metrics: Arc<RouterMetrics>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor so it observes the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = true;
+        self.done_cv.notify_all();
+    }
+
+    pub(crate) fn current_ring(&self) -> Arc<Ring> {
+        Arc::clone(&self.ring.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// The index of the live shard named `name`, if any.
+    pub(crate) fn live_index(&self, name: &str) -> Option<usize> {
+        self.shards
+            .iter()
+            .position(|s| s.spec.name == name && s.alive.load(Ordering::SeqCst))
+    }
+
+    fn live_count(&self) -> usize {
+        self.shards.iter().filter(|s| s.alive.load(Ordering::SeqCst)).count()
+    }
+
+    /// A retrying client for one forwarded request. The jitter seed is
+    /// derived from the request key so a replayed run retries on the same
+    /// schedule.
+    pub(crate) fn forward_client(&self, shard: usize, seed: u64) -> Client {
+        Client::new(self.shards[shard].spec.addr).with_backoff(BackoffConfig {
+            max_retries: 4,
+            base_ms: 20,
+            cap_ms: 250,
+            seed,
+            deadline_ms: self.config.forward_deadline_ms,
+        })
+    }
+}
+
+/// The running router: a TCP acceptor plus the health/failover thread.
+pub struct Router {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    health: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds the listener, seeds the id watermark from the shards'
+    /// `/readyz` reports (best effort — the health loop keeps it fresh and
+    /// `409` collisions are retried under a fresh id), and starts the
+    /// acceptor and health threads.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when the shard list is empty or has duplicate names;
+    /// otherwise whatever binding the listener returns.
+    pub fn bind(config: RouterConfig) -> io::Result<Router> {
+        if config.shards.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "no shards configured"));
+        }
+        let mut seen = HashSet::new();
+        for spec in &config.shards {
+            if !seen.insert(spec.name.as_str()) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("duplicate shard name {:?}", spec.name),
+                ));
+            }
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let names: Vec<String> = config.shards.iter().map(|s| s.name.clone()).collect();
+        let ring = Arc::new(Ring::build(&names, config.vnodes));
+        let shards: Vec<Shard> = config
+            .shards
+            .iter()
+            .map(|spec| Shard { spec: spec.clone(), alive: AtomicBool::new(true) })
+            .collect();
+        let metrics = Arc::new(RouterMetrics::new());
+        metrics.live_shards.set(shards.len() as i64);
+        let shared = Arc::new(Shared {
+            config,
+            local_addr,
+            shards,
+            ring: Mutex::new(ring),
+            next_id: AtomicU64::new(0),
+            replaying: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            metrics,
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+
+        // Seed the watermark before taking traffic so the first assigned
+        // id is above anything already durable on a shard.
+        for index in 0..shared.shards.len() {
+            for attempt in 0..3u32 {
+                if probe_shard(&shared, index) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20 << attempt));
+            }
+        }
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("nptsn-router-acceptor".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor thread")
+        };
+        let health = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("nptsn-router-health".to_string())
+                .spawn(move || health_loop(&shared))
+                .expect("spawn health thread")
+        };
+        Ok(Router { shared, acceptor: Some(acceptor), health: Some(health) })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The router metrics (for embedding / tests).
+    pub fn metrics(&self) -> Arc<RouterMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// The current placement ring (for embedding / tests).
+    pub fn ring(&self) -> Arc<Ring> {
+        self.shared.current_ring()
+    }
+
+    /// The id watermark — the highest job id assigned or observed.
+    pub fn next_id_watermark(&self) -> u64 {
+        self.shared.next_id.load(Ordering::SeqCst)
+    }
+
+    /// Initiates shutdown, as `POST /shutdown` would. Shards are not
+    /// touched — the router is a front tier, not a supervisor.
+    pub fn stop(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until shutdown is requested, then joins the acceptor and
+    /// health threads.
+    pub fn wait(mut self) {
+        {
+            let mut done = self.shared.done.lock().unwrap_or_else(|e| e.into_inner());
+            while !*done {
+                done = self.shared.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        if let Some(health) = self.health.take() {
+            let _ = health.join();
+        }
+    }
+}
+
+/// Extracts `"key":<u64>` from a flat JSON body — enough to read the
+/// `/readyz` watermark without a parser.
+fn json_u64(text: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)? + needle.len();
+    let digits: String =
+        text[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// One `/readyz` probe: returns whether the shard answered `200`, and
+/// folds its id watermark into the router's.
+fn probe_shard(shared: &Arc<Shared>, index: usize) -> bool {
+    let mut client = Client::new(shared.shards[index].spec.addr);
+    match client.get("/readyz") {
+        Ok(response) if response.status == 200 => {
+            if let Some(next_id) = json_u64(&response.text(), "next_id") {
+                shared.next_id.fetch_max(next_id, Ordering::SeqCst);
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+/// The health/failover loop: probes every live shard each interval; K
+/// consecutive failures declare the shard dead (one-way), rebalance the
+/// ring to the survivors and replay the dead shard's log onto them.
+fn health_loop(shared: &Arc<Shared>) {
+    let interval = Duration::from_millis(shared.config.health_interval_ms.max(10));
+    let threshold = shared.config.health_failures.max(1);
+    let mut failures = vec![0u32; shared.shards.len()];
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        for (index, consecutive) in failures.iter_mut().enumerate() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if !shared.shards[index].alive.load(Ordering::SeqCst) {
+                continue;
+            }
+            // Chaos: a faulted probe counts as a failed probe — enough of
+            // them in a row and the router declares a live shard dead,
+            // exercising the failover path against a healthy fleet.
+            let healthy =
+                nptsn_chaos::point("router.health").is_ok() && probe_shard(shared, index);
+            if healthy {
+                *consecutive = 0;
+                continue;
+            }
+            *consecutive += 1;
+            if *consecutive >= threshold {
+                declare_dead(shared, index);
+            }
+        }
+        // Sleep in short steps so shutdown stays prompt.
+        let deadline = Instant::now() + interval;
+        while Instant::now() < deadline && !shared.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+/// Declares a shard dead: removes it from the ring, then replays its
+/// segment log onto the survivors through the shard-side validation gate.
+fn declare_dead(shared: &Arc<Shared>, index: usize) {
+    if shared.shards[index].alive.swap(false, Ordering::SeqCst) {
+        nptsn_obs::telemetry().router_failovers.inc();
+    } else {
+        return;
+    }
+    let survivors: Vec<String> = shared
+        .shards
+        .iter()
+        .filter(|s| s.alive.load(Ordering::SeqCst))
+        .map(|s| s.spec.name.clone())
+        .collect();
+    {
+        let mut ring = shared.ring.lock().unwrap_or_else(|e| e.into_inner());
+        *ring = Arc::new(ring.retain(&survivors));
+    }
+    shared.metrics.live_shards.set(shared.live_count() as i64);
+    let name = &shared.shards[index].spec.name;
+    if nptsn_obs::enabled() {
+        nptsn_obs::event(
+            nptsn_obs::Level::Info,
+            "router.failover",
+            &format!("shard {name} declared dead, {} survivors", survivors.len()),
+        );
+    }
+    if survivors.is_empty() || shared.shards[index].spec.data_dir.is_none() {
+        return;
+    }
+    shared.replaying.store(true, Ordering::SeqCst);
+    let report = replay::replay_dead_shard(shared, index);
+    shared.replaying.store(false, Ordering::SeqCst);
+    if nptsn_obs::enabled() {
+        nptsn_obs::event(
+            nptsn_obs::Level::Info,
+            "router.replay",
+            &format!(
+                "shard {name}: {} replayed, {} already known, {} failed, {} retries",
+                report.replayed, report.already_known, report.failed, report.retries
+            ),
+        );
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("nptsn-router-conn".to_string())
+            .spawn(move || handle_connection(&shared, stream));
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let io_timeout = (shared.config.io_timeout_ms > 0)
+        .then(|| Duration::from_millis(shared.config.io_timeout_ms));
+    if stream.set_read_timeout(io_timeout).is_err() || stream.set_write_timeout(io_timeout).is_err()
+    {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let started = Instant::now();
+        let header_deadline = (shared.config.header_deadline_ms > 0)
+            .then(|| started + Duration::from_millis(shared.config.header_deadline_ms));
+        let mut is_shutdown = false;
+        let response = match read_request_deadline(
+            &mut reader,
+            shared.config.max_body_bytes,
+            header_deadline,
+        ) {
+            Ok(request) => {
+                let _span = nptsn_obs::span("router.request");
+                shared.metrics.http_requests.inc();
+                is_shutdown = request.method == "POST" && request.path == "/shutdown";
+                let mut response = route(shared, &request);
+                response.close = response.close
+                    || request.wants_close()
+                    || shared.shutdown.load(Ordering::SeqCst);
+                response
+            }
+            Err(HttpError::Closed) => return,
+            Err(HttpError::BadRequest(message)) => {
+                shared.metrics.http_requests.inc();
+                let mut r = Response::error(400, &message);
+                r.close = true;
+                r
+            }
+            Err(HttpError::PayloadTooLarge { declared, limit }) => {
+                shared.metrics.http_requests.inc();
+                let mut r = Response::error(
+                    413,
+                    &format!("body of {declared} bytes exceeds the {limit}-byte limit"),
+                );
+                r.close = true;
+                r
+            }
+            Err(HttpError::Timeout { mid_request: false }) => return,
+            Err(HttpError::Timeout { mid_request: true }) => {
+                shared.metrics.http_requests.inc();
+                let mut r = Response::error(408, "request timed out");
+                r.close = true;
+                r
+            }
+            Err(HttpError::Io(_)) => return,
+        };
+        shared.metrics.response_counter(response.status).inc();
+        let write_ok = response.write_to(&mut writer).is_ok();
+        if is_shutdown {
+            shared.begin_shutdown();
+        }
+        if !write_ok || response.close {
+            return;
+        }
+    }
+}
+
+/// A `503` with the configured `Retry-After` hint.
+fn unavailable(shared: &Arc<Shared>, message: &str) -> Response {
+    Response::error(503, message)
+        .with_header("Retry-After", shared.config.retry_after_secs.to_string())
+}
+
+/// Dispatches one request.
+fn route(shared: &Arc<Shared>, request: &Request) -> Response {
+    let path = request.path.as_str();
+    let method = request.method.as_str();
+    match (method, path) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/readyz") => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return unavailable(shared, "router is shutting down");
+            }
+            if shared.live_count() == 0 {
+                return unavailable(shared, "no live shards");
+            }
+            let mut obj = Object::new();
+            obj.str("status", "ready");
+            obj.int("live_shards", shared.live_count() as u64);
+            obj.int("next_id", shared.next_id.load(Ordering::SeqCst));
+            Response::json(200, obj.finish())
+        }
+        ("GET", "/metrics") => {
+            let mut r = Response::text(200, shared.metrics.render());
+            r.content_type = "text/plain; version=0.0.4";
+            r
+        }
+        ("POST", "/shutdown") => {
+            let mut obj = Object::new();
+            obj.str("status", "shutting down");
+            let mut r = Response::json(200, obj.finish());
+            r.close = true;
+            r
+        }
+        ("POST", "/jobs/plan" | "/jobs/verify" | "/jobs/infer" | "/jobs/burn") => {
+            route_submit(shared, request)
+        }
+        ("GET", "/checkpoints") => forward_first_live(shared, request),
+        _ if path.starts_with("/checkpoints/") => route_checkpoint(shared, request),
+        _ if path.starts_with("/jobs/") => route_job(shared, request),
+        _ => Response::error(404, &format!("{method} {path} is not routed")),
+    }
+}
+
+/// `GET /healthz`: the router's own liveness plus the shard table.
+fn healthz(shared: &Arc<Shared>) -> Response {
+    let shards: Vec<String> = shared
+        .shards
+        .iter()
+        .map(|s| {
+            let mut obj = Object::new();
+            obj.str("name", &s.spec.name);
+            obj.str("addr", &s.spec.addr.to_string());
+            obj.bool("alive", s.alive.load(Ordering::SeqCst));
+            obj.finish()
+        })
+        .collect();
+    let mut obj = Object::new();
+    obj.str("status", "ok");
+    obj.int("live_shards", shared.live_count() as u64);
+    obj.int("ring_shards", shared.current_ring().len() as u64);
+    obj.bool("replaying", shared.replaying.load(Ordering::SeqCst));
+    obj.raw("shards", &format!("[{}]", shards.join(",")));
+    Response::json(200, obj.finish())
+}
+
+/// Percent-encodes one query component for the forwarded request line.
+/// The inverse of the minimal `url_decode` on the other side.
+fn url_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Rebuilds the request target (path + encoded query) for forwarding.
+fn forward_target(request: &Request) -> String {
+    let mut target = request.path.clone();
+    for (i, (key, value)) in request.query.iter().enumerate() {
+        target.push(if i == 0 { '?' } else { '&' });
+        target.push_str(&url_encode(key));
+        if !value.is_empty() {
+            target.push('=');
+            target.push_str(&url_encode(value));
+        }
+    }
+    target
+}
+
+/// Headers worth forwarding: everything except the hop-by-hop fields the
+/// client rebuilds and the id header the router owns.
+fn forward_headers(request: &Request, job_id: Option<u64>) -> Vec<(&str, String)> {
+    let mut headers: Vec<(&str, String)> = request
+        .headers
+        .iter()
+        .filter(|(name, _)| {
+            !matches!(name.as_str(), "host" | "content-length" | "connection" | "x-nptsn-job-id")
+        })
+        .map(|(name, value)| (name.as_str(), value.clone()))
+        .collect();
+    if let Some(id) = job_id {
+        headers.push(("X-Nptsn-Job-Id", id.to_string()));
+    }
+    headers
+}
+
+/// Forwards `request` to the shard at `index`. The chaos site
+/// `router.forward` fires before any bytes leave the router, so an
+/// injected fault is always a clean un-acked failure.
+fn forward(
+    shared: &Arc<Shared>,
+    index: usize,
+    request: &Request,
+    job_id: Option<u64>,
+) -> io::Result<ClientResponse> {
+    nptsn_chaos::point("router.forward").map_err(io::Error::from)?;
+    nptsn_obs::telemetry().router_forwards.inc();
+    let seed = key_hash(job_id.unwrap_or(0));
+    let mut client = shared.forward_client(index, seed);
+    client.send(
+        &request.method,
+        &forward_target(request),
+        &forward_headers(request, job_id),
+        &request.body,
+    )
+}
+
+/// Maps an upstream response onto the router's (static) content types.
+fn relay(shared: &Arc<Shared>, upstream: ClientResponse) -> Response {
+    let content_type = match upstream.header("content-type") {
+        Some("application/json") => "application/json",
+        Some(ct) if ct.starts_with("text/plain; version=0.0.4") => "text/plain; version=0.0.4",
+        Some(ct) if ct.starts_with("text/plain") => "text/plain; charset=utf-8",
+        _ => "application/octet-stream",
+    };
+    let mut response = Response {
+        status: upstream.status,
+        content_type,
+        body: upstream.body,
+        extra_headers: Vec::new(),
+        close: false,
+    };
+    if let Some(hint) = upstream.headers.iter().find(|(n, _)| n == "retry-after") {
+        response = response.with_header("Retry-After", hint.1.clone());
+    } else if upstream.status == 503 {
+        response =
+            response.with_header("Retry-After", shared.config.retry_after_secs.to_string());
+    }
+    response
+}
+
+/// `POST /jobs/*`: assign an id, place it, forward with `X-Nptsn-Job-Id`.
+/// A `409` means the watermark lagged a shard (e.g. a router restart): the
+/// id is burned, the watermark refreshed from the fleet and the submission
+/// retried under a fresh id. A transport failure is answered `503` — the
+/// job was never acked, so the client's retry cannot duplicate it.
+fn route_submit(shared: &Arc<Shared>, request: &Request) -> Response {
+    for _ in 0..3 {
+        let ring = shared.current_ring();
+        let id = shared.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+        let Some(index) = ring.place(id).and_then(|name| shared.live_index(name)) else {
+            return unavailable(shared, "no live shards");
+        };
+        match forward(shared, index, request, Some(id)) {
+            Ok(upstream) if upstream.status == 409 => {
+                shared.metrics.submit_conflicts.inc();
+                for other in 0..shared.shards.len() {
+                    if shared.shards[other].alive.load(Ordering::SeqCst) {
+                        probe_shard(shared, other);
+                    }
+                }
+            }
+            Ok(upstream) => return relay(shared, upstream),
+            Err(_) => {
+                shared.metrics.forward_errors.inc();
+                return unavailable(shared, "shard unreachable, job not accepted");
+            }
+        }
+    }
+    unavailable(shared, "id watermark contention, retry")
+}
+
+/// `GET`/`DELETE /jobs/<id>[...]`: forward to the ring owner of `<id>`.
+fn route_job(shared: &Arc<Shared>, request: &Request) -> Response {
+    let rest = &request.path["/jobs/".len()..];
+    let Ok(id) = rest.split('/').next().unwrap_or("").parse::<u64>() else {
+        return Response::error(400, "job id is not a number");
+    };
+    let ring = shared.current_ring();
+    let Some(index) = ring.place(id).and_then(|name| shared.live_index(name)) else {
+        return unavailable(shared, "no live shards");
+    };
+    match forward(shared, index, request, None) {
+        Ok(upstream)
+            if upstream.status == 404 && shared.replaying.load(Ordering::SeqCst) =>
+        {
+            // The job may be mid-flight between the dead shard's log and
+            // this survivor; a retry lands after the replay settles.
+            unavailable(shared, "job may be mid-replay, retry")
+        }
+        Ok(upstream) => relay(shared, upstream),
+        Err(_) => {
+            shared.metrics.forward_errors.inc();
+            unavailable(shared, "shard unreachable")
+        }
+    }
+}
+
+/// Forwards a read to the first live shard (checkpoint listings are
+/// identical fleet-wide because writes fan out to every live shard).
+fn forward_first_live(shared: &Arc<Shared>, request: &Request) -> Response {
+    let Some(index) =
+        (0..shared.shards.len()).find(|&i| shared.shards[i].alive.load(Ordering::SeqCst))
+    else {
+        return unavailable(shared, "no live shards");
+    };
+    match forward(shared, index, request, None) {
+        Ok(upstream) => relay(shared, upstream),
+        Err(_) => {
+            shared.metrics.forward_errors.inc();
+            unavailable(shared, "shard unreachable")
+        }
+    }
+}
+
+/// `/checkpoints/<name>`: reads go to the first live shard; writes
+/// (`PUT`/`DELETE`) fan out to **every** live shard so any shard can run
+/// an infer job against any registered checkpoint. A partial write is a
+/// `503`: the client retries the whole fan-out (registration is
+/// idempotent shard-side).
+fn route_checkpoint(shared: &Arc<Shared>, request: &Request) -> Response {
+    if request.method != "PUT" && request.method != "DELETE" {
+        return forward_first_live(shared, request);
+    }
+    let mut last = None;
+    for index in 0..shared.shards.len() {
+        if !shared.shards[index].alive.load(Ordering::SeqCst) {
+            continue;
+        }
+        match forward(shared, index, request, None) {
+            Ok(upstream) if upstream.status < 300 => last = Some(upstream),
+            Ok(upstream) => return relay(shared, upstream),
+            Err(_) => {
+                shared.metrics.forward_errors.inc();
+                return unavailable(shared, "checkpoint fan-out incomplete, retry");
+            }
+        }
+    }
+    match last {
+        Some(upstream) => relay(shared, upstream),
+        None => unavailable(shared, "no live shards"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_u64_reads_flat_bodies() {
+        assert_eq!(json_u64("{\"a\":3,\"next_id\":41}", "next_id"), Some(41));
+        assert_eq!(json_u64("{\"next_id\":\"x\"}", "next_id"), None);
+        assert_eq!(json_u64("{}", "next_id"), None);
+    }
+
+    #[test]
+    fn forward_targets_round_trip_the_query() {
+        let request = Request {
+            method: "POST".to_string(),
+            path: "/jobs/burn".to_string(),
+            query: vec![("millis".to_string(), "5".to_string()), ("q".to_string(), "a b".to_string())],
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(forward_target(&request), "/jobs/burn?millis=5&q=a%20b");
+    }
+
+    #[test]
+    fn hop_by_hop_headers_are_stripped() {
+        let request = Request {
+            method: "POST".to_string(),
+            path: "/jobs/plan".to_string(),
+            query: Vec::new(),
+            headers: vec![
+                ("host".to_string(), "x".to_string()),
+                ("content-length".to_string(), "3".to_string()),
+                ("connection".to_string(), "close".to_string()),
+                ("x-nptsn-job-id".to_string(), "999".to_string()),
+                ("x-problem-length".to_string(), "7".to_string()),
+            ],
+            body: Vec::new(),
+        };
+        let headers = forward_headers(&request, Some(12));
+        assert_eq!(
+            headers,
+            vec![("x-problem-length", "7".to_string()), ("X-Nptsn-Job-Id", "12".to_string())]
+        );
+    }
+
+    #[test]
+    fn bind_rejects_empty_and_duplicate_fleets() {
+        assert!(Router::bind(RouterConfig::default()).is_err());
+        let spec = ShardSpec {
+            name: "s0".to_string(),
+            addr: "127.0.0.1:1".parse().unwrap(),
+            data_dir: None,
+        };
+        let config = RouterConfig {
+            shards: vec![spec.clone(), spec],
+            ..RouterConfig::default()
+        };
+        assert!(Router::bind(config).is_err());
+    }
+}

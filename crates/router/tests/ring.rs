@@ -1,0 +1,108 @@
+//! Ring stability properties.
+//!
+//! Consistent hashing's whole value is what it does *not* move: taking a
+//! shard off an N-shard ring may remap only the keys that shard owned —
+//! about 1/N of them — and adding one may steal keys only for the
+//! newcomer. These tests pin both directions over a seeded 10k-key
+//! sample, plus byte-stability: the ring is rebuilt independently by
+//! every router process, so identical inputs must yield identical
+//! placement.
+
+use nptsn_router::Ring;
+
+const SAMPLE: usize = 10_000;
+const VNODES: u32 = 64;
+
+fn names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("s{i}")).collect()
+}
+
+/// A seeded splitmix64 stream — the key sample is fixed across runs.
+fn sample_keys(seed: u64) -> Vec<u64> {
+    let mut state = seed;
+    (0..SAMPLE)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+fn placements(ring: &Ring, keys: &[u64]) -> Vec<String> {
+    keys.iter().map(|&k| ring.place(k).unwrap().to_string()).collect()
+}
+
+#[test]
+fn removing_one_shard_remaps_only_its_own_keys() {
+    let keys = sample_keys(0xA11C);
+    for n in [3usize, 5, 8] {
+        let full = Ring::build(&names(n), VNODES);
+        let removed = "s1";
+        let survivors: Vec<String> =
+            names(n).into_iter().filter(|s| s != removed).collect();
+        let shrunk = full.retain(&survivors);
+        let before = placements(&full, &keys);
+        let after = placements(&shrunk, &keys);
+        let mut moved = 0usize;
+        for (b, a) in before.iter().zip(&after) {
+            if b == removed {
+                moved += 1;
+                assert_ne!(a, removed);
+            } else {
+                // The defining property: a key not owned by the removed
+                // shard must not move at all.
+                assert_eq!(a, b, "a surviving shard's key moved on removal (n={n})");
+            }
+        }
+        // The removed shard's share is ~1/n of the sample; allow vnode
+        // variance but reject anything resembling a reshuffle.
+        let ceiling = (18 * SAMPLE) / (10 * n);
+        assert!(moved > 0, "shard {removed} owned nothing (n={n})");
+        assert!(
+            moved <= ceiling,
+            "removal remapped {moved} of {SAMPLE} keys, ceiling {ceiling} (n={n})"
+        );
+    }
+}
+
+#[test]
+fn adding_one_shard_steals_only_for_the_newcomer() {
+    let keys = sample_keys(0xBEE5);
+    for n in [3usize, 5, 8] {
+        let small = Ring::build(&names(n - 1), VNODES);
+        let grown = Ring::build(&names(n), VNODES);
+        let newcomer = format!("s{}", n - 1);
+        let before = placements(&small, &keys);
+        let after = placements(&grown, &keys);
+        let mut moved = 0usize;
+        for (b, a) in before.iter().zip(&after) {
+            if a != b {
+                moved += 1;
+                assert_eq!(a, &newcomer, "a key moved to a pre-existing shard (n={n})");
+            }
+        }
+        let ceiling = (18 * SAMPLE) / (10 * n);
+        assert!(moved > 0, "the new shard {newcomer} stole nothing (n={n})");
+        assert!(
+            moved <= ceiling,
+            "growth remapped {moved} of {SAMPLE} keys, ceiling {ceiling} (n={n})"
+        );
+    }
+}
+
+#[test]
+fn placement_is_byte_stable_across_builds() {
+    let keys = sample_keys(0xCAFE);
+    let one = Ring::build(&names(6), VNODES);
+    let two = Ring::build(&names(6), VNODES);
+    assert_eq!(one, two, "identical inputs must build identical rings");
+    assert_eq!(placements(&one, &keys), placements(&two, &keys));
+    // A failover rebuild (retain) equals a from-scratch build over the
+    // survivors — the replay engine and a freshly restarted router agree.
+    let survivors: Vec<String> =
+        names(6).into_iter().filter(|s| s != "s3").collect();
+    assert_eq!(one.retain(&survivors), Ring::build(&survivors, VNODES));
+}

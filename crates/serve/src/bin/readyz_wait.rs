@@ -1,0 +1,44 @@
+//! Readiness poller for `scripts/verify.sh`: blocks until `GET /readyz`
+//! on the given address answers `200`, then exits `0`. Replaces the old
+//! fixed `sleep` between starting a service and driving it — the scripts
+//! wait exactly as long as startup takes, and fail fast (exit `1` with a
+//! message) if the service never becomes ready within the timeout.
+//!
+//! ```text
+//! readyz_wait <host:port> [timeout-secs]
+//! ```
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use nptsn_serve::Client;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr: SocketAddr = args
+        .next()
+        .expect("usage: readyz_wait <host:port> [timeout-secs]")
+        .parse()
+        .expect("argument is not a host:port address");
+    let timeout_secs: u64 = args.next().map_or(30, |raw| {
+        raw.parse().expect("timeout is not a number of seconds")
+    });
+    let deadline = Instant::now() + Duration::from_secs(timeout_secs);
+    let mut last = String::from("no response yet");
+    while Instant::now() < deadline {
+        // A fresh client per attempt: a refused connection (service still
+        // binding) must not poison a kept-alive socket.
+        let mut client = Client::new(addr);
+        match client.get("/readyz") {
+            Ok(response) if response.status == 200 => {
+                println!("readyz_wait: {addr} ready");
+                return;
+            }
+            Ok(response) => last = format!("{} {}", response.status, response.text()),
+            Err(e) => last = e.to_string(),
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("readyz_wait: {addr} not ready after {timeout_secs}s (last: {last})");
+    std::process::exit(1);
+}

@@ -9,7 +9,7 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use nptsn_rand::rngs::StdRng;
 use nptsn_rand::{Rng, SeedableRng};
@@ -25,11 +25,19 @@ pub struct BackoffConfig {
     pub cap_ms: u64,
     /// Seed for the jitter stream — same seed, same schedule.
     pub seed: u64,
+    /// Hard cap on the **total elapsed** retry time of one request, in
+    /// milliseconds (`0` disables). An attempt-count cap alone is not a
+    /// latency bound — `Retry-After` hints and the exponential tail can
+    /// stretch five retries to arbitrary wall-clock time. With a deadline
+    /// the client never starts a sleep that the deadline could not cover,
+    /// returning the last outcome instead. The router fan-out path relies
+    /// on this so one slow shard cannot pin a routed request forever.
+    pub deadline_ms: u64,
 }
 
 impl Default for BackoffConfig {
     fn default() -> BackoffConfig {
-        BackoffConfig { max_retries: 5, base_ms: 50, cap_ms: 2_000, seed: 0 }
+        BackoffConfig { max_retries: 5, base_ms: 50, cap_ms: 2_000, seed: 0, deadline_ms: 0 }
     }
 }
 
@@ -126,6 +134,18 @@ impl Client {
         self.request("DELETE", path, &[], &[])
     }
 
+    /// A request with an arbitrary method — the generic entry point a
+    /// proxy (the router's fan-out) uses to forward whatever it received.
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, String)],
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        self.request(method, path, headers, body)
+    }
+
     fn connect(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
         if self.connection.is_none() {
             let stream = TcpStream::connect(self.addr)?;
@@ -138,7 +158,10 @@ impl Client {
 
     /// Sends one request, reconnecting once if the kept-alive connection
     /// went away since the last exchange. With a backoff policy, also
-    /// retries transport errors and `503` backpressure answers.
+    /// retries transport errors and `503` backpressure answers — bounded
+    /// by both the attempt count and, when configured, the total-elapsed
+    /// deadline (a sleep the deadline cannot cover is never started; the
+    /// last outcome is returned instead).
     fn request(
         &mut self,
         method: &str,
@@ -146,6 +169,7 @@ impl Client {
         headers: &[(&str, String)],
         body: &[u8],
     ) -> io::Result<ClientResponse> {
+        let started = Instant::now();
         let mut attempt = 0u32;
         loop {
             let outcome = self.request_once(method, path, headers, body);
@@ -166,6 +190,11 @@ impl Client {
             self.connection = None;
             let (config, rng) = self.backoff.as_mut().expect("backoff checked above");
             let delay = config.delay(attempt, retry_after, rng);
+            if config.deadline_ms > 0
+                && started.elapsed() + delay > Duration::from_millis(config.deadline_ms)
+            {
+                return outcome;
+            }
             nptsn_obs::telemetry().recovery_client_retries.inc();
             std::thread::sleep(delay);
             attempt += 1;
@@ -261,7 +290,7 @@ mod tests {
 
     #[test]
     fn backoff_delays_grow_exponentially_and_cap() {
-        let config = BackoffConfig { max_retries: 8, base_ms: 100, cap_ms: 1_000, seed: 1 };
+        let config = BackoffConfig { max_retries: 8, base_ms: 100, cap_ms: 1_000, seed: 1, ..BackoffConfig::default() };
         let mut rng = StdRng::seed_from_u64(1);
         let mut previous_nominal = 0;
         for attempt in 0..8 {
@@ -276,11 +305,75 @@ mod tests {
 
     #[test]
     fn retry_after_hint_overrides_the_schedule_but_not_the_cap() {
-        let config = BackoffConfig { max_retries: 3, base_ms: 10, cap_ms: 500, seed: 7 };
+        let config = BackoffConfig { max_retries: 3, base_ms: 10, cap_ms: 500, seed: 7, ..BackoffConfig::default() };
         let mut rng = StdRng::seed_from_u64(7);
         // 2s hint capped to 500ms, then jittered into [250, 500].
         let delay = config.delay(0, Some(2), &mut rng).as_millis() as u64;
         assert!((250..=500).contains(&delay), "{delay}");
+    }
+
+    #[test]
+    fn deadline_caps_total_elapsed_retry_time() {
+        // A listener that accepts and immediately drops every connection:
+        // each attempt dies in transport, so without a deadline this
+        // schedule would sleep for seconds (100 retries x ~22ms).
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let acceptor = std::thread::spawn(move || {
+            for stream in listener.incoming().take(64) {
+                drop(stream);
+            }
+        });
+        let mut client = Client::new(addr).with_backoff(BackoffConfig {
+            max_retries: 100,
+            base_ms: 30,
+            cap_ms: 30,
+            seed: 3,
+            deadline_ms: 120,
+        });
+        let started = Instant::now();
+        let outcome = client.get("/healthz");
+        let elapsed = started.elapsed();
+        assert!(outcome.is_err(), "every attempt hits a dropped connection");
+        // The deadline (120ms) bit long before the attempt cap could: even
+        // with generous scheduling slack this must end well under the
+        // ~2.2s the full 100-retry schedule would take.
+        assert!(elapsed < Duration::from_millis(1_000), "{elapsed:?}");
+        drop(client);
+        drop(acceptor); // detach: it exits after its take(64) accepts
+    }
+
+    #[test]
+    fn the_seeded_schedule_truncates_at_the_deadline_deterministically() {
+        let config = BackoffConfig {
+            max_retries: 10,
+            base_ms: 40,
+            cap_ms: 400,
+            seed: 5,
+            deadline_ms: 300,
+        };
+        // Replay the request loop's arithmetic: a sleep that would push
+        // the total past the deadline is never started.
+        let simulate = |config: &BackoffConfig| -> (u64, u32) {
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            let mut elapsed = 0u64;
+            let mut slept = 0u32;
+            for attempt in 0..config.max_retries {
+                let delay = config.delay(attempt, None, &mut rng).as_millis() as u64;
+                if elapsed + delay > config.deadline_ms {
+                    break;
+                }
+                elapsed += delay;
+                slept += 1;
+            }
+            (elapsed, slept)
+        };
+        let (elapsed, slept) = simulate(&config);
+        assert!(elapsed <= config.deadline_ms);
+        assert!(slept > 0, "the first delays fit inside the deadline");
+        assert!(slept < config.max_retries, "the deadline bites before the attempt cap");
+        // Same seed, same truncation point — the schedule is replayable.
+        assert_eq!(simulate(&config), (elapsed, slept));
     }
 
     #[test]

@@ -339,6 +339,38 @@ pub enum SubmitError {
     /// The durable store refused the submission record — nothing was
     /// accepted (no ack without durability). Retryable.
     Storage,
+    /// An explicit-id submission named an id this queue already tracks
+    /// (HTTP 409): the caller must pick a fresh id.
+    Duplicate,
+}
+
+/// What [`JobQueue::ingest_record`] did with a replayed record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The id already exists here — replay is an idempotent no-op and the
+    /// existing entry (with its byte-identical persisted result, if
+    /// terminal) stays authoritative.
+    AlreadyKnown,
+    /// A terminal record was installed verbatim, result bytes and all.
+    Terminal,
+    /// A non-terminal record re-validated through [`JobSpec::validate`]
+    /// and was enqueued for execution.
+    Requeued,
+    /// The record decoded but its spec no longer validates (or carried
+    /// none) — recorded `failed`, never silently dropped.
+    RecordedFailed,
+}
+
+/// Why [`JobQueue::ingest_record`] refused a replayed record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The record bytes do not decode (HTTP 400) — nothing was stored.
+    Malformed(String),
+    /// The queue is draining for shutdown (HTTP 503).
+    ShuttingDown,
+    /// The durable store refused the record — nothing was ingested.
+    /// Retryable (HTTP 503).
+    Storage,
 }
 
 /// The result of a cancellation request.
@@ -792,8 +824,53 @@ impl JobQueue {
             return Err(SubmitError::Full);
         }
         let id = state.next_id + 1;
+        self.admit_at(&mut state, id, kind, spec)?;
+        drop(state);
+        self.work_ready.notify_one();
+        Ok(id)
+    }
+
+    /// [`JobQueue::submit_validated`] at a caller-chosen id — the sharded
+    /// path, where a router owns id assignment and the shard merely hosts
+    /// the job. The watermark advances to `max(current, id)` so locally
+    /// assigned ids never collide with router-assigned ones, and an id
+    /// this queue already tracks is refused with
+    /// [`SubmitError::Duplicate`] (the router retries with a fresh id).
+    pub fn submit_validated_with_id(
+        &self,
+        id: JobId,
+        kind: JobKind,
+        spec: Option<JobSpec>,
+    ) -> Result<JobId, SubmitError> {
+        let mut state = self.lock();
+        if !state.open {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.queue.len() >= self.depth {
+            return Err(SubmitError::Full);
+        }
+        if id == 0 || state.jobs.contains_key(&id) {
+            return Err(SubmitError::Duplicate);
+        }
+        self.admit_at(&mut state, id, kind, spec)?;
+        drop(state);
+        self.work_ready.notify_one();
+        Ok(id)
+    }
+
+    /// The core of every acceptance path: persist the watermark, then the
+    /// record, then mutate memory. Callers hold the lock and have already
+    /// checked open/depth/duplicate.
+    fn admit_at(
+        &self,
+        state: &mut QueueState,
+        id: JobId,
+        kind: JobKind,
+        spec: Option<JobSpec>,
+    ) -> Result<(), SubmitError> {
+        let watermark = state.next_id.max(id);
         let payload = encode_record(JobState::Submitted, spec.as_ref(), None, None);
-        if self.store.put(NEXT_ID_KEY, &encode_next_id(id)).is_err()
+        if self.store.put(NEXT_ID_KEY, &encode_next_id(watermark)).is_err()
             || self.store.put(&job_key(id), &payload).is_err()
         {
             // Not accepted: no in-memory entry, no id consumed. Watermark
@@ -802,7 +879,7 @@ impl JobQueue {
             // resurrect as a job nobody was ever promised.
             return Err(SubmitError::Storage);
         }
-        state.next_id = id;
+        state.next_id = watermark;
         state.jobs.insert(
             id,
             JobEntry {
@@ -818,10 +895,105 @@ impl JobQueue {
             },
         );
         state.queue.push_back(id);
+        self.enforce_retention(state);
+        Ok(())
+    }
+
+    /// Ingests one raw persisted job record replayed from another shard's
+    /// durable log, through exactly the same decode → re-validate gate as
+    /// crash recovery ([`JobQueue::open`]): terminal records install
+    /// verbatim (byte-identical results), non-terminal records re-validate
+    /// their spec and enqueue, and records that no longer validate are
+    /// recorded `failed`. Idempotent by id — an id this queue already
+    /// tracks is an [`IngestOutcome::AlreadyKnown`] no-op, which is what
+    /// makes it safe for a router to retry a replay after any failure.
+    ///
+    /// Deliberately bypasses the queue-depth bound: the replayed set is
+    /// bounded by the dead shard's durable log, and refusing half a replay
+    /// would turn a shard death into acked-job loss.
+    pub fn ingest_record(&self, id: JobId, bytes: &[u8]) -> Result<IngestOutcome, IngestError> {
+        let record = decode_record(bytes).map_err(IngestError::Malformed)?;
+        let mut state = self.lock();
+        if !state.open {
+            return Err(IngestError::ShuttingDown);
+        }
+        if id == 0 || state.jobs.contains_key(&id) {
+            return Ok(IngestOutcome::AlreadyKnown);
+        }
+        let (entry, outcome) = if record.state.is_terminal() {
+            (
+                JobEntry {
+                    kind_name: record.spec.as_ref().map_or("unknown", JobSpec::kind_name),
+                    pending: None,
+                    spec: record.spec,
+                    state: record.state,
+                    cancel: Arc::new(AtomicBool::new(false)),
+                    progress: Arc::new(Progress::default()),
+                    outcome: record.outcome,
+                    error: record.error,
+                    finished_at: Some(Instant::now()),
+                },
+                IngestOutcome::Terminal,
+            )
+        } else {
+            match record.spec {
+                None => (
+                    recovered_failure(None, "replayed with no replayable spec".to_string()),
+                    IngestOutcome::RecordedFailed,
+                ),
+                Some(spec) => match spec.validate() {
+                    Ok(kind) => (
+                        JobEntry {
+                            kind_name: kind.name(),
+                            pending: Some(kind),
+                            spec: Some(spec),
+                            state: JobState::Submitted,
+                            cancel: Arc::new(AtomicBool::new(false)),
+                            progress: Arc::new(Progress::default()),
+                            outcome: None,
+                            error: None,
+                            finished_at: None,
+                        },
+                        IngestOutcome::Requeued,
+                    ),
+                    Err(e) => (
+                        recovered_failure(
+                            Some(spec),
+                            format!("spec no longer validates after replay: {e}"),
+                        ),
+                        IngestOutcome::RecordedFailed,
+                    ),
+                },
+            }
+        };
+        // Same durability ordering as submission: watermark, then record,
+        // then memory — and no ack (Ok) until both writes stuck.
+        let watermark = state.next_id.max(id);
+        let payload = entry.persisted_record();
+        if self.store.put(NEXT_ID_KEY, &encode_next_id(watermark)).is_err()
+            || self.store.put(&job_key(id), &payload).is_err()
+        {
+            return Err(IngestError::Storage);
+        }
+        state.next_id = watermark;
+        let enqueue = outcome == IngestOutcome::Requeued;
+        state.jobs.insert(id, entry);
+        if enqueue {
+            state.queue.push_back(id);
+        }
         self.enforce_retention(&mut state);
         drop(state);
-        self.work_ready.notify_one();
-        Ok(id)
+        if enqueue {
+            self.work_ready.notify_one();
+        }
+        Ok(outcome)
+    }
+
+    /// The id watermark: the highest job id this queue has durably
+    /// promised never to reissue. A router seeds its own id assignment
+    /// above the maximum watermark of its fleet.
+    pub fn next_id_watermark(&self) -> JobId {
+        self.lock().next_id
     }
 
     /// A snapshot of one job, or `None` if the id is unknown.
@@ -1641,5 +1813,91 @@ mod tests {
         });
         let result = execute(&kind, &cancel, &progress, &registry);
         assert!(result.unwrap_err().contains("not registered"));
+    }
+
+    #[test]
+    fn explicit_id_submission_advances_the_watermark_and_rejects_duplicates() {
+        let store: Arc<dyn Storage> = Arc::new(MemStore::new());
+        let (queue, _) = JobQueue::open(8, Arc::clone(&store), RetentionConfig::default()).unwrap();
+        // A router-assigned id far above the local watermark.
+        assert_eq!(queue.submit_validated_with_id(100, burn(0), Some(JobSpec::Burn { millis: 0 })), Ok(100));
+        assert_eq!(queue.next_id_watermark(), 100);
+        // The same id again is a duplicate, as is id 0.
+        assert_eq!(
+            queue.submit_validated_with_id(100, burn(0), None),
+            Err(SubmitError::Duplicate)
+        );
+        assert_eq!(queue.submit_validated_with_id(0, burn(0), None), Err(SubmitError::Duplicate));
+        // Local (implicit-id) submission continues above the watermark.
+        assert_eq!(queue.submit(burn(0)), Ok(101));
+        // The watermark survives a restart: ids never collide after reopen.
+        drop(queue);
+        let (queue, _) = JobQueue::open(8, Arc::clone(&store), RetentionConfig::default()).unwrap();
+        assert_eq!(queue.submit(burn(0)), Ok(102));
+    }
+
+    #[test]
+    fn ingest_replays_terminal_records_verbatim_and_requeues_interrupted_ones() {
+        let metrics = ServeMetrics::new();
+        // The "dead shard": run one job to done, leave one submitted.
+        let dead_store: Arc<dyn Storage> = Arc::new(MemStore::new());
+        let (dead, _) =
+            JobQueue::open(8, Arc::clone(&dead_store), RetentionConfig::default()).unwrap();
+        let finished = dead.submit(burn(0)).unwrap();
+        let interrupted = dead.submit(burn(0)).unwrap();
+        assert_eq!(dead.run_one(&metrics), Some(finished));
+        let finished_bytes = dead_store.get(&job_key(finished)).unwrap().unwrap();
+        let interrupted_bytes = dead_store.get(&job_key(interrupted)).unwrap().unwrap();
+
+        // The survivor ingests both records.
+        let (live, _) =
+            JobQueue::open(2, Arc::new(MemStore::new()), RetentionConfig::default()).unwrap();
+        assert_eq!(live.ingest_record(finished, &finished_bytes), Ok(IngestOutcome::Terminal));
+        assert_eq!(
+            live.ingest_record(interrupted, &interrupted_bytes),
+            Ok(IngestOutcome::Requeued)
+        );
+        // Idempotent: a retried replay is a no-op for both.
+        assert_eq!(live.ingest_record(finished, &finished_bytes), Ok(IngestOutcome::AlreadyKnown));
+        assert_eq!(
+            live.ingest_record(interrupted, &interrupted_bytes),
+            Ok(IngestOutcome::AlreadyKnown)
+        );
+        // The terminal record came over byte-identical.
+        assert_eq!(
+            live.store().get(&job_key(finished)).unwrap().unwrap(),
+            finished_bytes
+        );
+        let snap = live.snapshot(finished).unwrap();
+        assert_eq!(snap.state, JobState::Done);
+        assert!(matches!(snap.outcome, Some(JobOutcome::Burn)));
+        // The interrupted one runs to completion on the survivor.
+        assert_eq!(live.run_one(&metrics), Some(interrupted));
+        assert_eq!(live.snapshot(interrupted).unwrap().state, JobState::Done);
+        // The watermark moved past every ingested id.
+        assert!(live.next_id_watermark() >= interrupted);
+        // Garbage bytes are refused without storing anything.
+        assert!(matches!(
+            live.ingest_record(999, b"not a record"),
+            Err(IngestError::Malformed(_))
+        ));
+        assert!(live.snapshot(999).is_none());
+    }
+
+    #[test]
+    fn ingest_bypasses_queue_depth_but_submission_does_not() {
+        let (queue, _) =
+            JobQueue::open(1, Arc::new(MemStore::new()), RetentionConfig::default()).unwrap();
+        queue.submit(burn(0)).unwrap();
+        assert_eq!(queue.submit(burn(0)), Err(SubmitError::Full));
+        assert_eq!(
+            queue.submit_validated_with_id(50, burn(0), None),
+            Err(SubmitError::Full)
+        );
+        // Replay must not be refused by backpressure: losing half a dead
+        // shard's log to a full queue would turn failover into data loss.
+        let record = encode_record(JobState::Submitted, Some(&JobSpec::Burn { millis: 0 }), None, None);
+        assert_eq!(queue.ingest_record(50, &record), Ok(IngestOutcome::Requeued));
+        assert_eq!(queue.queued(), 2);
     }
 }

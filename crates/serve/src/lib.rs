@@ -44,6 +44,9 @@ pub mod server;
 pub use nptsn_obs::metrics;
 
 pub use client::{BackoffConfig, Client, ClientResponse};
-pub use jobs::{JobId, JobQueue, JobSnapshot, JobState, RecoveryReport, RetentionConfig};
+pub use jobs::{
+    IngestError, IngestOutcome, JobId, JobQueue, JobSnapshot, JobState, RecoveryReport,
+    RetentionConfig,
+};
 pub use registry::CheckpointRegistry;
 pub use server::{ServeConfig, ServeMetrics, Server};

@@ -6,6 +6,7 @@
 //! | Method & path              | Purpose                                       |
 //! |----------------------------|-----------------------------------------------|
 //! | `GET /healthz`             | Liveness + queue occupancy                    |
+//! | `GET /readyz`              | Readiness: store + queue state; 503 draining  |
 //! | `GET /metrics`             | Prometheus text exposition                    |
 //! | `POST /jobs/plan`          | Submit a `.tssdn` problem for planning        |
 //! | `POST /jobs/verify`        | Submit a problem + plan for verification      |
@@ -20,6 +21,7 @@
 //! | `PUT /checkpoints/<name>`  | Register (or overwrite) a named checkpoint    |
 //! | `GET /checkpoints/<name>`  | Download a registered checkpoint              |
 //! | `DELETE /checkpoints/<name>`| Unregister a checkpoint                      |
+//! | `POST /internal/replay/<id>`| Ingest a raw job record (dead-shard replay)  |
 //! | `POST /shutdown`           | Drain the queue and stop                      |
 //!
 //! A full queue answers `503` with a `Retry-After` header — backpressure,
@@ -46,7 +48,8 @@ use nptsn_store::{LogStore, MemStore, Storage, StoreError};
 
 use crate::http::{read_request_deadline, HttpError, Request, Response};
 use crate::jobs::{
-    CancelOutcome, JobKind, JobOutcome, JobQueue, JobState, RetentionConfig, SubmitError,
+    CancelOutcome, IngestError, IngestOutcome, JobOutcome, JobQueue, JobState, RetentionConfig,
+    SubmitError,
 };
 use crate::metrics::{Counter, Gauge, Histogram, Registry};
 use crate::persist::{CheckpointRef, JobSpec, SpecError};
@@ -95,6 +98,9 @@ pub struct ServeConfig {
     /// How long an infer leader with no batch-mates waits (once) for
     /// stragglers before running solo, in microseconds.
     pub infer_batch_window_us: u64,
+    /// The shard name this process answers to in a routed fleet, reported
+    /// by `GET /readyz`. Purely informational — routing is by address.
+    pub shard_name: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -113,6 +119,7 @@ impl Default for ServeConfig {
             job_ttl_secs: 0,
             infer_batch_max: 8,
             infer_batch_window_us: 200,
+            shard_name: None,
         }
     }
 }
@@ -506,6 +513,7 @@ fn route(shared: &Arc<Shared>, request: &Request) -> Response {
             obj.int("workers", shared.config.workers as u64);
             Response::json(200, obj.finish())
         }
+        ("GET", "/readyz") => readyz(shared),
         ("GET", "/metrics") => {
             // Prometheus text exposition format version 0.0.4.
             let mut r = Response::text(200, shared.metrics.render());
@@ -529,11 +537,104 @@ fn route(shared: &Arc<Shared>, request: &Request) -> Response {
                 Ok(v) => v,
                 Err(r) => return r,
             };
-            submit(shared, JobKind::Burn { millis })
+            submit_spec(shared, request, JobSpec::Burn { millis })
         }
         ("GET", "/checkpoints") => list_checkpoints(shared),
         _ if path.starts_with("/checkpoints/") => route_checkpoint(shared, request),
+        _ if path.starts_with("/internal/replay/") => route_replay(shared, request),
         _ => route_job(shared, request),
+    }
+}
+
+/// `GET /readyz`: readiness, distinct from `/healthz` liveness. By
+/// construction the listener only exists after store recovery completed
+/// and the worker pool is up ([`Server::bind`] does both before binding
+/// returns), so a 200 here means the shard can accept *and execute* jobs;
+/// once shutdown begins it answers 503 so a router stops placing work
+/// here. The body carries the signals a router health-checker feeds on:
+/// queue occupancy, the id watermark, persist-error and store occupancy
+/// counters.
+fn readyz(shared: &Arc<Shared>) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        let mut obj = Object::new();
+        obj.str("status", "draining");
+        let mut r = Response::json(503, obj.finish());
+        r = r.with_header("Retry-After", shared.config.retry_after_secs.to_string());
+        return r;
+    }
+    // Get-or-create returns the same counter the persist path increments.
+    let persist_errors = nptsn_obs::telemetry()
+        .registry
+        .counter(
+            "nptsn_store_persist_errors_total",
+            "Job state transitions that failed to persist",
+        )
+        .get();
+    let stats = shared.queue.store().stats();
+    let mut obj = Object::new();
+    obj.str("status", "ready");
+    if let Some(name) = &shared.config.shard_name {
+        obj.str("shard", name);
+    }
+    obj.int("queued", shared.queue.queued() as u64);
+    obj.int("queue_depth", shared.queue.depth() as u64);
+    obj.int("running", shared.metrics.jobs_running.get().max(0) as u64);
+    obj.int("workers", shared.config.workers as u64);
+    obj.int("next_id", shared.queue.next_id_watermark());
+    obj.int("persist_errors", persist_errors);
+    obj.int("store_live_keys", stats.live_keys);
+    obj.int("store_segments", stats.segments);
+    Response::json(200, obj.finish())
+}
+
+/// Routes `POST /internal/replay/<id>`: ingest one raw persisted job
+/// record replayed from a dead shard's durable log, through the same
+/// decode → re-validate gate as crash recovery. Idempotent by id, so a
+/// router can retry after any failure without double-running a job.
+fn route_replay(shared: &Arc<Shared>, request: &Request) -> Response {
+    let id_text = &request.path["/internal/replay/".len()..];
+    if request.method != "POST" {
+        return Response::error(405, "method not allowed");
+    }
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::error(400, "replay id is not a valid job id");
+    };
+    if id == 0 {
+        return Response::error(400, "job id 0 is reserved");
+    }
+    match shared.queue.ingest_record(id, &request.body) {
+        Ok(outcome) => {
+            shared
+                .metrics
+                .registry
+                .counter(
+                    "nptsn_jobs_replay_ingested_total",
+                    "Job records ingested through dead-shard replay",
+                )
+                .inc();
+            if outcome == IngestOutcome::Requeued {
+                shared.metrics.jobs_queued.set(shared.queue.queued() as i64);
+            }
+            let mut obj = Object::new();
+            obj.int("id", id);
+            obj.str(
+                "replay",
+                match outcome {
+                    IngestOutcome::AlreadyKnown => "already_known",
+                    IngestOutcome::Terminal => "terminal",
+                    IngestOutcome::Requeued => "requeued",
+                    IngestOutcome::RecordedFailed => "recorded_failed",
+                },
+            );
+            Response::json(200, obj.finish())
+        }
+        Err(IngestError::Malformed(e)) => {
+            Response::error(400, &format!("record does not decode: {e}"))
+        }
+        Err(IngestError::ShuttingDown) => Response::error(503, "service is shutting down")
+            .with_header("Retry-After", shared.config.retry_after_secs.to_string()),
+        Err(IngestError::Storage) => Response::error(503, "job store unavailable, retry later")
+            .with_header("Retry-After", shared.config.retry_after_secs.to_string()),
     }
 }
 
@@ -614,7 +715,7 @@ fn list_checkpoints(shared: &Arc<Shared>) -> Response {
 fn route_job(shared: &Arc<Shared>, request: &Request) -> Response {
     let Some(rest) = request.path.strip_prefix("/jobs/") else {
         return match request.path.as_str() {
-            "/healthz" | "/metrics" | "/shutdown" | "/jobs/plan" | "/jobs/verify"
+            "/healthz" | "/readyz" | "/metrics" | "/shutdown" | "/jobs/plan" | "/jobs/verify"
             | "/jobs/infer" | "/jobs/burn" => Response::error(405, "method not allowed"),
             _ => Response::error(404, "no such endpoint"),
         };
@@ -725,12 +826,20 @@ fn submit_result(shared: &Arc<Shared>, result: Result<u64, SubmitError>) -> Resp
             obj.str("state", "submitted");
             Response::json(202, obj.finish())
         }
+        Err(SubmitError::Duplicate) => {
+            // Not backpressure: the explicit id is already taken here and a
+            // retry with the same id can never succeed — the router picks a
+            // fresh id instead.
+            shared.metrics.jobs_rejected.inc();
+            Response::error(409, "job id already exists on this shard")
+        }
         Err(reason) => {
             shared.metrics.jobs_rejected.inc();
             let message = match reason {
                 SubmitError::Full => "queue full, retry later",
                 SubmitError::ShuttingDown => "service is shutting down",
                 SubmitError::Storage => "job store unavailable, retry later",
+                SubmitError::Duplicate => unreachable!("handled above"),
             };
             Response::error(503, message)
                 .with_header("Retry-After", shared.config.retry_after_secs.to_string())
@@ -738,21 +847,37 @@ fn submit_result(shared: &Arc<Shared>, result: Result<u64, SubmitError>) -> Resp
     }
 }
 
-/// Submits a direct job kind (burn); backpressure becomes `503`.
-fn submit(shared: &Arc<Shared>, kind: JobKind) -> Response {
-    submit_result(shared, shared.queue.submit(kind))
+/// The router-assigned explicit job id, if the submission carries one
+/// (`X-Nptsn-Job-Id`). Direct submissions have none and the queue assigns
+/// the next local id.
+fn explicit_id(request: &Request) -> Result<Option<u64>, Response> {
+    match request.header("x-nptsn-job-id") {
+        None => Ok(None),
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(id) if id > 0 => Ok(Some(id)),
+            _ => Err(Response::error(400, "X-Nptsn-Job-Id is not a valid job id")),
+        },
+    }
 }
 
 /// Validates a replayable spec and submits it — the single gate shared
-/// with crash recovery, so a submission that queues today re-validates
-/// identically after a restart.
-fn submit_spec(shared: &Arc<Shared>, spec: JobSpec) -> Response {
+/// with crash recovery and dead-shard replay, so a submission that queues
+/// today re-validates identically after a restart or a failover.
+fn submit_spec(shared: &Arc<Shared>, request: &Request, spec: JobSpec) -> Response {
     let kind = match spec.validate() {
         Ok(kind) => kind,
         Err(SpecError::Malformed(message)) => return Response::error(400, &message),
         Err(SpecError::Invalid(message)) => return Response::error(422, &message),
     };
-    submit_result(shared, shared.queue.submit_validated(kind, Some(spec)))
+    let id = match explicit_id(request) {
+        Ok(id) => id,
+        Err(r) => return r,
+    };
+    let result = match id {
+        None => shared.queue.submit_validated(kind, Some(spec)),
+        Some(id) => shared.queue.submit_validated_with_id(id, kind, Some(spec)),
+    };
+    submit_result(shared, result)
 }
 
 fn submit_plan(shared: &Arc<Shared>, request: &Request) -> Response {
@@ -779,6 +904,7 @@ fn submit_plan(shared: &Arc<Shared>, request: &Request) -> Response {
     let greedy = matches!(request.query_param("greedy"), Some("1" | "true"));
     submit_spec(
         shared,
+        request,
         JobSpec::Plan { problem: text.to_string(), epochs, steps, seed, greedy, analyzer_workers },
     )
 }
@@ -794,7 +920,7 @@ fn submit_verify(shared: &Arc<Shared>, request: &Request) -> Response {
         Ok(v) => v,
         Err(r) => return r,
     };
-    submit_spec(shared, JobSpec::Verify { body: text.to_string(), analyzer_workers })
+    submit_spec(shared, request, JobSpec::Verify { body: text.to_string(), analyzer_workers })
 }
 
 fn submit_infer(shared: &Arc<Shared>, request: &Request) -> Response {
@@ -826,6 +952,7 @@ fn submit_infer(shared: &Arc<Shared>, request: &Request) -> Response {
         }
         return submit_spec(
             shared,
+            request,
             JobSpec::Infer {
                 problem: text.to_string(),
                 checkpoint: CheckpointRef::Named(name.to_string()),
@@ -854,6 +981,7 @@ fn submit_infer(shared: &Arc<Shared>, request: &Request) -> Response {
     };
     submit_spec(
         shared,
+        request,
         JobSpec::Infer {
             problem: text.to_string(),
             checkpoint: CheckpointRef::Inline(checkpoint.to_vec()),
@@ -1025,5 +1153,81 @@ mod tests {
         shared.begin_shutdown();
         let refused = route(&shared, &request("POST", "/jobs/burn"));
         assert_eq!(refused.status, 503);
+    }
+
+    #[test]
+    fn readyz_reports_ready_then_draining() {
+        let shared = test_shared();
+        let response = route(&shared, &request("GET", "/readyz"));
+        assert_eq!(response.status, 200);
+        let body = String::from_utf8(response.body).unwrap();
+        assert!(body.contains("\"status\":\"ready\""), "{body}");
+        assert!(body.contains("\"queue_depth\":2"), "{body}");
+        assert!(body.contains("\"next_id\":"), "{body}");
+        assert!(body.contains("\"persist_errors\":"), "{body}");
+        assert_eq!(route(&shared, &request("POST", "/readyz")).status, 405);
+
+        shared.shutdown.store(true, Ordering::SeqCst);
+        let draining = route(&shared, &request("GET", "/readyz"));
+        assert_eq!(draining.status, 503);
+        let body = String::from_utf8(draining.body).unwrap();
+        assert!(body.contains("\"status\":\"draining\""), "{body}");
+    }
+
+    #[test]
+    fn readyz_names_the_shard_when_configured() {
+        let mut shared = test_shared();
+        Arc::get_mut(&mut shared).unwrap().config.shard_name = Some("s1".to_string());
+        let response = route(&shared, &request("GET", "/readyz"));
+        let body = String::from_utf8(response.body).unwrap();
+        assert!(body.contains("\"shard\":\"s1\""), "{body}");
+    }
+
+    #[test]
+    fn explicit_id_submissions_place_and_conflict() {
+        let shared = test_shared();
+        let mut routed = request("POST", "/jobs/burn");
+        routed.headers.push(("x-nptsn-job-id".into(), "42".into()));
+        let accepted = route(&shared, &routed);
+        assert_eq!(accepted.status, 202);
+        assert!(String::from_utf8(accepted.body).unwrap().contains("\"id\":42"));
+        // Same id again: a 409, not backpressure.
+        let conflict = route(&shared, &routed);
+        assert_eq!(conflict.status, 409);
+        assert!(conflict.extra_headers.iter().all(|(name, _)| name != "Retry-After"));
+        // Garbage ids are a 400 before anything is queued.
+        for bad in ["abc", "0", "-3"] {
+            let mut r = request("POST", "/jobs/burn");
+            r.headers.push(("x-nptsn-job-id".into(), bad.into()));
+            assert_eq!(route(&shared, &r).status, 400, "{bad}");
+        }
+    }
+
+    #[test]
+    fn replay_endpoint_ingests_records_idempotently() {
+        let shared = test_shared();
+        let record = crate::persist::encode_record(
+            JobState::Submitted,
+            Some(&JobSpec::Burn { millis: 0 }),
+            None,
+            None,
+        );
+        let mut replay = request("POST", "/internal/replay/7");
+        replay.body = record;
+        let first = route(&shared, &replay);
+        assert_eq!(first.status, 200);
+        assert!(String::from_utf8(first.body).unwrap().contains("\"replay\":\"requeued\""));
+        let second = route(&shared, &replay);
+        assert_eq!(second.status, 200);
+        assert!(String::from_utf8(second.body).unwrap().contains("\"replay\":\"already_known\""));
+        assert_eq!(shared.queue.queued(), 1);
+
+        // Garbage bytes: 400. Bad ids: 400. Wrong method: 405.
+        let mut garbage = request("POST", "/internal/replay/8");
+        garbage.body = b"junk".to_vec();
+        assert_eq!(route(&shared, &garbage).status, 400);
+        assert_eq!(route(&shared, &request("POST", "/internal/replay/abc")).status, 400);
+        assert_eq!(route(&shared, &request("POST", "/internal/replay/0")).status, 400);
+        assert_eq!(route(&shared, &request("GET", "/internal/replay/7")).status, 405);
     }
 }

@@ -140,6 +140,7 @@ fn client_backoff_rides_out_backpressure() {
         base_ms: 40,
         cap_ms: 200, // also caps the server's 1s Retry-After hint
         seed: 11,
+        ..BackoffConfig::default()
     });
     let accepted = retrying.post("/jobs/burn?millis=1", &[]).unwrap();
     assert_eq!(accepted.status, 202, "{}", accepted.text());
@@ -307,6 +308,7 @@ fn seeded_storm_loses_no_jobs_and_drains_clean() {
         base_ms: 5,
         cap_ms: 50,
         seed: 99,
+        ..BackoffConfig::default()
     });
 
     // Drive a stream of jobs through the storm. Connection-level faults

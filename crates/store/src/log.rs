@@ -277,6 +277,75 @@ impl LogStore {
         &self.dir
     }
 
+    /// Reads the live `(key, value)` set out of the segment log in `dir`
+    /// **without opening the store**: no torn tail is truncated, no
+    /// abandoned `.tmp` file is removed, no segment is created or
+    /// re-stamped — the directory's bytes are exactly as untouched after
+    /// the call as before it.
+    ///
+    /// The same frame-trust and override rules as [`LogStore::open`]
+    /// apply (shared via one parser), so the export observes precisely
+    /// the state a reopen would recover: segments replay in id order,
+    /// later records override earlier ones, tombstones delete, and each
+    /// segment's replay ends at its first untrustworthy frame.
+    ///
+    /// This is the substrate for dead-shard replay: a router (or any
+    /// other process) can drain the durable record set of a `kill -9`'d
+    /// serve process while leaving the directory pristine for forensics
+    /// or a later restart of the original owner.
+    pub fn export_live(dir: impl AsRef<Path>) -> Result<Vec<(String, Vec<u8>)>, StoreError> {
+        let _span = nptsn_obs::span("store.export");
+        let dir = dir.as_ref();
+        let mut segment_ids = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(id) = name
+                .strip_prefix("segment-")
+                .and_then(|rest| rest.strip_suffix(".log"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            {
+                segment_ids.push(id);
+            }
+        }
+        segment_ids.sort_unstable();
+
+        let mut live: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        for &id in &segment_ids {
+            let path = segment_path(dir, id);
+            let bytes = fs::read(&path)?;
+            if bytes.is_empty() {
+                continue; // creation interrupted before the header: empty
+            }
+            if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+                if MAGIC.starts_with(&bytes[..bytes.len().min(MAGIC.len())]) {
+                    continue; // torn header: segment holds no records
+                }
+                return Err(StoreError::Corrupt(format!(
+                    "{} does not start with the segment magic",
+                    path.display()
+                )));
+            }
+            let mut offset = MAGIC.len();
+            while offset < bytes.len() {
+                let Some(frame) = trust_frame(&bytes, offset) else {
+                    break; // first untrustworthy frame ends this segment
+                };
+                match frame.op {
+                    OP_PUT => {
+                        live.insert(frame.key.to_string(), frame.value.to_vec());
+                    }
+                    _ => {
+                        live.remove(frame.key);
+                    }
+                }
+                offset += frame.frame_len;
+            }
+        }
+        Ok(live.into_iter().collect())
+    }
+
     fn lock(&self) -> MutexGuard<'_, Inner> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
@@ -377,6 +446,58 @@ impl LogStore {
     }
 }
 
+/// One trusted record frame parsed out of a segment's bytes.
+struct Frame<'a> {
+    key: &'a str,
+    op: u8,
+    value: &'a [u8],
+    /// Absolute offset of the value bytes within the segment file.
+    value_offset: usize,
+    /// Full frame size (header + payload).
+    frame_len: usize,
+}
+
+/// Applies the frame-trust rules (module docs, "Recovery rules") to the
+/// bytes at `offset`. `None` means the frame cannot be trusted — a torn
+/// tail, a CRC mismatch, or a malformed payload — and must end its
+/// segment's replay. Shared by [`replay_segment`] and
+/// [`LogStore::export_live`] so the two readers cannot drift.
+fn trust_frame(bytes: &[u8], offset: usize) -> Option<Frame<'_>> {
+    let remaining = bytes.len() - offset;
+    if remaining < FRAME_HEADER {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+    if len < MIN_PAYLOAD || len > remaining - FRAME_HEADER {
+        return None;
+    }
+    let payload = &bytes[offset + FRAME_HEADER..offset + FRAME_HEADER + len];
+    if crc32(payload) != crc {
+        return None;
+    }
+    let op = payload[0];
+    if op != OP_PUT && op != OP_DELETE {
+        return None;
+    }
+    let key_len = u32::from_le_bytes(payload[1..5].try_into().expect("4 bytes")) as usize;
+    if key_len > len - MIN_PAYLOAD {
+        return None;
+    }
+    let key = std::str::from_utf8(&payload[MIN_PAYLOAD..MIN_PAYLOAD + key_len]).ok()?;
+    let value = &payload[MIN_PAYLOAD + key_len..];
+    if op == OP_DELETE && !value.is_empty() {
+        return None;
+    }
+    Some(Frame {
+        key,
+        op,
+        value,
+        value_offset: offset + FRAME_HEADER + MIN_PAYLOAD + key_len,
+        frame_len: FRAME_HEADER + len,
+    })
+}
+
 /// Replays one segment into the index; truncates the file at the first
 /// untrustworthy frame.
 fn replay_segment(
@@ -416,45 +537,18 @@ fn replay_segment(
         if remaining == 0 {
             break None; // clean end of segment
         }
-        let trusted = (|| -> Option<(String, u8, Loc)> {
-            if remaining < FRAME_HEADER {
-                return None;
-            }
-            let len =
-                u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
-            let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
-            if len < MIN_PAYLOAD || len > remaining - FRAME_HEADER {
-                return None;
-            }
-            let payload = &bytes[offset + FRAME_HEADER..offset + FRAME_HEADER + len];
-            if crc32(payload) != crc {
-                return None;
-            }
-            let op = payload[0];
-            if op != OP_PUT && op != OP_DELETE {
-                return None;
-            }
-            let key_len =
-                u32::from_le_bytes(payload[1..5].try_into().expect("4 bytes")) as usize;
-            if key_len > len - MIN_PAYLOAD {
-                return None;
-            }
-            let key = std::str::from_utf8(&payload[MIN_PAYLOAD..MIN_PAYLOAD + key_len]).ok()?;
-            let value_len = len - MIN_PAYLOAD - key_len;
-            if op == OP_DELETE && value_len != 0 {
-                return None;
-            }
-            Some((
-                key.to_string(),
-                op,
+        let trusted = trust_frame(&bytes, offset).map(|frame| {
+            (
+                frame.key.to_string(),
+                frame.op,
                 Loc {
                     segment: id,
-                    value_offset: (offset + FRAME_HEADER + MIN_PAYLOAD + key_len) as u64,
-                    value_len: value_len as u32,
-                    frame_len: (FRAME_HEADER + len) as u64,
+                    value_offset: frame.value_offset as u64,
+                    value_len: frame.value.len() as u32,
+                    frame_len: frame.frame_len as u64,
                 },
-            ))
-        })();
+            )
+        });
         let Some((key, op, loc)) = trusted else {
             break Some(offset); // first untrustworthy frame: truncate here
         };

@@ -196,6 +196,78 @@ fn abandoned_compaction_tmp_is_removed_on_open() {
 }
 
 #[test]
+fn export_live_reads_without_mutating_the_directory() {
+    let dir = temp_dir("export-readonly");
+    {
+        let store = LogStore::open(&dir).unwrap();
+        store.put("a", b"alpha").unwrap();
+        store.put("b", b"beta").unwrap();
+        store.put("a", b"alpha-2").unwrap();
+        store.delete("b").unwrap();
+        store.put("c", b"gamma").unwrap();
+    }
+    // Simulate the owner dying mid-append (torn tail) and mid-compaction
+    // (abandoned temp file). An *open* would repair both; the export must
+    // read around them and leave every byte in place.
+    let mut file = OpenOptions::new().append(true).open(segment0(&dir)).unwrap();
+    file.write_all(&[64, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 9, 9]).unwrap();
+    drop(file);
+    fs::write(dir.join("segment-0000000007.log.tmp"), b"abandoned").unwrap();
+    let len_before = fs::metadata(segment0(&dir)).unwrap().len();
+
+    let live = LogStore::export_live(&dir).unwrap();
+    assert_eq!(
+        live,
+        vec![("a".to_string(), b"alpha-2".to_vec()), ("c".to_string(), b"gamma".to_vec())]
+    );
+    // Zero mutation: torn tail still present, tmp file still present.
+    assert_eq!(fs::metadata(segment0(&dir)).unwrap().len(), len_before);
+    assert!(dir.join("segment-0000000007.log.tmp").exists());
+
+    // A later real open of the same directory still recovers normally.
+    let store = LogStore::open(&dir).unwrap();
+    assert_eq!(store.get("a").unwrap(), Some(b"alpha-2".to_vec()));
+    assert_eq!(store.get("b").unwrap(), None);
+    assert_eq!(store.recovery().tmp_files_removed, 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn export_live_spans_segments_and_respects_override_order() {
+    let dir = temp_dir("export-multiseg");
+    {
+        // Tiny segments force rotation so the export has to merge several
+        // files in id order, later records overriding earlier ones.
+        let store = LogStore::open_with(
+            &dir,
+            LogConfig { segment_bytes: 64, auto_compact_bytes: 0, ..LogConfig::default() },
+        )
+        .unwrap();
+        for round in 0..6 {
+            for i in 0..3 {
+                store.put(&format!("k{i}"), format!("round-{round}").as_bytes()).unwrap();
+            }
+        }
+        store.delete("k1").unwrap();
+    }
+    assert!(fs::read_dir(&dir).unwrap().count() > 1, "rotation never happened");
+    let live = LogStore::export_live(&dir).unwrap();
+    assert_eq!(
+        live,
+        vec![
+            ("k0".to_string(), b"round-5".to_vec()),
+            ("k2".to_string(), b"round-5".to_vec()),
+        ]
+    );
+    // Export of a directory with no segments at all is empty, not an error.
+    let empty = temp_dir("export-multiseg-empty");
+    fs::create_dir_all(&empty).unwrap();
+    assert!(LogStore::export_live(&empty).unwrap().is_empty());
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&empty);
+}
+
+#[test]
 fn torn_append_fault_keeps_acknowledged_writes_consistent() {
     let dir = temp_dir("torn-append");
     let mut acknowledged = Vec::new();

@@ -12,11 +12,13 @@
 #                         binary itself fails if disabled overhead >= 5%)
 #   BENCH_chaos.json    — seeded chaos-storm results: determinism check,
 #                         clean vs storm job throughput, p99 recovery
-#                         latency, recovery counters, and the durable-queue
-#                         kill-and-restart storm (the binary fails if
-#                         disarmed chaos overhead >= 10%, a recovery path
-#                         never fired, any job was lost, or two same-seed
-#                         kill-restart storms diverge)
+#                         latency, recovery counters, the durable-queue
+#                         kill-and-restart storm, and the routed two-shard
+#                         storm with a mid-work kill -9 (the binary fails
+#                         if disarmed chaos overhead >= 10%, a recovery
+#                         path never fired, any job was lost, any routed
+#                         acked job was lost, or two same-seed storms
+#                         diverge)
 #   BENCH_store.json    — durable store microbenchmarks: append throughput
 #                         (synced and unsynced), recovery time vs log
 #                         size, and the compaction pause
@@ -29,6 +31,12 @@
 #                         batched job result differs from its solo
 #                         reference, or batch-64 throughput is below 4x
 #                         batch-1)
+#   BENCH_router.json   — sharded front tier: submit-to-drain throughput
+#                         routed over a two-shard fleet vs direct to a
+#                         single shard, and kill -9 failover latency to
+#                         the first replayed job (p50/p99 over several
+#                         rounds; the binary itself fails if routed
+#                         overhead exceeds 25% or any acked job is lost)
 #
 # Usage: scripts/bench.sh [--smoke]
 #   --smoke   shrink iteration counts to a fast plumbing check (used by
@@ -42,6 +50,7 @@ obs_out="BENCH_obs.json"
 chaos_out="BENCH_chaos.json"
 store_out="BENCH_store.json"
 infer_out="BENCH_infer.json"
+router_out="BENCH_router.json"
 if [[ "${1:-}" == "--smoke" ]]; then
     export NPTSN_BENCH_SMOKE=1
     # Smoke numbers are not representative; keep them out of the committed
@@ -52,11 +61,12 @@ if [[ "${1:-}" == "--smoke" ]]; then
     chaos_out="target/BENCH_chaos.smoke.json"
     store_out="target/BENCH_store.smoke.json"
     infer_out="target/BENCH_infer.smoke.json"
+    router_out="target/BENCH_router.smoke.json"
 fi
 
 cargo build --release --offline -p nptsn-bench \
     --bin micro --bin serve_bench --bin obs_bench --bin chaos_storm --bin store_bench \
-    --bin infer_bench
+    --bin infer_bench --bin router_bench
 NPTSN_BENCH_OUT="${NPTSN_BENCH_OUT:-$analyzer_out}" ./target/release/micro analyzer_json
 NPTSN_BENCH_OUT="${NPTSN_SERVE_BENCH_OUT:-$serve_out}" ./target/release/serve_bench
 NPTSN_BENCH_OUT="${NPTSN_OBS_BENCH_OUT:-$obs_out}" ./target/release/obs_bench
@@ -65,3 +75,6 @@ NPTSN_BENCH_OUT="${NPTSN_OBS_BENCH_OUT:-$obs_out}" ./target/release/obs_bench
 NPTSN_BENCH_OUT="${NPTSN_CHAOS_BENCH_OUT:-$chaos_out}" ./target/release/chaos_storm --seed 42
 NPTSN_BENCH_OUT="${NPTSN_STORE_BENCH_OUT:-$store_out}" ./target/release/store_bench
 NPTSN_BENCH_OUT="${NPTSN_INFER_BENCH_OUT:-$infer_out}" ./target/release/infer_bench
+# The router bench spawns its shard fleet as child processes of itself
+# (kill -9 failover needs real processes) and gates routed overhead <=25%.
+NPTSN_BENCH_OUT="${NPTSN_ROUTER_BENCH_OUT:-$router_out}" ./target/release/router_bench

@@ -28,6 +28,16 @@ for counter in ppo_rollbacks deadline_kills client_retries; do
         exit 1
     fi
 done
+# Router storm gates: the routed two-shard phase failed over, replayed the
+# dead shard's log, and replayed byte-identically under the same seed.
+grep -q '"router_identical": true' "$chaos_json" \
+    || { echo "chaos smoke: router storm was not deterministic" >&2; exit 1; }
+for counter in router_failovers router_replayed; do
+    if grep -q "\"$counter\": 0," "$chaos_json"; then
+        echo "chaos smoke: router storm counter $counter never moved" >&2
+        exit 1
+    fi
+done
 echo "chaos smoke: deterministic storm + live recovery counters confirmed"
 
 # Trace smoke test: a tiny RL plan run with --trace-out must produce a
@@ -78,6 +88,9 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 [[ -n "$addr" ]] || { echo "serve smoke: server never printed its address" >&2; exit 1; }
+# Wait on readiness, not a fixed sleep: /readyz answers 200 once the
+# queue and workers are up.
+./target/release/readyz_wait "$addr" 30
 ./target/release/serve_smoke "$addr"
 wait "$serve_pid"
 trap - EXIT
@@ -104,6 +117,7 @@ start_store_server() {
         sleep 0.1
     done
     [[ -n "$addr" ]] || { echo "store smoke: server never printed its address" >&2; exit 1; }
+    ./target/release/readyz_wait "$addr" 30
 }
 trap 'kill -9 "$serve_pid" 2>/dev/null || true; rm -rf "$store_state"' EXIT
 start_store_server
@@ -140,6 +154,7 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 [[ -n "$addr" ]] || { echo "infer smoke: server never printed its address" >&2; exit 1; }
+./target/release/readyz_wait "$addr" 30
 ./target/release/infer_smoke "$addr"
 wait "$serve_pid"
 trap - EXIT
@@ -147,3 +162,56 @@ grep -q "drained and stopped" "$infer_log" \
     || { echo "infer smoke: no clean shutdown message" >&2; exit 1; }
 rm -f "$infer_log"
 echo "infer smoke: coalesced batched inference confirmed"
+
+# Router smoke test (DESIGN.md §14): two durable shards behind the
+# consistent-hash front tier, one killed with SIGKILL mid-submission.
+# router_smoke owns the kill and asserts the durability contract: every
+# job the router acked reaches a terminal state through the router, with
+# the failover and the dead-shard replay visible in /metrics.
+router_state="$(mktemp -d)"
+trap 'kill -9 ${shard_a_pid:-} ${shard_b_pid:-} ${router_pid:-} 2>/dev/null || true; \
+     rm -rf "$router_state"' EXIT
+start_shard() { # $1: log file, $2: data dir, $3: shard name
+    ./target/release/nptsn serve --addr 127.0.0.1:0 --serve-workers 1 \
+        --queue-depth 32 --data-dir "$2" --shard-name "$3" >"$1" 2>&1 &
+    shard_pid=$!
+    shard_addr=""
+    for _ in $(seq 1 100); do
+        shard_addr="$(sed -n 's/^nptsn-serve listening on \([0-9.:]*\) .*/\1/p' "$1")"
+        [[ -n "$shard_addr" ]] && break
+        sleep 0.1
+    done
+    [[ -n "$shard_addr" ]] \
+        || { echo "router smoke: shard $3 never printed its address" >&2; exit 1; }
+    ./target/release/readyz_wait "$shard_addr" 30
+}
+start_shard "$router_state/shard-a.log" "$router_state/data-a" s0
+shard_a_pid=$shard_pid; shard_a_addr=$shard_addr
+start_shard "$router_state/shard-b.log" "$router_state/data-b" s1
+shard_b_pid=$shard_pid; shard_b_addr=$shard_addr
+router_log="$router_state/router.log"
+./target/release/nptsn router --addr 127.0.0.1:0 \
+    --shards "$shard_a_addr,$shard_b_addr" \
+    --data-dirs "$router_state/data-a,$router_state/data-b" \
+    --names s0,s1 >"$router_log" 2>&1 &
+router_pid=$!
+router_addr=""
+for _ in $(seq 1 100); do
+    router_addr="$(sed -n 's/^nptsn-router listening on \([0-9.:]*\) .*/\1/p' "$router_log")"
+    [[ -n "$router_addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$router_addr" ]] \
+    || { echo "router smoke: router never printed its address" >&2; exit 1; }
+./target/release/readyz_wait "$router_addr" 30
+./target/release/router_smoke "$router_addr" --kill-pid "$shard_a_pid"
+wait "$router_pid"
+wait "$shard_a_pid" 2>/dev/null || true
+# The router's /shutdown stops only the front tier; reap the survivor.
+kill -9 "$shard_b_pid" 2>/dev/null || true
+wait "$shard_b_pid" 2>/dev/null || true
+trap - EXIT
+grep -q "nptsn-router stopped" "$router_log" \
+    || { echo "router smoke: no clean router shutdown message" >&2; exit 1; }
+rm -rf "$router_state"
+echo "router smoke: kill -9 failover with zero acked loss confirmed"
