@@ -15,13 +15,27 @@
 //!   percentage of the disabled workload median. This is the number the
 //!   "<5% overhead with tracing off" acceptance gate reads; it bounds the
 //!   instrumentation cost left in the hot path for untraced runs.
+//! * `flight` — the always-on flight recorder: per-span record cost with
+//!   the ring armed (tracing still off) and the cost of one full-ring
+//!   snapshot (the `/debug/flight` drain).
+//! * `routed` — submit-to-drain over an in-process two-shard fleet with
+//!   the flight recorder armed, and the armed-tracing overhead charged to
+//!   that path (flight spans per round × armed record premium). Gated
+//!   ≤5% like the disabled gate.
+//!
+//! Section order matters: everything before `flight_init` measures the
+//! pure disabled path (two relaxed loads per span); arming the ring is
+//! irreversible for the life of the process.
 
 use std::hint::black_box;
 use std::time::Instant;
 
 use nptsn::{FailureAnalyzer, PlanningProblem};
 use nptsn_bench::problem_for;
+use nptsn_router::{Router, RouterConfig, ShardSpec};
 use nptsn_scenarios::{orion, random_flows};
+use nptsn_serve::client::Client;
+use nptsn_serve::{ServeConfig, Server};
 use nptsn_topo::{Asil, Topology};
 
 /// The micro analyzer workload: saturated ORION (every switch, every
@@ -58,11 +72,43 @@ fn median_ns(warmup: usize, iters: usize, mut f: impl FnMut()) -> u128 {
     samples[samples.len() / 2]
 }
 
+/// One submit-to-drain round over the routed fleet: submit `jobs` burn
+/// jobs through the router and poll every one of them to `done`.
+fn routed_round(client: &mut Client, jobs: usize) {
+    let ids: Vec<u64> = (0..jobs)
+        .map(|_| {
+            let accepted = client.post("/jobs/burn?millis=0", &[]).expect("routed submit");
+            assert_eq!(accepted.status, 202, "{}", accepted.text());
+            let body = accepted.text();
+            let start = body.find("\"id\":").expect("id field") + 5;
+            body[start..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .unwrap()
+        })
+        .collect();
+    for id in ids {
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            if let Ok(status) = client.get(&format!("/jobs/{id}")) {
+                if status.text().contains("\"state\":\"done\"") {
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "job {id} never finished");
+            std::thread::yield_now();
+        }
+    }
+}
+
 fn main() {
     let smoke = std::env::var("NPTSN_BENCH_SMOKE").is_ok();
     let (warmup, iters, span_loops) =
         if smoke { (1usize, 3usize, 20_000u64) } else { (3, 15, 2_000_000) };
     assert!(!nptsn_obs::enabled(), "tracing must start disabled");
+    assert!(!nptsn_obs::flight_armed(), "the flight ring must start unarmed");
 
     // --- Span primitive cost -------------------------------------------
     let span_disabled_ns = median_ns(1, 5, || {
@@ -118,6 +164,91 @@ fn main() {
     let overhead_disabled_pct =
         spans_per_run as f64 * span_disabled_ns / disabled_ns.max(1) as f64 * 100.0;
 
+    // --- Flight recorder: record and drain cost ------------------------
+    // Arming is irreversible; every measurement past this line sees the
+    // armed ring.
+    nptsn_obs::flight_init(0);
+    assert!(nptsn_obs::flight_armed());
+    let flight_span_ns = median_ns(1, 5, || {
+        for _ in 0..span_loops {
+            let _span = nptsn_obs::span("bench.flight");
+            black_box(&_span);
+        }
+    }) as f64
+        / span_loops as f64;
+    // The ring is saturated by the loop above; snapshot cost is the
+    // worst-case `/debug/flight` drain.
+    let flight_entries = nptsn_obs::flight_snapshot().len();
+    let flight_snapshot_ns = median_ns(1, 5, || {
+        black_box(nptsn_obs::flight_snapshot());
+    });
+
+    // --- Routed submit-to-drain with the flight recorder armed ---------
+    let (rounds, jobs_per_round) = if smoke { (2usize, 4usize) } else { (7, 16) };
+    let shard_a = Server::bind(ServeConfig {
+        workers: 2,
+        queue_depth: 64,
+        shard_name: Some("bench-a".to_string()),
+        ..ServeConfig::default()
+    })
+    .expect("bind shard a");
+    let shard_b = Server::bind(ServeConfig {
+        workers: 2,
+        queue_depth: 64,
+        shard_name: Some("bench-b".to_string()),
+        ..ServeConfig::default()
+    })
+    .expect("bind shard b");
+    let router = Router::bind(RouterConfig {
+        shards: vec![
+            ShardSpec {
+                name: "bench-a".to_string(),
+                addr: shard_a.local_addr(),
+                data_dir: None,
+            },
+            ShardSpec {
+                name: "bench-b".to_string(),
+                addr: shard_b.local_addr(),
+                data_dir: None,
+            },
+        ],
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+    let mut client = Client::new(router.local_addr());
+
+    routed_round(&mut client, jobs_per_round); // warmup
+    // Count the flight spans one round records (everything the fleet
+    // does lands in this process's ring): entries newer than the
+    // pre-round high-water timestamp.
+    let mark = nptsn_obs::flight_snapshot().last().map_or(0, |e| e.ts_ns);
+    routed_round(&mut client, jobs_per_round);
+    let spans_per_round = nptsn_obs::flight_snapshot()
+        .iter()
+        .filter(|e| e.kind == nptsn_obs::FlightKind::Span && e.ts_ns > mark)
+        .count() as u64;
+    let mut routed_samples: Vec<u128> = (0..rounds)
+        .map(|_| {
+            let start = Instant::now();
+            routed_round(&mut client, jobs_per_round);
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    routed_samples.sort_unstable();
+    let routed_ns = routed_samples[routed_samples.len() / 2];
+    router.stop();
+    shard_a.stop();
+    shard_a.wait();
+    shard_b.stop();
+    shard_b.wait();
+
+    // The armed premium per span is what the always-on ring adds over the
+    // bare disabled path; charge one round's spans against its median.
+    let overhead_armed_pct = spans_per_round as f64
+        * (flight_span_ns - span_disabled_ns).max(0.0)
+        / routed_ns.max(1) as f64
+        * 100.0;
+
     println!(
         "obs_bench: span {span_disabled_ns:.2} ns disabled, {span_enabled_ns:.1} ns enabled"
     );
@@ -128,6 +259,14 @@ fn main() {
     println!(
         "obs_bench: overhead {overhead_disabled_pct:.4}% disabled, \
          {overhead_enabled_pct:.2}% enabled"
+    );
+    println!(
+        "obs_bench: flight span {flight_span_ns:.2} ns armed, snapshot of {flight_entries} \
+         entries {flight_snapshot_ns} ns"
+    );
+    println!(
+        "obs_bench: routed round median {routed_ns} ns ({jobs_per_round} jobs, \
+         {spans_per_round} flight spans/round, armed overhead {overhead_armed_pct:.4}%)"
     );
 
     // Hand-written JSON: the workspace is hermetic, no serde.
@@ -145,7 +284,17 @@ fn main() {
     json.push_str(&format!(
         "  \"overhead_disabled_pct\": {overhead_disabled_pct:.4},\n"
     ));
-    json.push_str(&format!("  \"overhead_enabled_pct\": {overhead_enabled_pct:.2}\n"));
+    json.push_str(&format!("  \"overhead_enabled_pct\": {overhead_enabled_pct:.2},\n"));
+    json.push_str(&format!(
+        "  \"flight\": {{\"capacity\": {}, \"span_ns_armed\": {flight_span_ns:.3}, \
+         \"snapshot_entries\": {flight_entries}, \"snapshot_ns\": {flight_snapshot_ns}}},\n",
+        nptsn_obs::flight_capacity()
+    ));
+    json.push_str(&format!(
+        "  \"routed\": {{\"jobs_per_round\": {jobs_per_round}, \"rounds\": {rounds}, \
+         \"median_ns\": {routed_ns}, \"flight_spans_per_round\": {spans_per_round}, \
+         \"overhead_armed_pct\": {overhead_armed_pct:.4}}}\n"
+    ));
     json.push_str("}\n");
 
     let out_path =
@@ -156,6 +305,13 @@ fn main() {
     if overhead_disabled_pct >= 5.0 {
         eprintln!(
             "obs_bench: FAIL — disabled-tracing overhead {overhead_disabled_pct:.2}% >= 5%"
+        );
+        std::process::exit(1);
+    }
+    if overhead_armed_pct >= 5.0 {
+        eprintln!(
+            "obs_bench: FAIL — armed-tracing overhead on the routed path \
+             {overhead_armed_pct:.2}% >= 5%"
         );
         std::process::exit(1);
     }

@@ -61,6 +61,13 @@ fn retrying(addr: SocketAddr, seed: u64) -> Client {
 
 /// Submits `jobs` no-op burns from `threads` clients and waits for every
 /// one to drain; returns (jobs per second, acked ids).
+///
+/// Every submission carries a trace header. The router stamps one on
+/// every forward regardless, so the shard behind it captures and
+/// persists a per-job timeline; stamping the direct leg too keeps both
+/// legs doing identical per-job work — the overhead gate isolates the
+/// forwarding hop, not the cost of the timeline feature (obs_bench owns
+/// that gate).
 fn drive(addr: SocketAddr, jobs: usize, threads: usize) -> (f64, Vec<u64>) {
     let started = Instant::now();
     let per_thread = jobs / threads;
@@ -71,8 +78,14 @@ fn drive(addr: SocketAddr, jobs: usize, threads: usize) -> (f64, Vec<u64>) {
                     let mut client = retrying(addr, t as u64);
                     (0..per_thread)
                         .map(|n| {
-                            let accepted =
-                                client.post("/jobs/burn?millis=0", &[]).expect("submit");
+                            let trace = nptsn_obs::TraceContext::from_seed(
+                                ((t as u64) << 32) | n as u64,
+                            );
+                            let headers =
+                                [(nptsn_obs::TRACE_HEADER, trace.header_value())];
+                            let accepted = client
+                                .post_with_headers("/jobs/burn?millis=0", &headers, &[])
+                                .expect("submit");
                             assert_eq!(accepted.status, 202, "job {n}: {}", accepted.text());
                             json_u64(&accepted.text(), "id")
                         })

@@ -110,10 +110,22 @@ USAGE:
         --infer-batch-window-us is the brief wait for batchmates when a
         worker claims a lone infer job (default 200, 0 = no wait);
         batching never changes results — outputs stay bit-identical.
+    nptsn router --shards HOST:PORT[,...] [--names NAME[,...]]
+                 [--data-dirs PATH[,...]] [--addr HOST:PORT] [--vnodes N]
+                 [--health-interval-ms N] [--health-failures N]
+                 [--forward-deadline-ms N]
+        Run the consistent-hash router in front of a serve fleet (see
+        DESIGN.md §14): assigns job ids, places each job on a shard,
+        fans out checkpoint writes, fails over dead shards by replaying
+        their durable logs. GET /metrics federates every live shard's
+        exposition (re-labeled shard=\"<name>\", summed into
+        nptsn_fleet_* series) and GET /jobs/<id>/trace merges the
+        router's and the shards' spans into one Chrome trace — see
+        DESIGN.md §15. --trace-out records the router's own spans.
     nptsn help
         Show this message.
 
-OBSERVABILITY (plan, verify, serve; see DESIGN.md §10):
+OBSERVABILITY (plan, verify, serve, router; see DESIGN.md §10, §15):
     --trace-out <path>   Record hierarchical spans and write a Chrome
                          trace-event file loadable in Perfetto or
                          chrome://tracing. Env fallback: NPTSN_TRACE.
@@ -121,6 +133,11 @@ OBSERVABILITY (plan, verify, serve; see DESIGN.md §10):
                          (default info). Env fallback: NPTSN_LOG.
     --profile            Print an end-of-run table of the top spans by
                          self-time (enables recording on its own).
+    --flight-capacity N  Size (entries) of the always-on in-memory
+                         flight-recorder ring behind GET /debug/flight
+                         and the panic/drain dumps (default 4096; serve
+                         and router arm the ring even without the flag).
+                         Env fallback: NPTSN_FLIGHT_CAPACITY.
 
 FAULT INJECTION (plan, verify, serve; see DESIGN.md §11):
     NPTSN_CHAOS=<spec>   Arm a deterministic fault plan for this run:
@@ -367,6 +384,7 @@ struct TraceOpts {
     trace_out: Option<PathBuf>,
     level: Option<Level>,
     profile: bool,
+    flight_capacity: Option<usize>,
 }
 
 impl TraceOpts {
@@ -400,6 +418,15 @@ impl TraceOpts {
                 self.profile = true;
                 Ok(true)
             }
+            "--flight-capacity" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::msg("--flight-capacity needs a value".into()))?;
+                self.flight_capacity = Some(value.parse().map_err(|_| {
+                    CliError::msg(format!("--flight-capacity: '{value}' is not a number"))
+                })?);
+                Ok(true)
+            }
             _ => Ok(false),
         }
     }
@@ -429,6 +456,22 @@ impl TraceOpts {
                     })?);
                 }
             }
+        }
+        if self.flight_capacity.is_none() {
+            if let Ok(value) = std::env::var("NPTSN_FLIGHT_CAPACITY") {
+                if !value.is_empty() {
+                    self.flight_capacity = Some(value.parse().map_err(|_| {
+                        CliError::msg(format!(
+                            "NPTSN_FLIGHT_CAPACITY: '{value}' is not a number"
+                        ))
+                    })?);
+                }
+            }
+        }
+        // First-wins: an explicit capacity must claim the ring before
+        // Server::bind / Router::bind arm it with the default size.
+        if let Some(capacity) = self.flight_capacity {
+            nptsn_obs::flight_init(capacity);
         }
         if let Some(level) = self.level {
             nptsn_obs::set_log_level(level);

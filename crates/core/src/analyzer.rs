@@ -441,12 +441,16 @@ impl FailureAnalyzer {
     ) -> OrderOutcome {
         let workers = self.workers.min(scenarios.len());
         let first_fail = AtomicUsize::new(usize::MAX);
+        // Worker threads start without the caller's trace context; carry
+        // it across so their spans land in the same per-job timeline.
+        let trace = nptsn_obs::current_trace();
         let per_worker: Vec<WorkerOutcome> =
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(workers);
                 for w in 0..workers {
                     let first_fail = &first_fail;
                     handles.push(scope.spawn(move || {
+                        let _trace = nptsn_obs::with_trace(trace);
                         let mut earliest: Option<(usize, ErrorReport)> = None;
                         let mut hits = 0u64;
                         let mut misses = 0u64;

@@ -263,6 +263,9 @@ impl Planner {
             // Each worker's rollout runs under `catch_unwind`: a panic in
             // one episode (a poisoned NBF, a malformed scenario) poisons
             // only that worker's share of the epoch, never the run.
+            // Rollout threads start bare; install the epoch's trace
+            // context so their spans join the same per-job timeline.
+            let trace = nptsn_obs::current_trace();
             let results: Vec<Option<WorkerResult>> = std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(workers);
                 for worker in 0..workers {
@@ -270,6 +273,7 @@ impl Planner {
                     let problem = self.problem.clone();
                     let config = &self.config;
                     handles.push(scope.spawn(move || {
+                        let _trace = nptsn_obs::with_trace(trace);
                         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             collect_rollout(
                                 problem,

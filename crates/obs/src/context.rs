@@ -1,0 +1,178 @@
+//! Cross-process trace context: a 128-bit trace id plus a parent span id,
+//! carried between fleet processes in the `X-Nptsn-Trace` header and
+//! within a process in a thread-local slot.
+//!
+//! The router mints one [`TraceContext`] per job — deterministically, from
+//! the job id through the seeded splitmix64 mixer, never from the wall
+//! clock — and stamps it on every forward and replay. A serve shard adopts
+//! the header for the request span and threads the context through its job
+//! queue into the worker, so `job.run`, `analyzer.analyze` and
+//! `gcn.forward` on the shard all carry the trace id minted at the router.
+//!
+//! Everything here is `Copy` and allocation-free: propagating a context
+//! across a thread hop is two `Cell` stores.
+
+use std::cell::Cell;
+
+/// The header that carries a [`TraceContext`] across process hops.
+///
+/// Value format: `<trace_id:032x>-<parent_span:016x>` (49 ASCII bytes).
+pub const TRACE_HEADER: &str = "X-Nptsn-Trace";
+
+/// A propagated trace identity: which end-to-end trace the current work
+/// belongs to, and the span on the sending side that caused it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The 128-bit trace id shared by every span of one logical request.
+    /// Never zero — zero is the in-band "no trace" marker.
+    pub trace_id: u128,
+    /// The id of the span on the upstream process that initiated this hop.
+    pub parent_span: u64,
+}
+
+/// The splitmix64 output function — the same mixer `nptsn-rand` seeds
+/// from, inlined here (it is private there) so trace ids are deterministic
+/// functions of their seed with no wall-clock input.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TraceContext {
+    /// Derives a context deterministically from `seed` (three splitmix64
+    /// draws: trace-id high word, low word, parent span). The same seed
+    /// always yields the same context, so a router can *recompute* the
+    /// trace id of a job from its id instead of storing it.
+    pub fn from_seed(seed: u64) -> TraceContext {
+        let mut state = seed;
+        let hi = splitmix64(&mut state);
+        let lo = splitmix64(&mut state);
+        let parent_span = splitmix64(&mut state);
+        let trace_id = ((hi as u128) << 64) | (lo as u128);
+        TraceContext { trace_id: if trace_id == 0 { 1 } else { trace_id }, parent_span }
+    }
+
+    /// Renders the `X-Nptsn-Trace` header value.
+    pub fn header_value(&self) -> String {
+        format!("{:032x}-{:016x}", self.trace_id, self.parent_span)
+    }
+
+    /// Parses a header value produced by [`TraceContext::header_value`].
+    /// Returns `None` for anything malformed (including a zero trace id):
+    /// a bad header means "no trace", never an error.
+    pub fn parse(s: &str) -> Option<TraceContext> {
+        let s = s.trim();
+        let (trace, parent) = s.split_once('-')?;
+        if trace.len() != 32 || parent.len() != 16 {
+            return None;
+        }
+        let trace_id = u128::from_str_radix(trace, 16).ok()?;
+        let parent_span = u64::from_str_radix(parent, 16).ok()?;
+        (trace_id != 0).then_some(TraceContext { trace_id, parent_span })
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// The trace context active on the current thread, if any.
+pub fn current_trace() -> Option<TraceContext> {
+    CURRENT.try_with(Cell::get).ok().flatten()
+}
+
+/// Sets (or clears) the current thread's trace context. Prefer the scoped
+/// [`with_trace`] unless the surrounding code manages restore itself.
+pub fn set_current_trace(ctx: Option<TraceContext>) {
+    let _ = CURRENT.try_with(|c| c.set(ctx));
+}
+
+/// The trace id spans opened on this thread should carry (0 = untraced).
+#[inline]
+pub(crate) fn current_trace_id() -> u128 {
+    CURRENT.try_with(Cell::get).ok().flatten().map_or(0, |c| c.trace_id)
+}
+
+/// Restores the previous thread-trace context when dropped.
+#[must_use = "the trace context reverts when this guard drops; bind it with `let _trace = ...`"]
+pub struct TraceScope {
+    previous: Option<TraceContext>,
+}
+
+/// Installs `ctx` as the current thread's trace context for the guard's
+/// lifetime; the previous context (possibly none) is restored on drop.
+/// Passing `None` runs the scope untraced.
+pub fn with_trace(ctx: Option<TraceContext>) -> TraceScope {
+    let previous = current_trace();
+    set_current_trace(ctx);
+    TraceScope { previous }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        set_current_trace(self.previous);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contexts_are_deterministic_in_the_seed() {
+        let a = TraceContext::from_seed(42);
+        let b = TraceContext::from_seed(42);
+        let c = TraceContext::from_seed(43);
+        assert_eq!(a, b);
+        assert_ne!(a.trace_id, c.trace_id);
+        assert_ne!(a.trace_id, 0);
+    }
+
+    #[test]
+    fn header_values_round_trip() {
+        let ctx = TraceContext::from_seed(7);
+        let value = ctx.header_value();
+        assert_eq!(value.len(), 49, "{value}");
+        assert_eq!(TraceContext::parse(&value), Some(ctx));
+        assert_eq!(TraceContext::parse(&format!("  {value}  ")), Some(ctx));
+    }
+
+    #[test]
+    fn malformed_headers_parse_to_none() {
+        for bad in [
+            "",
+            "abc",
+            "xyz-123",
+            "0123456789abcdef-0123456789abcdef0123456789abcdef", // swapped widths
+            &"0".repeat(49),
+            &format!("{}-{:016x}", "0".repeat(32), 5u64), // zero trace id
+        ] {
+            assert_eq!(TraceContext::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn with_trace_nests_and_restores() {
+        assert_eq!(current_trace(), None);
+        let outer = TraceContext::from_seed(1);
+        let inner = TraceContext::from_seed(2);
+        {
+            let _a = with_trace(Some(outer));
+            assert_eq!(current_trace(), Some(outer));
+            {
+                let _b = with_trace(Some(inner));
+                assert_eq!(current_trace(), Some(inner));
+                {
+                    let _c = with_trace(None);
+                    assert_eq!(current_trace(), None);
+                }
+                assert_eq!(current_trace(), Some(inner));
+            }
+            assert_eq!(current_trace(), Some(outer));
+        }
+        assert_eq!(current_trace(), None);
+    }
+}

@@ -121,17 +121,21 @@ pub fn chrome_trace_json(records: &[Record]) -> String {
             out.push(',');
         }
         match record {
-            Record::Span { name, tid, start_ns, dur_ns, self_ns } => {
+            Record::Span { name, tid, start_ns, dur_ns, self_ns, trace_id } => {
                 out.push_str("{\"name\":\"");
                 escape_into(&mut out, name);
                 let _ = write!(
                     out,
                     "\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\
-                     \"dur\":{},\"args\":{{\"self_us\":{}}}}}",
+                     \"dur\":{},\"args\":{{\"self_us\":{}",
                     us(*start_ns),
                     us(*dur_ns),
                     us(*self_ns)
                 );
+                if *trace_id != 0 {
+                    let _ = write!(out, ",\"trace\":\"{trace_id:032x}\"");
+                }
+                out.push_str("}}");
             }
             Record::Event { name, level, tid, ts_ns, message } => {
                 out.push_str("{\"name\":\"");
@@ -168,14 +172,18 @@ pub fn jsonl(records: &[Record]) -> String {
     let mut out = String::new();
     for record in records {
         match record {
-            Record::Span { name, tid, start_ns, dur_ns, self_ns } => {
+            Record::Span { name, tid, start_ns, dur_ns, self_ns, trace_id } => {
                 out.push_str("{\"type\":\"span\",\"name\":\"");
                 escape_into(&mut out, name);
-                let _ = writeln!(
+                let _ = write!(
                     out,
                     "\",\"tid\":{tid},\"start_ns\":{start_ns},\"dur_ns\":{dur_ns},\
-                     \"self_ns\":{self_ns}}}"
+                     \"self_ns\":{self_ns}"
                 );
+                if *trace_id != 0 {
+                    let _ = write!(out, ",\"trace\":\"{trace_id:032x}\"");
+                }
+                out.push_str("}\n");
             }
             Record::Event { name, level, tid, ts_ns, message } => {
                 out.push_str("{\"type\":\"event\",\"name\":\"");
@@ -204,11 +212,81 @@ pub fn jsonl(records: &[Record]) -> String {
 
 /// A JSON-valid rendering of an `f64` (no `NaN`/`inf` tokens, always a
 /// decimal point or integer form).
-fn json_number(v: f64) -> String {
+pub(crate) fn json_number(v: f64) -> String {
     if !v.is_finite() {
         return "0".to_string();
     }
     format!("{v}")
+}
+
+/// One span inside a merged multi-process trace — names are owned
+/// strings because merged spans arrive over the wire, not from static
+/// call sites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedSpan {
+    /// The span name, e.g. `"job.run"`.
+    pub name: String,
+    /// Recording thread on the originating process.
+    pub tid: u64,
+    /// Start offset from that process's trace epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration.
+    pub dur_ns: u64,
+    /// Self time (duration minus same-thread children).
+    pub self_ns: u64,
+    /// The shared trace id (0 = untraced).
+    pub trace_id: u128,
+}
+
+/// One process's contribution to a merged trace: the Chrome-trace `pid`
+/// is the process's index + 1 and the given name becomes the Perfetto
+/// process label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessTrace {
+    /// Process label, e.g. `"router"` or a shard name.
+    pub name: String,
+    /// The spans this process recorded (may be empty — the process row
+    /// still appears in the output).
+    pub spans: Vec<MergedSpan>,
+}
+
+/// Renders a fleet-wide Chrome trace-event document: each process gets
+/// its own `pid` with a `process_name` metadata record (emitted even for
+/// processes that contributed no spans, so every fleet member is visible
+/// in Perfetto), and every span carries its trace id in `args`.
+pub fn chrome_trace_merged(processes: &[ProcessTrace]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for (i, process) in processes.iter().enumerate() {
+        let pid = i + 1;
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+        let _ = write!(out, "{pid},\"tid\":0,\"args\":{{\"name\":\"");
+        escape_into(&mut out, &process.name);
+        out.push_str("\"}}");
+        for span in &process.spans {
+            out.push_str(",{\"name\":\"");
+            escape_into(&mut out, &span.name);
+            let _ = write!(
+                out,
+                "\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\"ts\":{},\
+                 \"dur\":{},\"args\":{{\"self_us\":{}",
+                span.tid,
+                us(span.start_ns),
+                us(span.dur_ns),
+                us(span.self_ns)
+            );
+            if span.trace_id != 0 {
+                let _ = write!(out, ",\"trace\":\"{:032x}\"", span.trace_id);
+            }
+            out.push_str("}}");
+        }
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Writes [`chrome_trace_json`] output to `path`.
@@ -228,9 +306,30 @@ mod tests {
 
     fn sample_records() -> Vec<Record> {
         vec![
-            Record::Span { name: "a", tid: 1, start_ns: 0, dur_ns: 3_000, self_ns: 1_000 },
-            Record::Span { name: "b", tid: 1, start_ns: 500, dur_ns: 2_000, self_ns: 2_000 },
-            Record::Span { name: "a", tid: 2, start_ns: 100, dur_ns: 5_000, self_ns: 5_000 },
+            Record::Span {
+                name: "a",
+                tid: 1,
+                start_ns: 0,
+                dur_ns: 3_000,
+                self_ns: 1_000,
+                trace_id: 0xabc,
+            },
+            Record::Span {
+                name: "b",
+                tid: 1,
+                start_ns: 500,
+                dur_ns: 2_000,
+                self_ns: 2_000,
+                trace_id: 0,
+            },
+            Record::Span {
+                name: "a",
+                tid: 2,
+                start_ns: 100,
+                dur_ns: 5_000,
+                self_ns: 5_000,
+                trace_id: 0,
+            },
             Record::Event {
                 name: "ev",
                 level: Level::Info,
@@ -285,5 +384,80 @@ mod tests {
         let text = chrome_trace_json(&sample_records());
         assert!(text.contains("hello \\\"quoted\\\"\\nline"), "{text}");
         assert!(crate::json::parse(&text).is_ok(), "{text}");
+    }
+
+    #[test]
+    fn traced_spans_carry_their_trace_id_untraced_ones_do_not() {
+        let trace_hex = format!("{:032x}", 0xabcu128);
+        let chrome = chrome_trace_json(&sample_records());
+        assert_eq!(chrome.matches(&trace_hex).count(), 1, "{chrome}");
+        let lines = jsonl(&sample_records());
+        assert_eq!(lines.matches(&trace_hex).count(), 1, "{lines}");
+        for line in lines.lines() {
+            assert!(crate::json::parse(line).is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn merged_traces_name_every_process_even_without_spans() {
+        let trace_id = 0xfeedu128;
+        let processes = vec![
+            ProcessTrace {
+                name: "router".to_string(),
+                spans: vec![MergedSpan {
+                    name: "router.forward".to_string(),
+                    tid: 1,
+                    start_ns: 0,
+                    dur_ns: 9_000,
+                    self_ns: 9_000,
+                    trace_id,
+                }],
+            },
+            ProcessTrace {
+                name: "alpha".to_string(),
+                spans: vec![MergedSpan {
+                    name: "job.run".to_string(),
+                    tid: 3,
+                    start_ns: 2_000,
+                    dur_ns: 4_000,
+                    self_ns: 4_000,
+                    trace_id,
+                }],
+            },
+            ProcessTrace { name: "beta".to_string(), spans: Vec::new() },
+        ];
+        let text = chrome_trace_merged(&processes);
+        let value = crate::json::parse(&text).expect("merged trace parses");
+        let events = value.get("traceEvents").and_then(crate::json::Value::as_arr).unwrap();
+        // Three process_name metadata records, one per process, distinct pids.
+        let meta: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(crate::json::Value::as_str) == Some("M"))
+            .collect();
+        assert_eq!(meta.len(), 3, "{text}");
+        for (i, name) in ["router", "alpha", "beta"].iter().enumerate() {
+            assert!(
+                meta.iter().any(|e| {
+                    e.get("pid").and_then(crate::json::Value::as_num) == Some((i + 1) as f64)
+                        && e.get("args")
+                            .and_then(|a| a.get("name"))
+                            .and_then(crate::json::Value::as_str)
+                            == Some(name)
+                }),
+                "{text}"
+            );
+        }
+        // Both spans share the trace id, on their own pids.
+        let hex = format!("{trace_id:032x}");
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(crate::json::Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 2, "{text}");
+        assert!(spans.iter().all(|e| {
+            e.get("args").and_then(|a| a.get("trace")).and_then(crate::json::Value::as_str)
+                == Some(hex.as_str())
+        }));
+        assert!(chrome_trace_merged(&[]).contains("traceEvents"));
     }
 }

@@ -42,18 +42,29 @@
 
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod promtext;
 pub mod telemetry;
 
+pub use context::{
+    current_trace, set_current_trace, with_trace, TraceContext, TraceScope, TRACE_HEADER,
+};
 pub use export::{
-    chrome_trace_json, jsonl, profile_table, span_stats, write_chrome_trace, write_jsonl,
-    SpanStat,
+    chrome_trace_json, chrome_trace_merged, jsonl, profile_table, span_stats, write_chrome_trace,
+    write_jsonl, MergedSpan, ProcessTrace, SpanStat,
+};
+pub use flight::{
+    flight_armed, flight_capacity, flight_dump, flight_dump_auto, flight_init, flight_json,
+    flight_set_dump_dir, flight_snapshot, flight_spans_for_trace, FlightEntry, FlightKind,
+    DEFAULT_FLIGHT_CAPACITY,
 };
 pub use telemetry::{telemetry, Telemetry};
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -121,6 +132,9 @@ pub enum Record {
         dur_ns: u64,
         /// Duration minus time spent in child spans on the same thread.
         self_ns: u64,
+        /// The [`TraceContext`] trace id active when the span opened
+        /// (0 = untraced work).
+        trace_id: u128,
     },
     /// A leveled log event.
     Event {
@@ -191,6 +205,7 @@ struct OpenSpan {
     name: &'static str,
     start_ns: u64,
     child_ns: u64,
+    trace_id: u128,
 }
 
 struct ThreadCtx {
@@ -225,48 +240,98 @@ impl Drop for ThreadCtx {
 }
 
 thread_local! {
+    // No destructor, so first access never allocates — the flight
+    // recorder reads this on the tracing-disabled path.
+    static TID: Cell<u64> = const { Cell::new(0) };
+
     static CTX: RefCell<ThreadCtx> = RefCell::new(ThreadCtx {
-        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        tid: current_tid(),
         stack: Vec::new(),
         buf: Vec::new(),
     });
 }
 
+/// The current thread's stable trace thread-id (assigned on first use,
+/// shared by the span recorder and the flight recorder).
+fn current_tid() -> u64 {
+    TID.try_with(|t| {
+        let v = t.get();
+        if v != 0 {
+            v
+        } else {
+            let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(v);
+            v
+        }
+    })
+    .unwrap_or(0)
+}
+
 /// An open span; the span closes (and is recorded) when the guard drops.
 ///
-/// Constructed through [`span`]. When tracing is disabled at construction
-/// the guard is inert: it holds no data and its drop is a branch.
+/// Constructed through [`span`]. With both tracing and the flight
+/// recorder off at construction the guard is inert and its drop is a
+/// branch.
 #[must_use = "a span closes when its guard drops; bind it with `let _span = ...`"]
 pub struct SpanGuard {
-    armed: bool,
+    name: &'static str,
+    start_ns: u64,
+    trace_id: u128,
+    tracing: bool,
+    flight: bool,
 }
 
 /// Opens a span named `name` on the current thread.
 ///
 /// Nesting is by construction order on each thread: the span closed last
 /// charges its duration to the enclosing span's child-time, so the
-/// profile's *self* column is exact. Disabled tracing makes this a single
-/// atomic load with no allocation.
+/// profile's *self* column is exact. The span carries the thread's
+/// current [`TraceContext`] trace id, if any. With tracing disabled and
+/// the flight recorder disarmed this is two relaxed atomic loads and no
+/// allocation; an armed flight recorder alone adds one ring write at
+/// close, still allocation-free.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
-    if !enabled() {
-        return SpanGuard { armed: false };
+    let tracing = enabled();
+    let flight = flight::armed();
+    if !tracing && !flight {
+        return SpanGuard { name, start_ns: 0, trace_id: 0, tracing: false, flight: false };
     }
     let start_ns = now_ns();
-    let armed = CTX
-        .try_with(|c| {
-            c.borrow_mut().stack.push(OpenSpan { name, start_ns, child_ns: 0 });
-        })
-        .is_ok();
-    SpanGuard { armed }
+    let trace_id = context::current_trace_id();
+    let tracing = tracing
+        && CTX
+            .try_with(|c| {
+                c.borrow_mut().stack.push(OpenSpan { name, start_ns, child_ns: 0, trace_id });
+            })
+            .is_ok();
+    SpanGuard { name, start_ns, trace_id, tracing, flight }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if !self.armed {
+        if !self.tracing && !self.flight {
             return;
         }
         let end_ns = now_ns();
+        let dur_ns = end_ns.saturating_sub(self.start_ns);
+        if self.flight {
+            // Flight records carry no child-time accounting, so self time
+            // approximates to the full duration there.
+            flight::record(
+                FlightKind::Span,
+                self.name,
+                Level::Off,
+                current_tid(),
+                self.start_ns,
+                dur_ns,
+                0.0,
+                self.trace_id,
+            );
+        }
+        if !self.tracing {
+            return;
+        }
         let _ = CTX.try_with(|c| {
             let mut ctx = c.borrow_mut();
             let Some(open) = ctx.stack.pop() else { return };
@@ -276,21 +341,49 @@ impl Drop for SpanGuard {
                 parent.child_ns += dur_ns;
             }
             let tid = ctx.tid;
-            ctx.push(Record::Span { name: open.name, tid, start_ns: open.start_ns, dur_ns, self_ns });
+            ctx.push(Record::Span {
+                name: open.name,
+                tid,
+                start_ns: open.start_ns,
+                dur_ns,
+                self_ns,
+                trace_id: open.trace_id,
+            });
         });
     }
 }
 
-/// Records a leveled log event if tracing is enabled and `level` is at or
-/// below the configured [`log_level`].
+/// Records a leveled log event if `level` is at or below the configured
+/// [`log_level`] and either tracing is enabled or the flight recorder is
+/// armed (flight entries keep the name and level, not the message).
 ///
 /// Callers formatting a message should guard the `format!` behind
 /// [`enabled`] to keep the disabled path allocation-free.
 pub fn event(level: Level, name: &'static str, message: &str) {
-    if !enabled() || level == Level::Off || (level as u8) > LOG_LEVEL.load(Ordering::Relaxed) {
+    if level == Level::Off || (level as u8) > LOG_LEVEL.load(Ordering::Relaxed) {
+        return;
+    }
+    let tracing = enabled();
+    let flight = flight::armed();
+    if !tracing && !flight {
         return;
     }
     let ts_ns = now_ns();
+    if flight {
+        flight::record(
+            FlightKind::Event,
+            name,
+            level,
+            current_tid(),
+            ts_ns,
+            0,
+            0.0,
+            context::current_trace_id(),
+        );
+    }
+    if !tracing {
+        return;
+    }
     let _ = CTX.try_with(|c| {
         let mut ctx = c.borrow_mut();
         let tid = ctx.tid;
@@ -300,10 +393,27 @@ pub fn event(level: Level, name: &'static str, message: &str) {
 
 /// Records a counter sample (a point on a Perfetto counter track).
 pub fn counter(name: &'static str, value: f64) {
-    if !enabled() {
+    let tracing = enabled();
+    let flight = flight::armed();
+    if !tracing && !flight {
         return;
     }
     let ts_ns = now_ns();
+    if flight {
+        flight::record(
+            FlightKind::Counter,
+            name,
+            Level::Off,
+            current_tid(),
+            ts_ns,
+            0,
+            value,
+            context::current_trace_id(),
+        );
+    }
+    if !tracing {
+        return;
+    }
     let _ = CTX.try_with(|c| {
         let mut ctx = c.borrow_mut();
         let tid = ctx.tid;

@@ -35,6 +35,12 @@ static ALLOC: CountingAllocator = CountingAllocator;
 fn disabled_tracing_does_not_allocate() {
     assert!(!nptsn_obs::enabled(), "tracing must start disabled");
 
+    // Arm the flight recorder: its ring allocates *here*, once, and the
+    // recording path below must stay allocation-free even while armed
+    // (the always-on server configuration).
+    nptsn_obs::flight_init(1024);
+    assert!(nptsn_obs::flight_armed());
+
     // Warm up any lazy one-time state outside the measured window.
     {
         let _span = nptsn_obs::span("warmup");
@@ -65,5 +71,13 @@ fn disabled_tracing_does_not_allocate() {
     assert_eq!(
         best, 0,
         "disabled tracing allocated {best} times across 30k probe calls in the cleanest attempt"
+    );
+
+    // The probes above ran with the flight recorder armed, so the ring
+    // must actually have captured them — zero-alloc *and* recording.
+    let snapshot = nptsn_obs::flight_snapshot();
+    assert!(
+        snapshot.iter().any(|e| e.name == "hot.span"),
+        "armed flight recorder captured the probe spans"
     );
 }

@@ -27,7 +27,7 @@ fn spans(records: &[Record]) -> Vec<(&'static str, u64, u64, u64, u64)> {
     records
         .iter()
         .filter_map(|r| match r {
-            Record::Span { name, tid, start_ns, dur_ns, self_ns } => {
+            Record::Span { name, tid, start_ns, dur_ns, self_ns, trace_id: _ } => {
                 Some((*name, *tid, *start_ns, *dur_ns, *self_ns))
             }
             _ => None,
@@ -127,6 +127,41 @@ fn disabled_tracing_records_nothing() {
         nptsn_obs::counter("test.ghost", 1.0);
     }
     assert!(nptsn_obs::drain().is_empty());
+}
+
+#[test]
+fn spans_adopt_the_thread_trace_context_and_propagate_across_threads() {
+    let ctx = nptsn_obs::TraceContext::from_seed(99);
+    let (_, records) = record(|| {
+        {
+            let _trace = nptsn_obs::with_trace(Some(ctx));
+            let _outer = nptsn_obs::span("traced.outer");
+            // A worker thread adopts the captured context, the way the
+            // analyzer/planner thread pools do.
+            let captured = nptsn_obs::current_trace();
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    let _trace = nptsn_obs::with_trace(captured);
+                    let _inner = nptsn_obs::span("traced.worker");
+                    drop(_inner);
+                    nptsn_obs::flush_thread();
+                });
+            });
+        }
+        let _after = nptsn_obs::span("untraced.after");
+    });
+    let by_name = |n: &str| {
+        records
+            .iter()
+            .find_map(|r| match r {
+                Record::Span { name, trace_id, .. } if *name == n => Some(*trace_id),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("span {n} missing: {records:?}"))
+    };
+    assert_eq!(by_name("traced.outer"), ctx.trace_id);
+    assert_eq!(by_name("traced.worker"), ctx.trace_id, "worker thread shares the trace id");
+    assert_eq!(by_name("untraced.after"), 0, "spans outside the scope are untraced");
 }
 
 #[test]

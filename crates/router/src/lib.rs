@@ -47,4 +47,4 @@ pub mod server;
 
 pub use replay::ReplayReport;
 pub use ring::Ring;
-pub use server::{Router, RouterConfig, RouterMetrics, ShardSpec};
+pub use server::{trace_for_job, Router, RouterConfig, RouterMetrics, ShardSpec};

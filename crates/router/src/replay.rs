@@ -19,12 +19,13 @@
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
-use nptsn_serve::persist::job_id_from_key;
+use nptsn_serve::persist::{job_id_from_key, trace_id_from_key};
 use nptsn_store::LogStore;
 
 use crate::ring::key_hash;
-use crate::server::Shared;
+use crate::server::{trace_for_job, Shared};
 
 /// What one replay accomplished.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -56,7 +57,12 @@ fn ingest_one(shared: &Arc<Shared>, index: usize, id: u64, bytes: &[u8], report:
             continue;
         }
         let mut client = shared.forward_client(index, key_hash(id) ^ 0x5265_706c_6179);
-        let Ok(response) = client.post(&format!("/internal/replay/{id}"), bytes) else {
+        // Re-stamp the job's deterministic trace context: the successor's
+        // ingest (and any re-run) joins the timeline the job started.
+        let headers = [(nptsn_obs::TRACE_HEADER, trace_for_job(id).header_value())];
+        let Ok(response) =
+            client.send("POST", &format!("/internal/replay/{id}"), &headers, bytes)
+        else {
             continue;
         };
         match response.status {
@@ -103,14 +109,24 @@ pub(crate) fn replay_dead_shard(shared: &Arc<Shared>, dead: usize) -> ReplayRepo
         }
     };
     for (key, bytes) in records {
-        // Only job records replay; the watermark and checkpoint registry
-        // keys are shard-local bookkeeping.
+        // Trace timelines replay alongside their jobs — best effort, so a
+        // dead shard's spans survive in the merged fleet trace. Everything
+        // else that is not a job record (the watermark, the checkpoint
+        // registry) is shard-local bookkeeping and stays behind.
+        if let Some(id) = trace_id_from_key(&key) {
+            replay_trace(shared, id, &bytes, &mut report);
+            continue;
+        }
         let Some(id) = job_id_from_key(&key) else { continue };
         let ring = shared.current_ring();
         let Some(index) = ring.place(id).and_then(|name| shared.live_index(name)) else {
             report.failed += 1;
             continue;
         };
+        let trace = trace_for_job(id);
+        let _trace = nptsn_obs::with_trace(Some(trace));
+        let _span = nptsn_obs::span("router.replay.job");
+        let started = Instant::now();
         match ingest_one(shared, index, id, &bytes, &mut report) {
             Some(kind) if kind == "already_known" => report.already_known += 1,
             Some(_) => {
@@ -119,7 +135,41 @@ pub(crate) fn replay_dead_shard(shared: &Arc<Shared>, dead: usize) -> ReplayRepo
             }
             None => report.failed += 1,
         }
+        shared.metrics.replay_seconds.observe(started.elapsed().as_secs_f64());
         shared.next_id.fetch_max(id, Ordering::SeqCst);
     }
     report
+}
+
+/// Replays one persisted trace timeline onto the job's current ring
+/// owner. Failures are not counted against the job replay — a lost
+/// timeline degrades the merged trace, never the durability contract.
+fn replay_trace(shared: &Arc<Shared>, id: u64, bytes: &[u8], report: &mut ReplayReport) {
+    let Some(index) =
+        shared.current_ring().place(id).and_then(|name| shared.live_index(name))
+    else {
+        return;
+    };
+    let trace = trace_for_job(id);
+    let _trace = nptsn_obs::with_trace(Some(trace));
+    let _span = nptsn_obs::span("router.replay.trace");
+    let started = Instant::now();
+    for attempt in 0..5u32 {
+        if attempt > 0 {
+            report.retries += 1;
+            nptsn_obs::telemetry().router_replay_retries.inc();
+        }
+        if nptsn_chaos::point("router.replay").is_err() {
+            continue;
+        }
+        let mut client = shared.forward_client(index, key_hash(id) ^ 0x0054_7261_6365);
+        let headers = [(nptsn_obs::TRACE_HEADER, trace.header_value())];
+        match client.send("POST", &format!("/internal/trace/{id}"), &headers, bytes) {
+            Ok(response) if response.status == 200 => break,
+            // A 400 is a verdict: the record does not decode.
+            Ok(response) if response.status == 400 => break,
+            _ => continue,
+        }
+    }
+    shared.metrics.replay_seconds.observe(started.elapsed().as_secs_f64());
 }

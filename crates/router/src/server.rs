@@ -7,7 +7,9 @@
 //! |---|---|
 //! | `GET /healthz` | router liveness + per-shard alive/dead table |
 //! | `GET /readyz` | `200` iff at least one shard is live |
-//! | `GET /metrics` | router registry + process-wide telemetry |
+//! | `GET /metrics` | federated: router registry + telemetry + every live shard's metrics re-labeled `shard="<name>"` + `nptsn_fleet_*` sums |
+//! | `GET /jobs/<id>/trace` | merged fleet-wide Chrome trace for the job (router + shard spans, one trace id) |
+//! | `GET /debug/flight` | the router's in-memory flight-recorder ring |
 //! | `POST /shutdown` | drain and stop the router (shards keep running) |
 //! | `POST /jobs/{plan,verify,infer,burn}` | assign an id, place it on the ring, forward with `X-Nptsn-Job-Id` |
 //! | `GET/DELETE /jobs/<id>` | forward to the ring owner of `<id>` |
@@ -32,7 +34,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use nptsn_format::json::Object;
-use nptsn_obs::metrics::{Counter, Gauge, Registry};
+use nptsn_obs::metrics::{Counter, Gauge, Histogram, Registry};
+use nptsn_obs::{MergedSpan, ProcessTrace, TraceContext};
 use nptsn_serve::client::{BackoffConfig, Client, ClientResponse};
 use nptsn_serve::http::{read_request_deadline, HttpError, Request, Response};
 
@@ -77,6 +80,9 @@ pub struct RouterConfig {
     pub header_deadline_ms: u64,
     /// `Retry-After` hint on `503` answers, in seconds.
     pub retry_after_secs: u32,
+    /// Flight-recorder ring capacity in entries (`0` uses the built-in
+    /// default). Armed unconditionally at bind, like the shards.
+    pub flight_capacity: usize,
 }
 
 impl Default for RouterConfig {
@@ -92,6 +98,7 @@ impl Default for RouterConfig {
             io_timeout_ms: 30_000,
             header_deadline_ms: 10_000,
             retry_after_secs: 1,
+            flight_capacity: 0,
         }
     }
 }
@@ -111,6 +118,16 @@ pub struct RouterMetrics {
     pub submit_conflicts: Arc<Counter>,
     /// Live shards on the ring (`nptsn_router_live_shards`).
     pub live_shards: Arc<Gauge>,
+    /// Latency of one forwarded request, retries included
+    /// (`nptsn_router_forward_duration_seconds`).
+    pub forward_seconds: Arc<Histogram>,
+    /// Latency of one replayed record's ingest, retries included
+    /// (`nptsn_router_replay_duration_seconds`).
+    pub replay_seconds: Arc<Histogram>,
+    /// Shard `/metrics` scrapes that failed — the federated exposition
+    /// degraded to the shards that answered
+    /// (`nptsn_router_scrape_errors_total`).
+    pub scrape_errors: Arc<Counter>,
 }
 
 impl RouterMetrics {
@@ -127,7 +144,30 @@ impl RouterMetrics {
         );
         let live_shards =
             registry.gauge("nptsn_router_live_shards", "Shards currently live on the ring");
-        RouterMetrics { registry, http_requests, forward_errors, submit_conflicts, live_shards }
+        let forward_seconds = registry.histogram(
+            "nptsn_router_forward_duration_seconds",
+            "Latency of one forwarded request, retries included",
+            &Histogram::latency_bounds(),
+        );
+        let replay_seconds = registry.histogram(
+            "nptsn_router_replay_duration_seconds",
+            "Latency of one replayed record's ingest, retries included",
+            &Histogram::latency_bounds(),
+        );
+        let scrape_errors = registry.counter(
+            "nptsn_router_scrape_errors_total",
+            "Shard metrics scrapes that failed during federation",
+        );
+        RouterMetrics {
+            registry,
+            http_requests,
+            forward_errors,
+            submit_conflicts,
+            live_shards,
+            forward_seconds,
+            replay_seconds,
+            scrape_errors,
+        }
     }
 
     /// The full `/metrics` exposition: the router registry followed by the
@@ -244,6 +284,10 @@ impl Router {
     /// `InvalidInput` when the shard list is empty or has duplicate names;
     /// otherwise whatever binding the listener returns.
     pub fn bind(config: RouterConfig) -> io::Result<Router> {
+        // Arm the flight recorder before anything can record: it is the
+        // always-on ring behind `/debug/flight` and the source of the
+        // router's own spans in merged per-job timelines.
+        nptsn_obs::flight_init(config.flight_capacity);
         if config.shards.is_empty() {
             return Err(io::Error::new(io::ErrorKind::InvalidInput, "no shards configured"));
         }
@@ -349,7 +393,18 @@ impl Router {
         if let Some(health) = self.health.take() {
             let _ = health.join();
         }
+        // Park the flight ring on disk (when a dump dir is configured) so
+        // the router's final moments survive the shutdown.
+        nptsn_obs::flight_dump_auto("drain");
     }
+}
+
+/// The deterministic trace context for a job id. Any router instance (or
+/// a restarted one) recomputes the same 128-bit trace id from the id
+/// alone, so `GET /jobs/<id>/trace` needs no stored id→trace mapping and
+/// a replayed job re-joins the timeline it started.
+pub fn trace_for_job(id: u64) -> TraceContext {
+    TraceContext::from_seed(key_hash(id) ^ 0x4e70_7473_6e54_7263)
 }
 
 /// Extracts `"key":<u64>` from a flat JSON body — enough to read the
@@ -563,11 +618,8 @@ fn route(shared: &Arc<Shared>, request: &Request) -> Response {
             obj.int("next_id", shared.next_id.load(Ordering::SeqCst));
             Response::json(200, obj.finish())
         }
-        ("GET", "/metrics") => {
-            let mut r = Response::text(200, shared.metrics.render());
-            r.content_type = "text/plain; version=0.0.4";
-            r
-        }
+        ("GET", "/metrics") => metrics_federated(shared),
+        ("GET", "/debug/flight") => Response::json(200, nptsn_obs::flight_json()),
         ("POST", "/shutdown") => {
             let mut obj = Object::new();
             obj.str("status", "shutting down");
@@ -583,6 +635,119 @@ fn route(shared: &Arc<Shared>, request: &Request) -> Response {
         _ if path.starts_with("/jobs/") => route_job(shared, request),
         _ => Response::error(404, &format!("{method} {path} is not routed")),
     }
+}
+
+/// `GET /metrics`: the fleet-wide exposition. The router's own registry
+/// and telemetry pass through unchanged; every live shard's `/metrics` is
+/// scraped, each sample re-labeled with `shard="<name>"`, and the shard
+/// counters additionally summed into `nptsn_fleet_*` series — one scrape
+/// target tells the whole fleet's story. A shard that fails to answer
+/// (or a `router.scrape` chaos fault) degrades that shard to absent and
+/// counts in `nptsn_router_scrape_errors_total`; the exposition itself
+/// always renders.
+fn metrics_federated(shared: &Arc<Shared>) -> Response {
+    let mut scraped: Vec<(String, String)> = Vec::new();
+    for shard in &shared.shards {
+        if !shard.alive.load(Ordering::SeqCst) {
+            continue;
+        }
+        // Chaos: a faulted scrape is one shard missing from this render —
+        // degrade, don't break.
+        if nptsn_chaos::point("router.scrape").is_err() {
+            shared.metrics.scrape_errors.inc();
+            continue;
+        }
+        let mut client = Client::new(shard.spec.addr);
+        match client.get("/metrics") {
+            Ok(response) if response.status == 200 => {
+                scraped.push((shard.spec.name.clone(), response.text()));
+            }
+            _ => shared.metrics.scrape_errors.inc(),
+        }
+    }
+    let shards: Vec<(&str, &str)> =
+        scraped.iter().map(|(name, text)| (name.as_str(), text.as_str())).collect();
+    // Render the local registry after the scrape loop so the scrape
+    // errors this very request counted are already in the exposition.
+    let local = shared.metrics.render();
+    let mut r = Response::text(200, nptsn_obs::promtext::federate(&local, &shards));
+    r.content_type = "text/plain; version=0.0.4";
+    r
+}
+
+/// `GET /jobs/<id>/trace`: the fleet-wide timeline for one job as a
+/// Chrome trace-event document (loadable in Perfetto / `chrome://tracing`).
+/// The router contributes its own forward/replay spans straight from the
+/// flight ring; every live shard is asked for its persisted fragment and
+/// the pieces merge under one trace id, each process on its own `pid` row.
+/// A fragment recorded by a since-dead shard still appears — replay moved
+/// the record to a survivor, and the record names its original recorder.
+fn merged_trace(shared: &Arc<Shared>, id: u64) -> Response {
+    let trace = trace_for_job(id);
+    let router_spans: Vec<MergedSpan> = nptsn_obs::flight_spans_for_trace(trace.trace_id)
+        .into_iter()
+        .map(|e| MergedSpan {
+            name: e.name.to_string(),
+            tid: e.tid,
+            start_ns: e.ts_ns,
+            dur_ns: e.dur_ns,
+            self_ns: e.dur_ns,
+            trace_id: e.trace_id,
+        })
+        .collect();
+    // One process row per configured shard (dead ones included — their
+    // spans may have been replayed onto a survivor), keyed by the name
+    // the *record* carries, which is the shard that recorded it.
+    let mut order: Vec<String> = shared.shards.iter().map(|s| s.spec.name.clone()).collect();
+    let mut per_shard: std::collections::BTreeMap<String, Vec<MergedSpan>> =
+        order.iter().map(|name| (name.clone(), Vec::new())).collect();
+    let mut found = false;
+    for index in 0..shared.shards.len() {
+        if !shared.shards[index].alive.load(Ordering::SeqCst) {
+            continue;
+        }
+        let mut client = Client::new(shared.shards[index].spec.addr);
+        let Ok(response) = client.get(&format!("/jobs/{id}/trace")) else { continue };
+        if response.status != 200 {
+            continue;
+        }
+        found = true;
+        let Ok(doc) = nptsn_obs::json::parse(&response.text()) else { continue };
+        let recorder = doc
+            .get("shard")
+            .and_then(|v| v.as_str())
+            .filter(|s| !s.is_empty())
+            .unwrap_or(&shared.shards[index].spec.name)
+            .to_string();
+        let Some(spans) = doc.get("spans").and_then(|v| v.as_arr()) else { continue };
+        let bucket = per_shard.entry(recorder.clone()).or_insert_with(|| {
+            order.push(recorder.clone());
+            Vec::new()
+        });
+        for span in spans {
+            let name = span.get("name").and_then(|v| v.as_str()).unwrap_or("?").to_string();
+            let num = |key: &str| span.get(key).and_then(|v| v.as_num()).unwrap_or(0.0) as u64;
+            bucket.push(MergedSpan {
+                name,
+                tid: num("tid"),
+                start_ns: num("start_ns"),
+                dur_ns: num("dur_ns"),
+                self_ns: num("self_ns"),
+                trace_id: trace.trace_id,
+            });
+        }
+    }
+    if !found && router_spans.is_empty() {
+        return Response::error(404, &format!("no trace for job {id}"));
+    }
+    let mut processes = vec![ProcessTrace { name: "router".to_string(), spans: router_spans }];
+    for name in &order {
+        processes.push(ProcessTrace {
+            name: name.clone(),
+            spans: per_shard.remove(name).unwrap_or_default(),
+        });
+    }
+    Response::json(200, nptsn_obs::chrome_trace_merged(&processes))
 }
 
 /// `GET /healthz`: the router's own liveness plus the shard table.
@@ -637,18 +802,30 @@ fn forward_target(request: &Request) -> String {
 }
 
 /// Headers worth forwarding: everything except the hop-by-hop fields the
-/// client rebuilds and the id header the router owns.
-fn forward_headers(request: &Request, job_id: Option<u64>) -> Vec<(&str, String)> {
+/// client rebuilds and the id/trace headers the router owns. The router
+/// is the trace minter — an incoming `X-Nptsn-Trace` is dropped, never
+/// relayed, so one job cannot impersonate another's timeline.
+fn forward_headers(
+    request: &Request,
+    job_id: Option<u64>,
+    trace: Option<TraceContext>,
+) -> Vec<(&str, String)> {
     let mut headers: Vec<(&str, String)> = request
         .headers
         .iter()
         .filter(|(name, _)| {
-            !matches!(name.as_str(), "host" | "content-length" | "connection" | "x-nptsn-job-id")
+            !matches!(
+                name.as_str(),
+                "host" | "content-length" | "connection" | "x-nptsn-job-id" | "x-nptsn-trace"
+            )
         })
         .map(|(name, value)| (name.as_str(), value.clone()))
         .collect();
     if let Some(id) = job_id {
         headers.push(("X-Nptsn-Job-Id", id.to_string()));
+    }
+    if let Some(trace) = trace {
+        headers.push((nptsn_obs::TRACE_HEADER, trace.header_value()));
     }
     headers
 }
@@ -661,17 +838,21 @@ fn forward(
     index: usize,
     request: &Request,
     job_id: Option<u64>,
+    trace: Option<TraceContext>,
 ) -> io::Result<ClientResponse> {
     nptsn_chaos::point("router.forward").map_err(io::Error::from)?;
     nptsn_obs::telemetry().router_forwards.inc();
     let seed = key_hash(job_id.unwrap_or(0));
     let mut client = shared.forward_client(index, seed);
-    client.send(
+    let started = Instant::now();
+    let result = client.send(
         &request.method,
         &forward_target(request),
-        &forward_headers(request, job_id),
+        &forward_headers(request, job_id, trace),
         &request.body,
-    )
+    );
+    shared.metrics.forward_seconds.observe(started.elapsed().as_secs_f64());
+    result
 }
 
 /// Maps an upstream response onto the router's (static) content types.
@@ -710,7 +891,13 @@ fn route_submit(shared: &Arc<Shared>, request: &Request) -> Response {
         let Some(index) = ring.place(id).and_then(|name| shared.live_index(name)) else {
             return unavailable(shared, "no live shards");
         };
-        match forward(shared, index, request, Some(id)) {
+        // Mint the job's trace context and work under it: the forward
+        // span below lands in the flight ring tagged with the same trace
+        // id the shard adopts from the stamped header.
+        let trace = trace_for_job(id);
+        let _trace = nptsn_obs::with_trace(Some(trace));
+        let _span = nptsn_obs::span("router.forward");
+        match forward(shared, index, request, Some(id), Some(trace)) {
             Ok(upstream) if upstream.status == 409 => {
                 shared.metrics.submit_conflicts.inc();
                 for other in 0..shared.shards.len() {
@@ -735,11 +922,17 @@ fn route_job(shared: &Arc<Shared>, request: &Request) -> Response {
     let Ok(id) = rest.split('/').next().unwrap_or("").parse::<u64>() else {
         return Response::error(400, "job id is not a number");
     };
+    if request.method == "GET" && rest.split('/').nth(1) == Some("trace") {
+        return merged_trace(shared, id);
+    }
     let ring = shared.current_ring();
     let Some(index) = ring.place(id).and_then(|name| shared.live_index(name)) else {
         return unavailable(shared, "no live shards");
     };
-    match forward(shared, index, request, None) {
+    let trace = trace_for_job(id);
+    let _trace = nptsn_obs::with_trace(Some(trace));
+    let _span = nptsn_obs::span("router.forward");
+    match forward(shared, index, request, None, Some(trace)) {
         Ok(upstream)
             if upstream.status == 404 && shared.replaying.load(Ordering::SeqCst) =>
         {
@@ -763,7 +956,7 @@ fn forward_first_live(shared: &Arc<Shared>, request: &Request) -> Response {
     else {
         return unavailable(shared, "no live shards");
     };
-    match forward(shared, index, request, None) {
+    match forward(shared, index, request, None, None) {
         Ok(upstream) => relay(shared, upstream),
         Err(_) => {
             shared.metrics.forward_errors.inc();
@@ -786,7 +979,7 @@ fn route_checkpoint(shared: &Arc<Shared>, request: &Request) -> Response {
         if !shared.shards[index].alive.load(Ordering::SeqCst) {
             continue;
         }
-        match forward(shared, index, request, None) {
+        match forward(shared, index, request, None, None) {
             Ok(upstream) if upstream.status < 300 => last = Some(upstream),
             Ok(upstream) => return relay(shared, upstream),
             Err(_) => {
@@ -835,15 +1028,30 @@ mod tests {
                 ("content-length".to_string(), "3".to_string()),
                 ("connection".to_string(), "close".to_string()),
                 ("x-nptsn-job-id".to_string(), "999".to_string()),
+                ("x-nptsn-trace".to_string(), "forged".to_string()),
                 ("x-problem-length".to_string(), "7".to_string()),
             ],
             body: Vec::new(),
         };
-        let headers = forward_headers(&request, Some(12));
+        let headers = forward_headers(&request, Some(12), None);
         assert_eq!(
             headers,
             vec![("x-problem-length", "7".to_string()), ("X-Nptsn-Job-Id", "12".to_string())]
         );
+        // With a minted trace, the router's own header is appended — the
+        // forged incoming one stays stripped.
+        let trace = trace_for_job(12);
+        let headers = forward_headers(&request, Some(12), Some(trace));
+        assert!(headers
+            .iter()
+            .any(|(name, value)| *name == "X-Nptsn-Trace" && *value == trace.header_value()));
+    }
+
+    #[test]
+    fn job_traces_are_deterministic_and_distinct() {
+        assert_eq!(trace_for_job(7), trace_for_job(7));
+        assert_ne!(trace_for_job(7).trace_id, trace_for_job(8).trace_id);
+        assert_ne!(trace_for_job(7).trace_id, 0);
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Router chaos: a faulted shard scrape degrades the federation, never
+//! the exposition. Separate test binary: an armed
+//! [`nptsn_chaos::FaultPlan`] is process-global, and cargo runs test
+//! binaries sequentially, so the plan cannot leak into the clean
+//! failover and trace tests.
+
+use nptsn_chaos::{arm_scoped, FaultKind, FaultPlan, SiteRule};
+use nptsn_router::{Router, RouterConfig, ShardSpec};
+use nptsn_serve::client::Client;
+use nptsn_serve::{ServeConfig, Server};
+
+fn shard(name: &str) -> Server {
+    Server::bind(ServeConfig {
+        workers: 1,
+        shard_name: Some(name.to_string()),
+        ..ServeConfig::default()
+    })
+    .expect("bind shard")
+}
+
+#[test]
+fn a_faulted_scrape_degrades_the_federation_never_the_exposition() {
+    let a = shard("s0");
+    let b = shard("s1");
+    let router = Router::bind(RouterConfig {
+        shards: vec![
+            ShardSpec { name: "s0".to_string(), addr: a.local_addr(), data_dir: None },
+            ShardSpec { name: "s1".to_string(), addr: b.local_addr(), data_dir: None },
+        ],
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+    let mut client = Client::new(router.local_addr());
+
+    {
+        let _guard = arm_scoped(FaultPlan::new(5).with_rule(SiteRule {
+            site: "router.scrape".to_string(),
+            kind: FaultKind::Error,
+            every: 0,
+            rate: 1.0,
+            max_count: 0,
+        }));
+        // Every scrape faults: the exposition still renders — router-local
+        // series only, no shard rows — and the misses are counted.
+        let degraded = client.get("/metrics").unwrap();
+        assert_eq!(degraded.status, 200, "{}", degraded.text());
+        let text = degraded.text();
+        assert!(!text.contains("shard=\"s0\""), "{text}");
+        assert!(!text.contains("shard=\"s1\""), "{text}");
+        let errors = text
+            .lines()
+            .find_map(|line| line.strip_prefix("nptsn_router_scrape_errors_total "))
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .expect("scrape error counter in the exposition");
+        assert!(errors >= 2.0, "both shard scrapes should have faulted: {text}");
+        let counts = nptsn_chaos::injection_counts();
+        assert!(
+            counts.iter().any(|(site, n)| site == "router.scrape" && *n >= 2),
+            "no router.scrape injection recorded: {counts:?}"
+        );
+    }
+
+    // Disarmed, the very next scrape federates both shards again.
+    let healed = client.get("/metrics").unwrap();
+    assert_eq!(healed.status, 200, "{}", healed.text());
+    let text = healed.text();
+    assert!(text.contains("shard=\"s0\""), "{text}");
+    assert!(text.contains("shard=\"s1\""), "{text}");
+
+    router.stop();
+    a.stop();
+    a.wait();
+    b.stop();
+    b.wait();
+}

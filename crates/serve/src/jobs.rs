@@ -45,8 +45,8 @@ use nptsn_topo::Topology;
 
 use crate::metrics::{Counter, Histogram};
 use crate::persist::{
-    decode_next_id, decode_record, encode_next_id, encode_record, job_id_from_key, job_key,
-    JobSpec, JOB_PREFIX, NEXT_ID_KEY,
+    decode_next_id, decode_record, decode_trace, encode_next_id, encode_record, encode_trace,
+    job_id_from_key, job_key, trace_key, JobSpec, TraceRecord, TraceSpan, JOB_PREFIX, NEXT_ID_KEY,
 };
 use crate::registry::CheckpointRegistry;
 use crate::server::ServeMetrics;
@@ -271,6 +271,12 @@ struct JobEntry {
     error: Option<String>,
     /// When the job reached a terminal state (drives TTL retention).
     finished_at: Option<Instant>,
+    /// The trace context active when the job was accepted (router-minted
+    /// for forwarded submissions). Re-installed on the worker thread so
+    /// `job.run` and everything beneath it shares the request's trace id.
+    /// In-memory only: a router recomputes a job's trace id from its id,
+    /// so the job record codec does not carry it.
+    trace: Option<nptsn_obs::TraceContext>,
 }
 
 impl JobEntry {
@@ -435,6 +441,9 @@ pub struct JobQueue {
     /// How long a leader with no batch-mates waits (once) for stragglers
     /// before running solo, in microseconds.
     infer_batch_window_us: AtomicU64,
+    /// The shard name stamped into persisted trace timelines (first set
+    /// wins; empty until the server configures it).
+    shard_label: OnceLock<String>,
 }
 
 impl JobQueue {
@@ -467,6 +476,7 @@ impl JobQueue {
             evicted: AtomicU64::new(0),
             infer_batch_max: AtomicUsize::new(1),
             infer_batch_window_us: AtomicU64::new(0),
+            shard_label: OnceLock::new(),
         };
         let mut report = RecoveryReport::default();
         {
@@ -499,6 +509,7 @@ impl JobQueue {
                             // survive the process, and a fresh window errs
                             // toward keeping results readable.
                             finished_at: Some(Instant::now()),
+                            trace: None,
                         }
                     }
                     Ok(record) => match record.spec {
@@ -523,6 +534,7 @@ impl JobQueue {
                                     outcome: None,
                                     error: None,
                                     finished_at: None,
+                                    trace: None,
                                 }
                             }
                             Err(e) => {
@@ -607,6 +619,78 @@ impl JobQueue {
             self.infer_batch_max.load(Ordering::Relaxed),
             self.infer_batch_window_us.load(Ordering::Relaxed),
         )
+    }
+
+    /// Names this queue's shard in persisted trace timelines (first call
+    /// wins; later calls are ignored).
+    pub fn set_shard_label(&self, name: &str) {
+        let _ = self.shard_label.set(name.to_string());
+    }
+
+    /// The shard name stamped into trace records (empty until set).
+    pub fn shard_label(&self) -> &str {
+        self.shard_label.get().map_or("", String::as_str)
+    }
+
+    /// Persists the spans the flight recorder captured under a finished
+    /// job's trace id — the durable per-job timeline behind
+    /// `GET /jobs/<id>/trace`. Strictly best-effort: a chaos fault or
+    /// store error here degrades the timeline, never the job (which was
+    /// already recorded terminal), and failures are counted. The write
+    /// is relaxed (no fsync) — a timeline must never cost a synced
+    /// append on the job hot path.
+    fn persist_trace(&self, id: JobId, trace: Option<nptsn_obs::TraceContext>) {
+        let Some(trace) = trace else { return };
+        let spans: Vec<TraceSpan> = nptsn_obs::flight_spans_for_trace(trace.trace_id)
+            .into_iter()
+            .map(|e| TraceSpan {
+                name: e.name.to_string(),
+                tid: e.tid,
+                start_ns: e.ts_ns,
+                dur_ns: e.dur_ns,
+                // Flight entries carry no child-time accounting; self
+                // time approximates to the full duration.
+                self_ns: e.dur_ns,
+            })
+            .collect();
+        if spans.is_empty() {
+            return; // flight recorder disarmed, or nothing captured
+        }
+        let record = TraceRecord {
+            trace_id: trace.trace_id,
+            shard: self.shard_label().to_string(),
+            spans,
+        };
+        let flushed = nptsn_chaos::point("obs.flush")
+            .map_err(|e| e.to_string())
+            .and_then(|()| {
+                self.store
+                    .put_relaxed(&trace_key(id), &encode_trace(&record))
+                    .map_err(|e| e.to_string())
+            });
+        if flushed.is_err() {
+            nptsn_obs::telemetry()
+                .registry
+                .counter(
+                    "nptsn_obs_trace_flush_failures_total",
+                    "Job trace timelines that failed to persist (degraded, job unaffected)",
+                )
+                .inc();
+        }
+    }
+
+    /// The persisted trace timeline for a job, if one was captured.
+    pub fn trace_record(&self, id: JobId) -> Option<TraceRecord> {
+        let bytes = self.store.get(&trace_key(id)).ok()??;
+        decode_trace(&bytes).ok()
+    }
+
+    /// Ingests a trace timeline replayed from a dead shard's durable log,
+    /// stored verbatim (after a decode check) so the merged fleet trace
+    /// survives the shard that recorded it. Idempotent by key overwrite.
+    pub fn ingest_trace(&self, id: JobId, bytes: &[u8]) -> Result<(), IngestError> {
+        decode_trace(bytes).map_err(IngestError::Malformed)?;
+        self.store.put_relaxed(&trace_key(id), bytes).map_err(|_| IngestError::Storage)
     }
 
     /// Claims up to `limit` queued infer jobs compatible with `leader` —
@@ -892,6 +976,9 @@ impl JobQueue {
                 outcome: None,
                 error: None,
                 finished_at: None,
+                // Adopted from the HTTP thread (which installed the
+                // X-Nptsn-Trace context before dispatching).
+                trace: nptsn_obs::current_trace(),
             },
         );
         state.queue.push_back(id);
@@ -932,6 +1019,7 @@ impl JobQueue {
                     outcome: record.outcome,
                     error: record.error,
                     finished_at: Some(Instant::now()),
+                    trace: None,
                 },
                 IngestOutcome::Terminal,
             )
@@ -953,6 +1041,9 @@ impl JobQueue {
                             outcome: None,
                             error: None,
                             finished_at: None,
+                            // The router re-stamps a replayed job's trace
+                            // header, so the re-run keeps its trace id.
+                            trace: nptsn_obs::current_trace(),
                         },
                         IngestOutcome::Requeued,
                     ),
@@ -1046,6 +1137,7 @@ impl JobQueue {
             Some(entry) if entry.state.is_terminal() => {
                 state.jobs.remove(&id);
                 drop(state);
+                let _ = self.store.delete(&trace_key(id));
                 if let Err(e) = self.store.delete(&job_key(id)) {
                     // The entry is gone from memory either way; a surviving
                     // record resurfaces as a terminal job after restart.
@@ -1092,6 +1184,7 @@ impl JobQueue {
         for &id in &evict {
             state.jobs.remove(&id);
             let _ = self.store.delete(&job_key(id));
+            let _ = self.store.delete(&trace_key(id));
         }
         self.evicted.fetch_add(evict.len() as u64, Ordering::Relaxed);
         nptsn_obs::telemetry()
@@ -1110,7 +1203,7 @@ impl JobQueue {
     /// Claims the next queued job, marking it running (persisted). With
     /// `block`, waits on the condvar until work arrives or the queue
     /// closes; without, returns `None` immediately when the queue is idle.
-    fn next_job(&self, block: bool) -> Option<(JobId, JobKind, Arc<AtomicBool>, Arc<Progress>)> {
+    fn next_job(&self, block: bool) -> Option<ClaimedJob> {
         let mut state = self.lock();
         loop {
             if let Some(id) = state.queue.pop_front() {
@@ -1119,7 +1212,13 @@ impl JobQueue {
                 entry.state = JobState::Running;
                 let payload = entry.persisted_record();
                 self.persist(id, &payload);
-                return Some((id, kind, Arc::clone(&entry.cancel), Arc::clone(&entry.progress)));
+                return Some((
+                    id,
+                    kind,
+                    Arc::clone(&entry.cancel),
+                    Arc::clone(&entry.progress),
+                    entry.trace,
+                ));
             }
             if !state.open || !block {
                 return None;
@@ -1196,10 +1295,13 @@ impl JobQueue {
     /// orphaned computation gets its cancel flag set so it winds down at
     /// its next cancellation point. Its late result is discarded.
     pub fn worker_loop(&self, metrics: &ServeMetrics, job_deadline: Option<std::time::Duration>) {
-        while let Some((id, kind, cancel, progress)) = self.next_job(true) {
+        while let Some((id, kind, cancel, progress, trace)) = self.next_job(true) {
             // Micro-batching: an infer leader scoops compatible queued
             // infer jobs into one fused forward. Deadline mode stays
             // solo — each job needs its own helper thread and clock.
+            // Batched execution runs untraced by design: one fused
+            // forward serves many jobs, so per-job span attribution
+            // would be fiction.
             if job_deadline.is_none() {
                 if let JobKind::Infer(req) = &kind {
                     let (batch_max, window_us) = self.infer_batching();
@@ -1221,14 +1323,21 @@ impl JobQueue {
             }
             metrics.jobs_running.add(1);
             metrics.jobs_queued.set(self.queued() as i64);
-            let (result, timed_out) = match job_deadline {
-                None => (run_caught(&kind, &cancel, &progress, &self.registry), false),
-                Some(limit) => {
-                    run_with_deadline(&kind, &cancel, &progress, &self.registry, limit)
+            let (result, timed_out) = {
+                // The worker adopts the submission's trace context, so
+                // `job.run` and the spans beneath it carry the trace id
+                // minted at the router.
+                let _trace = nptsn_obs::with_trace(trace);
+                match job_deadline {
+                    None => (run_caught(&kind, &cancel, &progress, &self.registry), false),
+                    Some(limit) => {
+                        run_with_deadline(&kind, &cancel, &progress, &self.registry, limit)
+                    }
                 }
             };
             metrics.jobs_running.sub(1);
             self.finish_job(id, result, timed_out, &cancel, metrics);
+            self.persist_trace(id, trace);
         }
     }
 
@@ -1239,14 +1348,23 @@ impl JobQueue {
     /// drain (every transition is already durable), reopen, and the replay
     /// is exact.
     pub fn run_one(&self, metrics: &ServeMetrics) -> Option<JobId> {
-        let (id, kind, cancel, progress) = self.next_job(false)?;
+        let (id, kind, cancel, progress, trace) = self.next_job(false)?;
         metrics.jobs_running.add(1);
-        let result = run_caught(&kind, &cancel, &progress, &self.registry);
+        let result = {
+            let _trace = nptsn_obs::with_trace(trace);
+            run_caught(&kind, &cancel, &progress, &self.registry)
+        };
         metrics.jobs_running.sub(1);
         self.finish_job(id, result, false, &cancel, metrics);
+        self.persist_trace(id, trace);
         Some(id)
     }
 }
+
+/// What [`JobQueue::next_job`] hands a worker: id, kind, cancel flag,
+/// progress sink, and the submission's trace context.
+type ClaimedJob =
+    (JobId, JobKind, Arc<AtomicBool>, Arc<Progress>, Option<nptsn_obs::TraceContext>);
 
 /// Whether two infer jobs restore the same checkpoint — half of the
 /// batching compatibility key (the other half is [`infer_dims`]).
@@ -1277,6 +1395,7 @@ fn recovered_failure(spec: Option<JobSpec>, message: String) -> JobEntry {
         outcome: None,
         error: Some(message),
         finished_at: Some(Instant::now()),
+        trace: None,
     }
 }
 
@@ -1293,7 +1412,12 @@ fn run_caught(
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         execute(kind, cancel, progress, registry)
     }))
-    .unwrap_or_else(|_| Err("job panicked".to_string()))
+    .unwrap_or_else(|_| {
+        // A worker panic is exactly what the flight recorder exists for:
+        // dump the ring before the evidence scrolls out of it.
+        nptsn_obs::flight_dump_auto("panic");
+        Err("job panicked".to_string())
+    })
 }
 
 /// Executes one job on a helper thread with a wall-clock deadline.

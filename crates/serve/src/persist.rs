@@ -39,7 +39,22 @@ pub fn job_id_from_key(key: &str) -> Option<JobId> {
     key.strip_prefix(JOB_PREFIX)?.parse().ok()
 }
 
+/// Store key prefix for per-job trace timelines (span summaries captured
+/// from the flight recorder when a job reaches a terminal state).
+pub const TRACE_PREFIX: &str = "trace/";
+
+/// The store key for one job's trace timeline.
+pub fn trace_key(id: JobId) -> String {
+    format!("{TRACE_PREFIX}{id:020}")
+}
+
+/// The job id encoded in a store key, if it is a trace key.
+pub fn trace_id_from_key(key: &str) -> Option<JobId> {
+    key.strip_prefix(TRACE_PREFIX)?.parse().ok()
+}
+
 const RECORD_VERSION: u8 = 1;
+const TRACE_RECORD_VERSION: u8 = 1;
 
 /// A submission in replayable form. See the module docs.
 #[derive(Debug, Clone, PartialEq)]
@@ -443,6 +458,78 @@ pub fn decode_record(bytes: &[u8]) -> Result<JobRecord, String> {
     Ok(JobRecord { state, spec, outcome, error })
 }
 
+/// One span summary in a persisted job timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// The span name (owned: the record outlives the process that had the
+    /// static string).
+    pub name: String,
+    /// Recording thread on the shard.
+    pub tid: u64,
+    /// Start offset from the shard's trace epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration.
+    pub dur_ns: u64,
+    /// Self time.
+    pub self_ns: u64,
+}
+
+/// One job's persisted trace timeline: the spans the shard recorded under
+/// the job's trace id, written alongside the job record at terminal
+/// transitions and replayed to a successor shard on failover.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// The 128-bit trace id shared with the router's spans.
+    pub trace_id: u128,
+    /// The shard that recorded the spans.
+    pub shard: String,
+    /// Span summaries, oldest first.
+    pub spans: Vec<TraceSpan>,
+}
+
+/// Encodes one trace record.
+pub fn encode_trace(record: &TraceRecord) -> Vec<u8> {
+    let mut enc = Enc { buf: Vec::with_capacity(64 + record.spans.len() * 48) };
+    enc.u8(TRACE_RECORD_VERSION);
+    enc.u64(record.trace_id as u64);
+    enc.u64((record.trace_id >> 64) as u64);
+    enc.str(&record.shard);
+    enc.u64(record.spans.len() as u64);
+    for span in &record.spans {
+        enc.str(&span.name);
+        enc.u64(span.tid);
+        enc.u64(span.start_ns);
+        enc.u64(span.dur_ns);
+        enc.u64(span.self_ns);
+    }
+    enc.buf
+}
+
+/// Decodes one trace record.
+pub fn decode_trace(bytes: &[u8]) -> Result<TraceRecord, String> {
+    let mut dec = Dec { bytes, at: 0 };
+    let version = dec.u8()?;
+    if version != TRACE_RECORD_VERSION {
+        return Err(format!("unsupported trace record version {version}"));
+    }
+    let lo = dec.u64()?;
+    let hi = dec.u64()?;
+    let shard = dec.str()?;
+    let count = dec.u64()? as usize;
+    let mut spans = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        spans.push(TraceSpan {
+            name: dec.str()?,
+            tid: dec.u64()?,
+            start_ns: dec.u64()?,
+            dur_ns: dec.u64()?,
+            self_ns: dec.u64()?,
+        });
+    }
+    dec.done()?;
+    Ok(TraceRecord { trace_id: ((hi as u128) << 64) | (lo as u128), shard, spans })
+}
+
 /// Encodes the next-id meta record.
 pub fn encode_next_id(id: JobId) -> Vec<u8> {
     id.to_le_bytes().to_vec()
@@ -552,6 +639,40 @@ mod tests {
         assert_eq!(job_id_from_key(&job_key(42)), Some(42));
         assert_eq!(job_id_from_key("ckpt/x"), None);
         assert_eq!(decode_next_id(&encode_next_id(900)), Some(900));
+    }
+
+    #[test]
+    fn trace_records_roundtrip_and_keys_parse() {
+        assert_eq!(trace_key(7), "trace/00000000000000000007");
+        assert_eq!(trace_id_from_key(&trace_key(42)), Some(42));
+        assert_eq!(trace_id_from_key(&job_key(42)), None);
+        assert_eq!(job_id_from_key(&trace_key(42)), None);
+        let record = TraceRecord {
+            trace_id: 0xdead_beef_0000_0001_u128 << 32 | 7,
+            shard: "alpha".to_string(),
+            spans: vec![
+                TraceSpan {
+                    name: "job.run".to_string(),
+                    tid: 3,
+                    start_ns: 1_000,
+                    dur_ns: 9_000,
+                    self_ns: 2_000,
+                },
+                TraceSpan {
+                    name: "gcn.forward".to_string(),
+                    tid: 3,
+                    start_ns: 2_000,
+                    dur_ns: 7_000,
+                    self_ns: 7_000,
+                },
+            ],
+        };
+        let decoded = decode_trace(&encode_trace(&record)).unwrap();
+        assert_eq!(decoded, record);
+        let empty = TraceRecord { trace_id: 1, shard: String::new(), spans: Vec::new() };
+        assert_eq!(decode_trace(&encode_trace(&empty)).unwrap(), empty);
+        assert!(decode_trace(&[]).is_err());
+        assert!(decode_trace(&[9, 0, 0]).is_err());
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //! | `PUT /checkpoints/<name>`  | Register (or overwrite) a named checkpoint    |
 //! | `GET /checkpoints/<name>`  | Download a registered checkpoint              |
 //! | `DELETE /checkpoints/<name>`| Unregister a checkpoint                      |
+//! | `GET /jobs/<id>/trace`     | The persisted span timeline for the job       |
+//! | `GET /debug/flight`        | The in-memory flight-recorder ring            |
 //! | `POST /internal/replay/<id>`| Ingest a raw job record (dead-shard replay)  |
+//! | `POST /internal/trace/<id>`| Ingest a replayed trace timeline              |
 //! | `POST /shutdown`           | Drain the queue and stop                      |
 //!
 //! A full queue answers `503` with a `Retry-After` header — backpressure,
@@ -101,6 +104,10 @@ pub struct ServeConfig {
     /// The shard name this process answers to in a routed fleet, reported
     /// by `GET /readyz`. Purely informational — routing is by address.
     pub shard_name: Option<String>,
+    /// Flight-recorder ring capacity in entries (`0` uses the built-in
+    /// default). The ring is armed unconditionally at bind — it is the
+    /// always-on last-moments record behind `GET /debug/flight`.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +127,7 @@ impl Default for ServeConfig {
             infer_batch_max: 8,
             infer_batch_window_us: 200,
             shard_name: None,
+            flight_capacity: 0,
         }
     }
 }
@@ -259,6 +267,9 @@ impl Server {
     /// terminal jobs reload with their results, interrupted jobs are
     /// re-enqueued (counted in `nptsn_jobs_recovered_total`).
     pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        // Arm the flight recorder before anything can record: it is the
+        // always-on ring behind `/debug/flight` and the panic/drain dumps.
+        nptsn_obs::flight_init(config.flight_capacity);
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let metrics = Arc::new(ServeMetrics::new());
@@ -273,6 +284,12 @@ impl Server {
         let (queue, recovered) =
             JobQueue::open(config.queue_depth, store, retention).map_err(store_io_error)?;
         queue.set_infer_batching(config.infer_batch_max, config.infer_batch_window_us);
+        if let Some(name) = &config.shard_name {
+            queue.set_shard_label(name);
+        }
+        if let Some(dir) = &config.data_dir {
+            nptsn_obs::flight_set_dump_dir(std::path::Path::new(dir));
+        }
         let queue = Arc::new(queue);
         metrics.jobs_recovered.add(recovered.requeued);
         if nptsn_obs::enabled() && recovered != crate::jobs::RecoveryReport::default() {
@@ -357,6 +374,9 @@ impl Server {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Last act before the process exits: park the flight ring on disk
+        // so "what were the final moments" survives the shutdown.
+        nptsn_obs::flight_dump_auto("drain");
     }
 }
 
@@ -416,6 +436,13 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
             header_deadline,
         ) {
             Ok(request) => {
+                // Adopt the caller's trace context (router-minted) before
+                // opening the request span, so this span and everything the
+                // request causes — including the job, which carries the
+                // context through the queue — share one fleet-wide trace id.
+                let _trace = nptsn_obs::with_trace(
+                    request.header("x-nptsn-trace").and_then(nptsn_obs::TraceContext::parse),
+                );
                 let _span = nptsn_obs::span("http.request");
                 shared.metrics.http_requests.inc();
                 is_shutdown = request.method == "POST" && request.path == "/shutdown";
@@ -540,8 +567,12 @@ fn route(shared: &Arc<Shared>, request: &Request) -> Response {
             submit_spec(shared, request, JobSpec::Burn { millis })
         }
         ("GET", "/checkpoints") => list_checkpoints(shared),
+        // The flight recorder: the last few thousand spans/events this
+        // process recorded, always on, for post-hoc "what just happened".
+        ("GET", "/debug/flight") => Response::json(200, nptsn_obs::flight_json()),
         _ if path.starts_with("/checkpoints/") => route_checkpoint(shared, request),
         _ if path.starts_with("/internal/replay/") => route_replay(shared, request),
+        _ if path.starts_with("/internal/trace/") => route_trace_ingest(shared, request),
         _ => route_job(shared, request),
     }
 }
@@ -636,6 +667,69 @@ fn route_replay(shared: &Arc<Shared>, request: &Request) -> Response {
         Err(IngestError::Storage) => Response::error(503, "job store unavailable, retry later")
             .with_header("Retry-After", shared.config.retry_after_secs.to_string()),
     }
+}
+
+/// Routes `POST /internal/trace/<id>`: ingest one persisted trace
+/// timeline replayed from a dead shard's durable log, stored verbatim so
+/// the merged fleet trace outlives the shard that recorded it.
+fn route_trace_ingest(shared: &Arc<Shared>, request: &Request) -> Response {
+    let id_text = &request.path["/internal/trace/".len()..];
+    if request.method != "POST" {
+        return Response::error(405, "method not allowed");
+    }
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::error(400, "trace id is not a valid job id");
+    };
+    if id == 0 {
+        return Response::error(400, "job id 0 is reserved");
+    }
+    match shared.queue.ingest_trace(id, &request.body) {
+        Ok(()) => {
+            let mut obj = Object::new();
+            obj.int("id", id);
+            obj.str("trace", "ingested");
+            Response::json(200, obj.finish())
+        }
+        Err(IngestError::Malformed(e)) => {
+            Response::error(400, &format!("trace record does not decode: {e}"))
+        }
+        Err(IngestError::ShuttingDown) => Response::error(503, "service is shutting down")
+            .with_header("Retry-After", shared.config.retry_after_secs.to_string()),
+        Err(IngestError::Storage) => Response::error(503, "job store unavailable, retry later")
+            .with_header("Retry-After", shared.config.retry_after_secs.to_string()),
+    }
+}
+
+/// `GET /jobs/<id>/trace`: the persisted span timeline for one job, as
+/// JSON the router merges into a fleet-wide Chrome trace. A job that has
+/// not finished (or predates tracing) answers with an empty span list —
+/// the timeline is written at the terminal transition.
+fn job_trace(shared: &Arc<Shared>, id: u64) -> Response {
+    let (trace_id, shard, spans) = match shared.queue.trace_record(id) {
+        Some(record) => (record.trace_id, record.shard, record.spans),
+        None => (0, shared.queue.shard_label().to_string(), Vec::new()),
+    };
+    let entries: Vec<String> = spans
+        .iter()
+        .map(|span| {
+            let mut obj = Object::new();
+            obj.str("name", &span.name);
+            obj.int("tid", span.tid);
+            obj.int("start_ns", span.start_ns);
+            obj.int("dur_ns", span.dur_ns);
+            obj.int("self_ns", span.self_ns);
+            obj.finish()
+        })
+        .collect();
+    let mut head = Object::new();
+    head.int("id", id);
+    head.str("trace", &format!("{trace_id:032x}"));
+    head.str("shard", &shard);
+    let head = head.finish();
+    // Splice the spans array into the object by hand — the tiny JSON
+    // builder has no nested-array support.
+    let body = format!("{},\"spans\":[{}]}}", &head[..head.len() - 1], entries.join(","));
+    Response::json(200, body)
 }
 
 /// Routes `/checkpoints/<name>` (PUT / GET / DELETE).
@@ -793,6 +887,7 @@ fn route_job(shared: &Arc<Shared>, request: &Request) -> Response {
                 _ => Response::error(409, &format!("job {id} has no policy checkpoint")),
             },
         },
+        ("GET", Some("trace")) => job_trace(shared, id),
         ("GET", Some(_)) => Response::error(404, "no such job resource"),
         _ => Response::error(405, "method not allowed"),
     }
@@ -1201,6 +1296,84 @@ mod tests {
             r.headers.push(("x-nptsn-job-id".into(), bad.into()));
             assert_eq!(route(&shared, &r).status, 400, "{bad}");
         }
+    }
+
+    #[test]
+    fn debug_flight_answers_with_the_ring() {
+        let shared = test_shared();
+        let response = route(&shared, &request("GET", "/debug/flight"));
+        assert_eq!(response.status, 200);
+        let body = String::from_utf8(response.body).unwrap();
+        assert!(body.contains("\"capacity\":"), "{body}");
+        assert!(body.contains("\"entries\":["), "{body}");
+    }
+
+    #[test]
+    fn job_trace_serves_empty_until_a_record_exists() {
+        let shared = test_shared();
+        shared.queue.set_shard_label("s1");
+        let accepted = route(&shared, &request("POST", "/jobs/burn"));
+        assert_eq!(accepted.status, 202);
+        let body = String::from_utf8(accepted.body).unwrap();
+        let id: u64 = body
+            .split("\"id\":")
+            .nth(1)
+            .and_then(|s| s.chars().take_while(char::is_ascii_digit).collect::<String>().parse().ok())
+            .expect("id in response");
+
+        // Known job, no timeline yet: an empty span list, not a 404.
+        let trace = route(&shared, &request("GET", &format!("/jobs/{id}/trace")));
+        assert_eq!(trace.status, 200);
+        let body = String::from_utf8(trace.body).unwrap();
+        assert!(body.contains("\"spans\":[]"), "{body}");
+        assert!(body.contains("\"shard\":\"s1\""), "{body}");
+        // Unknown job: 404, same as every other job resource.
+        assert_eq!(route(&shared, &request("GET", "/jobs/999/trace")).status, 404);
+    }
+
+    #[test]
+    fn trace_ingest_round_trips_through_the_job_trace_route() {
+        let shared = test_shared();
+        let record = crate::persist::TraceRecord {
+            trace_id: 0xabcd_0123,
+            shard: "dead-shard".to_string(),
+            spans: vec![crate::persist::TraceSpan {
+                name: "job.run".to_string(),
+                tid: 3,
+                start_ns: 100,
+                dur_ns: 50,
+                self_ns: 50,
+            }],
+        };
+        // The trace rides a replayed job so the id resolves.
+        let job = crate::persist::encode_record(
+            JobState::Submitted,
+            Some(&JobSpec::Burn { millis: 0 }),
+            None,
+            None,
+        );
+        let mut replay = request("POST", "/internal/replay/7");
+        replay.body = job;
+        assert_eq!(route(&shared, &replay).status, 200);
+
+        let mut ingest = request("POST", "/internal/trace/7");
+        ingest.body = crate::persist::encode_trace(&record);
+        assert_eq!(route(&shared, &ingest).status, 200);
+
+        let trace = route(&shared, &request("GET", "/jobs/7/trace"));
+        assert_eq!(trace.status, 200);
+        let body = String::from_utf8(trace.body).unwrap();
+        assert!(body.contains("\"shard\":\"dead-shard\""), "{body}");
+        assert!(body.contains("\"name\":\"job.run\""), "{body}");
+        assert!(body.contains(&format!("\"trace\":\"{:032x}\"", 0xabcd_0123u128)), "{body}");
+
+        // Garbage bytes: 400. Bad ids: 400. Wrong method: 405.
+        let mut garbage = request("POST", "/internal/trace/8");
+        garbage.body = b"junk".to_vec();
+        assert_eq!(route(&shared, &garbage).status, 400);
+        assert_eq!(route(&shared, &request("POST", "/internal/trace/abc")).status, 400);
+        assert_eq!(route(&shared, &request("POST", "/internal/trace/0")).status, 400);
+        assert_eq!(route(&shared, &request("GET", "/internal/trace/7")).status, 405);
     }
 
     #[test]

@@ -268,6 +268,71 @@ a b 500 128
     );
 }
 
+/// Chaos site `obs.flush`: a faulted timeline flush degrades the trace —
+/// the job itself completes and is served untouched, the failure is
+/// counted, and `GET /jobs/<id>/trace` answers with an empty timeline
+/// instead of an error. Observability must never break the job contract.
+#[test]
+fn a_faulted_trace_flush_degrades_the_timeline_never_the_job() {
+    let _guard = arm_scoped(FaultPlan::new(3).with_rule(SiteRule {
+        site: "obs.flush".to_string(),
+        kind: FaultKind::Error,
+        every: 0,
+        rate: 1.0,
+        max_count: 0,
+    }));
+    let failures = nptsn_obs::telemetry().registry.counter(
+        "nptsn_obs_trace_flush_failures_total",
+        "Job trace timelines that failed to persist (degraded, job unaffected)",
+    );
+    let before = failures.get();
+    let server = start(ServeConfig { workers: 1, ..ServeConfig::default() });
+    let mut client = Client::new(server.local_addr());
+
+    // Stamp a trace context onto the submission, as the router would —
+    // without one there is no timeline to flush and the site never runs.
+    let trace = nptsn_obs::TraceContext::from_seed(0xfaded);
+    let accepted = client
+        .post_with_headers(
+            "/jobs/burn?millis=1",
+            &[(nptsn_obs::TRACE_HEADER, trace.header_value())],
+            &[],
+        )
+        .unwrap();
+    assert_eq!(accepted.status, 202, "{}", accepted.text());
+    let id = json_u64(&accepted.text(), "id");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let body = client.get(&format!("/jobs/{id}")).unwrap().text();
+        if body.contains("\"state\":\"done\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "the job never finished: {body}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The flush runs just after the job goes terminal; wait for its
+    // failure to be counted rather than racing it.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while failures.get() == before {
+        assert!(Instant::now() < deadline, "no flush failure was counted");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let counts = nptsn_chaos::injection_counts();
+    assert!(
+        counts.iter().any(|(site, n)| site == "obs.flush" && *n > 0),
+        "no obs.flush injection recorded: {counts:?}"
+    );
+
+    // The timeline degraded to empty; the trace route still answers 200.
+    let timeline = client.get(&format!("/jobs/{id}/trace")).unwrap();
+    assert_eq!(timeline.status, 200, "{}", timeline.text());
+    assert!(timeline.text().contains("\"spans\":[]"), "{}", timeline.text());
+
+    server.stop();
+    server.wait();
+}
+
 /// A seeded fault storm over the full serve stack: dropped accepts,
 /// dropped response writes, and failing jobs. The retrying client makes
 /// progress through all of it, nothing hangs, and at drain time every

@@ -112,6 +112,18 @@ pub trait Storage: Send + Sync + fmt::Debug {
     /// Stores `value` under `key`, replacing any previous value.
     fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError>;
 
+    /// Stores `value` under `key` without waiting for stable storage.
+    ///
+    /// Same last-write-wins semantics as [`Storage::put`], but a durable
+    /// implementation may skip its per-append fsync: the record reaches
+    /// the OS page cache and survives a process crash, not a power cut.
+    /// For best-effort data (e.g. observability timelines) whose loss
+    /// must never cost a synced write on the hot path. Defaults to
+    /// [`Storage::put`].
+    fn put_relaxed(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        self.put(key, value)
+    }
+
     /// The latest value under `key`, or `None`.
     fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError>;
 

@@ -354,8 +354,17 @@ impl LogStore {
     /// offset of the payload's value bytes. In-memory state advances only
     /// after the full frame (and, when configured, its fsync) succeeded;
     /// on failure the partial frame is rolled back so the next append
-    /// reuses the same clean boundary.
-    fn append_record(&self, inner: &mut Inner, op: u8, key: &str, value: &[u8]) -> Result<Loc, StoreError> {
+    /// reuses the same clean boundary. `sync: false` skips the fsync even
+    /// when the store is configured with `sync_writes` — the relaxed path
+    /// for best-effort records.
+    fn append_record(
+        &self,
+        inner: &mut Inner,
+        op: u8,
+        key: &str,
+        value: &[u8],
+        sync: bool,
+    ) -> Result<Loc, StoreError> {
         if key.len() > u32::MAX as usize || value.len() as u64 > u32::MAX as u64 {
             return Err(StoreError::Corrupt(format!(
                 "record too large to frame (key {} bytes, value {} bytes)",
@@ -384,7 +393,7 @@ impl LogStore {
             }
             inner.active.write_all(&frame)?;
             inner.active.flush()?;
-            if self.config.sync_writes {
+            if sync && self.config.sync_writes {
                 // Chaos site `store.sync`: the write reached the page
                 // cache but stable storage failed — the append must not be
                 // acknowledged.
@@ -581,11 +590,11 @@ fn truncate_segment(path: &Path, len: u64) -> Result<(), StoreError> {
     Ok(())
 }
 
-impl Storage for LogStore {
-    fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+impl LogStore {
+    fn put_with(&self, key: &str, value: &[u8], sync: bool) -> Result<(), StoreError> {
         let compact_due = {
             let mut inner = self.lock();
-            let loc = self.append_record(&mut inner, OP_PUT, key, value)?;
+            let loc = self.append_record(&mut inner, OP_PUT, key, value, sync)?;
             if let Some(previous) = inner.index.remove(key) {
                 inner.live_bytes -= previous.frame_len;
                 inner.dead_bytes += previous.frame_len;
@@ -599,6 +608,16 @@ impl Storage for LogStore {
             self.compact()?;
         }
         Ok(())
+    }
+}
+
+impl Storage for LogStore {
+    fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        self.put_with(key, value, true)
+    }
+
+    fn put_relaxed(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        self.put_with(key, value, false)
     }
 
     fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
@@ -615,7 +634,7 @@ impl Storage for LogStore {
             if !inner.index.contains_key(key) {
                 return Ok(()); // idempotent: no tombstone for an absent key
             }
-            let loc = self.append_record(&mut inner, OP_DELETE, key, &[])?;
+            let loc = self.append_record(&mut inner, OP_DELETE, key, &[], true)?;
             if let Some(previous) = inner.index.remove(key) {
                 inner.live_bytes -= previous.frame_len;
                 inner.dead_bytes += previous.frame_len;
@@ -760,6 +779,24 @@ mod tests {
         assert_eq!(store.get("b").unwrap(), None);
         assert_eq!(store.recovery().torn_records_dropped, 0);
         assert_eq!(store.stats().live_keys, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn relaxed_puts_share_the_log_with_synced_ones() {
+        let dir = temp_dir("relaxed");
+        {
+            let store = LogStore::open(&dir).unwrap();
+            store.put("job", b"synced").unwrap();
+            store.put_relaxed("trace", b"best-effort").unwrap();
+            store.put_relaxed("trace", b"best-effort-2").unwrap();
+        }
+        // A clean close flushes the page cache, so relaxed records read
+        // back through the same index and recovery as synced ones.
+        let store = LogStore::open(&dir).unwrap();
+        assert_eq!(store.get("job").unwrap(), Some(b"synced".to_vec()));
+        assert_eq!(store.get("trace").unwrap(), Some(b"best-effort-2".to_vec()));
+        assert_eq!(store.recovery().torn_records_dropped, 0);
         let _ = fs::remove_dir_all(&dir);
     }
 

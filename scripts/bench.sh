@@ -8,8 +8,12 @@
 #   BENCH_serve.json    — HTTP request throughput and p50/p99 status-poll
 #                         latency of the nptsn-serve service
 #   BENCH_obs.json      — nptsn-obs tracing overhead on the analyzer
-#                         workload, recording disabled and enabled (the
-#                         binary itself fails if disabled overhead >= 5%)
+#                         workload, recording disabled and enabled, plus
+#                         the flight-recorder record/snapshot cost and the
+#                         armed-tracing overhead on a routed two-shard
+#                         submit-to-drain round (the binary itself fails
+#                         if disabled overhead >= 5% or armed routed
+#                         overhead >= 5%)
 #   BENCH_chaos.json    — seeded chaos-storm results: determinism check,
 #                         clean vs storm job throughput, p99 recovery
 #                         latency, recovery counters, the durable-queue

@@ -215,3 +215,46 @@ grep -q "nptsn-router stopped" "$router_log" \
     || { echo "router smoke: no clean router shutdown message" >&2; exit 1; }
 rm -rf "$router_state"
 echo "router smoke: kill -9 failover with zero acked loss confirmed"
+
+# Fleet observability smoke (DESIGN.md §15): a fresh two-shard fleet with
+# an explicit --flight-capacity, one traced job routed through the front
+# tier. trace_smoke asserts the merged Chrome-trace document (every span
+# under the one router-minted trace id), the flight ring and the
+# federated /metrics, and writes the merged trace for the greps below:
+# both shard process rows plus spans from both sides of the process
+# boundary must be in the document a Perfetto user would load.
+obs_state="$(mktemp -d)"
+trap 'kill -9 ${shard_a_pid:-} ${shard_b_pid:-} ${router_pid:-} 2>/dev/null || true; \
+     rm -rf "$obs_state"' EXIT
+start_shard "$obs_state/shard-a.log" "$obs_state/data-a" s0
+shard_a_pid=$shard_pid; shard_a_addr=$shard_addr
+start_shard "$obs_state/shard-b.log" "$obs_state/data-b" s1
+shard_b_pid=$shard_pid; shard_b_addr=$shard_addr
+obs_router_log="$obs_state/router.log"
+./target/release/nptsn router --addr 127.0.0.1:0 \
+    --shards "$shard_a_addr,$shard_b_addr" \
+    --data-dirs "$obs_state/data-a,$obs_state/data-b" \
+    --names s0,s1 --flight-capacity 1024 >"$obs_router_log" 2>&1 &
+router_pid=$!
+router_addr=""
+for _ in $(seq 1 100); do
+    router_addr="$(sed -n 's/^nptsn-router listening on \([0-9.:]*\) .*/\1/p' "$obs_router_log")"
+    [[ -n "$router_addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$router_addr" ]] \
+    || { echo "obs smoke: router never printed its address" >&2; exit 1; }
+./target/release/readyz_wait "$router_addr" 30
+./target/release/trace_smoke "$router_addr" "$obs_state/merged-trace.json" \
+    --expect-capacity 1024
+for needle in '"name":"s0"' '"name":"s1"' '"name":"job.run"' '"name":"router.forward"'; do
+    grep -q "$needle" "$obs_state/merged-trace.json" \
+        || { echo "obs smoke: $needle missing from the merged trace" >&2; exit 1; }
+done
+wait "$router_pid"
+kill -9 "$shard_a_pid" "$shard_b_pid" 2>/dev/null || true
+wait "$shard_a_pid" 2>/dev/null || true
+wait "$shard_b_pid" 2>/dev/null || true
+trap - EXIT
+rm -rf "$obs_state"
+echo "obs smoke: merged fleet trace + flight ring + federation confirmed"
