@@ -1,7 +1,7 @@
 //! Seeded chaos storm over the full stack: the acceptance harness for the
 //! fault-injection framework (`nptsn-chaos`, DESIGN.md §11).
 //!
-//! Five phases, each gated — any gate failure exits non-zero:
+//! Six phases, each gated — any gate failure exits non-zero:
 //!
 //! 1. **Determinism**: two planner training runs under the same armed
 //!    fault plan (a poisoned PPO update) must produce byte-identical
@@ -33,7 +33,17 @@
 //!    digests (submission is single-threaded and polling starts only
 //!    after the last ack, so the `router.forward` fault schedule — and
 //!    with it the id sequence — replays exactly).
-//! 5. **Overhead**: a disarmed `chaos::point` must stay a no-op — its
+//! 5. **Membership storm**: a replication-factor-2 two-shard fleet loses
+//!    a shard mid-storm (`kill -9`), keeps serving on the survivor via
+//!    replica promotion, accepts more work degraded, then the dead shard
+//!    restarts on its old `--data-dir` and rejoins through
+//!    `POST /admin/shards` — with `router.join`, `router.migrate` and
+//!    `router.health` faults armed (capped, so the storm converges).
+//!    Gates: exact accounting (every acked job reaches `done` through the
+//!    router — zero loss across death, promotion, rejoin and catch-up),
+//!    the rejoin/migration/promotion counters all moved, and two
+//!    same-seed storms produce byte-identical per-job digests.
+//! 6. **Overhead**: a disarmed `chaos::point` must stay a no-op — its
 //!    measured per-call cost, charged per request, must be under 10% of
 //!    the clean request time.
 //!
@@ -48,7 +58,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nptsn::{Planner, PlannerConfig, PlanningProblem};
-use nptsn_bench::fleet::{maybe_run_shard_child, spawn_shard};
+use nptsn_bench::fleet::{maybe_run_shard_child, spawn_named_shard, spawn_shard};
 use nptsn_chaos::{FaultKind, FaultPlan, SiteRule};
 use nptsn_router::{Router, RouterConfig, ShardSpec};
 use nptsn_rand::rngs::StdRng;
@@ -398,6 +408,193 @@ fn router_storm(seed: u64, tag: &str, jobs: usize) -> RouterStorm {
     }
 }
 
+/// What one membership storm produced: a per-job digest (two same-seed
+/// storms must agree byte for byte) plus the counters its gates check.
+struct MembershipStorm {
+    digest: String,
+    acked: u64,
+    rejoins: u64,
+    migrated: u64,
+    promotions: u64,
+}
+
+/// One membership storm over a replication-factor-2 two-shard fleet:
+///
+/// 1. a full batch runs to `done` on the healthy fleet (RF2 mirrors each
+///    submission to its ring successor as a passive replica);
+/// 2. `s0` is `kill -9`ed — the death promotes the survivor's passive
+///    copies instead of pausing for the dead-log replay;
+/// 3. a second batch runs on the degraded one-shard fleet;
+/// 4. `s0` restarts on its old data dir at a fresh port and is
+///    re-announced through `POST /admin/shards` — rejoin handshake, ring
+///    re-entry at a bumped generation, catch-up transfer of the records
+///    it missed (through injected `router.join` and `router.migrate`
+///    faults, capped so the storm converges);
+/// 5. a third batch runs on the whole fleet again.
+///
+/// The digest is each acked job's full status body in submission order,
+/// taken after everything is terminal. Submission is single-threaded and
+/// nothing nondeterministic leaks into a status body, so same seed ⇒
+/// same bytes.
+fn membership_storm(seed: u64, tag: &str, jobs: usize) -> MembershipStorm {
+    let base = std::env::temp_dir();
+    let dir_a = base.join(format!("nptsn-chaos-member-{tag}-a-{}", std::process::id()));
+    let dir_b = base.join(format!("nptsn-chaos-member-{tag}-b-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let mut shard_a = spawn_named_shard(Some(&dir_a), 1, 1024, Some("s0"));
+    let mut shard_b = spawn_named_shard(Some(&dir_b), 1, 1024, Some("s1"));
+    let router = Router::bind(RouterConfig {
+        shards: vec![
+            ShardSpec { name: "s0".into(), addr: shard_a.addr, data_dir: Some(dir_a.clone()) },
+            ShardSpec { name: "s1".into(), addr: shard_b.addr, data_dir: Some(dir_b.clone()) },
+        ],
+        replication_factor: 2,
+        health_interval_ms: 25,
+        health_failures: 3,
+        forward_deadline_ms: 1_000,
+        ..RouterConfig::default()
+    })
+    .expect("bind membership router");
+    let before = nptsn_obs::telemetry().snapshot();
+    nptsn_chaos::arm(
+        FaultPlan::new(seed ^ 0x6d65_6d62)
+            // The first rejoin attempt is rejected — membership must be
+            // re-entrant, the next announcement retries from scratch.
+            .with_rule(SiteRule {
+                site: "router.join".to_string(),
+                kind: FaultKind::Error,
+                every: 1,
+                rate: 1.0,
+                max_count: 1,
+            })
+            // Transient catch-up ingest failures; `ingest_one` retries.
+            .with_rule(SiteRule {
+                site: "router.migrate".to_string(),
+                kind: FaultKind::Error,
+                every: 3,
+                rate: 1.0,
+                max_count: 4,
+            })
+            // Spurious probe failures, capped below the death threshold:
+            // Suspect is still routable, so these never change placement.
+            .with_rule(SiteRule {
+                site: "router.health".to_string(),
+                kind: FaultKind::Error,
+                every: 9,
+                rate: 1.0,
+                max_count: 2,
+            }),
+    );
+    let mut client = Client::new(router.local_addr()).with_backoff(BackoffConfig {
+        max_retries: 40,
+        base_ms: 2,
+        cap_ms: 50,
+        seed: seed ^ 0x6d62_7273,
+        ..BackoffConfig::default()
+    });
+    let submit_batch = |client: &mut Client, n: usize| -> Vec<u64> {
+        (0..n)
+            .map(|i| {
+                let response = client.post("/jobs/burn?millis=2", &[]).expect("submit");
+                assert_eq!(response.status, 202, "submission {i}: {}", response.text());
+                json_u64(&response.text(), "id")
+            })
+            .collect()
+    };
+    let poll_done = |client: &mut Client, ids: &[u64]| {
+        for &id in ids {
+            loop {
+                let response = client.get(&format!("/jobs/{id}")).expect("poll");
+                if response.status == 200 && response.text().contains("\"state\":\"done\"") {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    };
+    let wait_live = |client: &mut Client, n: u64| loop {
+        let health = client.get("/healthz").expect("healthz");
+        if json_u64(&health.text(), "live_shards") == n {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+
+    // Phase 1: healthy RF2 fleet — every submission is mirrored.
+    let first = submit_batch(&mut client, jobs);
+    poll_done(&mut client, &first);
+    let ring = router.ring();
+    assert!(
+        first.iter().any(|&id| ring.place(id) == Some("s0")),
+        "no acked job landed on the victim shard"
+    );
+
+    // Phase 2: kill the victim; promotion keeps the fleet serving.
+    shard_a.kill9();
+    wait_live(&mut client, 1);
+
+    // Phase 3: the degraded fleet keeps taking work.
+    let second = submit_batch(&mut client, jobs);
+    poll_done(&mut client, &second);
+
+    // Phase 4: restart on the same data dir (fresh port), re-announce,
+    // and keep announcing until the fleet is whole — the first attempt is
+    // rejected by the armed `router.join` fault, and a concurrent
+    // health-loop rejoin is an equally valid way to get there.
+    let mut shard_a2 = spawn_named_shard(Some(&dir_a), 1, 1024, Some("s0"));
+    let announce = format!(
+        "{{\"name\":\"s0\",\"addr\":\"{}\",\"data_dir\":\"{}\"}}",
+        shard_a2.addr,
+        dir_a.display()
+    );
+    loop {
+        let _ = client.post("/admin/shards", announce.as_bytes());
+        let health = client.get("/healthz").expect("healthz");
+        if json_u64(&health.text(), "live_shards") == 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Phase 5: the whole fleet takes work again.
+    let third = submit_batch(&mut client, jobs / 2);
+    poll_done(&mut client, &third);
+
+    // Digest after everything is terminal — the final poll also rides out
+    // the catch-up drain (a mid-transfer read is a retriable 503, never a
+    // 404).
+    let acked: Vec<u64> =
+        first.iter().chain(&second).chain(&third).copied().collect();
+    poll_done(&mut client, &acked);
+    let mut digest = String::new();
+    for &id in &acked {
+        let body = client.get(&format!("/jobs/{id}")).expect("digest poll").text();
+        digest.push_str(&format!("job {id} {body}\n"));
+    }
+    nptsn_chaos::disarm();
+    let after = nptsn_obs::telemetry().snapshot();
+    let _ = client.post("/shutdown", &[]);
+    router.wait();
+    for shard in [&mut shard_a2, &mut shard_b] {
+        let mut direct = Client::new(shard.addr);
+        if direct.post("/shutdown", &[]).is_ok() {
+            shard.join();
+        } else {
+            shard.kill9();
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    MembershipStorm {
+        digest,
+        acked: acked.len() as u64,
+        rejoins: after.router_rejoins - before.router_rejoins,
+        migrated: after.router_migrated_jobs - before.router_migrated_jobs,
+        promotions: after.router_replica_promotions - before.router_replica_promotions,
+    }
+}
+
 fn main() {
     maybe_run_shard_child();
     let mut seed = 42u64;
@@ -418,7 +615,7 @@ fn main() {
 
     // Zero-hang gate: the whole storm must finish well inside the budget
     // or the watchdog takes the process down with a distinct exit code.
-    let watchdog_secs = if smoke { 180 } else { 420 };
+    let watchdog_secs = if smoke { 240 } else { 560 };
     std::thread::spawn(move || {
         std::thread::sleep(Duration::from_secs(watchdog_secs));
         eprintln!("chaos_storm: WATCHDOG — still running after {watchdog_secs}s, aborting");
@@ -566,7 +763,23 @@ fn main() {
         if router_identical { "identical" } else { "DIVERGED" }
     );
 
-    // --- Phase 5: disarmed overhead ------------------------------------
+    // --- Phase 5: membership storm (RF2 + kill + rejoin) ---------------
+    let membership_jobs = if smoke { 12 } else { 32 };
+    let first_member = membership_storm(seed, "a", membership_jobs);
+    let second_member = membership_storm(seed, "b", membership_jobs);
+    let membership_identical = first_member.digest == second_member.digest
+        && first_member.acked == second_member.acked;
+    println!(
+        "chaos_storm: membership storm {} jobs acked, {} rejoins, {} migrated, \
+         {} promotions, replay {}",
+        first_member.acked,
+        first_member.rejoins,
+        first_member.migrated,
+        first_member.promotions,
+        if membership_identical { "identical" } else { "DIVERGED" }
+    );
+
+    // --- Phase 6: disarmed overhead ------------------------------------
     assert!(!nptsn_chaos::is_armed());
     let point_started = Instant::now();
     for _ in 0..point_loops {
@@ -624,6 +837,11 @@ fn main() {
     json.push_str(&format!("  \"router_failovers\": {},\n", first_router.failovers));
     json.push_str(&format!("  \"router_replayed\": {},\n", first_router.replayed));
     json.push_str(&format!("  \"router_identical\": {router_identical},\n"));
+    json.push_str(&format!("  \"membership_jobs_acked\": {},\n", first_member.acked));
+    json.push_str(&format!("  \"membership_rejoins\": {},\n", first_member.rejoins));
+    json.push_str(&format!("  \"membership_migrated\": {},\n", first_member.migrated));
+    json.push_str(&format!("  \"membership_promotions\": {},\n", first_member.promotions));
+    json.push_str(&format!("  \"membership_identical\": {membership_identical},\n"));
     json.push_str(&format!("  \"disarmed_point_ns\": {disarmed_point_ns:.3},\n"));
     json.push_str(&format!("  \"disarmed_overhead_pct\": {disarmed_overhead_pct:.5}\n"));
     json.push_str("}\n");
@@ -683,6 +901,27 @@ fn main() {
         eprintln!(
             "chaos_storm: FAIL — same seed, different router storm:\n{}---\n{}",
             first_router.digest, second_router.digest
+        );
+        failed = true;
+    }
+    // Membership gates: the fleet lost a shard, promoted replicas, took
+    // the shard back and caught it up — and did so reproducibly.
+    if first_member.rejoins == 0 {
+        eprintln!("chaos_storm: FAIL — the membership storm never rejoined a shard");
+        failed = true;
+    }
+    if first_member.migrated == 0 {
+        eprintln!("chaos_storm: FAIL — the rejoin catch-up migrated nothing");
+        failed = true;
+    }
+    if first_member.promotions == 0 {
+        eprintln!("chaos_storm: FAIL — the RF2 death promoted no passive replica");
+        failed = true;
+    }
+    if !membership_identical {
+        eprintln!(
+            "chaos_storm: FAIL — same seed, different membership storm:\n{}---\n{}",
+            first_member.digest, second_member.digest
         );
         failed = true;
     }

@@ -17,7 +17,9 @@ use std::process::{Child, ChildStdout, Command, Stdio};
 use nptsn_serve::{ServeConfig, Server};
 
 /// The env var that turns a bench binary into a shard child. Value:
-/// `<data_dir>|<workers>|<queue_depth>` (empty data dir = in-memory).
+/// `<data_dir>|<workers>|<queue_depth>[|<name>]` (empty data dir =
+/// in-memory; the optional name lets the shard answer the router's
+/// membership handshake and identify itself when mirroring replicas).
 pub const FLEET_SHARD_ENV: &str = "NPTSN_FLEET_SHARD";
 
 /// In a shard child, runs the shard forever (exits the process when the
@@ -29,11 +31,13 @@ pub fn maybe_run_shard_child() {
     let data_dir = parts.next().unwrap_or("").to_string();
     let workers = parts.next().and_then(|w| w.parse().ok()).unwrap_or(1);
     let queue_depth = parts.next().and_then(|q| q.parse().ok()).unwrap_or(256);
+    let shard_name = parts.next().filter(|n| !n.is_empty()).map(str::to_string);
     let server = Server::bind(ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         workers,
         queue_depth,
         data_dir: (!data_dir.is_empty()).then_some(data_dir),
+        shard_name,
         ..ServeConfig::default()
     })
     .expect("bind fleet shard");
@@ -86,10 +90,23 @@ impl Drop for ShardProc {
 /// Spawns one shard child (see [`maybe_run_shard_child`]) and waits for
 /// its address line.
 pub fn spawn_shard(data_dir: Option<&Path>, workers: usize, queue_depth: usize) -> ShardProc {
+    spawn_named_shard(data_dir, workers, queue_depth, None)
+}
+
+/// Spawns one shard child with a shard name set, so it answers the
+/// router's re-admission handshake with its identity and can act as a
+/// replication primary. Pass `None` for an anonymous shard.
+pub fn spawn_named_shard(
+    data_dir: Option<&Path>,
+    workers: usize,
+    queue_depth: usize,
+    name: Option<&str>,
+) -> ShardProc {
     let exe = std::env::current_exe().expect("locate current executable");
     let dir = data_dir.map(|p| p.display().to_string()).unwrap_or_default();
+    let name = name.unwrap_or_default();
     let mut child = Command::new(exe)
-        .env(FLEET_SHARD_ENV, format!("{dir}|{workers}|{queue_depth}"))
+        .env(FLEET_SHARD_ENV, format!("{dir}|{workers}|{queue_depth}|{name}"))
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()

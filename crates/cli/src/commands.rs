@@ -113,11 +113,16 @@ USAGE:
     nptsn router --shards HOST:PORT[,...] [--names NAME[,...]]
                  [--data-dirs PATH[,...]] [--addr HOST:PORT] [--vnodes N]
                  [--health-interval-ms N] [--health-failures N]
-                 [--forward-deadline-ms N]
+                 [--forward-deadline-ms N] [--replication 1|2]
         Run the consistent-hash router in front of a serve fleet (see
         DESIGN.md §14): assigns job ids, places each job on a shard,
         fans out checkpoint writes, fails over dead shards by replaying
-        their durable logs. GET /metrics federates every live shard's
+        their durable logs. Membership is elastic (DESIGN.md §16): a
+        restarted shard rejoins via POST /admin/shards and catches up on
+        the records it missed, and new shards can join a running fleet
+        the same way. --replication 2 mirrors each submission to its
+        ring successor so a death promotes passive replicas instantly
+        instead of pausing for the dead-log replay. GET /metrics federates every live shard's
         exposition (re-labeled shard=\"<name>\", summed into
         nptsn_fleet_* series) and GET /jobs/<id>/trace merges the
         router's and the shards' spans into one Chrome trace — see
@@ -800,6 +805,12 @@ fn cmd_router(args: &[String], out: &mut impl std::io::Write) -> Result<(), CliE
             "--forward-deadline-ms" => {
                 config.forward_deadline_ms = parse_flag(iter.next(), "--forward-deadline-ms")?;
             }
+            "--replication" => {
+                config.replication_factor = parse_flag(iter.next(), "--replication")?;
+                if !(1..=2).contains(&config.replication_factor) {
+                    return Err(CliError::msg("--replication must be 1 or 2".into()));
+                }
+            }
             other => return Err(CliError::msg(format!("unexpected argument \'{other}\'"))),
         }
     }
@@ -1219,6 +1230,8 @@ a b 500 128
             (&["router", "--shards", "127.0.0.1:1", "--vnodes", "0"][..], "--vnodes"),
             (&["router", "--shards", "127.0.0.1:1", "--health-failures", "0"][..],
              "--health-failures"),
+            (&["router", "--shards", "127.0.0.1:1", "--replication", "0"][..], "--replication"),
+            (&["router", "--shards", "127.0.0.1:1", "--replication", "3"][..], "--replication"),
         ] {
             let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
             let mut out = Vec::new();

@@ -64,8 +64,8 @@ fn injected_nan_update_rolls_back_and_training_survives() {
     }
 
     let after = nptsn_obs::telemetry().snapshot();
-    assert!(after.recovery_ppo_rollbacks >= before.recovery_ppo_rollbacks + 1);
-    assert!(after.chaos_faults >= before.chaos_faults + 1);
+    assert!(after.recovery_ppo_rollbacks > before.recovery_ppo_rollbacks);
+    assert!(after.chaos_faults > before.chaos_faults);
 }
 
 #[test]

@@ -77,11 +77,11 @@ fn killed_run_resumes_from_the_atomic_checkpoint() {
     // visible in telemetry.
     let before = nptsn_obs::telemetry().snapshot();
     let resumed = planner
-        .run_until_resumed(&saved, |s| s.epoch + 1 < 1)
+        .run_until_resumed(&saved, |_| false)
         .expect("resume from a valid checkpoint");
     assert_eq!(resumed.epochs.len(), 1, "resumed run trains further epochs");
     let after = nptsn_obs::telemetry().snapshot();
-    assert!(after.recovery_checkpoint_resumes >= before.recovery_checkpoint_resumes + 1);
+    assert!(after.recovery_checkpoint_resumes > before.recovery_checkpoint_resumes);
 
     let _ = std::fs::remove_file(&path);
 }

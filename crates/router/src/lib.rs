@@ -1,5 +1,5 @@
 //! nptsn-router: a consistent-hash sharded front tier for the NPTSN serve
-//! fleet, with dead-shard replay.
+//! fleet, with elastic membership and dead-shard replay.
 //!
 //! One router process fronts N independent `nptsn-serve` shards. It owns
 //! job-id assignment, places every job on a shard via a consistent-hash
@@ -10,6 +10,18 @@
 //! log is replayed onto them through the same validation gate as HTTP
 //! submission — so a job acked with a durable `202` is never lost, even
 //! to `kill -9` of the shard that held it.
+//!
+//! Membership is elastic, not a one-way trap door: a dead shard that
+//! comes back (same process restarted on its `--data-dir`, or
+//! re-announced at a new address via `POST /admin/shards`) passes a
+//! re-admission handshake, re-enters the ring at a bumped generation and
+//! receives a catch-up transfer of the records it missed; a brand-new
+//! shard can join a running fleet the same way, with a background
+//! migration drain moving its ≤1/N of existing records over. With
+//! [`server::RouterConfig::replication_factor`] 2, every accepted
+//! submission is mirrored to its ring successor as a passive replica, so
+//! a death promotes local records instantly instead of pausing for the
+//! dead-log replay.
 //!
 //! Everything is `std`-only, like the rest of the workspace: no async
 //! runtime, no external crates — threads, atomics and blocking sockets.
@@ -47,4 +59,4 @@ pub mod server;
 
 pub use replay::ReplayReport;
 pub use ring::Ring;
-pub use server::{trace_for_job, Router, RouterConfig, RouterMetrics, ShardSpec};
+pub use server::{trace_for_job, Router, RouterConfig, RouterMetrics, ShardSpec, ShardState};

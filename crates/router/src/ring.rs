@@ -84,6 +84,43 @@ impl Ring {
         Ring::build(&kept, self.vnodes)
     }
 
+    /// Builds the ring that results from adding one shard. Points depend
+    /// only on a shard's own name, so every existing shard keeps all of
+    /// its points: the newcomer steals keys only for itself, and
+    /// `remove(x)` then `add(x)` restores byte-identical placement.
+    /// Adding a name already on the ring returns an identical ring.
+    pub fn add(&self, name: &str) -> Ring {
+        if self.shards.iter().any(|s| s == name) {
+            return self.clone();
+        }
+        let mut shards = self.shards.clone();
+        shards.push(name.to_string());
+        Ring::build(&shards, self.vnodes)
+    }
+
+    /// The first shard clockwise after `job_id`'s owner — the shard the
+    /// key would land on if its owner left the ring. This identity (the
+    /// successor *is* the post-removal owner) is what makes the successor
+    /// the correct passive-replica target: when the primary dies and is
+    /// retained out of the ring, the key routes exactly to its replica.
+    /// `None` on rings with fewer than two shards.
+    pub fn successor(&self, job_id: u64) -> Option<&str> {
+        if self.shards.len() < 2 {
+            return None;
+        }
+        let position = key_hash(job_id);
+        let start = match self.points.binary_search(&(position, u16::MAX)) {
+            Ok(i) => i,
+            Err(i) => i,
+        };
+        let n = self.points.len();
+        let owner = self.points[start % n].1;
+        (1..n)
+            .map(|step| self.points[(start + step) % n].1)
+            .find(|&shard| shard != owner)
+            .map(|shard| self.shards[shard as usize].as_str())
+    }
+
     /// The shard owning `job_id`, or `None` on an empty ring.
     pub fn place(&self, job_id: u64) -> Option<&str> {
         let position = key_hash(job_id);
@@ -166,5 +203,72 @@ mod tests {
     #[should_panic(expected = "duplicate shard name")]
     fn duplicate_names_are_rejected() {
         Ring::build(&["a".to_string(), "a".to_string()], 8);
+    }
+
+    #[test]
+    fn adding_a_shard_steals_keys_only_for_the_newcomer() {
+        let before = Ring::build(&names(3), 64);
+        let after = before.add("s3");
+        assert_eq!(after.shard_names(), &names(4)[..]);
+        for id in 1..=5_000u64 {
+            let was = before.place(id).unwrap();
+            let now = after.place(id).unwrap();
+            assert!(
+                now == was || now == "s3",
+                "id {id} moved {was} -> {now}, not to the newcomer"
+            );
+        }
+    }
+
+    #[test]
+    fn remove_then_add_restores_byte_identical_placement() {
+        let ring = Ring::build(&names(4), 64);
+        let survivors: Vec<String> =
+            names(4).into_iter().filter(|s| s != "s2").collect();
+        let rejoined = ring.retain(&survivors).add("s2");
+        // Build order differs (s2 is now last), but placement is a
+        // function of each shard's own points, so every key comes home.
+        for id in 1..=5_000u64 {
+            assert_eq!(
+                ring.place(id),
+                rejoined.place(id),
+                "id {id} placed differently after remove(s2); add(s2)"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_an_existing_shard_is_a_no_op() {
+        let ring = Ring::build(&names(3), 32);
+        let same = ring.add("s1");
+        for id in 1..=1_000u64 {
+            assert_eq!(ring.place(id), same.place(id));
+        }
+        assert_eq!(same.len(), 3);
+    }
+
+    #[test]
+    fn the_successor_is_the_post_removal_owner() {
+        let ring = Ring::build(&names(4), 64);
+        for id in 1..=5_000u64 {
+            let owner = ring.place(id).unwrap().to_string();
+            let successor = ring.successor(id).unwrap().to_string();
+            assert_ne!(owner, successor, "id {id} replicates onto its own shard");
+            let survivors: Vec<String> =
+                names(4).into_iter().filter(|s| *s != owner).collect();
+            let after_death = ring.retain(&survivors);
+            assert_eq!(
+                after_death.place(id),
+                Some(successor.as_str()),
+                "id {id}: successor is not where the key lands after {owner} dies"
+            );
+        }
+    }
+
+    #[test]
+    fn a_single_shard_ring_has_no_successor() {
+        let ring = Ring::build(&names(1), 16);
+        assert_eq!(ring.successor(7), None);
+        assert!(Ring::build(&[], 16).successor(7).is_none());
     }
 }

@@ -7,7 +7,7 @@
 //! a byte-identical status document.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use nptsn_router::{Router, RouterConfig, ShardSpec};
@@ -24,7 +24,7 @@ fn temp_dir(test: &str) -> PathBuf {
     dir
 }
 
-fn shard(dir: &PathBuf, name: &str) -> Server {
+fn shard(dir: &Path, name: &str) -> Server {
     Server::bind(ServeConfig {
         workers: 1,
         data_dir: Some(dir.to_string_lossy().into_owned()),

@@ -4,7 +4,7 @@
 //! survives replay onto the survivor.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use nptsn_obs::json::{self, Value};
@@ -19,7 +19,7 @@ fn temp_dir(test: &str) -> PathBuf {
     dir
 }
 
-fn shard(dir: &PathBuf, name: &str) -> Server {
+fn shard(dir: &Path, name: &str) -> Server {
     Server::bind(ServeConfig {
         workers: 1,
         data_dir: Some(dir.to_string_lossy().into_owned()),

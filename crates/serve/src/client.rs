@@ -104,6 +104,14 @@ impl Client {
         self
     }
 
+    /// Returns this client with retrying disabled, keeping the kept-alive
+    /// connection. Lets a connection pool hand the same client to callers
+    /// with different retry policies: each checkout re-applies its own.
+    pub fn without_backoff(mut self) -> Client {
+        self.backoff = None;
+        self
+    }
+
     /// A `GET` request.
     pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
         self.request("GET", path, &[], &[])
@@ -284,6 +292,18 @@ impl Client {
     }
 }
 
+fn read_line(reader: &mut BufReader<TcpStream>) -> io::Result<String> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,16 +406,4 @@ mod tests {
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43), "different seeds should jitter differently");
     }
-}
-
-fn read_line(reader: &mut BufReader<TcpStream>) -> io::Result<String> {
-    let mut line = String::new();
-    let n = reader.read_line(&mut line)?;
-    if n == 0 {
-        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
-    }
-    while line.ends_with('\n') || line.ends_with('\r') {
-        line.pop();
-    }
-    Ok(line)
 }

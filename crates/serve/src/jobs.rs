@@ -46,7 +46,8 @@ use nptsn_topo::Topology;
 use crate::metrics::{Counter, Histogram};
 use crate::persist::{
     decode_next_id, decode_record, decode_trace, encode_next_id, encode_record, encode_trace,
-    job_id_from_key, job_key, trace_key, JobSpec, TraceRecord, TraceSpan, JOB_PREFIX, NEXT_ID_KEY,
+    job_id_from_key, job_key, replica_id_from_key, replica_key, trace_key, JobSpec, TraceRecord,
+    TraceSpan, JOB_PREFIX, NEXT_ID_KEY, REPLICA_PREFIX,
 };
 use crate::registry::CheckpointRegistry;
 use crate::server::ServeMetrics;
@@ -365,6 +366,10 @@ pub enum IngestOutcome {
     /// The record decoded but its spec no longer validates (or carried
     /// none) — recorded `failed`, never silently dropped.
     RecordedFailed,
+    /// The record was stored as a **passive replica**
+    /// ([`JobQueue::ingest_passive`]): durable here, owned and executed
+    /// elsewhere, held until a promotion activates it.
+    Passive,
 }
 
 /// Why [`JobQueue::ingest_record`] refused a replayed record.
@@ -415,6 +420,10 @@ pub struct RecoveryReport {
     /// Records that could not be decoded or re-validated — recorded as
     /// `failed`, never silently dropped.
     pub failed_to_recover: u64,
+    /// Passive-replica records held for their primaries instead of being
+    /// re-enqueued (the `replica/<id>` marker says the job is owned
+    /// elsewhere).
+    pub passive_held: u64,
 }
 
 #[derive(Debug, Default)]
@@ -422,6 +431,10 @@ struct QueueState {
     next_id: JobId,
     queue: VecDeque<JobId>,
     jobs: HashMap<JobId, JobEntry>,
+    /// Passive-replica holdings: job id → primary shard name. Durable as
+    /// `replica/<id>` markers; never visible through `GET /jobs/<id>` and
+    /// never executed until [`JobQueue::promote`] activates them.
+    passive: HashMap<JobId, String>,
     open: bool,
 }
 
@@ -481,6 +494,16 @@ impl JobQueue {
         let mut report = RecoveryReport::default();
         {
             let mut state = queue.lock();
+            // Passive-replica markers: a job record named here was written
+            // through by a router as a replication-factor-2 copy — another
+            // shard owns and executes it, so recovery must hold it passive
+            // rather than re-enqueue it (which would double-run the job).
+            let mut passive_markers: HashMap<JobId, String> = HashMap::new();
+            for key in queue.store.keys_with_prefix(REPLICA_PREFIX)? {
+                let Some(id) = replica_id_from_key(&key) else { continue };
+                let Some(bytes) = queue.store.get(&key)? else { continue };
+                passive_markers.insert(id, String::from_utf8_lossy(&bytes).into_owned());
+            }
             // Sorted prefix scan = submission order: requeued jobs rerun
             // in the order they were originally accepted.
             for key in queue.store.keys_with_prefix(JOB_PREFIX)? {
@@ -492,6 +515,13 @@ impl JobQueue {
                         recovered_failure(None, format!("unrecoverable job record: {e}"))
                     }
                     Ok(record) if record.state.is_terminal() => {
+                        // A terminal record trumps a stale replica marker
+                        // (promotion ran the job here, or the marker's
+                        // delete never landed): keep the result, drop the
+                        // marker.
+                        if passive_markers.remove(&id).is_some() {
+                            let _ = queue.store.delete(&replica_key(id));
+                        }
                         report.terminal_loaded += 1;
                         JobEntry {
                             kind_name: record
@@ -512,40 +542,53 @@ impl JobQueue {
                             trace: None,
                         }
                     }
-                    Ok(record) => match record.spec {
-                        None => {
-                            report.failed_to_recover += 1;
-                            recovered_failure(
-                                None,
-                                "interrupted by a restart with no replayable spec".to_string(),
-                            )
+                    Ok(record) => {
+                        // A marked non-terminal record is a passive replica:
+                        // hold it (durably unchanged) for its primary. The
+                        // id still advances the watermark — it was assigned
+                        // fleet-wide.
+                        if let Some(primary) = passive_markers.remove(&id) {
+                            state.passive.insert(id, primary);
+                            state.next_id = state.next_id.max(id);
+                            report.passive_held += 1;
+                            continue;
                         }
-                        Some(spec) => match spec.validate() {
-                            Ok(kind) => {
-                                report.requeued += 1;
-                                state.queue.push_back(id);
-                                JobEntry {
-                                    kind_name: kind.name(),
-                                    pending: Some(kind),
-                                    spec: Some(spec),
-                                    state: JobState::Submitted,
-                                    cancel: Arc::new(AtomicBool::new(false)),
-                                    progress: Arc::new(Progress::default()),
-                                    outcome: None,
-                                    error: None,
-                                    finished_at: None,
-                                    trace: None,
-                                }
-                            }
-                            Err(e) => {
+                        match record.spec {
+                            None => {
                                 report.failed_to_recover += 1;
                                 recovered_failure(
-                                    Some(spec),
-                                    format!("spec no longer validates after restart: {e}"),
+                                    None,
+                                    "interrupted by a restart with no replayable spec"
+                                        .to_string(),
                                 )
                             }
-                        },
-                    },
+                            Some(spec) => match spec.validate() {
+                                Ok(kind) => {
+                                    report.requeued += 1;
+                                    state.queue.push_back(id);
+                                    JobEntry {
+                                        kind_name: kind.name(),
+                                        pending: Some(kind),
+                                        spec: Some(spec),
+                                        state: JobState::Submitted,
+                                        cancel: Arc::new(AtomicBool::new(false)),
+                                        progress: Arc::new(Progress::default()),
+                                        outcome: None,
+                                        error: None,
+                                        finished_at: None,
+                                        trace: None,
+                                    }
+                                }
+                                Err(e) => {
+                                    report.failed_to_recover += 1;
+                                    recovered_failure(
+                                        Some(spec),
+                                        format!("spec no longer validates after restart: {e}"),
+                                    )
+                                }
+                            },
+                        }
+                    }
                 };
                 // Re-persist the post-recovery state (running → submitted,
                 // unrecoverable → failed) so a second crash replays to the
@@ -999,6 +1042,20 @@ impl JobQueue {
     /// bounded by the dead shard's durable log, and refusing half a replay
     /// would turn a shard death into acked-job loss.
     pub fn ingest_record(&self, id: JobId, bytes: &[u8]) -> Result<IngestOutcome, IngestError> {
+        self.ingest_with(id, bytes, true)
+    }
+
+    /// The shared ingest core. `durable` selects fsync'd puts (replay —
+    /// the ack promises the record stuck) or relaxed ones (promotion —
+    /// the identical bytes are already in this store from the passive
+    /// write-through, and the dead primary's fsync'd log remains the
+    /// authoritative fallback).
+    fn ingest_with(
+        &self,
+        id: JobId,
+        bytes: &[u8],
+        durable: bool,
+    ) -> Result<IngestOutcome, IngestError> {
         let record = decode_record(bytes).map_err(IngestError::Malformed)?;
         let mut state = self.lock();
         if !state.open {
@@ -1061,9 +1118,14 @@ impl JobQueue {
         // then memory — and no ack (Ok) until both writes stuck.
         let watermark = state.next_id.max(id);
         let payload = entry.persisted_record();
-        if self.store.put(NEXT_ID_KEY, &encode_next_id(watermark)).is_err()
-            || self.store.put(&job_key(id), &payload).is_err()
-        {
+        let written = if durable {
+            self.store.put(NEXT_ID_KEY, &encode_next_id(watermark)).is_ok()
+                && self.store.put(&job_key(id), &payload).is_ok()
+        } else {
+            self.store.put_relaxed(NEXT_ID_KEY, &encode_next_id(watermark)).is_ok()
+                && self.store.put_relaxed(&job_key(id), &payload).is_ok()
+        };
+        if !written {
             return Err(IngestError::Storage);
         }
         state.next_id = watermark;
@@ -1078,6 +1140,113 @@ impl JobQueue {
             self.work_ready.notify_one();
         }
         Ok(outcome)
+    }
+
+    /// Stores one job record as a **passive replica** for `primary`: the
+    /// record and a `replica/<id>` marker become durable here, but the job
+    /// is neither enqueued nor visible through the job API — `primary`
+    /// owns and executes it. [`JobQueue::promote`] (the primary died)
+    /// activates held replicas through the normal ingest gate.
+    ///
+    /// Idempotent by id: an id this queue already tracks as an *active*
+    /// job is an [`IngestOutcome::AlreadyKnown`] no-op (a replica must
+    /// never downgrade a real job), and re-replicating a held id just
+    /// refreshes its bytes.
+    ///
+    /// Writes are relaxed (page cache, no fsync): the replica guards
+    /// against the primary's `kill -9`, not a simultaneous power cut, and
+    /// the write-through sits on the submission hot path. The durable
+    /// fallback for the relaxed window is the classic dead-log replay.
+    pub fn ingest_passive(
+        &self,
+        id: JobId,
+        primary: &str,
+        bytes: &[u8],
+    ) -> Result<IngestOutcome, IngestError> {
+        decode_record(bytes).map_err(IngestError::Malformed)?;
+        let mut state = self.lock();
+        if !state.open {
+            return Err(IngestError::ShuttingDown);
+        }
+        if id == 0 || state.jobs.contains_key(&id) {
+            return Ok(IngestOutcome::AlreadyKnown);
+        }
+        let watermark = state.next_id.max(id);
+        if self.store.put_relaxed(NEXT_ID_KEY, &encode_next_id(watermark)).is_err()
+            || self.store.put_relaxed(&job_key(id), bytes).is_err()
+            || self.store.put_relaxed(&replica_key(id), primary.as_bytes()).is_err()
+        {
+            return Err(IngestError::Storage);
+        }
+        state.next_id = watermark;
+        state.passive.insert(id, primary.to_string());
+        Ok(IngestOutcome::Passive)
+    }
+
+    /// Activates every passive replica held for `primary` (the primary
+    /// shard died): the stored record goes through the same validate gate
+    /// as replay, so terminal records install verbatim and non-terminal
+    /// ones re-validate and enqueue, and then each marker is dropped.
+    /// Returns how many replicas were activated.
+    ///
+    /// Promotion is the pause-free half of failover, so nothing on it may
+    /// fsync per record: the record bytes are already on this shard's log
+    /// from the passive write-through, so the installs use relaxed puts
+    /// (and the dead primary's fsync'd log remains the durable fallback),
+    /// and the marker tombstones — which each sync — are handed to a
+    /// background thread so the promote response returns the moment every
+    /// record is live and serving.
+    ///
+    /// Crash-safe in both orders: a marker surviving an installed record
+    /// means a restart holds the record passive again until the next
+    /// promote — and the dead-log replay re-delivers it regardless; a
+    /// marker deleted for a job that finished first means recovery sees a
+    /// terminal record and discards nothing it needs.
+    pub fn promote(&self, primary: &str) -> u64 {
+        let ids: Vec<JobId> = {
+            let mut state = self.lock();
+            let ids: Vec<JobId> = state
+                .passive
+                .iter()
+                .filter(|(_, held_for)| held_for.as_str() == primary)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in &ids {
+                state.passive.remove(id);
+            }
+            ids
+        };
+        // Activate in id order — the order the fleet originally accepted.
+        let mut ids = ids;
+        ids.sort_unstable();
+        let mut promoted = 0u64;
+        for &id in &ids {
+            let Ok(Some(bytes)) = self.store.get(&job_key(id)) else { continue };
+            if self.ingest_with(id, &bytes, false).is_ok() {
+                promoted += 1;
+            }
+        }
+        let store = Arc::clone(&self.store);
+        let markers = ids.clone();
+        let cleanup = std::thread::Builder::new()
+            .name("nptsn-serve-promote-gc".to_string())
+            .spawn(move || {
+                for id in markers {
+                    let _ = store.delete(&replica_key(id));
+                }
+            });
+        if cleanup.is_err() {
+            // No thread available: delete inline rather than leak markers.
+            for id in ids {
+                let _ = self.store.delete(&replica_key(id));
+            }
+        }
+        promoted
+    }
+
+    /// Passive replicas currently held (all primaries).
+    pub fn passive_count(&self) -> usize {
+        self.lock().passive.len()
     }
 
     /// The id watermark: the highest job id this queue has durably
@@ -1660,7 +1829,7 @@ mod tests {
         assert_eq!(metrics.jobs_failed.get(), 1);
         assert_eq!(metrics.jobs_completed.get(), 1);
         let after = nptsn_obs::telemetry().snapshot();
-        assert!(after.recovery_deadline_kills >= before.recovery_deadline_kills + 1);
+        assert!(after.recovery_deadline_kills > before.recovery_deadline_kills);
     }
 
     #[test]

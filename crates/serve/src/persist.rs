@@ -39,6 +39,24 @@ pub fn job_id_from_key(key: &str) -> Option<JobId> {
     key.strip_prefix(JOB_PREFIX)?.parse().ok()
 }
 
+/// Store key prefix for passive-replica markers. A marker under
+/// `replica/<id>` means the job record under `job/<id>` was written
+/// through by a router as a replication-factor-2 copy and is **not** this
+/// shard's to execute: recovery holds it passive instead of re-enqueueing
+/// it, until a promotion (the primary died) activates it. The marker's
+/// value is the primary shard's name.
+pub const REPLICA_PREFIX: &str = "replica/";
+
+/// The store key for one job's passive-replica marker.
+pub fn replica_key(id: JobId) -> String {
+    format!("{REPLICA_PREFIX}{id:020}")
+}
+
+/// The job id encoded in a store key, if it is a replica marker key.
+pub fn replica_id_from_key(key: &str) -> Option<JobId> {
+    key.strip_prefix(REPLICA_PREFIX)?.parse().ok()
+}
+
 /// Store key prefix for per-job trace timelines (span summaries captured
 /// from the flight recorder when a job reaches a terminal state).
 pub const TRACE_PREFIX: &str = "trace/";
@@ -639,6 +657,14 @@ mod tests {
         assert_eq!(job_id_from_key(&job_key(42)), Some(42));
         assert_eq!(job_id_from_key("ckpt/x"), None);
         assert_eq!(decode_next_id(&encode_next_id(900)), Some(900));
+    }
+
+    #[test]
+    fn replica_marker_keys_parse() {
+        assert_eq!(replica_key(7), "replica/00000000000000000007");
+        assert_eq!(replica_id_from_key(&replica_key(42)), Some(42));
+        assert_eq!(replica_id_from_key(&job_key(42)), None);
+        assert_eq!(job_id_from_key(&replica_key(42)), None);
     }
 
     #[test]

@@ -571,6 +571,7 @@ fn route(shared: &Arc<Shared>, request: &Request) -> Response {
         // process recorded, always on, for post-hoc "what just happened".
         ("GET", "/debug/flight") => Response::json(200, nptsn_obs::flight_json()),
         _ if path.starts_with("/checkpoints/") => route_checkpoint(shared, request),
+        ("POST", "/internal/promote") => route_promote(shared, request),
         _ if path.starts_with("/internal/replay/") => route_replay(shared, request),
         _ if path.starts_with("/internal/trace/") => route_trace_ingest(shared, request),
         _ => route_job(shared, request),
@@ -615,6 +616,11 @@ fn readyz(shared: &Arc<Shared>) -> Response {
     obj.int("persist_errors", persist_errors);
     obj.int("store_live_keys", stats.live_keys);
     obj.int("store_segments", stats.segments);
+    // Re-admission handshake fields: how many interrupted jobs recovery
+    // re-enqueued, and how many passive replica records this shard holds
+    // for peers — a router rejoining this shard reads both.
+    obj.int("recovered", shared.metrics.jobs_recovered.get());
+    obj.int("passive", shared.queue.passive_count() as u64);
     Response::json(200, obj.finish())
 }
 
@@ -632,6 +638,38 @@ fn route_replay(shared: &Arc<Shared>, request: &Request) -> Response {
     };
     if id == 0 {
         return Response::error(400, "job id 0 is reserved");
+    }
+    // A replica write-through: the record is held passive under the
+    // primary's name instead of being activated, so a later promotion
+    // (`POST /internal/promote`) can requeue it without a dead-log replay.
+    if let Some(primary) = request.header("x-nptsn-passive-for") {
+        let primary = primary.trim().to_string();
+        if primary.is_empty() {
+            return Response::error(400, "X-Nptsn-Passive-For names no shard");
+        }
+        return match shared.queue.ingest_passive(id, &primary, &request.body) {
+            Ok(outcome) => {
+                let mut obj = Object::new();
+                obj.int("id", id);
+                obj.str(
+                    "replay",
+                    match outcome {
+                        IngestOutcome::Passive => "passive",
+                        _ => "already_known",
+                    },
+                );
+                Response::json(200, obj.finish())
+            }
+            Err(IngestError::Malformed(e)) => {
+                Response::error(400, &format!("record does not decode: {e}"))
+            }
+            Err(IngestError::ShuttingDown) => Response::error(503, "service is shutting down")
+                .with_header("Retry-After", shared.config.retry_after_secs.to_string()),
+            Err(IngestError::Storage) => {
+                Response::error(503, "job store unavailable, retry later")
+                    .with_header("Retry-After", shared.config.retry_after_secs.to_string())
+            }
+        };
     }
     match shared.queue.ingest_record(id, &request.body) {
         Ok(outcome) => {
@@ -655,6 +693,7 @@ fn route_replay(shared: &Arc<Shared>, request: &Request) -> Response {
                     IngestOutcome::Terminal => "terminal",
                     IngestOutcome::Requeued => "requeued",
                     IngestOutcome::RecordedFailed => "recorded_failed",
+                    IngestOutcome::Passive => unreachable!("ingest_record never holds passive"),
                 },
             );
             Response::json(200, obj.finish())
@@ -667,6 +706,27 @@ fn route_replay(shared: &Arc<Shared>, request: &Request) -> Response {
         Err(IngestError::Storage) => Response::error(503, "job store unavailable, retry later")
             .with_header("Retry-After", shared.config.retry_after_secs.to_string()),
     }
+}
+
+/// `POST /internal/promote?for=<shard>`: activate every passive replica
+/// record held on behalf of the named (now dead) primary. Each record
+/// goes through the same decode → re-validate gate as dead-shard replay,
+/// so promotion is just replay with the bytes already local — no
+/// cross-process export, which is what makes failover pause-free.
+fn route_promote(shared: &Arc<Shared>, request: &Request) -> Response {
+    let Some(primary) = request.query_param("for") else {
+        return Response::error(400, "promote needs ?for=<shard name>");
+    };
+    if primary.trim().is_empty() {
+        return Response::error(400, "promote needs a non-empty shard name");
+    }
+    let promoted = shared.queue.promote(primary.trim());
+    shared.metrics.jobs_queued.set(shared.queue.queued() as i64);
+    let mut obj = Object::new();
+    obj.str("for", primary.trim());
+    obj.int("promoted", promoted);
+    obj.int("passive_held", shared.queue.passive_count() as u64);
+    Response::json(200, obj.finish())
 }
 
 /// Routes `POST /internal/trace/<id>`: ingest one persisted trace
@@ -968,11 +1028,45 @@ fn submit_spec(shared: &Arc<Shared>, request: &Request, spec: JobSpec) -> Respon
         Ok(id) => id,
         Err(r) => return r,
     };
+    // Replication factor 2: the router names the successor shard and this
+    // shard mirrors the accepted record there as a passive replica. The
+    // record is encoded up front because submission consumes the spec.
+    let replica = request
+        .header("x-nptsn-replica")
+        .and_then(|raw| raw.trim().parse::<SocketAddr>().ok());
+    let record = replica
+        .map(|_| crate::persist::encode_record(JobState::Submitted, Some(&spec), None, None));
     let result = match id {
         None => shared.queue.submit_validated(kind, Some(spec)),
         Some(id) => shared.queue.submit_validated_with_id(id, kind, Some(spec)),
     };
+    if let (Ok(id), Some(addr), Some(record)) = (&result, replica, record) {
+        mirror_to_replica(shared, *id, addr, &record);
+    }
     submit_result(shared, result)
+}
+
+/// Best-effort write-through of one accepted submission to its successor
+/// shard as a passive replica. A few immediate retries, then give up —
+/// the dead-log replay path remains the safety net, so a missed mirror
+/// costs failover latency, never an acked job.
+fn mirror_to_replica(shared: &Arc<Shared>, id: u64, addr: SocketAddr, record: &[u8]) {
+    let Some(primary) = shared.config.shard_name.clone() else {
+        // Without an identity the replica could never be promoted by
+        // name; replication needs named shards.
+        return;
+    };
+    let mut client = crate::client::Client::new(addr);
+    let path = format!("/internal/replay/{id}");
+    let headers = [("X-Nptsn-Passive-For", primary)];
+    for _ in 0..3 {
+        match client.post_with_headers(&path, &headers, record) {
+            // 2xx stored (or already known); 4xx is terminal — retrying
+            // the same bytes cannot change the answer.
+            Ok(response) if response.status < 500 => return,
+            _ => {}
+        }
+    }
 }
 
 fn submit_plan(shared: &Arc<Shared>, request: &Request) -> Response {

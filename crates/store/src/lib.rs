@@ -35,7 +35,7 @@
 mod log;
 mod mem;
 
-pub use crate::log::{LogConfig, LogStore, RecoveryInfo};
+pub use crate::log::{ExportCursor, LogConfig, LogStore, RecoveryInfo};
 pub use crate::mem::MemStore;
 
 use std::fmt;

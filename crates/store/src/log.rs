@@ -109,6 +109,26 @@ pub struct RecoveryInfo {
     pub tmp_files_removed: u64,
 }
 
+/// A resumption point for [`LogStore::export_live_since`]: the byte
+/// position one incremental export stopped at, to be handed back so the
+/// next export reads only what was appended since. Copyable and cheap —
+/// a caller draining several stores keeps one per directory.
+///
+/// The default cursor (`segment: 0, offset: 0`) points *before* any
+/// segment's magic, so it never resolves and a first call degrades to a
+/// full export — the safe direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExportCursor {
+    /// The segment file the last export ended in.
+    pub segment: u64,
+    /// The byte offset of the first unread frame in that segment.
+    pub offset: u64,
+}
+
+/// One incremental export: the live records appended since the caller's
+/// cursor, plus the cursor to hand back next call.
+pub type ExportDelta = (Vec<(String, Vec<u8>)>, ExportCursor);
+
 /// Location of a live value inside a segment file.
 #[derive(Debug, Clone, Copy)]
 struct Loc {
@@ -344,6 +364,92 @@ impl LogStore {
             }
         }
         Ok(live.into_iter().collect())
+    }
+
+    /// Incremental [`LogStore::export_live`]: reads only the records
+    /// appended **after** `cursor`, returning them with a new cursor for
+    /// the next call. Like `export_live` this never mutates the
+    /// directory, so it is safe against a live store (its appends land
+    /// after the cursor and are picked up next call).
+    ///
+    /// The cursor names a byte position in a specific segment. A cursor
+    /// that no longer resolves — its segment was compacted away, or its
+    /// offset runs past the segment (a torn tail truncated behind it) —
+    /// degrades to a **full export**, never to silent data loss: the
+    /// caller re-reads everything and relies on idempotent downstream
+    /// ingest, which is exactly the replay contract. `None` is the
+    /// explicit full-export cursor for a first call.
+    ///
+    /// A key *deleted* after the cursor is simply absent from the delta
+    /// (the suffix scan drops it); callers that must observe deletions
+    /// should run a periodic full export.
+    pub fn export_live_since(
+        dir: impl AsRef<Path>,
+        cursor: Option<ExportCursor>,
+    ) -> Result<ExportDelta, StoreError> {
+        let _span = nptsn_obs::span("store.export");
+        let dir = dir.as_ref();
+        let mut segment_ids = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(id) = name
+                .strip_prefix("segment-")
+                .and_then(|rest| rest.strip_suffix(".log"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            {
+                segment_ids.push(id);
+            }
+        }
+        segment_ids.sort_unstable();
+
+        // Resolve the cursor: scanning starts inside its segment at its
+        // offset. An unresolvable cursor falls back to a full export.
+        let start = cursor.filter(|c| segment_ids.contains(&c.segment));
+        let mut next = start.unwrap_or_default();
+        let mut live: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        for &id in &segment_ids {
+            if start.is_some_and(|c| id < c.segment) {
+                continue; // fully consumed by a previous export
+            }
+            let path = segment_path(dir, id);
+            let bytes = fs::read(&path)?;
+            if bytes.is_empty() {
+                continue; // creation interrupted before the header: empty
+            }
+            if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+                if MAGIC.starts_with(&bytes[..bytes.len().min(MAGIC.len())]) {
+                    continue; // torn header: segment holds no records
+                }
+                return Err(StoreError::Corrupt(format!(
+                    "{} does not start with the segment magic",
+                    path.display()
+                )));
+            }
+            let mut offset = MAGIC.len();
+            if let Some(c) = start.filter(|c| c.segment == id) {
+                if (c.offset as usize) >= MAGIC.len() && (c.offset as usize) <= bytes.len() {
+                    offset = c.offset as usize;
+                } // else: the offset no longer resolves — re-read the segment
+            }
+            while offset < bytes.len() {
+                let Some(frame) = trust_frame(&bytes, offset) else {
+                    break; // first untrustworthy frame ends this segment
+                };
+                match frame.op {
+                    OP_PUT => {
+                        live.insert(frame.key.to_string(), frame.value.to_vec());
+                    }
+                    _ => {
+                        live.remove(frame.key);
+                    }
+                }
+                offset += frame.frame_len;
+            }
+            next = ExportCursor { segment: id, offset: offset as u64 };
+        }
+        Ok((live.into_iter().collect(), next))
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
@@ -797,6 +903,76 @@ mod tests {
         assert_eq!(store.get("job").unwrap(), Some(b"synced".to_vec()));
         assert_eq!(store.get("trace").unwrap(), Some(b"best-effort-2".to_vec()));
         assert_eq!(store.recovery().torn_records_dropped, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn incremental_export_reads_only_the_delta() {
+        let dir = temp_dir("export-since");
+        let store = LogStore::open(&dir).unwrap();
+        store.put("a", b"alpha").unwrap();
+        store.put("b", b"beta").unwrap();
+
+        // First call (no cursor) is a full export.
+        let (full, cursor) = LogStore::export_live_since(&dir, None).unwrap();
+        assert_eq!(full.len(), 2);
+
+        // Nothing appended: the delta is empty and the cursor is stable.
+        let (none, cursor2) = LogStore::export_live_since(&dir, Some(cursor)).unwrap();
+        assert!(none.is_empty(), "{none:?}");
+        assert_eq!(cursor2, cursor);
+
+        // New appends — including an override of an old key — appear in
+        // the delta with their latest value; untouched keys do not.
+        store.put("b", b"beta2").unwrap();
+        store.put("c", b"gamma").unwrap();
+        let (delta, cursor3) = LogStore::export_live_since(&dir, Some(cursor2)).unwrap();
+        assert_eq!(
+            delta,
+            vec![("b".to_string(), b"beta2".to_vec()), ("c".to_string(), b"gamma".to_vec())]
+        );
+
+        // A delete after the cursor removes the key from the delta.
+        store.put("d", b"delta").unwrap();
+        store.delete("d").unwrap();
+        let (gone, _) = LogStore::export_live_since(&dir, Some(cursor3)).unwrap();
+        assert!(gone.is_empty(), "{gone:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn incremental_export_spans_segment_rotation() {
+        let dir = temp_dir("export-since-rotate");
+        let config = LogConfig { segment_bytes: 256, auto_compact_bytes: 0, ..LogConfig::default() };
+        let store = LogStore::open_with(&dir, config).unwrap();
+        store.put("seed", b"first").unwrap();
+        let (_, cursor) = LogStore::export_live_since(&dir, None).unwrap();
+        for i in 0..32 {
+            store.put(&format!("key-{i:02}"), &[b'x'; 64]).unwrap();
+        }
+        assert!(store.stats().segments > 1, "{:?}", store.stats());
+        let (delta, _) = LogStore::export_live_since(&dir, Some(cursor)).unwrap();
+        assert_eq!(delta.len(), 32, "delta missed rotated segments");
+        assert!(!delta.iter().any(|(k, _)| k == "seed"), "pre-cursor key re-exported");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_compacted_away_cursor_degrades_to_a_full_export() {
+        let dir = temp_dir("export-since-compact");
+        let store = LogStore::open(&dir).unwrap();
+        store.put("a", b"alpha").unwrap();
+        let (_, cursor) = LogStore::export_live_since(&dir, None).unwrap();
+        store.put("a", b"alpha2").unwrap();
+        store.put("b", b"beta").unwrap();
+        store.delete("b").unwrap();
+        store.compact().unwrap();
+        // The cursor's segment is gone: the export re-reads everything
+        // rather than guessing, and the new cursor resolves going forward.
+        let (full, fresh) = LogStore::export_live_since(&dir, Some(cursor)).unwrap();
+        assert_eq!(full, vec![("a".to_string(), b"alpha2".to_vec())]);
+        let (none, _) = LogStore::export_live_since(&dir, Some(fresh)).unwrap();
+        assert!(none.is_empty(), "{none:?}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -7,7 +7,7 @@
 
 use std::fs::{self, OpenOptions};
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use nptsn_chaos::{arm_scoped, FaultKind, FaultPlan, SiteRule};
 use nptsn_store::{LogConfig, LogStore, Storage};
@@ -19,7 +19,7 @@ fn temp_dir(test: &str) -> PathBuf {
     dir
 }
 
-fn segment0(dir: &PathBuf) -> PathBuf {
+fn segment0(dir: &Path) -> PathBuf {
     dir.join("segment-0000000000.log")
 }
 

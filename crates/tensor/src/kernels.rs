@@ -134,7 +134,7 @@ mod tests {
                 s ^= s << 13;
                 s ^= s >> 7;
                 s ^= s << 17;
-                if s % 5 == 0 {
+                if s.is_multiple_of(5) {
                     0.0
                 } else {
                     ((s % 1000) as f32 - 500.0) / 250.0

@@ -41,6 +41,13 @@
 #                         the first replayed job (p50/p99 over several
 #                         rounds; the binary itself fails if routed
 #                         overhead exceeds 25% or any acked job is lost)
+#   BENCH_membership.json — elastic membership (DESIGN.md §16): the
+#                         rejoin catch-up round trip of a restarted
+#                         shard, and kill-to-served failover p50/p99 at
+#                         replication factor 1 (dead-log replay) vs 2
+#                         (replica promotion; the binary itself fails if
+#                         the RF2 p99 reaches 50 ms or any acked job is
+#                         lost)
 #
 # Usage: scripts/bench.sh [--smoke]
 #   --smoke   shrink iteration counts to a fast plumbing check (used by
@@ -55,6 +62,7 @@ chaos_out="BENCH_chaos.json"
 store_out="BENCH_store.json"
 infer_out="BENCH_infer.json"
 router_out="BENCH_router.json"
+membership_out="BENCH_membership.json"
 if [[ "${1:-}" == "--smoke" ]]; then
     export NPTSN_BENCH_SMOKE=1
     # Smoke numbers are not representative; keep them out of the committed
@@ -66,11 +74,12 @@ if [[ "${1:-}" == "--smoke" ]]; then
     store_out="target/BENCH_store.smoke.json"
     infer_out="target/BENCH_infer.smoke.json"
     router_out="target/BENCH_router.smoke.json"
+    membership_out="target/BENCH_membership.smoke.json"
 fi
 
 cargo build --release --offline -p nptsn-bench \
     --bin micro --bin serve_bench --bin obs_bench --bin chaos_storm --bin store_bench \
-    --bin infer_bench --bin router_bench
+    --bin infer_bench --bin router_bench --bin membership_bench
 NPTSN_BENCH_OUT="${NPTSN_BENCH_OUT:-$analyzer_out}" ./target/release/micro analyzer_json
 NPTSN_BENCH_OUT="${NPTSN_SERVE_BENCH_OUT:-$serve_out}" ./target/release/serve_bench
 NPTSN_BENCH_OUT="${NPTSN_OBS_BENCH_OUT:-$obs_out}" ./target/release/obs_bench
@@ -82,3 +91,6 @@ NPTSN_BENCH_OUT="${NPTSN_INFER_BENCH_OUT:-$infer_out}" ./target/release/infer_be
 # The router bench spawns its shard fleet as child processes of itself
 # (kill -9 failover needs real processes) and gates routed overhead <=25%.
 NPTSN_BENCH_OUT="${NPTSN_ROUTER_BENCH_OUT:-$router_out}" ./target/release/router_bench
+# The membership bench spawns its fleets the same way and gates the
+# pause-free-failover promise: RF2 kill-to-served p99 under 50 ms.
+NPTSN_BENCH_OUT="${NPTSN_MEMBERSHIP_BENCH_OUT:-$membership_out}" ./target/release/membership_bench

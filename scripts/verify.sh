@@ -38,6 +38,17 @@ for counter in router_failovers router_replayed; do
         exit 1
     fi
 done
+# Membership storm gates (DESIGN.md §16): the RF2 fleet promoted replicas
+# on the kill, the restarted shard rejoined and drained its share, and the
+# whole storm replayed byte-identically under the same seed.
+grep -q '"membership_identical": true' "$chaos_json" \
+    || { echo "chaos smoke: membership storm was not deterministic" >&2; exit 1; }
+for counter in membership_rejoins membership_migrated membership_promotions; do
+    if grep -q "\"$counter\": 0," "$chaos_json"; then
+        echo "chaos smoke: membership storm counter $counter never moved" >&2
+        exit 1
+    fi
+done
 echo "chaos smoke: deterministic storm + live recovery counters confirmed"
 
 # Trace smoke test: a tiny RL plan run with --trace-out must produce a
@@ -258,3 +269,13 @@ wait "$shard_b_pid" 2>/dev/null || true
 trap - EXIT
 rm -rf "$obs_state"
 echo "obs smoke: merged fleet trace + flight ring + federation confirmed"
+
+# Membership smoke (DESIGN.md §16): membership_smoke spawns its own RF2
+# fleet as child processes and walks the full elastic-membership story —
+# kill -9 promotes the passive replicas pause-free, the restarted shard
+# re-announces through POST /admin/shards and catches up, and a brand-new
+# shard joins the running fleet and drains its share — asserting the
+# counters and every acked job's survival at each step.
+cargo build --release --offline -p nptsn-bench --bin membership_smoke
+./target/release/membership_smoke
+echo "membership smoke: rejoin + scale-out + replica promotion confirmed"
